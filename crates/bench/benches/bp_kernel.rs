@@ -1,0 +1,49 @@
+//! Criterion bench: cost of the min-sum BP kernel — the O(N) claim.
+//!
+//! Measures a fixed 20-iteration decode on the code-capacity check
+//! matrices of increasing size, flooding vs layered schedules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qldpc_bp::{BpConfig, MinSumDecoder, Schedule};
+use qldpc_gf2::BitVec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_bp_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bp_kernel_20iters");
+    group.sample_size(20);
+    let codes = [
+        qldpc_codes::bb::bb72(),
+        qldpc_codes::bb::gross_code(),
+        qldpc_codes::bb::bb288(),
+    ];
+    for code in &codes {
+        let hz = code.hz();
+        let n = hz.cols();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut e = BitVec::zeros(n);
+        for i in 0..n {
+            if rng.random_bool(0.05) {
+                e.set(i, true);
+            }
+        }
+        let s = hz.mul_vec(&e);
+        for schedule in [Schedule::Flooding, Schedule::Layered] {
+            let config = BpConfig {
+                max_iters: 20,
+                schedule,
+                ..BpConfig::default()
+            };
+            let mut dec = MinSumDecoder::new(hz, &vec![0.03; n], config);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{schedule:?}"), n),
+                &s,
+                |b, s| b.iter(|| std::hint::black_box(dec.decode(s))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bp_kernel);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench: BP-SF post-processing throughput — the cost of the
+//! speculative trial stage on a syndrome the initial BP cannot solve,
+//! compared head-to-head with the OSD stage on the same syndrome.
+
+use bpsf_core::{BpSfConfig, BpSfDecoder};
+use criterion::{criterion_group, criterion_main, Criterion};
+use qldpc_bp::{BpConfig, MinSumDecoder};
+use qldpc_gf2::BitVec;
+use qldpc_osd::BpOsdDecoder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Finds a syndrome on which BP50 fails (so post-processing always runs).
+fn hard_syndrome(h: &qldpc_gf2::SparseBitMatrix, p: f64, seed: u64) -> BitVec {
+    let n = h.cols();
+    let mut probe = MinSumDecoder::new(
+        h,
+        &vec![p; n],
+        BpConfig {
+            max_iters: 50,
+            ..BpConfig::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    loop {
+        let mut e = BitVec::zeros(n);
+        for i in 0..n {
+            if rng.random_bool(p) {
+                e.set(i, true);
+            }
+        }
+        let s = h.mul_vec(&e);
+        if !probe.decode(&s).converged {
+            return s;
+        }
+    }
+}
+
+fn bench_trials(c: &mut Criterion) {
+    let code = qldpc_codes::coprime_bb::coprime154();
+    let hz = code.hz();
+    let n = hz.cols();
+    let p = 0.05;
+    let s = hard_syndrome(hz, p, 11);
+
+    let mut group = c.benchmark_group("postprocessing_on_bp_failure");
+    group.sample_size(20);
+
+    let mut sf = BpSfDecoder::new(hz, &vec![p; n], BpSfConfig::code_capacity(50, 8, 2));
+    group.bench_function("bp_sf_w2_phi8", |b| {
+        b.iter(|| std::hint::black_box(sf.decode(&s)))
+    });
+
+    let mut osd = BpOsdDecoder::new(
+        hz,
+        &vec![p; n],
+        BpConfig {
+            max_iters: 50,
+            ..BpConfig::default()
+        },
+        qldpc_osd::OsdConfig::default(),
+    );
+    group.bench_function("bp_osd10", |b| {
+        b.iter(|| std::hint::black_box(osd.decode(&s)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trials);
+criterion_main!(benches);

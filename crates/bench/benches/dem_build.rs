@@ -1,0 +1,28 @@
+//! Criterion bench: detector-error-model extraction cost (the substrate
+//! that replaces Stim's DEM generation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qldpc_circuit::{MemoryExperiment, NoiseModel};
+
+fn bench_dem_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dem_build");
+    group.sample_size(10);
+    let noise = NoiseModel::uniform_depolarizing(3e-3);
+    for rounds in [2usize, 4, 8] {
+        let code = qldpc_codes::bb::gross_code();
+        group.bench_with_input(
+            BenchmarkId::new("gross_code", rounds),
+            &rounds,
+            |b, &rounds| {
+                b.iter(|| {
+                    let exp = MemoryExperiment::memory_z(&code, rounds, &noise);
+                    std::hint::black_box(exp.detector_error_model())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dem_build);
+criterion_main!(benches);

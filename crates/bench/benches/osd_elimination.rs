@@ -1,0 +1,78 @@
+//! Criterion bench: cost of the OSD Gaussian-elimination stage — the
+//! O(N³) expense that BP-SF eliminates.
+//!
+//! Runs the full OSD-CS(10) post-processing step on check matrices of
+//! increasing size, including a circuit-level DEM, with uninformative
+//! posteriors (worst case for the reliability sort).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qldpc_circuit::{MemoryExperiment, NoiseModel};
+use qldpc_gf2::{BitMatrix, BitVec};
+use qldpc_osd::{osd_postprocess, OsdConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_syndrome(h: &BitMatrix, rng: &mut StdRng) -> BitVec {
+    let n = h.cols();
+    let mut e = BitVec::zeros(n);
+    for i in 0..n {
+        if rng.random_bool(0.02) {
+            e.set(i, true);
+        }
+    }
+    h.mul_vec(&e)
+}
+
+fn bench_osd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("osd_cs10_postprocess");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(3);
+
+    // Code-capacity matrices.
+    for code in [
+        qldpc_codes::bb::bb72(),
+        qldpc_codes::bb::gross_code(),
+        qldpc_codes::bb::bb288(),
+    ] {
+        let h = code.hz().to_dense();
+        let n = h.cols();
+        let s = random_syndrome(&h, &mut rng);
+        let posteriors: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let priors = vec![0.02; n];
+        group.bench_with_input(BenchmarkId::new("code-capacity", n), &s, |b, s| {
+            b.iter(|| {
+                std::hint::black_box(osd_postprocess(
+                    &h,
+                    s,
+                    &posteriors,
+                    &priors,
+                    OsdConfig::default(),
+                ))
+            })
+        });
+    }
+
+    // One circuit-level DEM (this is where O(N³) bites).
+    let code = qldpc_codes::bb::bb72();
+    let dem = MemoryExperiment::memory_z(&code, 4, &NoiseModel::uniform_depolarizing(3e-3))
+        .detector_error_model();
+    let h = dem.check_matrix().to_dense();
+    let n = h.cols();
+    let s = random_syndrome(&h, &mut rng);
+    let posteriors: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+    group.bench_with_input(BenchmarkId::new("circuit-dem", n), &s, |b, s| {
+        b.iter(|| {
+            std::hint::black_box(osd_postprocess(
+                &h,
+                s,
+                &posteriors,
+                dem.priors(),
+                OsdConfig::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_osd);
+criterion_main!(benches);

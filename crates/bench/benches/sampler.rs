@@ -1,0 +1,27 @@
+//! Criterion bench: Monte Carlo shot-sampling throughput from a detector
+//! error model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qldpc_circuit::{DemSampler, MemoryExperiment, NoiseModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dem_sampler");
+    let noise = NoiseModel::uniform_depolarizing(3e-3);
+    for rounds in [2usize, 6] {
+        let code = qldpc_codes::bb::gross_code();
+        let dem = MemoryExperiment::memory_z(&code, rounds, &noise).detector_error_model();
+        let sampler = DemSampler::new(&dem);
+        let mut rng = StdRng::seed_from_u64(5);
+        group.bench_with_input(
+            BenchmarkId::new("gross_code_shot", dem.num_mechanisms()),
+            &rounds,
+            |b, _| b.iter(|| std::hint::black_box(sampler.sample(&mut rng))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampler);
+criterion_main!(benches);

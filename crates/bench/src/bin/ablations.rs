@@ -1,0 +1,133 @@
+//! Ablation study over the BP-SF design choices called out in DESIGN.md:
+//!
+//! * adaptive damping `α_i = 1 − 2⁻ⁱ` vs fixed normalization,
+//! * first-success return vs classical min-weight Chase selection,
+//! * candidate ranking: flip-count+LLR (paper) vs flip-count only vs
+//!   reliability only,
+//! * padding Φ with unreliable non-oscillating bits on/off.
+//!
+//! Workload: `[[154,6,16]]` code capacity (the code where post-processing
+//! matters most) at p = 0.05.
+
+use bpsf_core::{BpSfConfig, CandidateRanking, TrialSelection};
+use qldpc_bench::{banner, BenchArgs};
+use qldpc_bp::DampingSchedule;
+use qldpc_sim::{decoders, run_code_capacity, CodeCapacityConfig};
+
+fn main() {
+    let args = BenchArgs::parse(600);
+    banner(
+        "Ablations",
+        "BP-SF design choices on Coprime-BB `[[154,6,16]]`, code capacity p = 0.05",
+        &args,
+    );
+    let code = qldpc_codes::coprime_bb::coprime154();
+    let config = CodeCapacityConfig {
+        p: 0.05,
+        shots: args.shots,
+        seed: args.seed,
+    };
+    let base = BpSfConfig::code_capacity(50, 8, 1);
+
+    let variants: Vec<(&str, BpSfConfig)> = vec![
+        ("paper default (adaptive, first-success)", base),
+        (
+            "fixed damping α=0.8",
+            BpSfConfig {
+                initial_bp: qldpc_bp::BpConfig {
+                    damping: DampingSchedule::Fixed(0.8),
+                    ..base.initial_bp
+                },
+                ..base
+            },
+        ),
+        (
+            "no damping (α=1, plain min-sum)",
+            BpSfConfig {
+                initial_bp: qldpc_bp::BpConfig {
+                    damping: DampingSchedule::Fixed(1.0),
+                    ..base.initial_bp
+                },
+                ..base
+            },
+        ),
+        (
+            "min-weight trial selection",
+            BpSfConfig {
+                selection: TrialSelection::MinWeight,
+                ..base
+            },
+        ),
+        (
+            "ranking: flip count only",
+            BpSfConfig {
+                ranking: CandidateRanking::FlipCountOnly,
+                ..base
+            },
+        ),
+        (
+            "ranking: |LLR| only (no oscillations)",
+            BpSfConfig {
+                ranking: CandidateRanking::LlrOnly,
+                ..base
+            },
+        ),
+        (
+            "no candidate padding",
+            BpSfConfig {
+                pad_candidates: false,
+                ..base
+            },
+        ),
+        (
+            "wider flips (w_max = 2)",
+            BpSfConfig {
+                max_flip_weight: 2,
+                ..base
+            },
+        ),
+        (
+            "sum-product inner BP (§VII)",
+            BpSfConfig {
+                initial_bp: qldpc_bp::BpConfig {
+                    algorithm: qldpc_bp::BpAlgorithm::SumProduct,
+                    ..base.initial_bp
+                },
+                ..base
+            },
+        ),
+        (
+            "posterior memory γ=0.3 (Mem-BP)",
+            BpSfConfig {
+                initial_bp: qldpc_bp::BpConfig {
+                    memory_strength: 0.3,
+                    ..base.initial_bp
+                },
+                ..base
+            },
+        ),
+    ];
+
+    println!(
+        "\n{:<42} {:>10} {:>10} {:>12} {:>10}",
+        "variant", "LER", "unsolved", "avg iters", "avg ms"
+    );
+    for (name, cfg) in variants {
+        let r = run_code_capacity(&code, &config, &decoders::bp_sf(cfg));
+        let iters = r.serial_iteration_stats();
+        let wall = r.wall_stats_ms();
+        println!(
+            "{:<42} {:>10.3e} {:>10} {:>12.1} {:>10.3}",
+            name,
+            r.ler(),
+            r.unsolved,
+            iters.mean,
+            wall.mean
+        );
+    }
+    println!(
+        "\nreading: the paper's defaults should sit at (or within noise of) the\n\
+         lowest LER; dropping the oscillation signal (|LLR| only) or the\n\
+         damping schedule should visibly hurt."
+    );
+}

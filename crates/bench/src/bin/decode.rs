@@ -1,0 +1,178 @@
+//! Generic decoding CLI: pick a code, noise model, decoder and shot
+//! budget; get a LER + latency report. The Swiss-army knife for
+//! exploring the stack beyond the fixed paper figures.
+//!
+//! ```text
+//! cargo run --release -p qldpc-bench --bin decode -- \
+//!     --code gross --model circuit --p 3e-3 --rounds 12 \
+//!     --decoder bpsf --shots 500 --threads 2
+//! ```
+//!
+//! Codes: `bb72`, `gross`, `bb288`, `coprime126`, `coprime154`, `gb254`,
+//! `shyps225`. Models: `capacity`, `circuit`. Decoders: `bp`, `layered-bp`,
+//! `bposd`, `bpsf`, `bpsf-parallel`.
+
+use bpsf_core::BpSfConfig;
+use qldpc_bench::build_dem;
+use qldpc_codes::CssCode;
+use qldpc_sim::{
+    decoders, run_circuit_level_parallel, run_code_capacity_parallel, CircuitLevelConfig,
+    CodeCapacityConfig, DecoderFactory,
+};
+
+struct Cli {
+    code: String,
+    model: String,
+    decoder: String,
+    p: f64,
+    rounds: Option<usize>,
+    shots: usize,
+    threads: usize,
+    seed: u64,
+    bp_iters: usize,
+    osd_order: usize,
+    candidates: usize,
+    w_max: usize,
+    n_s: usize,
+}
+
+impl Cli {
+    fn parse() -> Self {
+        let mut cli = Self {
+            code: "gross".into(),
+            model: "capacity".into(),
+            decoder: "bpsf".into(),
+            p: 0.01,
+            rounds: None,
+            shots: 500,
+            threads: 1,
+            seed: 2026,
+            bp_iters: 100,
+            osd_order: 10,
+            candidates: 50,
+            w_max: 6,
+            n_s: 5,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            let mut val = || it.next().unwrap_or_else(|| panic!("{a} needs a value"));
+            match a.as_str() {
+                "--code" => cli.code = val(),
+                "--model" => cli.model = val(),
+                "--decoder" => cli.decoder = val(),
+                "--p" => cli.p = val().parse().expect("bad --p"),
+                "--rounds" => cli.rounds = Some(val().parse().expect("bad --rounds")),
+                "--shots" => cli.shots = val().parse().expect("bad --shots"),
+                "--threads" => cli.threads = val().parse().expect("bad --threads"),
+                "--seed" => cli.seed = val().parse().expect("bad --seed"),
+                "--bp-iters" => cli.bp_iters = val().parse().expect("bad --bp-iters"),
+                "--osd-order" => cli.osd_order = val().parse().expect("bad --osd-order"),
+                "--candidates" => cli.candidates = val().parse().expect("bad --candidates"),
+                "--w-max" => cli.w_max = val().parse().expect("bad --w-max"),
+                "--ns" => cli.n_s = val().parse().expect("bad --ns"),
+                "--help" | "-h" => {
+                    println!(
+                        "usage: decode [--code NAME] [--model capacity|circuit] \
+                         [--decoder bp|layered-bp|bposd|bpsf|bpsf-parallel] [--p F] \
+                         [--rounds N] [--shots N] [--threads N] [--seed N] \
+                         [--bp-iters N] [--osd-order N] [--candidates N] [--w-max N] [--ns N]"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument {other:?} (try --help)"),
+            }
+        }
+        cli
+    }
+
+    fn resolve_code(&self) -> CssCode {
+        match self.code.as_str() {
+            "bb72" => qldpc_codes::bb::bb72(),
+            "gross" | "bb144" => qldpc_codes::bb::gross_code(),
+            "bb288" => qldpc_codes::bb::bb288(),
+            "coprime126" => qldpc_codes::coprime_bb::coprime126(),
+            "coprime154" => qldpc_codes::coprime_bb::coprime154(),
+            "gb254" => qldpc_codes::gb::gb254(),
+            "shyps225" => qldpc_codes::shp::shyps225(),
+            other => panic!("unknown code {other:?}"),
+        }
+    }
+
+    fn resolve_decoder(&self) -> DecoderFactory {
+        match self.decoder.as_str() {
+            "bp" => decoders::plain_bp(self.bp_iters),
+            "layered-bp" => decoders::layered_bp(self.bp_iters),
+            "bposd" => decoders::bp_osd(self.bp_iters, self.osd_order),
+            "bpsf" => {
+                let config = if self.model == "capacity" {
+                    BpSfConfig::code_capacity(self.bp_iters, self.candidates, self.w_max)
+                } else {
+                    BpSfConfig::circuit_level(self.bp_iters, self.candidates, self.w_max, self.n_s)
+                };
+                decoders::bp_sf(config)
+            }
+            "bpsf-parallel" => {
+                let config =
+                    BpSfConfig::circuit_level(self.bp_iters, self.candidates, self.w_max, self.n_s);
+                decoders::parallel_bp_sf(config, self.threads.max(2))
+            }
+            other => panic!("unknown decoder {other:?}"),
+        }
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let code = cli.resolve_code();
+    let factory = cli.resolve_decoder();
+    println!(
+        "decoding {} under the {} model at p = {} ({} shots, {} thread(s))",
+        code,
+        cli.model,
+        cli.p,
+        cli.shots,
+        cli.threads
+    );
+
+    let report = match cli.model.as_str() {
+        "capacity" => run_code_capacity_parallel(
+            &code,
+            &CodeCapacityConfig {
+                p: cli.p,
+                shots: cli.shots,
+                seed: cli.seed,
+            },
+            &factory,
+            cli.threads,
+        ),
+        "circuit" => {
+            let rounds = cli.rounds.unwrap_or_else(|| code.d().unwrap_or(4));
+            let dem = build_dem(&code, rounds, cli.p);
+            println!(
+                "DEM: {} detectors × {} mechanisms ({} rounds)",
+                dem.num_detectors(),
+                dem.num_mechanisms(),
+                rounds
+            );
+            let mut r = run_circuit_level_parallel(
+                &dem,
+                &format!("{} r={rounds} p={}", code.name(), cli.p),
+                &CircuitLevelConfig {
+                    shots: cli.shots,
+                    seed: cli.seed,
+                },
+                &factory,
+                cli.threads,
+            );
+            println!("LER/round = {:.3e}", r.ler_per_round(rounds));
+            r.workload.push_str(" (circuit)");
+            r
+        }
+        other => panic!("unknown model {other:?}"),
+    };
+
+    println!("{report}");
+    let iters = report.serial_iteration_stats();
+    println!("serial BP iterations: {}", iters.summary());
+    println!("wall clock [ms]:      {}", report.wall_stats_ms().summary());
+}

@@ -1,0 +1,75 @@
+//! Figure 2: ratio of unsuccessful BP decoding (1 − convergence rate) on
+//! the `[[144,12,12]]` code under circuit-level noise.
+//!
+//! Paper setup: max 1000 iterations, 10,000 samples, p ∈ {0.001, 0.002};
+//! reported average iterations 8.9 (p=0.001) and 28.0 (p=0.002), with a
+//! long tail that makes extra iterations past ~100 useless.
+
+use qldpc_bench::{banner, build_dem, paper_reference, BenchArgs};
+use qldpc_bp::{BpConfig, MinSumDecoder};
+use qldpc_circuit::DemSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = BenchArgs::parse(2000);
+    banner(
+        "Figure 2",
+        "BP non-convergence rate vs iterations, BB `[[144,12,12]]`, circuit-level",
+        &args,
+    );
+    let code = qldpc_codes::bb::gross_code();
+    let rounds = args.rounds.unwrap_or(12);
+    let max_iters = if args.full { 1000 } else { 300 };
+    let milestones = [1usize, 2, 5, 10, 20, 50, 100, 200, 300, 500, 1000];
+
+    for &p in &[1e-3, 2e-3] {
+        let dem = build_dem(&code, rounds, p);
+        let mut bp = MinSumDecoder::new(
+            dem.check_matrix(),
+            dem.priors(),
+            BpConfig {
+                max_iters,
+                ..BpConfig::default()
+            },
+        );
+        let sampler = DemSampler::new(&dem);
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        let mut iteration_counts = Vec::with_capacity(args.shots);
+        let mut non_converged = 0usize;
+        for _ in 0..args.shots {
+            let shot = sampler.sample(&mut rng);
+            let r = bp.decode(&shot.syndrome);
+            if r.converged {
+                iteration_counts.push(r.iterations);
+            } else {
+                non_converged += 1;
+                iteration_counts.push(max_iters + 1);
+            }
+        }
+        let avg: f64 = iteration_counts
+            .iter()
+            .map(|&i| i.min(max_iters) as f64)
+            .sum::<f64>()
+            / args.shots as f64;
+        println!(
+            "\np = {p}: avg iterations = {avg:.1}, never converged within {max_iters}: {non_converged}/{}",
+            args.shots
+        );
+        println!("{:>10} {:>22}", "iteration", "1 - convergence rate");
+        for &m in milestones.iter().filter(|&&m| m <= max_iters) {
+            let not_done = iteration_counts.iter().filter(|&&i| i > m).count();
+            println!(
+                "{:>10} {:>22.4e}",
+                m,
+                not_done as f64 / args.shots as f64
+            );
+        }
+    }
+    paper_reference(&[
+        "p=0.001: avg iterations = 8.9; tail reaches ~1e-3 by iteration 1000",
+        "p=0.002: avg iterations = 28.0; tail reaches ~1e-2 by iteration 1000",
+        "shape: steep early convergence, long flat tail (cases that never benefit",
+        "from more iterations) — the motivation for varying the decoder inputs",
+    ]);
+}

@@ -1,0 +1,86 @@
+//! Figure 3: precision and recall of candidate-bit selection on the
+//! `[[144,12,12]]` code — how well the top-50 oscillating bits predict the
+//! true error locations among ~8,000 error mechanisms.
+//!
+//! Paper setup: BP50 with oscillation tracking, statistics over 1,000
+//! decoding failures, p ∈ {0.001, 0.002, 0.005, 0.01}.
+
+use bpsf_core::{hit_precision_recall, select_candidates};
+use qldpc_bench::{banner, build_dem, paper_reference, BenchArgs};
+use qldpc_bp::{BpConfig, MinSumDecoder};
+use qldpc_circuit::DemSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = BenchArgs::parse(200);
+    banner(
+        "Figure 3",
+        "precision/recall of top-50 oscillating bits, BB `[[144,12,12]]`, circuit-level",
+        &args,
+    );
+    let code = qldpc_codes::bb::gross_code();
+    let rounds = args.rounds.unwrap_or(12);
+    let target_failures = args.shots; // `--shots` = number of failures studied
+    let ps: &[f64] = if args.full {
+        &[1e-3, 2e-3, 5e-3, 1e-2]
+    } else {
+        &[2e-3, 5e-3, 1e-2]
+    };
+
+    println!(
+        "\n{:>9} {:>10} {:>10} {:>10} {:>12}",
+        "p", "precision", "recall", "failures", "mechanisms"
+    );
+    for &p in ps {
+        let dem = build_dem(&code, rounds, p);
+        let mut bp = MinSumDecoder::new(
+            dem.check_matrix(),
+            dem.priors(),
+            BpConfig {
+                max_iters: 50,
+                track_oscillations: true,
+                ..BpConfig::default()
+            },
+        );
+        let sampler = DemSampler::new(&dem);
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        let mut precisions = Vec::new();
+        let mut recalls = Vec::new();
+        let mut attempts = 0usize;
+        let max_attempts = target_failures * 2000;
+        while precisions.len() < target_failures && attempts < max_attempts {
+            attempts += 1;
+            let shot = sampler.sample(&mut rng);
+            if shot.syndrome.is_zero() {
+                continue;
+            }
+            let r = bp.decode(&shot.syndrome);
+            if r.converged {
+                continue;
+            }
+            let candidates = select_candidates(&r.flip_counts, &r.posteriors, 50, true);
+            let truth: Vec<usize> = shot.fault.iter_ones().collect();
+            let (precision, recall) = hit_precision_recall(&candidates, &truth);
+            precisions.push(precision);
+            recalls.push(recall);
+        }
+        let n = precisions.len().max(1) as f64;
+        println!(
+            "{:>9.1e} {:>10.3} {:>10.3} {:>10} {:>12}",
+            p,
+            precisions.iter().sum::<f64>() / n,
+            recalls.iter().sum::<f64>() / n,
+            precisions.len(),
+            dem.num_mechanisms()
+        );
+    }
+    paper_reference(&[
+        "p=0.001: precision ≈ 0.45, recall ≈ 0.8",
+        "p=0.002: precision ≈ 0.4,  recall ≈ 0.6",
+        "p=0.005: precision ≈ 0.3,  recall ≈ 0.35",
+        "p=0.010: precision ≈ 0.25, recall ≈ 0.2",
+        "shape: precision far above the physical error rate at every p;",
+        "recall decays as the error count outgrows the fixed |Φ| = 50 budget",
+    ]);
+}

@@ -1,0 +1,39 @@
+//! Figure 5: code-capacity error rates of the `[[154,6,16]]` coprime-BB
+//! code — the paper's showcase of BP-SF *beating* BP-OSD.
+//!
+//! Paper setup: BP-SF with BP50, w_max = 1, |Φ| = 8; baselines
+//! BP1000-OSD10, BP1000-OSD0, BP1000. BP and BP-OSD exhibit an error
+//! floor from weight-3 trapping-set errors that BP-SF removes.
+
+use bpsf_core::BpSfConfig;
+use qldpc_bench::{banner, capacity_sweep, paper_reference, BenchArgs};
+use qldpc_sim::decoders;
+
+fn main() {
+    let args = BenchArgs::parse(400);
+    banner(
+        "Figure 5",
+        "Coprime-BB `[[154,6,16]]` under the code-capacity model",
+        &args,
+    );
+    let code = qldpc_codes::coprime_bb::coprime154();
+    let ps: &[f64] = if args.full {
+        &[0.01, 0.02, 0.03, 0.05, 0.08, 0.12]
+    } else {
+        &[0.03, 0.05, 0.08]
+    };
+    let factories = vec![
+        decoders::bp_sf(BpSfConfig::code_capacity(50, 8, 1)),
+        decoders::bp_osd(1000, 10),
+        decoders::bp_osd(1000, 0),
+        decoders::plain_bp(1000),
+    ];
+    capacity_sweep(&code, ps, args.shots, args.seed, &factories);
+    paper_reference(&[
+        "BP-SF (BP50, w=1, |Φ|=8) is the best curve: LER ≈ 1e-5 at p=0.02,",
+        "  no error floor down to LER 1e-6",
+        "BP1000-OSD10 and BP1000-OSD0 flatten into an error floor near 1e-4",
+        "BP1000 alone is one-plus order of magnitude worse than BP-SF",
+        "shape to verify: BP-SF < BP-OSD < BP at every p in the sweep",
+    ]);
+}

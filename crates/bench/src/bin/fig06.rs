@@ -1,0 +1,35 @@
+//! Figure 6: code-capacity error rates of the `[[288,12,18]]` BB code.
+//!
+//! Paper setup: BP-SF with BP50, w_max = 1, |Φ| = 20 performs on par with
+//! BP1000-OSD10 at ≤ 1050 total iterations (100 with full parallelism).
+
+use bpsf_core::BpSfConfig;
+use qldpc_bench::{banner, capacity_sweep, paper_reference, BenchArgs};
+use qldpc_sim::decoders;
+
+fn main() {
+    let args = BenchArgs::parse(300);
+    banner(
+        "Figure 6",
+        "BB `[[288,12,18]]` under the code-capacity model",
+        &args,
+    );
+    let code = qldpc_codes::bb::bb288();
+    let ps: &[f64] = if args.full {
+        &[0.03, 0.04, 0.06, 0.08, 0.10]
+    } else {
+        &[0.04, 0.06, 0.09]
+    };
+    let factories = vec![
+        decoders::bp_sf(BpSfConfig::code_capacity(50, 20, 1)),
+        decoders::bp_osd(1000, 10),
+        decoders::bp_osd(1000, 0),
+        decoders::plain_bp(1000),
+    ];
+    capacity_sweep(&code, ps, args.shots, args.seed, &factories);
+    paper_reference(&[
+        "BP-SF (BP50, w=1, |Φ|=20) tracks BP1000-OSD10 within statistical error",
+        "both reach LER ≈ 1e-5 near p = 0.04; plain BP1000 lags by ~10×",
+        "shape to verify: BP-SF ≈ BP-OSD10 < BP-OSD0 < BP at each p",
+    ]);
+}

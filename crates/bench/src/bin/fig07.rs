@@ -1,0 +1,41 @@
+//! Figure 7: circuit-level error rates of the `[[144,12,12]]` gross code.
+//!
+//! Paper setup: d = 12 rounds; BP-SF with BP100, (w=6, ns=5) and
+//! (w=10, ns=10), |Φ| = 50, vs BP1000-OSD10, BP1000 and BP10000.
+
+use bpsf_core::BpSfConfig;
+use qldpc_bench::{banner, circuit_sweep, paper_reference, BenchArgs};
+use qldpc_sim::decoders;
+
+fn main() {
+    let args = BenchArgs::parse(200);
+    banner(
+        "Figure 7",
+        "BB `[[144,12,12]]` under the circuit-level noise model",
+        &args,
+    );
+    let code = qldpc_codes::bb::gross_code();
+    let rounds = args.rounds.unwrap_or(12);
+    let ps: &[f64] = if args.full {
+        &[1e-3, 2e-3, 3e-3, 5e-3, 8e-3]
+    } else {
+        &[3e-3, 6e-3]
+    };
+    let mut factories = vec![
+        decoders::bp_sf(BpSfConfig::circuit_level(100, 50, 6, 5)),
+        decoders::bp_sf(BpSfConfig::circuit_level(100, 50, 10, 10)),
+        decoders::bp_osd(1000, 10),
+        decoders::plain_bp(1000),
+    ];
+    if args.full {
+        factories.push(decoders::plain_bp(10000));
+    }
+    circuit_sweep(&code, rounds, ps, args.shots, args.seed, &factories);
+    paper_reference(&[
+        "BP-SF (w=10, ns=10) sits slightly above but close to BP1000-OSD10",
+        "  (e.g. ~2–3e-4 vs 2.1e-4 LER/round at p = 3e-3)",
+        "BP-SF (w=6, ns=5) is marginally worse than (w=10, ns=10)",
+        "plain BP1000 is ~an order of magnitude worse; BP10000 barely helps",
+        "shape to verify: BP1000-OSD10 ≤ BP-SF(w10) ≤ BP-SF(w6) ≪ BP1000",
+    ]);
+}

@@ -1,0 +1,43 @@
+//! Figure 8: circuit-level error rates of the `[[288,12,18]]` BB code with
+//! the layered BP schedule.
+//!
+//! Paper setup: all decoders use layered BP (regular flooding BP performs
+//! much worse on this code — symmetric trapping sets); BP-SF uses BP100,
+//! w=10, |Φ|=50, ns=10. The `--full` run adds the flooding BP-SF variant
+//! shown dashed in the paper.
+
+use bpsf_core::BpSfConfig;
+use qldpc_bench::{banner, circuit_sweep, paper_reference, BenchArgs};
+use qldpc_sim::decoders;
+
+fn main() {
+    let args = BenchArgs::parse(120);
+    banner(
+        "Figure 8",
+        "BB `[[288,12,18]]` under circuit-level noise (layered BP)",
+        &args,
+    );
+    let code = qldpc_codes::bb::bb288();
+    let rounds = args.rounds.unwrap_or(18);
+    let ps: &[f64] = if args.full {
+        &[1e-3, 2e-3, 3e-3, 4e-3]
+    } else {
+        &[3e-3]
+    };
+    let mut factories = vec![
+        decoders::layered_bp_osd(1000, 10),
+        decoders::layered_bp_sf(BpSfConfig::circuit_level(100, 50, 10, 10)),
+        decoders::layered_bp(1000),
+    ];
+    if args.full {
+        // The dashed flooding curve from the paper.
+        factories.push(decoders::bp_sf(BpSfConfig::circuit_level(100, 50, 10, 10)));
+    }
+    circuit_sweep(&code, rounds, ps, args.shots, args.seed, &factories);
+    paper_reference(&[
+        "layered BP1000-OSD10 is best (LER/round ≈ 1e-5 at p = 2e-3)",
+        "layered BP-SF is slightly above it; layered BP1000 ~10× worse",
+        "flooding BP-SF (dashed) is clearly worse than any layered decoder —",
+        "scheduling sensitivity attributed to symmetric trapping sets",
+    ]);
+}

@@ -1,0 +1,41 @@
+//! Figure 10: circuit-level error rates of the `[[126,12,10]]` coprime-BB
+//! code.
+//!
+//! Paper setup: d = 10 rounds; BP-SF with BP100, |Φ| = 50, (w=6, ns=5)
+//! reaching ~BP-OSD parity at ≈3,000 iterations, and (w=10, ns=10)
+//! dipping slightly below BP-OSD at ≈10,000 iterations.
+
+use bpsf_core::BpSfConfig;
+use qldpc_bench::{banner, circuit_sweep, paper_reference, BenchArgs};
+use qldpc_sim::decoders;
+
+fn main() {
+    let args = BenchArgs::parse(200);
+    banner(
+        "Figure 10",
+        "Coprime-BB `[[126,12,10]]` under the circuit-level noise model",
+        &args,
+    );
+    let code = qldpc_codes::coprime_bb::coprime126();
+    let rounds = args.rounds.unwrap_or(10);
+    let ps: &[f64] = if args.full {
+        &[1e-3, 2e-3, 3e-3, 5e-3, 8e-3]
+    } else {
+        &[3e-3, 6e-3]
+    };
+    let mut factories = vec![
+        decoders::bp_sf(BpSfConfig::circuit_level(100, 50, 6, 5)),
+        decoders::bp_sf(BpSfConfig::circuit_level(100, 50, 10, 10)),
+        decoders::bp_osd(1000, 10),
+        decoders::plain_bp(1000),
+    ];
+    if args.full {
+        factories.push(decoders::plain_bp(10000));
+    }
+    circuit_sweep(&code, rounds, ps, args.shots, args.seed, &factories);
+    paper_reference(&[
+        "BP-SF (w=6, ns=5) is comparable to BP1000-OSD10",
+        "BP-SF (w=10, ns=10) drops slightly *below* BP-OSD at low p",
+        "plain BP1000/BP10000 are an order of magnitude worse",
+    ]);
+}

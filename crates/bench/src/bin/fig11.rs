@@ -1,0 +1,38 @@
+//! Figure 11: circuit-level error rates of the `[[225,16,8]]` SHYPS code
+//! (subsystem hypergraph product of the `[15,4,8]` simplex code).
+//!
+//! Paper setup: BP-SF with BP100, w = 5, |Φ| = 50, ns = 5 — *fewer*
+//! parallel trials than the other codes — achieves nearly identical LER
+//! to BP1000-OSD10.
+
+use bpsf_core::BpSfConfig;
+use qldpc_bench::{banner, circuit_sweep, paper_reference, BenchArgs};
+use qldpc_sim::decoders;
+
+fn main() {
+    let args = BenchArgs::parse(150);
+    banner(
+        "Figure 11",
+        "SHYPS `[[225,16,8]]` under the circuit-level noise model (subsystem code)",
+        &args,
+    );
+    let code = qldpc_codes::shp::shyps225();
+    let rounds = args.rounds.unwrap_or(8);
+    let ps: &[f64] = if args.full {
+        &[5e-4, 1e-3, 2e-3, 3e-3]
+    } else {
+        &[1e-3, 2e-3]
+    };
+    let factories = vec![
+        decoders::bp_sf(BpSfConfig::circuit_level(100, 50, 5, 5)),
+        decoders::bp_osd(1000, 10),
+        decoders::plain_bp(1000),
+    ];
+    circuit_sweep(&code, rounds, ps, args.shots, args.seed, &factories);
+    paper_reference(&[
+        "BP-SF (BP100, w=5, |Φ|=50, ns=5) ≈ BP1000-OSD10 across the sweep",
+        "plain BP1000 trails both by roughly an order of magnitude",
+        "note: detectors here are gauge-product stabilizer combinations —",
+        "the subsystem decoding path of the substrate (see DESIGN.md)",
+    ]);
+}

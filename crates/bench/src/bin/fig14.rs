@@ -1,0 +1,85 @@
+//! Figure 14: average decoding time per syndrome vs physical error rate
+//! on the `[[144,12,12]]` code.
+//!
+//! Paper setup: p ∈ {0.001, 0.002, 0.003}; decoders BP1000-OSD10,
+//! BP-SF serial, BP-SF (CPU, P=8), BP100 (lower bound, no
+//! post-processing), plus the GPU estimates. This host exposes two cores,
+//! so the parallel pool runs P=2 (pass `--full` for a P=4 row anyway);
+//! the GPU rows are produced by the documented hardware latency model.
+
+use bpsf_core::BpSfConfig;
+use qldpc_bench::{banner, build_dem, paper_reference, BenchArgs};
+use qldpc_sim::{decoders, run_circuit_level, CircuitLevelConfig, HardwareLatencyModel};
+
+fn main() {
+    let args = BenchArgs::parse(300);
+    banner(
+        "Figure 14",
+        "average decoding time per syndrome vs p, BB `[[144,12,12]]`",
+        &args,
+    );
+    let code = qldpc_codes::bb::gross_code();
+    let rounds = args.rounds.unwrap_or(12);
+    let sf_config = BpSfConfig::circuit_level(100, 50, 10, 10);
+    let config = CircuitLevelConfig {
+        shots: args.shots,
+        seed: args.seed,
+    };
+    let gpu = HardwareLatencyModel::gpu_estimate();
+
+    println!(
+        "\n{:>9} {:<26} {:>10} {:>10} {:>12}",
+        "p", "decoder", "avg ms", "max ms", "LER/round"
+    );
+    for &p in &[1e-3, 2e-3, 3e-3] {
+        let dem = build_dem(&code, rounds, p);
+        let mut rows: Vec<(String, qldpc_sim::RunReport)> = Vec::new();
+        rows.push((
+            "BP1000-OSD10".into(),
+            run_circuit_level(&dem, "gross", &config, &decoders::bp_osd(1000, 10)),
+        ));
+        rows.push((
+            "BP-SF (serial)".into(),
+            run_circuit_level(&dem, "gross", &config, &decoders::bp_sf(sf_config)),
+        ));
+        rows.push((
+            "BP-SF (CPU, P=2)".into(),
+            run_circuit_level(&dem, "gross", &config, &decoders::parallel_bp_sf(sf_config, 2)),
+        ));
+        if args.full {
+            rows.push((
+                "BP-SF (CPU, P=4)".into(),
+                run_circuit_level(&dem, "gross", &config, &decoders::parallel_bp_sf(sf_config, 4)),
+            ));
+        }
+        rows.push((
+            "BP100 (lower bound)".into(),
+            run_circuit_level(&dem, "gross", &config, &decoders::plain_bp(100)),
+        ));
+        for (name, r) in &rows {
+            let wall = r.wall_stats_ms();
+            println!(
+                "{:>9.1e} {:<26} {:>10.3} {:>10.3} {:>12.3e}",
+                p,
+                name,
+                wall.mean,
+                wall.max,
+                r.ler_per_round(rounds)
+            );
+        }
+        // GPU estimate from the BP-SF iteration records.
+        let sf_report = &rows[1].1;
+        let gpu_stats = gpu.run_stats_ms(sf_report);
+        println!(
+            "{:>9.1e} {:<26} {:>10.3} {:>10.3} {:>12}",
+            p, "BP-SF (GPU_Est model)", gpu_stats.mean, gpu_stats.max, "-"
+        );
+    }
+    paper_reference(&[
+        "paper (16-core Xeon + V100): at p=0.003 BP1000-OSD10 ≈ 38.6 ms avg;",
+        "BP-SF serial ≈ 24 ms; P=8 ≈ 15.7 ms (1.8× over serial); BP100 ≈ 13 ms;",
+        "GPU rows ≈ 5.5–7.4 ms",
+        "shape to verify: BP-OSD grows fastest with p; BP-SF < BP-OSD at",
+        "p ≥ 0.002; the parallel pool approaches the BP100 lower bound",
+    ]);
+}

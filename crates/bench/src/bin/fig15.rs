@@ -1,0 +1,58 @@
+//! Figure 15: distribution of single-syndrome decoding times at p = 0.003
+//! on the `[[144,12,12]]` code (the paper's violin plot, rendered as text
+//! log-histograms).
+//!
+//! Paper observations: BP1000-OSD10 shows a distinct bimodal gap (OSD
+//! invocations); serial BP-SF has a compact long tail; adding workers
+//! compresses the tail (max speedup 5.6× at P=8, avg 38.6 → 15.7 ms).
+
+use bpsf_core::BpSfConfig;
+use qldpc_bench::{banner, build_dem, paper_reference, BenchArgs};
+use qldpc_sim::{decoders, run_circuit_level, CircuitLevelConfig, DecoderFactory};
+
+fn main() {
+    let args = BenchArgs::parse(300);
+    banner(
+        "Figure 15",
+        "decode-time distributions at p = 3e-3, BB `[[144,12,12]]`",
+        &args,
+    );
+    let code = qldpc_codes::bb::gross_code();
+    let rounds = args.rounds.unwrap_or(12);
+    let dem = build_dem(&code, rounds, 3e-3);
+    let config = CircuitLevelConfig {
+        shots: args.shots,
+        seed: args.seed,
+    };
+    let sf = BpSfConfig::circuit_level(100, 50, 10, 10);
+
+    let mut contenders: Vec<(&str, DecoderFactory)> = vec![
+        ("BP1000-OSD10", decoders::bp_osd(1000, 10)),
+        ("BP-SF (serial)", decoders::bp_sf(sf)),
+        ("BP-SF (P=2)", decoders::parallel_bp_sf(sf, 2)),
+    ];
+    if args.full {
+        contenders.push(("BP-SF (P=4)", decoders::parallel_bp_sf(sf, 4)));
+        contenders.push(("BP-SF (P=8)", decoders::parallel_bp_sf(sf, 8)));
+    }
+
+    for (name, factory) in &contenders {
+        let r = run_circuit_level(&dem, "gross", &config, factory);
+        let samples: Vec<f64> = r.records.iter().map(|s| s.wall_ns as f64 / 1e6).collect();
+        let stats = r.wall_stats_ms();
+        println!("\n--- {name} ---");
+        println!("{}", stats.summary());
+        println!(
+            "post-processing invoked on {:.1}% of shots",
+            100.0 * r.postprocessing_rate()
+        );
+        println!("{}", stats.log_histogram(&samples, 12));
+    }
+    paper_reference(&[
+        "BP1000-OSD10: avg 38.61 ms with a bimodal gap (red-circled OSD",
+        "  invocations form a separate slow mode)",
+        "BP-SF serial: lower average, compact long tail",
+        "P=2 → 21.0 ms, P=4 → 17.8 ms, P=8 → 15.73 ms average;",
+        "  worst case compresses 5.6× at P=8 vs serial",
+    ]);
+}

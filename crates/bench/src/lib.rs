@@ -1,0 +1,209 @@
+//! Shared harness for the per-figure benchmark binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the BP-SF
+//! paper. The binaries print the measured series next to the paper's
+//! reported values (read off the published plots), so the *shape* of each
+//! result — who wins, by what factor, where the crossover sits — can be
+//! compared directly. Absolute values differ: the paper ran a Xeon
+//! E5-2698v4 + V100 with Stim-generated circuits; this reproduction runs a
+//! pure-Rust substrate (see DESIGN.md §2 for the substitution table).
+//!
+//! Common flags for all binaries:
+//!
+//! * `--shots N` — shots per data point (default: binary-specific),
+//! * `--rounds N` — override the number of syndrome-extraction rounds,
+//! * `--full` — run the paper's full parameter grid (slow!),
+//! * `--seed N` — RNG seed.
+
+use qldpc_circuit::{DetectorErrorModel, MemoryExperiment, NoiseModel};
+use qldpc_codes::CssCode;
+use qldpc_sim::{
+    run_circuit_level, run_code_capacity, CircuitLevelConfig, CodeCapacityConfig, DecoderFactory,
+    RunReport,
+};
+
+/// Parsed common CLI arguments.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchArgs {
+    /// Shots per data point.
+    pub shots: usize,
+    /// Run the paper's full grid.
+    pub full: bool,
+    /// Override the round count (circuit-level benches).
+    pub rounds: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BenchArgs {
+    /// Parses `--shots`, `--rounds`, `--full`, `--seed` from `std::env`.
+    pub fn parse(default_shots: usize) -> Self {
+        let mut args = Self {
+            shots: default_shots,
+            full: false,
+            rounds: None,
+            seed: 2026,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--shots" => {
+                    args.shots = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--shots needs a number");
+                }
+                "--rounds" => {
+                    args.rounds = it.next().and_then(|v| v.parse().ok());
+                }
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs a number");
+                }
+                "--full" => args.full = true,
+                other => eprintln!("ignoring unknown argument {other:?}"),
+            }
+        }
+        args
+    }
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(figure: &str, description: &str, args: &BenchArgs) {
+    println!("================================================================");
+    println!("{figure}: {description}");
+    println!(
+        "shots/point = {}{}  seed = {}",
+        args.shots,
+        if args.full { " (--full grid)" } else { "" },
+        args.seed
+    );
+    println!("================================================================");
+}
+
+/// Builds (and memoizes nothing — DEMs are cheap) the memory-Z DEM for a
+/// code at a given physical error rate.
+pub fn build_dem(code: &CssCode, rounds: usize, p: f64) -> DetectorErrorModel {
+    let noise = NoiseModel::uniform_depolarizing(p);
+    MemoryExperiment::memory_z(code, rounds, &noise).detector_error_model()
+}
+
+/// Runs a circuit-level LER sweep: one row per (p, decoder).
+pub fn circuit_sweep(
+    code: &CssCode,
+    rounds: usize,
+    ps: &[f64],
+    shots: usize,
+    seed: u64,
+    factories: &[DecoderFactory],
+) -> Vec<RunReport> {
+    let mut reports = Vec::new();
+    println!(
+        "\n{:<36} {:>9} {:>10} {:>12} {:>9} {:>9}",
+        "decoder", "p", "LER", "LER/round", "avg ms", "max ms"
+    );
+    for &p in ps {
+        let dem = build_dem(code, rounds, p);
+        let workload = format!("{} r={rounds} p={p:.0e}", code.name());
+        for factory in factories {
+            let report = run_circuit_level(
+                &dem,
+                &workload,
+                &CircuitLevelConfig { shots, seed },
+                factory,
+            );
+            let wall = report.wall_stats_ms();
+            println!(
+                "{:<36} {:>9.1e} {:>10.3e} {:>12.3e} {:>9.3} {:>9.3}",
+                report.decoder,
+                p,
+                report.ler(),
+                report.ler_per_round(rounds),
+                wall.mean,
+                wall.max
+            );
+            reports.push(report);
+        }
+    }
+    reports
+}
+
+/// Runs a code-capacity LER sweep: one row per (p, decoder).
+pub fn capacity_sweep(
+    code: &CssCode,
+    ps: &[f64],
+    shots: usize,
+    seed: u64,
+    factories: &[DecoderFactory],
+) -> Vec<RunReport> {
+    let mut reports = Vec::new();
+    println!(
+        "\n{:<36} {:>9} {:>10} {:>9} {:>9} {:>9}",
+        "decoder", "p", "LER", "avg ms", "max ms", "pp-rate"
+    );
+    for &p in ps {
+        for factory in factories {
+            let report = run_code_capacity(
+                code,
+                &CodeCapacityConfig {
+                    p,
+                    shots,
+                    seed,
+                },
+                factory,
+            );
+            let wall = report.wall_stats_ms();
+            println!(
+                "{:<36} {:>9.1e} {:>10.3e} {:>9.3} {:>9.3} {:>9.3}",
+                report.decoder,
+                p,
+                report.ler(),
+                wall.mean,
+                wall.max,
+                report.postprocessing_rate()
+            );
+            reports.push(report);
+        }
+    }
+    reports
+}
+
+/// Prints the paper-reference block that accompanies each figure.
+pub fn paper_reference(lines: &[&str]) {
+    println!("\npaper reference (read off the published figure):");
+    for l in lines {
+        println!("  {l}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qldpc_codes::bb;
+    use qldpc_sim::decoders;
+
+    #[test]
+    fn sweeps_produce_one_report_per_cell() {
+        let code = bb::bb72();
+        let reports = capacity_sweep(
+            &code,
+            &[0.02, 0.05],
+            10,
+            1,
+            &[decoders::plain_bp(20)],
+        );
+        assert_eq!(reports.len(), 2);
+        let reports = circuit_sweep(&code, 2, &[1e-3], 5, 1, &[decoders::plain_bp(20)]);
+        assert_eq!(reports.len(), 1);
+    }
+
+    #[test]
+    fn dem_builder_produces_consistent_shapes() {
+        let code = bb::bb72();
+        let dem = build_dem(&code, 3, 1e-3);
+        assert_eq!(dem.num_detectors(), 36 * 4);
+        assert_eq!(dem.num_observables(), 12);
+    }
+}

@@ -1,0 +1,668 @@
+//! Normalized min-sum BP with flooding and layered schedules.
+
+use crate::graph::TannerGraph;
+use crate::prior_llr;
+use qldpc_gf2::{BitVec, SparseBitMatrix};
+
+/// Magnitude clamp for messages and posteriors, guarding against overflow
+/// on long runs (min-sum magnitudes can grow without bound).
+const LLR_CLAMP: f64 = 1e6;
+
+/// Message-passing schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// All checks update simultaneously each iteration (fully parallel).
+    #[default]
+    Flooding,
+    /// Checks update sequentially with immediate posterior propagation
+    /// (row-layered min-sum). Serial, but mitigates symmetric trapping
+    /// sets — the paper uses it for the `[[288,12,18]]` circuit-level runs.
+    Layered,
+}
+
+/// The check-node update rule.
+///
+/// The paper uses normalized min-sum throughout for its hardware
+/// friendliness; the exact sum-product (tanh) rule is provided as the
+/// "more advanced BP technique" its §VII points to, and slots into both
+/// schedules and into BP-SF unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BpAlgorithm {
+    /// Normalized min-sum (paper Eq. 6): magnitude = α · second-smallest
+    /// incoming magnitude.
+    #[default]
+    MinSum,
+    /// Exact sum-product: magnitude = 2·atanh(Π tanh(|m|/2)), damped by α
+    /// for consistency with the min-sum configuration.
+    SumProduct,
+}
+
+/// Normalization/damping factor applied to check-to-variable messages
+/// (the `α` of paper Eq. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DampingSchedule {
+    /// The paper's adaptive choice `α_i = 1 − 2⁻ⁱ` at iteration `i`
+    /// (1-based): heavy attenuation early, approaching plain min-sum.
+    #[default]
+    Adaptive,
+    /// A fixed normalization factor (classical normalized min-sum);
+    /// used for ablation studies.
+    Fixed(f64),
+}
+
+impl DampingSchedule {
+    /// The factor to apply at (1-based) iteration `iter`.
+    #[inline]
+    pub fn factor(self, iter: usize) -> f64 {
+        match self {
+            Self::Adaptive => 1.0 - (-(iter as f64)).exp2(),
+            Self::Fixed(a) => a,
+        }
+    }
+}
+
+/// Configuration for [`MinSumDecoder`].
+///
+/// # Examples
+///
+/// ```
+/// use qldpc_bp::{BpConfig, DampingSchedule, Schedule};
+///
+/// let config = BpConfig {
+///     max_iters: 50,
+///     schedule: Schedule::Flooding,
+///     damping: DampingSchedule::Adaptive,
+///     track_oscillations: true,
+///     ..BpConfig::default()
+/// };
+/// assert_eq!(config.max_iters, 50);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BpConfig {
+    /// Maximum number of BP iterations before giving up.
+    pub max_iters: usize,
+    /// Message-passing schedule.
+    pub schedule: Schedule,
+    /// Check-node update rule.
+    pub algorithm: BpAlgorithm,
+    /// Check-to-variable normalization factor.
+    pub damping: DampingSchedule,
+    /// Posterior-memory strength γ ∈ [0, 1) (Mem-BP-inspired, Chen et
+    /// al.): the channel term becomes `(1−γ)·l_ch + γ·posterior_prev`,
+    /// damping oscillations between iterations. `0.0` disables memory
+    /// (the paper's configuration). Only the flooding schedule uses the
+    /// memory term; the layered schedule's running posterior already
+    /// carries state across checks.
+    pub memory_strength: f64,
+    /// Whether to record per-bit hard-decision flip counts (the BP-SF
+    /// oscillation signal). Costs one pass over the variables per
+    /// iteration.
+    pub track_oscillations: bool,
+}
+
+impl Default for BpConfig {
+    fn default() -> Self {
+        Self {
+            max_iters: 100,
+            schedule: Schedule::Flooding,
+            algorithm: BpAlgorithm::MinSum,
+            damping: DampingSchedule::Adaptive,
+            memory_strength: 0.0,
+            track_oscillations: false,
+        }
+    }
+}
+
+/// Outcome of a BP decode.
+#[derive(Debug, Clone)]
+pub struct BpResult {
+    /// Whether the hard decision satisfied the syndrome within the
+    /// iteration budget.
+    pub converged: bool,
+    /// The estimated error (valid as a correction only if `converged`).
+    pub error_hat: BitVec,
+    /// Iterations actually executed (`<= max_iters`).
+    pub iterations: usize,
+    /// Final marginal LLR per variable (paper Eq. 7).
+    pub posteriors: Vec<f64>,
+    /// Per-bit hard-decision flip counts across iterations; empty unless
+    /// [`BpConfig::track_oscillations`] was set.
+    pub flip_counts: Vec<u32>,
+}
+
+/// A reusable normalized min-sum decoder bound to one check matrix and one
+/// prior vector.
+///
+/// The decoder owns all message buffers, so repeated decodes do not
+/// allocate. Clone it to decode on several threads concurrently.
+///
+/// # Examples
+///
+/// ```
+/// use qldpc_bp::{BpConfig, MinSumDecoder};
+/// use qldpc_gf2::{BitVec, SparseBitMatrix};
+///
+/// let h = SparseBitMatrix::from_row_indices(2, 3, &[vec![0, 1], vec![1, 2]]);
+/// let mut dec = MinSumDecoder::new(&h, &[0.1, 0.1, 0.1], BpConfig::default());
+/// let r = dec.decode(&BitVec::zeros(2));
+/// assert!(r.converged);
+/// assert!(r.error_hat.is_zero());
+/// assert_eq!(r.iterations, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinSumDecoder {
+    graph: TannerGraph,
+    h: SparseBitMatrix,
+    config: BpConfig,
+    channel_llrs: Vec<f64>,
+    // Working buffers, reused across decodes.
+    c2v: Vec<f64>,
+    v2c: Vec<f64>,
+    posterior: Vec<f64>,
+    hard: Vec<bool>,
+    hard_prev: Vec<bool>,
+    flip_counts: Vec<u32>,
+}
+
+impl MinSumDecoder {
+    /// Builds a decoder for check matrix `h` with per-variable error
+    /// priors `priors`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `priors.len() != h.cols()` or `max_iters == 0`.
+    pub fn new(h: &SparseBitMatrix, priors: &[f64], config: BpConfig) -> Self {
+        assert_eq!(priors.len(), h.cols(), "one prior per variable required");
+        assert!(config.max_iters > 0, "max_iters must be positive");
+        assert!(
+            (0.0..1.0).contains(&config.memory_strength),
+            "memory strength must lie in [0, 1)"
+        );
+        let graph = TannerGraph::new(h);
+        let edges = graph.num_edges();
+        let vars = graph.num_vars();
+        Self {
+            graph,
+            h: h.clone(),
+            config,
+            channel_llrs: priors.iter().map(|&p| prior_llr(p)).collect(),
+            c2v: vec![0.0; edges],
+            v2c: vec![0.0; edges],
+            posterior: vec![0.0; vars],
+            hard: vec![false; vars],
+            hard_prev: vec![false; vars],
+            flip_counts: vec![0; vars],
+        }
+    }
+
+    /// The decoder's configuration.
+    pub fn config(&self) -> &BpConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration (e.g. to change `max_iters`
+    /// between the initial BP-SF attempt and its trial decodes).
+    pub fn config_mut(&mut self) -> &mut BpConfig {
+        &mut self.config
+    }
+
+    /// The check matrix this decoder is bound to.
+    pub fn check_matrix(&self) -> &SparseBitMatrix {
+        &self.h
+    }
+
+    /// Number of variables (columns).
+    pub fn num_vars(&self) -> usize {
+        self.graph.num_vars()
+    }
+
+    /// Replaces the channel priors (lengths must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `priors.len() != num_vars()`.
+    pub fn set_priors(&mut self, priors: &[f64]) {
+        assert_eq!(priors.len(), self.graph.num_vars(), "one prior per variable required");
+        self.channel_llrs = priors.iter().map(|&p| prior_llr(p)).collect();
+    }
+
+    /// Runs BP on `syndrome` until convergence or the iteration budget is
+    /// exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `syndrome.len()` differs from the number of checks.
+    pub fn decode(&mut self, syndrome: &BitVec) -> BpResult {
+        assert_eq!(
+            syndrome.len(),
+            self.graph.num_checks(),
+            "syndrome length must equal the number of checks"
+        );
+        let vars = self.graph.num_vars();
+        // Reset state.
+        self.c2v.iter_mut().for_each(|m| *m = 0.0);
+        self.posterior.copy_from_slice(&self.channel_llrs);
+        self.hard.iter_mut().for_each(|b| *b = false);
+        self.hard_prev.iter_mut().for_each(|b| *b = false);
+        self.flip_counts.iter_mut().for_each(|c| *c = 0);
+
+        let mut converged = false;
+        let mut iterations = 0;
+        for iter in 1..=self.config.max_iters {
+            iterations = iter;
+            let alpha = self.config.damping.factor(iter);
+            match self.config.schedule {
+                Schedule::Flooding => self.flooding_iteration(syndrome, alpha),
+                Schedule::Layered => self.layered_iteration(syndrome, alpha),
+            }
+            // Hard decision (paper Eq. 8): error where the posterior says
+            // "1 more likely", i.e. LLR <= 0.
+            for v in 0..vars {
+                self.hard[v] = self.posterior[v] <= 0.0;
+            }
+            if self.config.track_oscillations {
+                for v in 0..vars {
+                    if self.hard[v] != self.hard_prev[v] {
+                        self.flip_counts[v] += 1;
+                    }
+                    self.hard_prev[v] = self.hard[v];
+                }
+            }
+            if self.syndrome_satisfied(syndrome) {
+                converged = true;
+                break;
+            }
+        }
+
+        let mut error_hat = BitVec::zeros(vars);
+        for v in 0..vars {
+            if self.hard[v] {
+                error_hat.set(v, true);
+            }
+        }
+        BpResult {
+            converged,
+            error_hat,
+            iterations,
+            posteriors: self.posterior.clone(),
+            flip_counts: if self.config.track_oscillations {
+                self.flip_counts.clone()
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// Effective channel term for variable `v`: plain `l_ch`, or blended
+    /// with the previous posterior when memory is enabled.
+    #[inline]
+    fn effective_channel(&self, v: usize) -> f64 {
+        let gamma = self.config.memory_strength;
+        if gamma == 0.0 {
+            self.channel_llrs[v]
+        } else {
+            (1.0 - gamma) * self.channel_llrs[v] + gamma * self.posterior[v]
+        }
+    }
+
+    /// One flooding iteration: all V2C messages, then all C2V messages,
+    /// then the posteriors.
+    fn flooding_iteration(&mut self, syndrome: &BitVec, alpha: f64) {
+        // V2C (paper Eq. 5): v2c[e] = lch[v] + Σ_{e'≠e} c2v[e'].
+        for v in 0..self.graph.num_vars() {
+            let mut sum = self.effective_channel(v);
+            for &e in self.graph.var_edges(v) {
+                sum += self.c2v[e as usize];
+            }
+            for &e in self.graph.var_edges(v) {
+                self.v2c[e as usize] = (sum - self.c2v[e as usize]).clamp(-LLR_CLAMP, LLR_CLAMP);
+            }
+        }
+        // C2V (paper Eq. 6, or the exact tanh rule).
+        for c in 0..self.graph.num_checks() {
+            self.update_check(c, syndrome.get(c), alpha);
+        }
+        // Posteriors (paper Eq. 7).
+        for v in 0..self.graph.num_vars() {
+            let mut sum = self.channel_llrs[v];
+            for &e in self.graph.var_edges(v) {
+                sum += self.c2v[e as usize];
+            }
+            self.posterior[v] = sum.clamp(-LLR_CLAMP, LLR_CLAMP);
+        }
+    }
+
+    /// Recomputes the C2V messages of check `c` from the current V2C
+    /// messages under the configured check-node rule.
+    fn update_check(&mut self, c: usize, syndrome_bit: bool, alpha: f64) {
+        let range = self.graph.check_edges(c);
+        let base_sign = if syndrome_bit { -1.0 } else { 1.0 };
+        match self.config.algorithm {
+            BpAlgorithm::MinSum => {
+                let (mut min1, mut min2) = (f64::INFINITY, f64::INFINITY);
+                let mut argmin = usize::MAX;
+                let mut sign_product = base_sign;
+                for e in range.clone() {
+                    let m = self.v2c[e];
+                    let mag = m.abs();
+                    if mag < min1 {
+                        min2 = min1;
+                        min1 = mag;
+                        argmin = e;
+                    } else if mag < min2 {
+                        min2 = mag;
+                    }
+                    if m < 0.0 {
+                        sign_product = -sign_product;
+                    }
+                }
+                for e in range {
+                    let m = self.v2c[e];
+                    let mag = if e == argmin { min2 } else { min1 };
+                    let own_sign = if m < 0.0 { -1.0 } else { 1.0 };
+                    self.c2v[e] =
+                        (sign_product * own_sign * alpha * mag).clamp(-LLR_CLAMP, LLR_CLAMP);
+                }
+            }
+            BpAlgorithm::SumProduct => {
+                // Π tanh(|m|/2) with zero-factor bookkeeping so the
+                // exclusive product stays well defined.
+                let mut sign_product = base_sign;
+                let mut log_mag_sum = 0.0f64;
+                let mut zeros = 0usize;
+                let mut zero_edge = usize::MAX;
+                for e in range.clone() {
+                    let m = self.v2c[e];
+                    if m < 0.0 {
+                        sign_product = -sign_product;
+                    }
+                    let t = (m.abs() / 2.0).tanh();
+                    if t < 1e-300 {
+                        zeros += 1;
+                        zero_edge = e;
+                    } else {
+                        log_mag_sum += t.ln();
+                    }
+                }
+                for e in range {
+                    let m = self.v2c[e];
+                    let own_sign = if m < 0.0 { -1.0 } else { 1.0 };
+                    let excl = if zeros > 1 || (zeros == 1 && e != zero_edge) {
+                        0.0
+                    } else {
+                        let mut log_excl = log_mag_sum;
+                        if zeros == 0 {
+                            let t = (m.abs() / 2.0).tanh();
+                            log_excl -= t.ln();
+                        }
+                        log_excl.exp().min(1.0 - 1e-15)
+                    };
+                    let mag = 2.0 * excl.atanh();
+                    self.c2v[e] =
+                        (sign_product * own_sign * alpha * mag).clamp(-LLR_CLAMP, LLR_CLAMP);
+                }
+            }
+        }
+    }
+
+    /// One layered iteration: checks processed sequentially, posteriors
+    /// updated immediately after each check.
+    fn layered_iteration(&mut self, syndrome: &BitVec, alpha: f64) {
+        for c in 0..self.graph.num_checks() {
+            let range = self.graph.check_edges(c);
+            // Fresh V2C from the running posterior, removing this check's
+            // previous contribution.
+            for e in range.clone() {
+                let v = self.graph.edge_var(e);
+                self.v2c[e] = (self.posterior[v] - self.c2v[e]).clamp(-LLR_CLAMP, LLR_CLAMP);
+            }
+            self.update_check(c, syndrome.get(c), alpha);
+            for e in range {
+                let v = self.graph.edge_var(e);
+                self.posterior[v] = (self.v2c[e] + self.c2v[e]).clamp(-LLR_CLAMP, LLR_CLAMP);
+            }
+        }
+    }
+
+    /// Checks `H·ê = s` using the current hard decision.
+    fn syndrome_satisfied(&self, syndrome: &BitVec) -> bool {
+        for c in 0..self.graph.num_checks() {
+            let mut parity = false;
+            for &v in self.graph.check_vars(c) {
+                parity ^= self.hard[v as usize];
+            }
+            if parity != syndrome.get(c) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repetition_h(n: usize) -> SparseBitMatrix {
+        let rows: Vec<Vec<usize>> = (0..n - 1).map(|i| vec![i, i + 1]).collect();
+        SparseBitMatrix::from_row_indices(n - 1, n, &rows)
+    }
+
+    #[test]
+    fn zero_syndrome_converges_immediately() {
+        let h = repetition_h(7);
+        let mut dec = MinSumDecoder::new(&h, &[0.05; 7], BpConfig::default());
+        let r = dec.decode(&BitVec::zeros(6));
+        assert!(r.converged);
+        assert_eq!(r.iterations, 1);
+        assert!(r.error_hat.is_zero());
+    }
+
+    #[test]
+    fn corrects_single_error_on_repetition_code() {
+        let h = repetition_h(9);
+        let mut dec = MinSumDecoder::new(&h, &[0.05; 9], BpConfig::default());
+        for bit in 0..9 {
+            let e = BitVec::from_indices(9, &[bit]);
+            let s = h.mul_vec(&e);
+            let r = dec.decode(&s);
+            assert!(r.converged, "bit {bit} failed");
+            assert_eq!(r.error_hat, e, "bit {bit} mis-decoded");
+        }
+    }
+
+    #[test]
+    fn corrects_with_layered_schedule() {
+        let h = repetition_h(9);
+        let config = BpConfig {
+            schedule: Schedule::Layered,
+            ..BpConfig::default()
+        };
+        let mut dec = MinSumDecoder::new(&h, &[0.05; 9], config);
+        let e = BitVec::from_indices(9, &[3, 4]);
+        let s = h.mul_vec(&e);
+        let r = dec.decode(&s);
+        assert!(r.converged);
+        assert_eq!(h.mul_vec(&r.error_hat), s);
+    }
+
+    #[test]
+    fn converged_output_always_satisfies_syndrome() {
+        let h = SparseBitMatrix::from_row_indices(
+            3,
+            6,
+            &[vec![0, 1, 2], vec![2, 3, 4], vec![4, 5, 0]],
+        );
+        let mut dec = MinSumDecoder::new(&h, &[0.08; 6], BpConfig::default());
+        for mask in 0..8u32 {
+            let s = BitVec::from_bools(&[(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0]);
+            let r = dec.decode(&s);
+            if r.converged {
+                assert_eq!(h.mul_vec(&r.error_hat), s);
+            }
+        }
+    }
+
+    #[test]
+    fn oscillation_tracking_disabled_by_default() {
+        let h = repetition_h(5);
+        let mut dec = MinSumDecoder::new(&h, &[0.05; 5], BpConfig::default());
+        let r = dec.decode(&BitVec::zeros(4));
+        assert!(r.flip_counts.is_empty());
+    }
+
+    #[test]
+    fn oscillation_tracking_records_flips() {
+        let h = repetition_h(5);
+        let config = BpConfig {
+            track_oscillations: true,
+            max_iters: 30,
+            ..BpConfig::default()
+        };
+        let mut dec = MinSumDecoder::new(&h, &[0.05; 5], config);
+        let e = BitVec::from_indices(5, &[2]);
+        let r = dec.decode(&h.mul_vec(&e));
+        assert_eq!(r.flip_counts.len(), 5);
+        // The erroneous bit must have flipped 0→1 at least once.
+        assert!(r.flip_counts[2] >= 1);
+    }
+
+    #[test]
+    fn adaptive_damping_schedule_values() {
+        let d = DampingSchedule::Adaptive;
+        assert!((d.factor(1) - 0.5).abs() < 1e-12);
+        assert!((d.factor(2) - 0.75).abs() < 1e-12);
+        assert!((d.factor(20) - 1.0).abs() < 1e-5);
+        let f = DampingSchedule::Fixed(0.8);
+        assert_eq!(f.factor(1), 0.8);
+        assert_eq!(f.factor(100), 0.8);
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        // An unsatisfiable syndrome (checks over disjoint pairs with an
+        // isolated degree-0 variable never involved) still terminates.
+        let h = SparseBitMatrix::from_row_indices(2, 4, &[vec![0, 1], vec![0, 1]]);
+        // s = (1, 0) is inconsistent: both checks share the same support.
+        let s = BitVec::from_indices(2, &[0]);
+        let config = BpConfig {
+            max_iters: 17,
+            ..BpConfig::default()
+        };
+        let mut dec = MinSumDecoder::new(&h, &[0.1; 4], config);
+        let r = dec.decode(&s);
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "syndrome length")]
+    fn wrong_syndrome_length_panics() {
+        let h = repetition_h(5);
+        let mut dec = MinSumDecoder::new(&h, &[0.05; 5], BpConfig::default());
+        dec.decode(&BitVec::zeros(5));
+    }
+
+    #[test]
+    fn decoder_is_reusable_and_deterministic() {
+        let h = repetition_h(9);
+        let mut dec = MinSumDecoder::new(&h, &[0.05; 9], BpConfig::default());
+        let e = BitVec::from_indices(9, &[1, 5]);
+        let s = h.mul_vec(&e);
+        let r1 = dec.decode(&s);
+        let r2 = dec.decode(&s);
+        assert_eq!(r1.error_hat, r2.error_hat);
+        assert_eq!(r1.iterations, r2.iterations);
+        assert_eq!(r1.posteriors, r2.posteriors);
+    }
+
+    #[test]
+    fn sum_product_corrects_single_errors() {
+        let h = repetition_h(9);
+        let config = BpConfig {
+            algorithm: BpAlgorithm::SumProduct,
+            ..BpConfig::default()
+        };
+        let mut dec = MinSumDecoder::new(&h, &[0.05; 9], config);
+        for bit in 0..9 {
+            let e = BitVec::from_indices(9, &[bit]);
+            let r = dec.decode(&h.mul_vec(&e));
+            assert!(r.converged, "bit {bit} failed under sum-product");
+            assert_eq!(r.error_hat, e);
+        }
+    }
+
+    #[test]
+    fn sum_product_layered_contract() {
+        let h = repetition_h(9);
+        let config = BpConfig {
+            algorithm: BpAlgorithm::SumProduct,
+            schedule: Schedule::Layered,
+            ..BpConfig::default()
+        };
+        let mut dec = MinSumDecoder::new(&h, &[0.05; 9], config);
+        let e = BitVec::from_indices(9, &[2, 6]);
+        let s = h.mul_vec(&e);
+        let r = dec.decode(&s);
+        assert!(r.converged);
+        assert_eq!(h.mul_vec(&r.error_hat), s);
+    }
+
+    #[test]
+    fn memory_strength_preserves_contract() {
+        let h = repetition_h(9);
+        let config = BpConfig {
+            memory_strength: 0.4,
+            ..BpConfig::default()
+        };
+        let mut dec = MinSumDecoder::new(&h, &[0.05; 9], config);
+        let e = BitVec::from_indices(9, &[4]);
+        let s = h.mul_vec(&e);
+        let r = dec.decode(&s);
+        assert!(r.converged);
+        assert_eq!(h.mul_vec(&r.error_hat), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory strength")]
+    fn invalid_memory_strength_panics() {
+        let h = repetition_h(5);
+        let config = BpConfig {
+            memory_strength: 1.0,
+            ..BpConfig::default()
+        };
+        MinSumDecoder::new(&h, &[0.05; 5], config);
+    }
+
+    #[test]
+    fn sum_product_and_min_sum_agree_on_easy_cases() {
+        let h = repetition_h(7);
+        let mut ms = MinSumDecoder::new(&h, &[0.05; 7], BpConfig::default());
+        let mut sp = MinSumDecoder::new(
+            &h,
+            &[0.05; 7],
+            BpConfig {
+                algorithm: BpAlgorithm::SumProduct,
+                ..BpConfig::default()
+            },
+        );
+        for bit in 0..7 {
+            let e = BitVec::from_indices(7, &[bit]);
+            let s = h.mul_vec(&e);
+            assert_eq!(ms.decode(&s).error_hat, sp.decode(&s).error_hat);
+        }
+    }
+
+    #[test]
+    fn posteriors_signal_reliability() {
+        // After a convergent decode on the repetition code, the flipped
+        // bit should have negative posterior, the others positive.
+        let h = repetition_h(7);
+        let mut dec = MinSumDecoder::new(&h, &[0.05; 7], BpConfig::default());
+        let e = BitVec::from_indices(7, &[3]);
+        let r = dec.decode(&h.mul_vec(&e));
+        assert!(r.converged);
+        assert!(r.posteriors[3] <= 0.0);
+        assert!(r.posteriors[0] > 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the BP decoder contract.
+
+use proptest::prelude::*;
+use qldpc_bp::{BpConfig, DampingSchedule, MinSumDecoder, Schedule};
+use qldpc_gf2::{BitVec, SparseBitMatrix};
+
+fn sparse_matrix() -> impl Strategy<Value = SparseBitMatrix> {
+    (2usize..10, 4usize..20).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            proptest::collection::btree_set(0..cols, 1..=cols.min(4)),
+            rows,
+        )
+        .prop_map(move |r| {
+            let lists: Vec<Vec<usize>> = r.into_iter().map(|s| s.into_iter().collect()).collect();
+            SparseBitMatrix::from_row_indices(lists.len(), cols, &lists)
+        })
+    })
+}
+
+fn error_for(cols: usize) -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(proptest::bool::weighted(0.2), cols)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fundamental contract: converged ⇒ H·ê = s, and the iteration
+    /// count respects the budget. Checked for every schedule × damping
+    /// combination.
+    #[test]
+    fn decode_contract(h in sparse_matrix(), seed in 0u64..100) {
+        use rand::{Rng, SeedableRng};
+        let n = h.cols();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut e = BitVec::zeros(n);
+        for i in 0..n {
+            if rng.random_bool(0.2) { e.set(i, true); }
+        }
+        let s = h.mul_vec(&e);
+        for schedule in [Schedule::Flooding, Schedule::Layered] {
+            for damping in [DampingSchedule::Adaptive, DampingSchedule::Fixed(0.75)] {
+                let config = BpConfig {
+                    max_iters: 25,
+                    schedule,
+                    damping,
+                    track_oscillations: true,
+                    ..BpConfig::default()
+                };
+                let mut dec = MinSumDecoder::new(&h, &vec![0.2; n], config);
+                let r = dec.decode(&s);
+                prop_assert!(r.iterations >= 1 && r.iterations <= 25);
+                prop_assert_eq!(r.posteriors.len(), n);
+                prop_assert_eq!(r.flip_counts.len(), n);
+                if r.converged {
+                    prop_assert_eq!(h.mul_vec(&r.error_hat), s.clone());
+                }
+                for &fc in &r.flip_counts {
+                    prop_assert!(fc as usize <= r.iterations);
+                }
+            }
+        }
+    }
+
+    /// The zero syndrome always converges to the zero error in one
+    /// iteration regardless of the graph.
+    #[test]
+    fn zero_syndrome_trivial(h in sparse_matrix(), e in error_for(20)) {
+        let _ = e;
+        let n = h.cols();
+        let mut dec = MinSumDecoder::new(&h, &vec![0.1; n], BpConfig::default());
+        let r = dec.decode(&BitVec::zeros(h.rows()));
+        prop_assert!(r.converged);
+        prop_assert_eq!(r.iterations, 1);
+        prop_assert!(r.error_hat.is_zero());
+    }
+
+    /// Decoding is a pure function of (syndrome, config): repeated calls
+    /// agree bit for bit.
+    #[test]
+    fn decode_is_deterministic(h in sparse_matrix(), seed in 0u64..50) {
+        use rand::{Rng, SeedableRng};
+        let n = h.cols();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut s = BitVec::zeros(h.rows());
+        for i in 0..h.rows() {
+            if rng.random_bool(0.5) { s.set(i, true); }
+        }
+        let mut dec = MinSumDecoder::new(&h, &vec![0.15; n], BpConfig::default());
+        let r1 = dec.decode(&s);
+        let r2 = dec.decode(&s);
+        prop_assert_eq!(r1.error_hat, r2.error_hat);
+        prop_assert_eq!(r1.iterations, r2.iterations);
+        prop_assert_eq!(r1.converged, r2.converged);
+    }
+
+    /// Priors shift posteriors monotonically: with error probability 0.5
+    /// the channel is uninformative and the prior LLR vanishes.
+    #[test]
+    fn prior_llr_sign(p in 0.0001f64..0.9999) {
+        let llr = qldpc_bp::prior_llr(p);
+        if p < 0.5 {
+            prop_assert!(llr > 0.0);
+        } else if p > 0.5 {
+            prop_assert!(llr < 0.0);
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Clifford circuits with explicit noise locations.
+
+use qldpc_gf2::BitVec;
+use std::fmt;
+
+/// A single-qubit Pauli operator (the identity is never stored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pauli {
+    /// Bit-flip.
+    X,
+    /// Phase-flip.
+    Z,
+    /// Both.
+    Y,
+}
+
+impl Pauli {
+    /// Whether the Pauli has an X component (X or Y).
+    #[inline]
+    pub fn has_x(self) -> bool {
+        matches!(self, Pauli::X | Pauli::Y)
+    }
+
+    /// Whether the Pauli has a Z component (Z or Y).
+    #[inline]
+    pub fn has_z(self) -> bool {
+        matches!(self, Pauli::Z | Pauli::Y)
+    }
+}
+
+/// A stochastic noise channel attached to a circuit location.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseChannel {
+    /// Single-qubit depolarizing: X, Y, Z each with probability `p/3`.
+    Depolarize1(u32, f64),
+    /// Two-qubit depolarizing: each of the 15 nontrivial two-qubit Paulis
+    /// with probability `p/15`.
+    Depolarize2(u32, u32, f64),
+    /// X error with probability `p` (models reset errors and, when placed
+    /// directly before a Z-basis measurement, measurement flips).
+    XError(u32, f64),
+}
+
+/// A circuit operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Reset the qubit to `|0⟩`, discarding any prior error on it.
+    Reset(u32),
+    /// Hadamard gate.
+    H(u32),
+    /// Controlled-NOT with `(control, target)`.
+    Cnot(u32, u32),
+    /// Destructive Z-basis measurement; outcomes are indexed in program
+    /// order starting from 0.
+    Measure(u32),
+    /// A stochastic fault location.
+    Noise(NoiseChannel),
+}
+
+/// A Clifford circuit: a flat list of [`Op`]s over `num_qubits` qubits.
+///
+/// # Examples
+///
+/// ```
+/// use qldpc_circuit::{Circuit, Pauli};
+///
+/// let mut c = Circuit::new(2);
+/// c.reset(0);
+/// c.reset(1);
+/// c.cnot(0, 1);
+/// c.measure(1);
+/// // An X fault on qubit 0 before the CNOT flips the measurement.
+/// let flips = c.propagate_fault(1, 0, Pauli::X);
+/// assert_eq!(flips.iter_ones().collect::<Vec<_>>(), vec![0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    num_qubits: usize,
+    ops: Vec<Op>,
+    num_measurements: usize,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Self {
+            num_qubits,
+            ops: Vec::new(),
+            num_measurements: 0,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of measurement operations appended so far.
+    pub fn num_measurements(&self) -> usize {
+        self.num_measurements
+    }
+
+    /// The operation list.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Total number of gate operations (excluding noise locations).
+    pub fn num_gates(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| !matches!(op, Op::Noise(_)))
+            .count()
+    }
+
+    /// Number of stochastic fault locations.
+    pub fn num_noise_locations(&self) -> usize {
+        self.ops.len() - self.num_gates()
+    }
+
+    fn check_qubit(&self, q: u32) {
+        assert!((q as usize) < self.num_qubits, "qubit {q} out of range");
+    }
+
+    /// Appends a reset.
+    pub fn reset(&mut self, q: u32) -> &mut Self {
+        self.check_qubit(q);
+        self.ops.push(Op::Reset(q));
+        self
+    }
+
+    /// Appends a Hadamard.
+    pub fn h(&mut self, q: u32) -> &mut Self {
+        self.check_qubit(q);
+        self.ops.push(Op::H(q));
+        self
+    }
+
+    /// Appends a CNOT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `control == target` or either is out of range.
+    pub fn cnot(&mut self, control: u32, target: u32) -> &mut Self {
+        self.check_qubit(control);
+        self.check_qubit(target);
+        assert_ne!(control, target, "CNOT control and target must differ");
+        self.ops.push(Op::Cnot(control, target));
+        self
+    }
+
+    /// Appends a Z-basis measurement and returns its measurement index.
+    pub fn measure(&mut self, q: u32) -> usize {
+        self.check_qubit(q);
+        self.ops.push(Op::Measure(q));
+        self.num_measurements += 1;
+        self.num_measurements - 1
+    }
+
+    /// Appends a noise location.
+    pub fn noise(&mut self, channel: NoiseChannel) -> &mut Self {
+        match channel {
+            NoiseChannel::Depolarize1(q, _) | NoiseChannel::XError(q, _) => self.check_qubit(q),
+            NoiseChannel::Depolarize2(a, b, _) => {
+                self.check_qubit(a);
+                self.check_qubit(b);
+                assert_ne!(a, b, "two-qubit noise needs distinct qubits");
+            }
+        }
+        self.ops.push(Op::Noise(channel));
+        self
+    }
+
+    /// Forward-propagates a Pauli fault injected *just before* the op at
+    /// `position`, returning the set of measurement outcomes it flips.
+    ///
+    /// This is the slow reference implementation used to cross-validate the
+    /// backward DEM sweep; it costs `O(ops)` per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position > ops().len()` or the qubit is out of range.
+    pub fn propagate_fault(&self, position: usize, qubit: u32, pauli: Pauli) -> BitVec {
+        assert!(position <= self.ops.len(), "position out of range");
+        self.check_qubit(qubit);
+        let mut fx = vec![false; self.num_qubits];
+        let mut fz = vec![false; self.num_qubits];
+        fx[qubit as usize] = pauli.has_x();
+        fz[qubit as usize] = pauli.has_z();
+        let mut flips = BitVec::zeros(self.num_measurements);
+        let mut meas_idx = self.ops[..position]
+            .iter()
+            .filter(|op| matches!(op, Op::Measure(_)))
+            .count();
+        for op in &self.ops[position..] {
+            match *op {
+                Op::Reset(q) => {
+                    fx[q as usize] = false;
+                    fz[q as usize] = false;
+                }
+                Op::H(q) => fx.swap_with_slice_at(&mut fz, q as usize),
+                Op::Cnot(c, t) => {
+                    // X propagates control→target, Z propagates target→control.
+                    fx[t as usize] ^= fx[c as usize];
+                    fz[c as usize] ^= fz[t as usize];
+                }
+                Op::Measure(q) => {
+                    if fx[q as usize] {
+                        flips.set(meas_idx, true);
+                    }
+                    meas_idx += 1;
+                }
+                Op::Noise(_) => {}
+            }
+        }
+        flips
+    }
+}
+
+/// Tiny helper: swap one element between two slices (H-gate frame swap).
+trait SwapAt {
+    fn swap_with_slice_at(&mut self, other: &mut Self, idx: usize);
+}
+
+impl SwapAt for Vec<bool> {
+    fn swap_with_slice_at(&mut self, other: &mut Self, idx: usize) {
+        std::mem::swap(&mut self[idx], &mut other[idx]);
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Circuit(qubits={}, gates={}, noise={}, measurements={})",
+            self.num_qubits,
+            self.num_gates(),
+            self.num_noise_locations(),
+            self.num_measurements
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x_fault_flips_downstream_measurement() {
+        let mut c = Circuit::new(1);
+        c.reset(0);
+        c.measure(0);
+        let flips = c.propagate_fault(1, 0, Pauli::X);
+        assert!(flips.get(0));
+        // Z fault does not flip a Z-basis measurement.
+        let flips = c.propagate_fault(1, 0, Pauli::Z);
+        assert!(!flips.get(0));
+        // Y fault does.
+        let flips = c.propagate_fault(1, 0, Pauli::Y);
+        assert!(flips.get(0));
+    }
+
+    #[test]
+    fn reset_absorbs_faults() {
+        let mut c = Circuit::new(1);
+        c.reset(0);
+        c.reset(0);
+        c.measure(0);
+        // Fault before the second reset is erased.
+        let flips = c.propagate_fault(1, 0, Pauli::X);
+        assert!(flips.is_zero());
+    }
+
+    #[test]
+    fn cnot_propagates_x_forward_z_backward() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1);
+        c.measure(0);
+        c.measure(1);
+        // X on control spreads to target.
+        let flips = c.propagate_fault(0, 0, Pauli::X);
+        assert_eq!(flips.iter_ones().collect::<Vec<_>>(), vec![0, 1]);
+        // X on target stays on target.
+        let flips = c.propagate_fault(0, 1, Pauli::X);
+        assert_eq!(flips.iter_ones().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn hadamard_exchanges_x_and_z() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.measure(0);
+        // Z before H becomes X, which flips the measurement.
+        let flips = c.propagate_fault(0, 0, Pauli::Z);
+        assert!(flips.get(0));
+        // X before H becomes Z: no flip.
+        let flips = c.propagate_fault(0, 0, Pauli::X);
+        assert!(!flips.is_empty());
+        assert!(flips.is_zero());
+    }
+
+    #[test]
+    fn measurement_indices_sequential() {
+        let mut c = Circuit::new(3);
+        assert_eq!(c.measure(0), 0);
+        assert_eq!(c.measure(1), 1);
+        assert_eq!(c.measure(2), 2);
+        assert_eq!(c.num_measurements(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn self_cnot_panics() {
+        Circuit::new(2).cnot(1, 1);
+    }
+
+    #[test]
+    fn counts_gates_and_noise() {
+        let mut c = Circuit::new(2);
+        c.reset(0);
+        c.noise(NoiseChannel::XError(0, 0.01));
+        c.cnot(0, 1);
+        c.noise(NoiseChannel::Depolarize2(0, 1, 0.01));
+        c.measure(1);
+        assert_eq!(c.num_gates(), 3);
+        assert_eq!(c.num_noise_locations(), 2);
+    }
+}

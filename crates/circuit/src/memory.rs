@@ -1,0 +1,338 @@
+//! The d-round CSS syndrome-extraction memory experiment.
+
+use crate::circuit::{Circuit, NoiseChannel};
+use crate::dem::DetectorErrorModel;
+use crate::noise::NoiseModel;
+use qldpc_codes::CssCode;
+use qldpc_gf2::{BitMatrix, SparseBitMatrix};
+
+/// A noisy memory experiment on a CSS (or subsystem CSS) code.
+///
+/// The experiment prepares all data qubits in the measurement basis,
+/// runs `rounds` rounds of ancilla-based syndrome extraction, then measures
+/// every data qubit destructively. For a memory-Z experiment:
+///
+/// * each round measures all Z-type checks (CNOT data→ancilla) and then
+///   all X-type checks (H, CNOT ancilla→data, H),
+/// * detectors compare *stabilizer-valued combinations* of Z-check
+///   outcomes between consecutive rounds — for stabilizer codes each check
+///   row is itself a stabilizer, so the combinations degenerate to the
+///   familiar per-check comparisons; for subsystem codes the combinations
+///   are the gauge products that commute with the opposite-type gauge
+///   group (computed as `ker(H_X · H_Zᵀ)`),
+/// * the logical observables are the final-data parities of the logical-Z
+///   representatives.
+///
+/// A memory-X experiment is the CSS-dual construction (roles of X and Z
+/// swapped), which under the symmetric depolarizing noise model is the
+/// exact mirror of memory-Z.
+///
+/// # Examples
+///
+/// ```
+/// use qldpc_circuit::{MemoryExperiment, NoiseModel};
+/// use qldpc_codes::bb;
+///
+/// let exp = MemoryExperiment::memory_z(&bb::bb72(), 2, &NoiseModel::uniform_depolarizing(1e-3));
+/// assert_eq!(exp.rounds(), 2);
+/// assert_eq!(exp.num_observables(), 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryExperiment {
+    circuit: Circuit,
+    /// Detector definitions: sets of measurement indices whose XOR is
+    /// deterministic in the noiseless circuit.
+    detectors: Vec<Vec<u32>>,
+    /// Observable definitions: sets of final-data measurement indices.
+    observables: Vec<Vec<u32>>,
+    rounds: usize,
+    name: String,
+}
+
+impl MemoryExperiment {
+    /// Builds the memory-Z experiment: decodes X-type faults via Z-type
+    /// checks, protecting the logical-Z observables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    pub fn memory_z(code: &CssCode, rounds: usize, noise: &NoiseModel) -> Self {
+        Self::build(
+            code.hx(),
+            code.hz(),
+            &code.logicals().z,
+            rounds,
+            noise,
+            format!("{} memory-Z ({} rounds)", code.name(), rounds),
+        )
+    }
+
+    /// Builds the memory-X experiment (the CSS dual of [`Self::memory_z`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    pub fn memory_x(code: &CssCode, rounds: usize, noise: &NoiseModel) -> Self {
+        Self::build(
+            code.hz(),
+            code.hx(),
+            &code.logicals().x,
+            rounds,
+            noise,
+            format!("{} memory-X ({} rounds)", code.name(), rounds),
+        )
+    }
+
+    /// Shared construction: `h_other` are the checks of the opposite type
+    /// (measured transversally via H-conjugated ancillas), `h_same` the
+    /// checks whose outcomes form the detectors, `logicals` the protected
+    /// observables.
+    fn build(
+        h_other: &SparseBitMatrix,
+        h_same: &SparseBitMatrix,
+        logicals: &BitMatrix,
+        rounds: usize,
+        noise: &NoiseModel,
+        name: String,
+    ) -> Self {
+        assert!(rounds > 0, "memory experiment needs at least one round");
+        let n = h_same.cols();
+        let m_same = h_same.rows();
+        let m_other = h_other.rows();
+        // Qubit layout: data 0..n, "same" ancillas, then "other" ancillas.
+        let anc_same = |c: usize| (n + c) as u32;
+        let anc_other = |c: usize| (n + m_same + c) as u32;
+        let mut circuit = Circuit::new(n + m_same + m_other);
+
+        let mut meas_same: Vec<Vec<u32>> = Vec::with_capacity(rounds);
+        for _round in 0..rounds {
+            // --- "same"-type checks (e.g. Z checks in memory-Z):
+            // data → ancilla CNOTs, Z-basis measurement.
+            let mut this_round = Vec::with_capacity(m_same);
+            for c in 0..m_same {
+                let a = anc_same(c);
+                circuit.reset(a);
+                if noise.reset_flip > 0.0 {
+                    circuit.noise(NoiseChannel::XError(a, noise.reset_flip));
+                }
+            }
+            for c in 0..m_same {
+                let a = anc_same(c);
+                for &q in h_same.row_support(c) {
+                    circuit.cnot(q, a);
+                    if noise.two_qubit_gate > 0.0 {
+                        circuit.noise(NoiseChannel::Depolarize2(q, a, noise.two_qubit_gate));
+                    }
+                }
+            }
+            for c in 0..m_same {
+                let a = anc_same(c);
+                if noise.measurement_flip > 0.0 {
+                    circuit.noise(NoiseChannel::XError(a, noise.measurement_flip));
+                }
+                this_round.push(circuit.measure(a) as u32);
+            }
+            meas_same.push(this_round);
+
+            // --- "other"-type checks (e.g. X checks in memory-Z):
+            // H, ancilla → data CNOTs, H, Z-basis measurement.
+            for c in 0..m_other {
+                let a = anc_other(c);
+                circuit.reset(a);
+                if noise.reset_flip > 0.0 {
+                    circuit.noise(NoiseChannel::XError(a, noise.reset_flip));
+                }
+                circuit.h(a);
+                if noise.single_qubit_gate > 0.0 {
+                    circuit.noise(NoiseChannel::Depolarize1(a, noise.single_qubit_gate));
+                }
+            }
+            for c in 0..m_other {
+                let a = anc_other(c);
+                for &q in h_other.row_support(c) {
+                    circuit.cnot(a, q);
+                    if noise.two_qubit_gate > 0.0 {
+                        circuit.noise(NoiseChannel::Depolarize2(a, q, noise.two_qubit_gate));
+                    }
+                }
+            }
+            for c in 0..m_other {
+                let a = anc_other(c);
+                circuit.h(a);
+                if noise.single_qubit_gate > 0.0 {
+                    circuit.noise(NoiseChannel::Depolarize1(a, noise.single_qubit_gate));
+                }
+                if noise.measurement_flip > 0.0 {
+                    circuit.noise(NoiseChannel::XError(a, noise.measurement_flip));
+                }
+                circuit.measure(a);
+            }
+        }
+
+        // Final destructive data measurement.
+        let mut data_meas = Vec::with_capacity(n);
+        for q in 0..n {
+            if noise.measurement_flip > 0.0 {
+                circuit.noise(NoiseChannel::XError(q as u32, noise.measurement_flip));
+            }
+            data_meas.push(circuit.measure(q as u32) as u32);
+        }
+
+        // Stabilizer coefficient basis: combinations `a` of "same" rows
+        // whose product commutes with every "other" check, i.e.
+        // aᵀ ∈ ker(H_other · H_sameᵀ). For stabilizer CSS codes that
+        // matrix is zero and the kernel basis is the unit vectors.
+        let m_mat = h_other.to_dense().mul(&h_same.to_dense().transpose());
+        let coeff_basis = m_mat.kernel();
+
+        let mut detectors: Vec<Vec<u32>> = Vec::new();
+        for round in 0..rounds {
+            for a in &coeff_basis {
+                let mut d = Vec::new();
+                for c in a.iter_ones() {
+                    d.push(meas_same[round][c]);
+                    if round > 0 {
+                        d.push(meas_same[round - 1][c]);
+                    }
+                }
+                detectors.push(d);
+            }
+        }
+        // Final boundary: last-round combination vs. reconstructed value
+        // from the destructive data measurements.
+        for a in &coeff_basis {
+            let mut d = Vec::new();
+            let mut support = qldpc_gf2::BitVec::zeros(n);
+            for c in a.iter_ones() {
+                d.push(meas_same[rounds - 1][c]);
+                for &q in h_same.row_support(c) {
+                    support.flip(q as usize);
+                }
+            }
+            for q in support.iter_ones() {
+                d.push(data_meas[q]);
+            }
+            detectors.push(d);
+        }
+
+        let observables: Vec<Vec<u32>> = (0..logicals.rows())
+            .map(|l| logicals.row(l).iter_ones().map(|q| data_meas[q]).collect())
+            .collect();
+
+        Self {
+            circuit,
+            detectors,
+            observables,
+            rounds,
+            name,
+        }
+    }
+
+    /// The underlying noisy circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Detector definitions as measurement-index sets.
+    pub fn detectors(&self) -> &[Vec<u32>] {
+        &self.detectors
+    }
+
+    /// Observable definitions as measurement-index sets.
+    pub fn observables(&self) -> &[Vec<u32>] {
+        &self.observables
+    }
+
+    /// Number of detectors.
+    pub fn num_detectors(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// Number of logical observables.
+    pub fn num_observables(&self) -> usize {
+        self.observables.len()
+    }
+
+    /// Number of syndrome-extraction rounds.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Experiment name (code, basis, rounds).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Extracts the detector error model via the backward fault sweep.
+    pub fn detector_error_model(&self) -> DetectorErrorModel {
+        DetectorErrorModel::from_experiment(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qldpc_codes::{bb, shp};
+
+    #[test]
+    fn detector_count_stabilizer_code() {
+        let code = bb::bb72();
+        let noise = NoiseModel::uniform_depolarizing(1e-3);
+        let exp = MemoryExperiment::memory_z(&code, 3, &noise);
+        // 36 Z checks × (3 rounds + final boundary).
+        assert_eq!(exp.num_detectors(), 36 * 4);
+        assert_eq!(exp.num_observables(), 12);
+        assert_eq!(exp.circuit().num_measurements(), 3 * 72 + 72);
+    }
+
+    #[test]
+    fn first_round_detectors_are_single_measurements() {
+        let code = bb::bb72();
+        let exp = MemoryExperiment::memory_z(&code, 2, &NoiseModel::noiseless());
+        for d in &exp.detectors()[..36] {
+            assert_eq!(d.len(), 1, "round-0 detectors compare against |0…0⟩");
+        }
+        for d in &exp.detectors()[36..72] {
+            assert_eq!(d.len(), 2, "bulk detectors compare consecutive rounds");
+        }
+    }
+
+    #[test]
+    fn subsystem_code_uses_stabilizer_combinations() {
+        let simplex3 = qldpc_codes::classical::ClassicalCode::simplex(3);
+        let code = shp::subsystem_hypergraph_product("shp-7x7", &simplex3, &simplex3);
+        let exp = MemoryExperiment::memory_z(&code, 2, &NoiseModel::uniform_depolarizing(1e-3));
+        // Coefficient space: ker(G_X · G_Zᵀ) over the 28 Z-gauge rows.
+        let gx = code.hx().to_dense();
+        let gz = code.hz().to_dense();
+        let kernel_dim = gx.mul(&gz.transpose()).kernel().len();
+        assert_eq!(exp.num_detectors(), kernel_dim * 3);
+        // Subsystem detectors combine several gauge outcomes.
+        assert!(exp.detectors()[..kernel_dim].iter().any(|d| d.len() > 1));
+    }
+
+    #[test]
+    fn memory_x_mirrors_memory_z() {
+        let code = bb::bb72();
+        let noise = NoiseModel::uniform_depolarizing(1e-3);
+        let z = MemoryExperiment::memory_z(&code, 2, &noise);
+        let x = MemoryExperiment::memory_x(&code, 2, &noise);
+        // bb72 is symmetric between bases: same shape everywhere.
+        assert_eq!(z.num_detectors(), x.num_detectors());
+        assert_eq!(z.num_observables(), x.num_observables());
+        assert_eq!(z.circuit().num_gates(), x.circuit().num_gates());
+    }
+
+    #[test]
+    fn noiseless_circuit_has_no_noise_locations() {
+        let code = bb::bb72();
+        let exp = MemoryExperiment::memory_z(&code, 2, &NoiseModel::noiseless());
+        assert_eq!(exp.circuit().num_noise_locations(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_panics() {
+        MemoryExperiment::memory_z(&bb::bb72(), 0, &NoiseModel::noiseless());
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for the circuit-level substrate.
+
+use proptest::prelude::*;
+use qldpc_circuit::{DemSampler, MemoryExperiment, NoiseModel};
+use qldpc_codes::classical::ClassicalCode;
+use qldpc_codes::{hgp, CssCode};
+use rand::SeedableRng;
+
+/// Small random CSS codes: hypergraph products of repetition codes.
+fn small_code() -> impl Strategy<Value = CssCode> {
+    (2usize..4, 2usize..4).prop_map(|(a, b)| {
+        hgp::hypergraph_product(
+            "prop-code",
+            &ClassicalCode::repetition(a),
+            &ClassicalCode::repetition(b),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// DEM structural invariants hold for random codes, rounds and rates:
+    /// detector count = checks × (rounds + 1), no undetectable mechanisms,
+    /// sane priors, and sampled shots consistent with the matrices.
+    #[test]
+    fn dem_invariants(code in small_code(), rounds in 1usize..4, p in 1e-4f64..1e-2) {
+        let noise = NoiseModel::uniform_depolarizing(p);
+        let exp = MemoryExperiment::memory_z(&code, rounds, &noise);
+        let dem = exp.detector_error_model();
+        prop_assert_eq!(dem.num_detectors(), code.hz().rows() * (rounds + 1));
+        prop_assert_eq!(dem.num_observables(), code.k());
+        prop_assert_eq!(dem.num_undetectable(), 0);
+        for &prior in dem.priors() {
+            prop_assert!(prior > 0.0 && prior < 0.5);
+        }
+        let sampler = DemSampler::new(&dem);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..5 {
+            let shot = sampler.sample(&mut rng);
+            prop_assert_eq!(dem.check_matrix().mul_vec(&shot.fault), shot.syndrome);
+            prop_assert_eq!(dem.observable_matrix().mul_vec(&shot.fault), shot.obs_flips);
+        }
+    }
+
+    /// Memory-X and memory-Z experiments of a symmetric construction have
+    /// mirrored shapes.
+    #[test]
+    fn memory_bases_mirror(n in 2usize..4, rounds in 1usize..3) {
+        let rep = ClassicalCode::cyclic_repetition(n);
+        let code = hgp::hypergraph_product("toric", &rep, &rep);
+        let noise = NoiseModel::uniform_depolarizing(1e-3);
+        let z = MemoryExperiment::memory_z(&code, rounds, &noise);
+        let x = MemoryExperiment::memory_x(&code, rounds, &noise);
+        prop_assert_eq!(z.num_observables(), x.num_observables());
+        prop_assert_eq!(
+            z.circuit().num_measurements(),
+            x.circuit().num_measurements()
+        );
+    }
+
+    /// Scaling the physical rate scales every mechanism prior in the same
+    /// direction (monotonicity of the noise model).
+    #[test]
+    fn priors_monotone_in_p(rounds in 1usize..3) {
+        let rep = ClassicalCode::repetition(3);
+        let code = hgp::hypergraph_product("surf", &rep, &rep);
+        let lo = MemoryExperiment::memory_z(&code, rounds, &NoiseModel::uniform_depolarizing(1e-4))
+            .detector_error_model();
+        let hi = MemoryExperiment::memory_z(&code, rounds, &NoiseModel::uniform_depolarizing(1e-3))
+            .detector_error_model();
+        prop_assert_eq!(lo.num_mechanisms(), hi.num_mechanisms());
+        let lo_sum: f64 = lo.priors().iter().sum();
+        let hi_sum: f64 = hi.priors().iter().sum();
+        prop_assert!(hi_sum > lo_sum);
+    }
+}

@@ -1,0 +1,251 @@
+//! Polynomial algebra over cyclic shift matrices.
+//!
+//! Bicycle-style constructions define their check matrices through
+//! polynomials evaluated at shift matrices: univariate `a(x)` with
+//! `x = S_l` for generalized bicycle codes, bivariate `a(x, y)` with
+//! `x = S_l ⊗ I_m`, `y = I_l ⊗ S_m` for bivariate bicycle codes, and
+//! `a(π)` with `π = x·y` for coprime-BB codes. This module evaluates such
+//! polynomials into dense [`BitMatrix`] blocks.
+
+use qldpc_gf2::BitMatrix;
+
+/// A univariate polynomial over GF(2), stored as the exponents of its
+/// nonzero terms (e.g. `1 + x^15 + x^20` is `[0, 15, 20]`).
+///
+/// # Examples
+///
+/// ```
+/// use qldpc_codes::circulant::UniPoly;
+///
+/// let a = UniPoly::new(&[0, 1, 2]); // 1 + x + x²
+/// let m = a.eval_shift(3);
+/// // Over Z₃ the circulant of 1+x+x² is the all-ones matrix.
+/// assert_eq!(m.weight(), 9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniPoly {
+    exponents: Vec<usize>,
+}
+
+impl UniPoly {
+    /// Creates a polynomial from term exponents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an exponent repeats (over GF(2) it would cancel — that is
+    /// always a construction-table typo, not an intent).
+    pub fn new(exponents: &[usize]) -> Self {
+        let mut sorted = exponents.to_vec();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            assert!(w[0] != w[1], "repeated exponent {} in polynomial", w[0]);
+        }
+        Self { exponents: sorted }
+    }
+
+    /// Exponents of the nonzero terms, ascending.
+    pub fn exponents(&self) -> &[usize] {
+        &self.exponents
+    }
+
+    /// Number of nonzero terms.
+    pub fn terms(&self) -> usize {
+        self.exponents.len()
+    }
+
+    /// Evaluates the polynomial at the `l × l` cyclic shift matrix `S_l`,
+    /// producing the circulant `Σ_e S_l^e`.
+    pub fn eval_shift(&self, l: usize) -> BitMatrix {
+        let mut m = BitMatrix::zeros(l, l);
+        for &e in &self.exponents {
+            for i in 0..l {
+                let j = (i + e) % l;
+                let cur = m.get(i, j);
+                // Exponents are distinct mod nothing, but e mod l may
+                // collide for e ≥ l; over GF(2) a collision cancels.
+                m.set(i, j, !cur);
+            }
+        }
+        m
+    }
+
+    /// Evaluates at `x = S_l ⊗ I_m` (the "x" generator of a BB code).
+    pub fn eval_x(&self, l: usize, m: usize) -> BitMatrix {
+        sum_terms(self.exponents.iter().map(|&e| monomial_xy(l, m, e, 0)))
+    }
+
+    /// Evaluates at `y = I_l ⊗ S_m` (the "y" generator of a BB code).
+    pub fn eval_y(&self, l: usize, m: usize) -> BitMatrix {
+        sum_terms(self.exponents.iter().map(|&e| monomial_xy(l, m, 0, e)))
+    }
+
+    /// Evaluates at `π = x·y = S_l ⊗ S_m` (the coprime-BB generator).
+    pub fn eval_pi(&self, l: usize, m: usize) -> BitMatrix {
+        sum_terms(self.exponents.iter().map(|&e| monomial_xy(l, m, e, e)))
+    }
+}
+
+/// A bivariate polynomial over GF(2) in the commuting generators
+/// `x = S_l ⊗ I_m`, `y = I_l ⊗ S_m`, stored as `(x-exponent, y-exponent)`
+/// term pairs.
+///
+/// # Examples
+///
+/// ```
+/// use qldpc_codes::circulant::BiPoly;
+///
+/// // a(x,y) = x³ + y + y² from the [[144,12,12]] gross code.
+/// let a = BiPoly::new(&[(3, 0), (0, 1), (0, 2)]);
+/// let m = a.eval(12, 6);
+/// assert_eq!(m.rows(), 72);
+/// assert_eq!(m.weight(), 3 * 72); // three monomials, each a permutation
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BiPoly {
+    terms: Vec<(usize, usize)>,
+}
+
+impl BiPoly {
+    /// Creates a bivariate polynomial from `(x-exp, y-exp)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a repeated term.
+    pub fn new(terms: &[(usize, usize)]) -> Self {
+        let mut sorted = terms.to_vec();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            assert!(w[0] != w[1], "repeated term {:?} in polynomial", w[0]);
+        }
+        Self { terms: sorted }
+    }
+
+    /// The `(x-exp, y-exp)` term list, sorted.
+    pub fn terms(&self) -> &[(usize, usize)] {
+        &self.terms
+    }
+
+    /// Evaluates over the group `Z_l × Z_m`, producing an `lm × lm` matrix.
+    pub fn eval(&self, l: usize, m: usize) -> BitMatrix {
+        sum_terms(self.terms.iter().map(|&(ex, ey)| monomial_xy(l, m, ex, ey)))
+    }
+}
+
+/// The monomial `x^ex · y^ey = S_l^ex ⊗ S_m^ey` as a permutation matrix on
+/// `Z_l × Z_m` (row `(i,j)` maps to column `((i+ex) mod l, (j+ey) mod m)`).
+fn monomial_xy(l: usize, m: usize, ex: usize, ey: usize) -> BitMatrix {
+    let n = l * m;
+    let mut out = BitMatrix::zeros(n, n);
+    for i in 0..l {
+        for j in 0..m {
+            let row = i * m + j;
+            let col = ((i + ex) % l) * m + (j + ey) % m;
+            out.set(row, col, true);
+        }
+    }
+    out
+}
+
+/// XOR-sums an iterator of equally sized matrices.
+///
+/// # Panics
+///
+/// Panics if the iterator is empty or the shapes disagree.
+fn sum_terms(mut terms: impl Iterator<Item = BitMatrix>) -> BitMatrix {
+    let first = terms.next().expect("polynomial must have at least one term");
+    let mut acc = first;
+    for t in terms {
+        assert_eq!((acc.rows(), acc.cols()), (t.rows(), t.cols()), "term shape mismatch");
+        let mut next = BitMatrix::zeros(acc.rows(), acc.cols());
+        for r in 0..acc.rows() {
+            let mut row = acc.row(r);
+            row.xor_assign(&t.row(r));
+            for c in row.iter_ones() {
+                next.set(r, c, true);
+            }
+        }
+        acc = next;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_polynomial_matches_example() {
+        // Paper Eq. (13): S₃ = I₃ >> 1.
+        let s3 = UniPoly::new(&[1]).eval_shift(3);
+        let expected = BitMatrix::from_dense(&[&[0, 1, 0], &[0, 0, 1], &[1, 0, 0]]);
+        assert_eq!(s3, expected);
+    }
+
+    #[test]
+    fn x_and_y_commute() {
+        let x = UniPoly::new(&[1]).eval_x(4, 3);
+        let y = UniPoly::new(&[1]).eval_y(4, 3);
+        assert_eq!(x.mul(&y), y.mul(&x));
+    }
+
+    #[test]
+    fn pi_equals_x_times_y() {
+        let x = UniPoly::new(&[1]).eval_x(5, 3);
+        let y = UniPoly::new(&[1]).eval_y(5, 3);
+        let pi = UniPoly::new(&[1]).eval_pi(5, 3);
+        assert_eq!(pi, x.mul(&y));
+    }
+
+    #[test]
+    fn pi_has_order_lm_when_coprime() {
+        let (l, m) = (3, 5);
+        let pi = UniPoly::new(&[1]).eval_pi(l, m);
+        let mut acc = BitMatrix::identity(l * m);
+        let mut order = 0;
+        for i in 1..=l * m {
+            acc = acc.mul(&pi);
+            if acc == BitMatrix::identity(l * m) {
+                order = i;
+                break;
+            }
+        }
+        assert_eq!(order, l * m, "π must generate the full cyclic group");
+    }
+
+    #[test]
+    fn bivariate_eval_is_sum_of_monomials() {
+        let a = BiPoly::new(&[(1, 0), (0, 1)]);
+        let x = UniPoly::new(&[1]).eval_x(4, 3);
+        let y = UniPoly::new(&[1]).eval_y(4, 3);
+        let mut manual = BitMatrix::zeros(12, 12);
+        for r in 0..12 {
+            let mut row = x.row(r);
+            row.xor_assign(&y.row(r));
+            for c in row.iter_ones() {
+                manual.set(r, c, true);
+            }
+        }
+        assert_eq!(a.eval(4, 3), manual);
+    }
+
+    #[test]
+    fn circulants_commute() {
+        // Any two univariate circulants of the same size commute.
+        let a = UniPoly::new(&[0, 2, 5]).eval_shift(9);
+        let b = UniPoly::new(&[1, 3]).eval_shift(9);
+        assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated exponent")]
+    fn repeated_exponent_panics() {
+        UniPoly::new(&[1, 1]);
+    }
+
+    #[test]
+    fn exponent_collision_mod_l_cancels() {
+        // 1 + x^3 over Z₃: x^3 = 1, so the terms cancel to zero.
+        let m = UniPoly::new(&[0, 3]).eval_shift(3);
+        assert!(m.is_zero());
+    }
+}

@@ -1,0 +1,243 @@
+//! Classical binary codes used as ingredients of quantum constructions.
+
+use qldpc_gf2::BitMatrix;
+
+/// A classical linear binary code described by generator and parity-check
+/// matrices.
+///
+/// # Examples
+///
+/// ```
+/// use qldpc_codes::classical::ClassicalCode;
+///
+/// let rep = ClassicalCode::repetition(3);
+/// assert_eq!((rep.n(), rep.k()), (3, 1));
+/// let simplex = ClassicalCode::simplex(4); // [15, 4, 8]
+/// assert_eq!((simplex.n(), simplex.k(), simplex.d()), (15, 4, Some(8)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassicalCode {
+    name: String,
+    generator: BitMatrix,
+    parity_check: BitMatrix,
+    d: Option<usize>,
+}
+
+impl ClassicalCode {
+    /// Builds a code from an explicit parity-check matrix; the generator is
+    /// derived as a kernel basis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` has no kernel (a zero-dimensional code).
+    pub fn from_parity_check(name: impl Into<String>, h: BitMatrix, d: Option<usize>) -> Self {
+        let kernel = h.kernel();
+        assert!(!kernel.is_empty(), "parity-check matrix has trivial kernel (k = 0)");
+        let generator = BitMatrix::from_rows(&kernel);
+        Self {
+            name: name.into(),
+            generator,
+            parity_check: h,
+            d,
+        }
+    }
+
+    /// Builds a code from an explicit generator matrix; the parity check is
+    /// derived as a kernel basis of the generator's row space.
+    pub fn from_generator(name: impl Into<String>, g: BitMatrix, d: Option<usize>) -> Self {
+        let kernel = g.kernel();
+        let parity_check = if kernel.is_empty() {
+            BitMatrix::zeros(0, g.cols())
+        } else {
+            BitMatrix::from_rows(&kernel)
+        };
+        Self {
+            name: name.into(),
+            generator: g,
+            parity_check,
+            d,
+        }
+    }
+
+    /// The `[n, 1, n]` repetition code with the standard sparse chain of
+    /// checks `x_i + x_{i+1} = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn repetition(n: usize) -> Self {
+        assert!(n >= 2, "repetition code needs n >= 2");
+        let mut h = BitMatrix::zeros(n - 1, n);
+        for i in 0..n - 1 {
+            h.set(i, i, true);
+            h.set(i, i + 1, true);
+        }
+        Self::from_parity_check(format!("repetition [{n},1,{n}]"), h, Some(n))
+    }
+
+    /// The *cyclic* `[n, 1, n]` repetition code (checks on a ring); its
+    /// hypergraph product with itself is the toric code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn cyclic_repetition(n: usize) -> Self {
+        assert!(n >= 2, "repetition code needs n >= 2");
+        let mut h = BitMatrix::zeros(n, n);
+        for i in 0..n {
+            h.set(i, i, true);
+            h.set(i, (i + 1) % n, true);
+        }
+        let generator = BitMatrix::from_rows(&h.kernel());
+        Self {
+            name: format!("cyclic repetition [{n},1,{n}]"),
+            generator,
+            parity_check: h,
+            d: Some(n),
+        }
+    }
+
+    /// The `[2^r − 1, 2^r − 1 − r, 3]` Hamming code.
+    ///
+    /// Its parity-check matrix has all nonzero `r`-bit columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r < 2`.
+    pub fn hamming(r: usize) -> Self {
+        assert!(r >= 2, "Hamming code needs r >= 2");
+        let n = (1usize << r) - 1;
+        let mut h = BitMatrix::zeros(r, n);
+        for col in 1..=n {
+            for bit in 0..r {
+                if col >> bit & 1 == 1 {
+                    h.set(bit, col - 1, true);
+                }
+            }
+        }
+        Self::from_parity_check(format!("Hamming [{n},{},3]", n - r), h, Some(3))
+    }
+
+    /// The `[2^k − 1, k, 2^{k−1}]` simplex code — the dual of the Hamming
+    /// code. Its generator matrix has all nonzero `k`-bit columns; this is
+    /// the classical seed of the SHYPS `[[225,16,8]]` code (`k = 4`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn simplex(k: usize) -> Self {
+        assert!(k >= 2, "simplex code needs k >= 2");
+        let n = (1usize << k) - 1;
+        let mut g = BitMatrix::zeros(k, n);
+        for col in 1..=n {
+            for bit in 0..k {
+                if col >> bit & 1 == 1 {
+                    g.set(bit, col - 1, true);
+                }
+            }
+        }
+        let mut code = Self::from_generator(format!("simplex [{n},{k},{}]", 1 << (k - 1)), g, None);
+        code.d = Some(1 << (k - 1));
+        code
+    }
+
+    /// Code name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Block length.
+    pub fn n(&self) -> usize {
+        self.generator.cols()
+    }
+
+    /// Dimension (number of information bits).
+    pub fn k(&self) -> usize {
+        self.generator.rows()
+    }
+
+    /// Declared minimum distance, if known.
+    pub fn d(&self) -> Option<usize> {
+        self.d
+    }
+
+    /// Generator matrix (k × n, full row rank).
+    pub fn generator(&self) -> &BitMatrix {
+        &self.generator
+    }
+
+    /// Parity-check matrix ((n−k)-rank × n).
+    pub fn parity_check(&self) -> &BitMatrix {
+        &self.parity_check
+    }
+
+    /// Exhaustively computes the true minimum distance. Exponential in `k`;
+    /// intended for the small constituent codes used in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 24` (2^k codewords would be enumerated).
+    pub fn brute_force_distance(&self) -> usize {
+        let k = self.k();
+        assert!(k <= 24, "brute-force distance limited to k <= 24");
+        let mut best = usize::MAX;
+        for mask in 1u32..(1u32 << k) {
+            let mut word = qldpc_gf2::BitVec::zeros(self.n());
+            for row in 0..k {
+                if mask >> row & 1 == 1 {
+                    word.xor_assign(&self.generator.row(row));
+                }
+            }
+            best = best.min(word.weight());
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repetition_properties() {
+        let c = ClassicalCode::repetition(5);
+        assert_eq!((c.n(), c.k()), (5, 1));
+        assert_eq!(c.brute_force_distance(), 5);
+        // G·Hᵀ = 0
+        assert!(c.parity_check().mul(&c.generator().transpose()).is_zero());
+    }
+
+    #[test]
+    fn cyclic_repetition_rank() {
+        let c = ClassicalCode::cyclic_repetition(4);
+        assert_eq!(c.parity_check().rank(), 3); // one redundant check
+        assert_eq!(c.k(), 1);
+    }
+
+    #[test]
+    fn hamming_7_4_3() {
+        let c = ClassicalCode::hamming(3);
+        assert_eq!((c.n(), c.k()), (7, 4));
+        assert_eq!(c.brute_force_distance(), 3);
+    }
+
+    #[test]
+    fn simplex_15_4_8() {
+        let c = ClassicalCode::simplex(4);
+        assert_eq!((c.n(), c.k()), (15, 4));
+        assert_eq!(c.brute_force_distance(), 8);
+        // The simplex code is a constant-weight code: every nonzero word
+        // has weight exactly 2^{k-1}.
+        assert!(c.parity_check().mul(&c.generator().transpose()).is_zero());
+        assert_eq!(c.parity_check().rows(), 11);
+    }
+
+    #[test]
+    fn simplex_is_dual_of_hamming() {
+        let s = ClassicalCode::simplex(3);
+        let h = ClassicalCode::hamming(3);
+        // Simplex generator rows are Hamming checks (same row space).
+        let stacked = s.generator().vstack(h.parity_check());
+        assert_eq!(stacked.rank(), 3);
+    }
+}

@@ -1,0 +1,123 @@
+//! Coprime bivariate bicycle codes from Wang & Mueller (arXiv:2408.10001).
+//!
+//! With `l` and `m` coprime, `π = x·y = S_l ⊗ S_m` generates the full
+//! cyclic group `Z_{lm}`, so the construction is defined by *univariate*
+//! polynomials in `π` (Table III of the BP-SF paper):
+//!
+//! ```text
+//! H_X = [a(π) | b(π)],     H_Z = [b(π)ᵀ | a(π)ᵀ].
+//! ```
+
+use crate::circulant::UniPoly;
+use crate::css::CssCode;
+
+/// Builds a coprime-BB code from its defining polynomials in `π`.
+///
+/// # Panics
+///
+/// Panics if `gcd(l, m) != 1` — the construction requires coprime factors.
+///
+/// # Examples
+///
+/// ```
+/// use qldpc_codes::coprime_bb;
+/// use qldpc_codes::circulant::UniPoly;
+///
+/// let a = UniPoly::new(&[0, 1, 58]);
+/// let b = UniPoly::new(&[0, 13, 41]);
+/// let code = coprime_bb::coprime_bb_code("[[126,12,10]]", 7, 9, &a, &b, Some(10));
+/// assert_eq!((code.n(), code.k()), (126, 12));
+/// ```
+pub fn coprime_bb_code(
+    name: &str,
+    l: usize,
+    m: usize,
+    a: &UniPoly,
+    b: &UniPoly,
+    declared_d: Option<usize>,
+) -> CssCode {
+    assert_eq!(gcd(l, m), 1, "coprime-BB construction requires gcd(l, m) = 1");
+    let a_mat = a.eval_pi(l, m);
+    let b_mat = b.eval_pi(l, m);
+    let hx = a_mat.hstack(&b_mat);
+    let hz = b_mat.transpose().hstack(&a_mat.transpose());
+    CssCode::new(name, &hx, &hz, declared_d, false)
+}
+
+/// The `[[126, 12, 10]]` coprime-BB code: `l = 7, m = 9`,
+/// `a = 1 + π + π⁵⁸`, `b = 1 + π¹³ + π⁴¹`.
+pub fn coprime126() -> CssCode {
+    coprime_bb_code(
+        "Coprime-BB [[126,12,10]]",
+        7,
+        9,
+        &UniPoly::new(&[0, 1, 58]),
+        &UniPoly::new(&[0, 13, 41]),
+        Some(10),
+    )
+}
+
+/// The `[[154, 6, 16]]` coprime-BB code: `l = 7, m = 11`,
+/// `a = 1 + π + π³¹`, `b = 1 + π¹⁹ + π⁵³`. The paper's showcase of a code
+/// where plain BP struggles badly under code-capacity noise (Fig. 5).
+pub fn coprime154() -> CssCode {
+    coprime_bb_code(
+        "Coprime-BB [[154,6,16]]",
+        7,
+        11,
+        &UniPoly::new(&[0, 1, 31]),
+        &UniPoly::new(&[0, 19, 53]),
+        Some(16),
+    )
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coprime126_parameters() {
+        let c = coprime126();
+        assert_eq!((c.n(), c.k(), c.d()), (126, 12, Some(10)));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn coprime154_parameters() {
+        let c = coprime154();
+        assert_eq!((c.n(), c.k(), c.d()), (154, 6, Some(16)));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "coprime")]
+    fn non_coprime_factors_panic() {
+        coprime_bb_code(
+            "bad",
+            6,
+            9,
+            &UniPoly::new(&[0, 1]),
+            &UniPoly::new(&[0, 2]),
+            None,
+        );
+    }
+
+    #[test]
+    fn row_column_degrees() {
+        let c = coprime154();
+        for r in 0..c.hx().rows() {
+            assert_eq!(c.hx().row_degree(r), 6);
+        }
+        for v in 0..c.hz().cols() {
+            assert_eq!(c.hz().col_degree(v), 3);
+        }
+    }
+}

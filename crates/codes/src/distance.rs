@@ -1,0 +1,242 @@
+//! Monte Carlo estimation of code distance (upper bounds).
+//!
+//! Exact distance computation is NP-hard; this module implements the
+//! standard randomized upper-bound search used in the qLDPC literature:
+//! start from a random nonzero logical representative, then greedily add
+//! stabilizer (or gauge) rows while they reduce the weight, with random
+//! restarts. The smallest weight seen bounds the distance from above and,
+//! for the small-to-medium codes in this workspace, typically meets the
+//! declared distance.
+
+use crate::css::CssCode;
+use qldpc_gf2::BitVec;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Result of a randomized distance search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistanceBound {
+    /// Lowest-weight logical operator found (an upper bound on d).
+    pub upper_bound: usize,
+    /// How many restarts reached the bound.
+    pub hits: usize,
+    /// Restarts performed.
+    pub restarts: usize,
+}
+
+/// Estimates an upper bound on the X-distance: the minimum weight of an
+/// X-type logical operator (an element of `ker(H_Z) \ rowspace(H_X)`).
+///
+/// Each restart samples a random combination of logical-X representatives,
+/// optionally mixed with random stabilizer rows, then runs greedy weight
+/// descent over the stabilizer generators until a local minimum.
+///
+/// # Panics
+///
+/// Panics if the code has no logical qubits or `restarts == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use qldpc_codes::{bb, distance};
+/// use rand::SeedableRng;
+///
+/// let code = bb::bb72();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let bound = distance::estimate_x_distance(&code, 50, &mut rng);
+/// assert!(bound.upper_bound >= 6); // declared d = 6
+/// ```
+pub fn estimate_x_distance(code: &CssCode, restarts: usize, rng: &mut StdRng) -> DistanceBound {
+    assert!(code.k() > 0, "code must encode at least one logical qubit");
+    assert!(restarts > 0, "need at least one restart");
+    let logicals = &code.logicals().x;
+    let stabilizers = code.hx();
+    let k = logicals.rows();
+    let m = stabilizers.rows();
+    let n = code.n();
+
+    let mut best = usize::MAX;
+    let mut hits = 0usize;
+    for _ in 0..restarts {
+        // Random nonzero logical combination.
+        let mut word = BitVec::zeros(n);
+        loop {
+            let mut any = false;
+            for l in 0..k {
+                if rng.random_bool(0.5) {
+                    word.xor_assign(&logicals.row(l));
+                    any = true;
+                }
+            }
+            if any && !word.is_zero() {
+                break;
+            }
+            word.clear();
+        }
+        // A few random stabilizer kicks to diversify the starting point.
+        for _ in 0..m / 4 {
+            let r = rng.random_range(0..m);
+            let mut row = BitVec::zeros(n);
+            for &c in stabilizers.row_support(r) {
+                row.set(c as usize, true);
+            }
+            if rng.random_bool(0.3) {
+                word.xor_assign(&row);
+            }
+        }
+        // Greedy descent: keep applying the stabilizer row that reduces
+        // the weight the most until none does.
+        loop {
+            let current = word.weight();
+            let mut best_row = None;
+            let mut best_weight = current;
+            for r in 0..m {
+                let mut trial = word.clone();
+                for &c in stabilizers.row_support(r) {
+                    trial.flip(c as usize);
+                }
+                let w = trial.weight();
+                if w < best_weight {
+                    best_weight = w;
+                    best_row = Some(r);
+                }
+            }
+            match best_row {
+                Some(r) => {
+                    for &c in stabilizers.row_support(r) {
+                        word.flip(c as usize);
+                    }
+                }
+                None => break,
+            }
+        }
+        let w = word.weight();
+        debug_assert!(code.is_z_logical_error(&word) || w > 0);
+        if w < best {
+            best = w;
+            hits = 1;
+        } else if w == best {
+            hits += 1;
+        }
+    }
+    DistanceBound {
+        upper_bound: best,
+        hits,
+        restarts,
+    }
+}
+
+/// Estimates an upper bound on the Z-distance (minimum-weight Z-type
+/// logical); see [`estimate_x_distance`].
+///
+/// # Panics
+///
+/// Panics if the code has no logical qubits or `restarts == 0`.
+pub fn estimate_z_distance(code: &CssCode, restarts: usize, rng: &mut StdRng) -> DistanceBound {
+    // Z logicals descend over H_Z rows (Z-type stabilizers/gauges).
+    assert!(code.k() > 0, "code must encode at least one logical qubit");
+    assert!(restarts > 0, "need at least one restart");
+    let logicals = &code.logicals().z;
+    let stabilizers = code.hz();
+    let k = logicals.rows();
+    let m = stabilizers.rows();
+    let n = code.n();
+
+    let mut best = usize::MAX;
+    let mut hits = 0usize;
+    for _ in 0..restarts {
+        let mut word = BitVec::zeros(n);
+        loop {
+            let mut any = false;
+            for l in 0..k {
+                if rng.random_bool(0.5) {
+                    word.xor_assign(&logicals.row(l));
+                    any = true;
+                }
+            }
+            if any && !word.is_zero() {
+                break;
+            }
+            word.clear();
+        }
+        loop {
+            let current = word.weight();
+            let mut best_row = None;
+            let mut best_weight = current;
+            for r in 0..m {
+                let mut trial = word.clone();
+                for &c in stabilizers.row_support(r) {
+                    trial.flip(c as usize);
+                }
+                let w = trial.weight();
+                if w < best_weight {
+                    best_weight = w;
+                    best_row = Some(r);
+                }
+            }
+            match best_row {
+                Some(r) => {
+                    for &c in stabilizers.row_support(r) {
+                        word.flip(c as usize);
+                    }
+                }
+                None => break,
+            }
+        }
+        let w = word.weight();
+        if w < best {
+            best = w;
+            hits = 1;
+        } else if w == best {
+            hits += 1;
+        }
+    }
+    DistanceBound {
+        upper_bound: best,
+        hits,
+        restarts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bb;
+    use qldpc_gf2::BitMatrix;
+    use rand::SeedableRng;
+
+    #[test]
+    fn steane_distance_is_three() {
+        let h = BitMatrix::from_dense(&[
+            &[1, 0, 1, 0, 1, 0, 1],
+            &[0, 1, 1, 0, 0, 1, 1],
+            &[0, 0, 0, 1, 1, 1, 1],
+        ]);
+        let code = CssCode::new("steane", &h, &h, Some(3), false);
+        let mut rng = StdRng::seed_from_u64(5);
+        let b = estimate_x_distance(&code, 40, &mut rng);
+        assert_eq!(b.upper_bound, 3);
+        let b = estimate_z_distance(&code, 40, &mut rng);
+        assert_eq!(b.upper_bound, 3);
+    }
+
+    #[test]
+    fn bb72_bound_not_below_declared_distance() {
+        let code = bb::bb72();
+        let mut rng = StdRng::seed_from_u64(6);
+        let b = estimate_x_distance(&code, 30, &mut rng);
+        // An upper bound can exceed d but never undercut it.
+        assert!(b.upper_bound >= 6, "found impossible weight {}", b.upper_bound);
+        assert!(b.upper_bound <= code.n());
+        assert!(b.hits >= 1);
+        assert_eq!(b.restarts, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one restart")]
+    fn zero_restarts_panics() {
+        let code = bb::bb72();
+        let mut rng = StdRng::seed_from_u64(7);
+        estimate_x_distance(&code, 0, &mut rng);
+    }
+}

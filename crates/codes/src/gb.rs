@@ -1,0 +1,97 @@
+//! Generalized bicycle (GB) codes from Panteleev & Kalachev, *Quantum* 5
+//! (2021).
+//!
+//! A GB code is defined by two univariate polynomials `a(x)`, `b(x)` over
+//! the cyclic shift `x = S_l`:
+//!
+//! ```text
+//! H_X = [A | B],     H_Z = [Bᵀ | Aᵀ].
+//! ```
+
+use crate::circulant::UniPoly;
+use crate::css::CssCode;
+
+/// Builds a GB code from its defining polynomials.
+///
+/// # Examples
+///
+/// ```
+/// use qldpc_codes::gb;
+/// use qldpc_codes::circulant::UniPoly;
+///
+/// // A toy GB code over Z₅.
+/// let a = UniPoly::new(&[0, 1]);
+/// let b = UniPoly::new(&[0, 2]);
+/// let code = gb::gb_code("toy", 5, &a, &b, None);
+/// assert_eq!(code.n(), 10);
+/// code.validate().unwrap();
+/// ```
+pub fn gb_code(name: &str, l: usize, a: &UniPoly, b: &UniPoly, declared_d: Option<usize>) -> CssCode {
+    let a_mat = a.eval_shift(l);
+    let b_mat = b.eval_shift(l);
+    let hx = a_mat.hstack(&b_mat);
+    let hz = b_mat.transpose().hstack(&a_mat.transpose());
+    CssCode::new(name, &hx, &hz, declared_d, false)
+}
+
+/// The `[[254, 28]]` GB code (Panteleev & Kalachev, code A1): `l = 127`,
+/// `a = 1 + x¹⁵ + x²⁰ + x²⁸ + x⁶⁶`, `b = 1 + x⁵⁸ + x⁵⁹ + x¹⁰⁰ + x¹²¹`.
+/// Distance is not declared in the paper's appendix (≤ 20 is known).
+pub fn gb254() -> CssCode {
+    gb_code(
+        "GB [[254,28]]",
+        127,
+        &UniPoly::new(&[0, 15, 20, 28, 66]),
+        &UniPoly::new(&[0, 58, 59, 100, 121]),
+        None,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gb254_parameters() {
+        let c = gb254();
+        assert_eq!((c.n(), c.k()), (254, 28));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn gb254_check_weights() {
+        let c = gb254();
+        for r in 0..c.hx().rows() {
+            assert_eq!(c.hx().row_degree(r), 10); // two 5-term polynomials
+        }
+    }
+
+    #[test]
+    fn toy_gb_commutes() {
+        // gcd(1+x, 1+x², 1+x⁷) = 1+x over GF(2), so k = 2·deg(gcd) = 2.
+        let c = gb_code(
+            "toy",
+            7,
+            &UniPoly::new(&[0, 1]),
+            &UniPoly::new(&[0, 2]),
+            None,
+        );
+        assert_eq!(c.k(), 2);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_logical_gb_code_validates() {
+        // gcd(a, b, x⁷−1) = 1 here, so the code encodes k = 0 qubits; the
+        // container must still behave (empty logical matrices keep n cols).
+        let c = gb_code(
+            "k0",
+            7,
+            &UniPoly::new(&[0, 1, 3]),
+            &UniPoly::new(&[0, 2]),
+            None,
+        );
+        assert_eq!(c.k(), 0);
+        c.validate().unwrap();
+    }
+}

@@ -1,0 +1,88 @@
+//! Hypergraph product codes (Tillich & Zémor).
+//!
+//! Given classical parity checks `H₁ (m₁ × n₁)` and `H₂ (m₂ × n₂)`, the
+//! hypergraph product acts on `n₁n₂ + m₁m₂` qubits with
+//!
+//! ```text
+//! H_X = [H₁ ⊗ I_{n₂} | I_{m₁} ⊗ H₂ᵀ]
+//! H_Z = [I_{n₁} ⊗ H₂ | H₁ᵀ ⊗ I_{m₂}]
+//! ```
+//!
+//! The product of two cyclic repetition codes is the toric code, which the
+//! test suites use as a known-good reference.
+
+use crate::classical::ClassicalCode;
+use crate::css::CssCode;
+use qldpc_gf2::BitMatrix;
+
+/// Builds the hypergraph product of two classical codes.
+///
+/// The resulting `k = k₁k₂ + k₁ᵀk₂ᵀ` (transpose-code dimensions) and
+/// `d = min(d₁, d₂, d₁ᵀ, d₂ᵀ)`; the declared distance is left `None`
+/// unless both inputs declare one and have full-rank checks (in which case
+/// the transpose codes are trivial and `d = min(d₁, d₂)`).
+///
+/// # Examples
+///
+/// ```
+/// use qldpc_codes::classical::ClassicalCode;
+/// use qldpc_codes::hgp;
+///
+/// // Toric code from two cyclic repetition codes of length 3.
+/// let rep = ClassicalCode::cyclic_repetition(3);
+/// let toric = hgp::hypergraph_product("toric-3", &rep, &rep);
+/// assert_eq!((toric.n(), toric.k()), (18, 2));
+/// toric.validate().unwrap();
+/// ```
+pub fn hypergraph_product(name: &str, c1: &ClassicalCode, c2: &ClassicalCode) -> CssCode {
+    let h1 = c1.parity_check();
+    let h2 = c2.parity_check();
+    let (m1, n1) = (h1.rows(), h1.cols());
+    let (m2, n2) = (h2.rows(), h2.cols());
+
+    let hx_left = h1.kron(&BitMatrix::identity(n2));
+    let hx_right = BitMatrix::identity(m1).kron(&h2.transpose());
+    let hx = hx_left.hstack(&hx_right);
+
+    let hz_left = BitMatrix::identity(n1).kron(h2);
+    let hz_right = h1.transpose().kron(&BitMatrix::identity(m2));
+    let hz = hz_left.hstack(&hz_right);
+
+    let declared_d = match (c1.d(), c2.d()) {
+        (Some(d1), Some(d2)) if h1.rank() == m1 && h2.rank() == m2 => Some(d1.min(d2)),
+        _ => None,
+    };
+    CssCode::new(name, &hx, &hz, declared_d, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toric_code_parameters() {
+        let rep = ClassicalCode::cyclic_repetition(4);
+        let toric = hypergraph_product("toric-4", &rep, &rep);
+        // Toric code on a 4×4 lattice: n = 2·16 = 32, k = 2, d = 4.
+        assert_eq!((toric.n(), toric.k()), (32, 2));
+        toric.validate().unwrap();
+    }
+
+    #[test]
+    fn surface_like_code_from_open_repetition() {
+        let rep = ClassicalCode::repetition(3);
+        let surf = hypergraph_product("surface-3", &rep, &rep);
+        // [ [n₁n₂ + m₁m₂, k₁k₂, d] ] = [[9 + 4, 1, 3]]
+        assert_eq!((surf.n(), surf.k(), surf.d()), (13, 1, Some(3)));
+        surf.validate().unwrap();
+    }
+
+    #[test]
+    fn hamming_product() {
+        let ham = ClassicalCode::hamming(3);
+        let code = hypergraph_product("hgp-hamming", &ham, &ham);
+        assert_eq!(code.n(), 49 + 9);
+        assert_eq!(code.k(), 16); // k₁k₂ = 16, transpose codes trivial
+        code.validate().unwrap();
+    }
+}

@@ -1,0 +1,112 @@
+//! Subsystem hypergraph product (SHP) codes, including the SHYPS family.
+//!
+//! Given classical parity checks `H₁ (m₁ × n₁)` and `H₂ (m₂ × n₂)`, the
+//! subsystem hypergraph product (Li & Yoder) acts on `n₁ · n₂` qubits with
+//! *gauge* generators
+//!
+//! ```text
+//! G_X = H₁ ⊗ I_{n₂},     G_Z = I_{n₁} ⊗ H₂.
+//! ```
+//!
+//! Gauge generators of opposite type need not commute — the code is a
+//! subsystem code with parameters `[[n₁n₂, k₁k₂, min(d₁, d₂)]]`.
+//!
+//! The SHYPS codes of Malcolm et al. (arXiv:2502.07150) are SHP codes built
+//! from simplex codes; `[[225, 16, 8]]` uses the `[15, 4, 8]` simplex code
+//! on both factors. Decoding measures the gauge checks directly, so the
+//! decoders in this workspace consume `G_X`/`G_Z` exactly like stabilizer
+//! check matrices.
+
+use crate::classical::ClassicalCode;
+use crate::css::CssCode;
+use qldpc_gf2::BitMatrix;
+
+/// Builds the subsystem hypergraph product of two classical codes.
+///
+/// # Examples
+///
+/// ```
+/// use qldpc_codes::classical::ClassicalCode;
+/// use qldpc_codes::shp;
+///
+/// let simplex = ClassicalCode::simplex(3); // [7, 3, 4]
+/// let code = shp::subsystem_hypergraph_product("shyps-49", &simplex, &simplex);
+/// assert_eq!((code.n(), code.k()), (49, 9));
+/// assert!(code.is_subsystem());
+/// ```
+pub fn subsystem_hypergraph_product(
+    name: &str,
+    c1: &ClassicalCode,
+    c2: &ClassicalCode,
+) -> CssCode {
+    let h1 = c1.parity_check();
+    let h2 = c2.parity_check();
+    let n1 = h1.cols();
+    let n2 = h2.cols();
+    let gx = h1.kron(&BitMatrix::identity(n2));
+    let gz = BitMatrix::identity(n1).kron(h2);
+    let declared_d = match (c1.d(), c2.d()) {
+        (Some(d1), Some(d2)) => Some(d1.min(d2)),
+        _ => None,
+    };
+    CssCode::new(name, &gx, &gz, declared_d, true)
+}
+
+/// The SHYPS `[[225, 16, 8]]` code: the subsystem hypergraph product of the
+/// `[15, 4, 8]` simplex code with itself (Fig. 11 of the BP-SF paper).
+pub fn shyps225() -> CssCode {
+    let simplex = ClassicalCode::simplex(4);
+    subsystem_hypergraph_product("SHYPS [[225,16,8]]", &simplex, &simplex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shyps225_parameters() {
+        let c = shyps225();
+        assert_eq!((c.n(), c.k(), c.d()), (225, 16, Some(8)));
+        assert!(c.is_subsystem());
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn gauge_checks_do_not_commute() {
+        // The defining property of a subsystem code: G_X · G_Zᵀ ≠ 0.
+        let c = shyps225();
+        let gx = c.hx().to_dense();
+        let gz = c.hz().to_dense();
+        assert!(!gx.mul(&gz.transpose()).is_zero());
+    }
+
+    #[test]
+    fn small_shp_has_k1k2_logicals() {
+        let simplex3 = ClassicalCode::simplex(3); // [7,3,4]
+        let c = subsystem_hypergraph_product("shp-7x7", &simplex3, &simplex3);
+        assert_eq!(c.k(), 9);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn mixed_factors() {
+        let s3 = ClassicalCode::simplex(3); // [7,3,4]
+        let s2 = ClassicalCode::simplex(2); // [3,2,2]
+        let c = subsystem_hypergraph_product("shp-7x3", &s3, &s2);
+        assert_eq!((c.n(), c.k(), c.d()), (21, 6, Some(2)));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn gauge_row_weights_are_classical_row_weights() {
+        let c = shyps225();
+        // G_X rows have the weight of H_simplex rows (since ⊗ I).
+        let h = ClassicalCode::simplex(4);
+        let expected: Vec<usize> = (0..h.parity_check().rows())
+            .map(|r| h.parity_check().row(r).weight())
+            .collect();
+        for (i, &w) in expected.iter().enumerate() {
+            assert_eq!(c.hx().row_degree(i * 15), w);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests over the code constructions.
+
+use proptest::prelude::*;
+use qldpc_codes::circulant::{BiPoly, UniPoly};
+use qldpc_codes::classical::ClassicalCode;
+use qldpc_codes::{bb, coprime_bb, hgp, shp};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every BB code built from random 3-term polynomials is a valid CSS
+    /// code (checks commute, logical bases consistent and properly paired).
+    #[test]
+    fn random_bb_codes_validate(
+        l in 2usize..6,
+        m in 2usize..6,
+        a_terms in proptest::collection::btree_set((0usize..6, 0usize..6), 1..3),
+        b_terms in proptest::collection::btree_set((0usize..6, 0usize..6), 1..3),
+    ) {
+        let a: Vec<(usize, usize)> = a_terms.into_iter().collect();
+        let b: Vec<(usize, usize)> = b_terms.into_iter().collect();
+        let code = bb::bb_code("prop-bb", l, m, &BiPoly::new(&a), &BiPoly::new(&b), None);
+        prop_assert_eq!(code.n(), 2 * l * m);
+        prop_assert!(code.validate().is_ok(), "{:?}", code.validate());
+    }
+
+    /// Coprime-BB codes from random polynomials validate whenever the
+    /// factors are coprime.
+    #[test]
+    fn random_coprime_bb_codes_validate(
+        exps_a in proptest::collection::btree_set(0usize..20, 1..4),
+        exps_b in proptest::collection::btree_set(0usize..20, 1..4),
+    ) {
+        let a: Vec<usize> = exps_a.into_iter().collect();
+        let b: Vec<usize> = exps_b.into_iter().collect();
+        let code = coprime_bb::coprime_bb_code(
+            "prop-cbb", 3, 5,
+            &UniPoly::new(&a), &UniPoly::new(&b), None,
+        );
+        prop_assert_eq!(code.n(), 30);
+        prop_assert!(code.validate().is_ok());
+    }
+
+    /// Hypergraph products of repetition codes validate and have the
+    /// expected qubit count n₁n₂ + m₁m₂.
+    #[test]
+    fn random_hgp_validates(n1 in 2usize..5, n2 in 2usize..5, cyclic in proptest::bool::ANY) {
+        let c1 = if cyclic {
+            ClassicalCode::cyclic_repetition(n1)
+        } else {
+            ClassicalCode::repetition(n1)
+        };
+        let c2 = ClassicalCode::repetition(n2);
+        let code = hgp::hypergraph_product("prop-hgp", &c1, &c2);
+        let m1 = c1.parity_check().rows();
+        let m2 = c2.parity_check().rows();
+        prop_assert_eq!(code.n(), n1 * n2 + m1 * m2);
+        prop_assert!(code.validate().is_ok());
+    }
+
+    /// Subsystem hypergraph products of simplex codes have k = k₁·k₂.
+    #[test]
+    fn shp_logical_count(k1 in 2usize..4, k2 in 2usize..4) {
+        let c1 = ClassicalCode::simplex(k1);
+        let c2 = ClassicalCode::simplex(k2);
+        let code = shp::subsystem_hypergraph_product("prop-shp", &c1, &c2);
+        prop_assert_eq!(code.k(), k1 * k2);
+        prop_assert!(code.validate().is_ok());
+    }
+
+    /// Circulant polynomial evaluation is a ring homomorphism: the matrix
+    /// of a(x)·…  — here checked as commutativity of arbitrary pairs.
+    #[test]
+    fn circulants_commute(
+        l in 2usize..9,
+        a in proptest::collection::btree_set(0usize..9, 1..4),
+        b in proptest::collection::btree_set(0usize..9, 1..4),
+    ) {
+        let av: Vec<usize> = a.into_iter().collect();
+        let bv: Vec<usize> = b.into_iter().collect();
+        let ma = UniPoly::new(&av).eval_shift(l);
+        let mb = UniPoly::new(&bv).eval_shift(l);
+        prop_assert_eq!(ma.mul(&mb), mb.mul(&ma));
+    }
+
+    /// Logical operators always commute with the opposite-type checks and
+    /// anticommute with at least one partner logical.
+    #[test]
+    fn logicals_well_formed(l in 2usize..5, m in 2usize..5) {
+        let code = bb::bb_code(
+            "prop-logicals", l, m,
+            &BiPoly::new(&[(1, 0), (0, 1)]),
+            &BiPoly::new(&[(0, 0), (1, 1)]),
+            None,
+        );
+        let hx = code.hx().to_dense();
+        let lz = &code.logicals().z;
+        if lz.rows() > 0 {
+            prop_assert!(hx.mul(&lz.transpose()).is_zero());
+            let pairing = code.logicals().x.mul(&lz.transpose());
+            prop_assert_eq!(pairing.rank(), code.k());
+        }
+    }
+}

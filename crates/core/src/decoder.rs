@@ -1,0 +1,461 @@
+//! The serial BP-SF decoder (paper Algorithm 1).
+
+use crate::candidates::{select_candidates_ranked, CandidateRanking};
+use crate::trials::TrialVectors;
+use qldpc_bp::{BpConfig, MinSumDecoder};
+use qldpc_gf2::{BitVec, SparseBitMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How trial vectors are generated from the candidate set Φ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialSampling {
+    /// Every subset of Φ up to `max_flip_weight` (code-capacity regime,
+    /// where `w_max = 1` or small |Φ| keeps this cheap).
+    Exhaustive,
+    /// `per_weight` random distinct subsets for each weight in
+    /// `1..=max_flip_weight` (circuit-level regime; the paper's `n_s`).
+    Sampled {
+        /// Number of random subsets per weight (`n_s`).
+        per_weight: usize,
+    },
+}
+
+/// How the winning trial is chosen among convergent ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrialSelection {
+    /// Return the first convergent trial (the paper's choice: degeneracy
+    /// makes any satisfying solution almost always coset-correct, and this
+    /// minimizes latency).
+    #[default]
+    FirstSuccess,
+    /// Decode every trial and return the minimum-weight satisfying
+    /// solution (ablation: the classical Chase criterion).
+    MinWeight,
+}
+
+/// BP-SF configuration.
+///
+/// # Examples
+///
+/// ```
+/// use bpsf_core::BpSfConfig;
+///
+/// // Paper Fig. 7 setting: BP100, w_max = 10, |Φ| = 50, n_s = 10.
+/// let c = BpSfConfig::circuit_level(100, 50, 10, 10);
+/// assert_eq!(c.candidates, 50);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BpSfConfig {
+    /// Configuration of the initial BP attempt (oscillation tracking is
+    /// forced on internally).
+    pub initial_bp: BpConfig,
+    /// Iteration budget of each trial BP instance.
+    pub trial_bp_iters: usize,
+    /// Candidate-set size |Φ|.
+    pub candidates: usize,
+    /// Maximum trial-vector weight `w_max`.
+    pub max_flip_weight: usize,
+    /// Trial generation strategy.
+    pub sampling: TrialSampling,
+    /// Winner selection strategy.
+    pub selection: TrialSelection,
+    /// Pad Φ with least-reliable non-oscillating bits when fewer than |Φ|
+    /// bits oscillated.
+    pub pad_candidates: bool,
+    /// How candidate bits are ranked (ablation hook; the paper's rule is
+    /// the default).
+    pub ranking: CandidateRanking,
+    /// Seed for the sampled-trial RNG (decodes are deterministic given the
+    /// seed and the syndrome sequence).
+    pub seed: u64,
+}
+
+impl BpSfConfig {
+    /// The paper's code-capacity setting: `BP{iters}`, exhaustive trials
+    /// of weight ≤ `w_max` over `|Φ| = candidates` bits.
+    pub fn code_capacity(bp_iters: usize, candidates: usize, w_max: usize) -> Self {
+        Self {
+            initial_bp: BpConfig {
+                max_iters: bp_iters,
+                ..BpConfig::default()
+            },
+            trial_bp_iters: bp_iters,
+            candidates,
+            max_flip_weight: w_max,
+            sampling: TrialSampling::Exhaustive,
+            selection: TrialSelection::FirstSuccess,
+            pad_candidates: true,
+            ranking: CandidateRanking::FlipCountThenLlr,
+            seed: 0,
+        }
+    }
+
+    /// The paper's circuit-level setting: `BP{iters}`, `n_s` sampled trials
+    /// per weight `1..=w_max` over `|Φ| = candidates` bits.
+    pub fn circuit_level(bp_iters: usize, candidates: usize, w_max: usize, n_s: usize) -> Self {
+        Self {
+            initial_bp: BpConfig {
+                max_iters: bp_iters,
+                ..BpConfig::default()
+            },
+            trial_bp_iters: bp_iters,
+            candidates,
+            max_flip_weight: w_max,
+            sampling: TrialSampling::Sampled { per_weight: n_s },
+            selection: TrialSelection::FirstSuccess,
+            pad_candidates: true,
+            ranking: CandidateRanking::FlipCountThenLlr,
+            seed: 0,
+        }
+    }
+
+    /// Maximum number of trials this configuration can spawn per failed
+    /// initial decode.
+    pub fn max_trials(&self) -> usize {
+        match self.sampling {
+            TrialSampling::Exhaustive => {
+                let k = self.candidates;
+                (1..=self.max_flip_weight.min(k)).map(|w| binomial(k, w)).sum()
+            }
+            TrialSampling::Sampled { per_weight } => per_weight * self.max_flip_weight,
+        }
+    }
+}
+
+fn binomial(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let mut acc = 1usize;
+    for i in 0..k {
+        acc = acc.saturating_mul(n - i) / (i + 1);
+    }
+    acc
+}
+
+/// Outcome of a BP-SF decode with full latency accounting.
+#[derive(Debug, Clone)]
+pub struct BpSfResult {
+    /// Whether any stage produced a syndrome-satisfying correction.
+    pub success: bool,
+    /// The estimated error (meaningful only if `success`).
+    pub error_hat: BitVec,
+    /// Whether the initial BP attempt already converged.
+    pub initial_converged: bool,
+    /// Iterations of the initial BP attempt.
+    pub initial_iterations: usize,
+    /// Candidate set Φ selected after a failed initial attempt (empty when
+    /// the initial attempt converged).
+    pub candidates: Vec<usize>,
+    /// Number of trial decodes executed (serial early-exit semantics).
+    pub trials_executed: usize,
+    /// Index (within the generated trial list) of the winning trial.
+    pub winning_trial: Option<usize>,
+    /// Total BP iterations under *serial* execution: initial + all trials
+    /// run until the winner (paper Fig. 12's accounting).
+    pub serial_iterations: usize,
+    /// BP iterations on the *fully parallel* critical path: initial
+    /// iterations + the winning trial's iterations (all trials start
+    /// simultaneously; the first success gates completion — paper §VI).
+    pub critical_path_iterations: usize,
+}
+
+/// The serial BP-SF decoder (paper Algorithm 1).
+///
+/// Owns two min-sum decoders (the oscillation-tracking initial instance
+/// and the short-depth trial instance) plus the sparse check matrix used
+/// for trial-syndrome generation `s′ = s ⊕ H·t` (an SpMSpV, §VI).
+///
+/// Clone the decoder to decode concurrently on several threads.
+#[derive(Debug, Clone)]
+pub struct BpSfDecoder {
+    h: SparseBitMatrix,
+    initial: MinSumDecoder,
+    trial: MinSumDecoder,
+    config: BpSfConfig,
+    rng: StdRng,
+}
+
+impl BpSfDecoder {
+    /// Builds a BP-SF decoder for check matrix `h` and per-variable priors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `priors.len() != h.cols()`, or if the configuration asks
+    /// for zero candidates or zero flip weight.
+    pub fn new(h: &SparseBitMatrix, priors: &[f64], config: BpSfConfig) -> Self {
+        assert!(config.candidates > 0, "candidate set must be non-empty");
+        assert!(config.max_flip_weight > 0, "max flip weight must be positive");
+        let initial_cfg = BpConfig {
+            track_oscillations: true,
+            ..config.initial_bp
+        };
+        let trial_cfg = BpConfig {
+            max_iters: config.trial_bp_iters,
+            track_oscillations: false,
+            ..config.initial_bp
+        };
+        Self {
+            h: h.clone(),
+            initial: MinSumDecoder::new(h, priors, initial_cfg),
+            trial: MinSumDecoder::new(h, priors, trial_cfg),
+            config,
+            rng: StdRng::seed_from_u64(config.seed),
+        }
+    }
+
+    /// The decoder configuration.
+    pub fn config(&self) -> &BpSfConfig {
+        &self.config
+    }
+
+    /// The bound check matrix.
+    pub fn check_matrix(&self) -> &SparseBitMatrix {
+        &self.h
+    }
+
+    /// Generates the trial vectors for a failed initial decode, given the
+    /// selected candidate set (exposed for the parallel executor and for
+    /// the Fig. 3 analysis).
+    pub fn generate_trials(&mut self, candidates: &[usize]) -> TrialVectors {
+        match self.config.sampling {
+            TrialSampling::Exhaustive => {
+                TrialVectors::exhaustive(candidates, self.config.max_flip_weight)
+            }
+            TrialSampling::Sampled { per_weight } => TrialVectors::sampled(
+                candidates,
+                self.config.max_flip_weight,
+                per_weight,
+                &mut self.rng,
+            ),
+        }
+    }
+
+    /// Decodes a syndrome (paper Algorithm 1, serial early-exit execution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the syndrome length differs from the number of checks.
+    pub fn decode(&mut self, syndrome: &BitVec) -> BpSfResult {
+        let initial = self.initial.decode(syndrome);
+        if initial.converged {
+            return BpSfResult {
+                success: true,
+                error_hat: initial.error_hat,
+                initial_converged: true,
+                initial_iterations: initial.iterations,
+                candidates: Vec::new(),
+                trials_executed: 0,
+                winning_trial: None,
+                serial_iterations: initial.iterations,
+                critical_path_iterations: initial.iterations,
+            };
+        }
+
+        let candidates = select_candidates_ranked(
+            &initial.flip_counts,
+            &initial.posteriors,
+            self.config.candidates,
+            self.config.pad_candidates,
+            self.config.ranking,
+        );
+        let trials = self.generate_trials(&candidates);
+
+        let mut serial_iterations = initial.iterations;
+        let mut best: Option<(usize, BitVec, usize)> = None; // (trial idx, ê⊕t, iters)
+        let mut executed = 0usize;
+        for (idx, t) in trials.iter().enumerate() {
+            // s′ = s ⊕ H·t  (flip the candidate bits in the syndrome domain).
+            let mut flipped = self.h.mul_sparse_vec(t);
+            flipped.xor_assign(syndrome);
+            let r = self.trial.decode(&flipped);
+            executed += 1;
+            serial_iterations += r.iterations;
+            if r.converged {
+                // Undo the flips in the error domain: ê ⊕ t.
+                let mut e = r.error_hat;
+                for &bit in t {
+                    e.flip(bit);
+                }
+                debug_assert_eq!(self.h.mul_vec(&e), *syndrome);
+                match self.config.selection {
+                    TrialSelection::FirstSuccess => {
+                        best = Some((idx, e, r.iterations));
+                        break;
+                    }
+                    TrialSelection::MinWeight => {
+                        let better = match &best {
+                            Some((_, prev, _)) => e.weight() < prev.weight(),
+                            None => true,
+                        };
+                        if better {
+                            best = Some((idx, e, r.iterations));
+                        }
+                    }
+                }
+            }
+        }
+
+        match best {
+            Some((idx, error_hat, trial_iters)) => BpSfResult {
+                success: true,
+                error_hat,
+                initial_converged: false,
+                initial_iterations: initial.iterations,
+                candidates,
+                trials_executed: executed,
+                winning_trial: Some(idx),
+                serial_iterations,
+                critical_path_iterations: initial.iterations + trial_iters,
+            },
+            None => BpSfResult {
+                success: false,
+                error_hat: initial.error_hat,
+                initial_converged: false,
+                initial_iterations: initial.iterations,
+                candidates,
+                trials_executed: executed,
+                winning_trial: None,
+                serial_iterations,
+                // A failed parallel pass still waits for the slowest lane,
+                // which exhausts its full budget.
+                critical_path_iterations: initial.iterations + self.config.trial_bp_iters,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qldpc_codes::{bb, coprime_bb};
+    use rand::Rng;
+
+    #[test]
+    fn zero_syndrome_short_circuits() {
+        let code = bb::bb72();
+        let hz = code.hz();
+        let mut dec = BpSfDecoder::new(hz, &vec![0.01; hz.cols()], BpSfConfig::code_capacity(50, 8, 1));
+        let r = dec.decode(&BitVec::zeros(hz.rows()));
+        assert!(r.success && r.initial_converged);
+        assert_eq!(r.trials_executed, 0);
+        assert_eq!(r.serial_iterations, r.critical_path_iterations);
+    }
+
+    #[test]
+    fn output_always_satisfies_original_syndrome() {
+        let code = coprime_bb::coprime154();
+        let hz = code.hz();
+        let n = hz.cols();
+        let mut dec =
+            BpSfDecoder::new(hz, &vec![0.05; n], BpSfConfig::code_capacity(20, 8, 2));
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut post_processed = 0;
+        for _ in 0..100 {
+            let mut e = BitVec::zeros(n);
+            for i in 0..n {
+                if rng.random_bool(0.05) {
+                    e.set(i, true);
+                }
+            }
+            let s = hz.mul_vec(&e);
+            let r = dec.decode(&s);
+            if r.success {
+                assert_eq!(hz.mul_vec(&r.error_hat), s);
+            }
+            if !r.initial_converged {
+                post_processed += 1;
+            }
+        }
+        // The coprime-154 code is the paper's example of BP struggling:
+        // some shots must exercise the post-processing path.
+        assert!(post_processed > 0, "expected some initial-BP failures");
+    }
+
+    #[test]
+    fn accounting_is_consistent() {
+        let code = coprime_bb::coprime154();
+        let hz = code.hz();
+        let n = hz.cols();
+        let mut dec =
+            BpSfDecoder::new(hz, &vec![0.03; n], BpSfConfig::code_capacity(30, 6, 2));
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..40 {
+            let mut e = BitVec::zeros(n);
+            for i in 0..n {
+                if rng.random_bool(0.03) {
+                    e.set(i, true);
+                }
+            }
+            let r = dec.decode(&hz.mul_vec(&e));
+            assert!(r.serial_iterations >= r.initial_iterations);
+            assert!(r.critical_path_iterations <= r.serial_iterations.max(r.initial_iterations + dec.config().trial_bp_iters));
+            if r.initial_converged {
+                assert_eq!(r.serial_iterations, r.initial_iterations);
+            }
+            if let Some(w) = r.winning_trial {
+                assert!(w < dec.config().max_trials());
+                assert!(r.trials_executed >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn min_weight_selection_never_heavier_than_first_success() {
+        let code = coprime_bb::coprime154();
+        let hz = code.hz();
+        let n = hz.cols();
+        let mut first = BpSfDecoder::new(
+            hz,
+            &vec![0.02; n],
+            BpSfConfig {
+                selection: TrialSelection::FirstSuccess,
+                ..BpSfConfig::code_capacity(30, 8, 1)
+            },
+        );
+        let mut minw = BpSfDecoder::new(
+            hz,
+            &vec![0.02; n],
+            BpSfConfig {
+                selection: TrialSelection::MinWeight,
+                ..BpSfConfig::code_capacity(30, 8, 1)
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..40 {
+            let mut e = BitVec::zeros(n);
+            for i in 0..n {
+                if rng.random_bool(0.02) {
+                    e.set(i, true);
+                }
+            }
+            let s = hz.mul_vec(&e);
+            let rf = first.decode(&s);
+            let rm = minw.decode(&s);
+            if rf.success && rm.success && !rf.initial_converged {
+                assert!(rm.error_hat.weight() <= rf.error_hat.weight());
+            }
+        }
+    }
+
+    #[test]
+    fn max_trials_formula() {
+        let c = BpSfConfig::code_capacity(50, 8, 1);
+        assert_eq!(c.max_trials(), 8);
+        let c = BpSfConfig::code_capacity(50, 5, 2);
+        assert_eq!(c.max_trials(), 5 + 10);
+        let c = BpSfConfig::circuit_level(100, 50, 6, 5);
+        assert_eq!(c.max_trials(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_candidates_panics() {
+        let code = bb::bb72();
+        let hz = code.hz();
+        let mut cfg = BpSfConfig::code_capacity(10, 1, 1);
+        cfg.candidates = 0;
+        BpSfDecoder::new(hz, &vec![0.01; hz.cols()], cfg);
+    }
+}

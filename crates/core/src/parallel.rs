@@ -1,0 +1,362 @@
+//! Multi-worker parallel BP-SF executor (the paper's "CPU, P=N" version).
+//!
+//! Mirrors the paper's §VI implementation: a **persistent worker pool**
+//! with input and output queues. On an initial-BP failure the manager
+//! selects candidates, generates trial vectors, computes the flipped
+//! syndromes and enqueues them; workers decode trials until one finds a
+//! valid solution, at which point a shared flag makes the remaining
+//! workers skip their queued trials. Every trial syndrome is tagged with a
+//! **serial number** so stale results from a previous syndrome are never
+//! accepted.
+
+use crate::candidates::select_candidates_ranked;
+use crate::decoder::{BpSfConfig, BpSfResult, TrialSampling};
+use crate::trials::TrialVectors;
+use qldpc_bp::{BpConfig, MinSumDecoder};
+use qldpc_gf2::{BitVec, SparseBitMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Execution statistics of one parallel decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelDecodeStats {
+    /// Trials enqueued after the initial BP failure.
+    pub trials_dispatched: usize,
+    /// Trials actually decoded by workers (the rest were skipped after the
+    /// stop flag was raised).
+    pub trials_decoded: usize,
+    /// Wall-clock time of the whole decode (initial BP + parallel stage).
+    pub wall_time: Duration,
+}
+
+struct Job {
+    serial: u64,
+    trial_idx: usize,
+    syndrome: BitVec,
+}
+
+struct Outcome {
+    serial: u64,
+    trial_idx: usize,
+    /// `None` when the worker skipped the job (stale serial or stop flag).
+    decoded: Option<(bool, BitVec, usize)>,
+}
+
+struct Shared {
+    current_serial: AtomicU64,
+    found: AtomicBool,
+    shutdown: AtomicBool,
+}
+
+/// A persistent-pool parallel BP-SF decoder.
+///
+/// # Examples
+///
+/// ```
+/// use bpsf_core::{BpSfConfig, ParallelBpSf};
+/// use qldpc_codes::coprime_bb;
+/// use qldpc_gf2::BitVec;
+///
+/// let code = coprime_bb::coprime154();
+/// let hz = code.hz().clone();
+/// let n = hz.cols();
+/// let mut pool = ParallelBpSf::new(&hz, &vec![0.02; n], BpSfConfig::code_capacity(50, 8, 1), 2);
+/// let e = BitVec::from_indices(n, &[5, 40]);
+/// let (result, stats) = pool.decode(&hz.mul_vec(&e));
+/// assert!(result.success);
+/// assert!(stats.wall_time.as_nanos() > 0);
+/// ```
+pub struct ParallelBpSf {
+    h: SparseBitMatrix,
+    initial: MinSumDecoder,
+    config: BpSfConfig,
+    rng: StdRng,
+    shared: Arc<Shared>,
+    job_tx: Option<crossbeam::channel::Sender<Job>>,
+    result_rx: crossbeam::channel::Receiver<Outcome>,
+    workers: Vec<JoinHandle<()>>,
+    num_workers: usize,
+}
+
+impl ParallelBpSf {
+    /// Spawns `workers` persistent decoder threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or `priors.len() != h.cols()`.
+    pub fn new(h: &SparseBitMatrix, priors: &[f64], config: BpSfConfig, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let initial_cfg = BpConfig {
+            track_oscillations: true,
+            ..config.initial_bp
+        };
+        let trial_cfg = BpConfig {
+            max_iters: config.trial_bp_iters,
+            track_oscillations: false,
+            ..config.initial_bp
+        };
+        let shared = Arc::new(Shared {
+            current_serial: AtomicU64::new(0),
+            found: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+        });
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job>();
+        let (result_tx, result_rx) = crossbeam::channel::unbounded::<Outcome>();
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let result_tx = result_tx.clone();
+            let shared = Arc::clone(&shared);
+            let mut decoder = MinSumDecoder::new(h, priors, trial_cfg);
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = job_rx.recv() {
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let stale = shared.current_serial.load(Ordering::Acquire) != job.serial
+                        || shared.found.load(Ordering::Acquire);
+                    let decoded = if stale {
+                        None
+                    } else {
+                        let r = decoder.decode(&job.syndrome);
+                        Some((r.converged, r.error_hat, r.iterations))
+                    };
+                    let outcome = Outcome {
+                        serial: job.serial,
+                        trial_idx: job.trial_idx,
+                        decoded,
+                    };
+                    if result_tx.send(outcome).is_err() {
+                        break;
+                    }
+                }
+            }));
+        }
+        Self {
+            h: h.clone(),
+            initial: MinSumDecoder::new(h, priors, initial_cfg),
+            config,
+            rng: StdRng::seed_from_u64(config.seed),
+            shared,
+            job_tx: Some(job_tx),
+            result_rx,
+            workers: handles,
+            num_workers: workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Decodes one syndrome, returning the result and wall-clock stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the syndrome length differs from the number of checks.
+    pub fn decode(&mut self, syndrome: &BitVec) -> (BpSfResult, ParallelDecodeStats) {
+        let start = Instant::now();
+        let initial = self.initial.decode(syndrome);
+        if initial.converged {
+            let result = BpSfResult {
+                success: true,
+                error_hat: initial.error_hat,
+                initial_converged: true,
+                initial_iterations: initial.iterations,
+                candidates: Vec::new(),
+                trials_executed: 0,
+                winning_trial: None,
+                serial_iterations: initial.iterations,
+                critical_path_iterations: initial.iterations,
+            };
+            let stats = ParallelDecodeStats {
+                trials_dispatched: 0,
+                trials_decoded: 0,
+                wall_time: start.elapsed(),
+            };
+            return (result, stats);
+        }
+
+        let candidates = select_candidates_ranked(
+            &initial.flip_counts,
+            &initial.posteriors,
+            self.config.candidates,
+            self.config.pad_candidates,
+            self.config.ranking,
+        );
+        let trials = match self.config.sampling {
+            TrialSampling::Exhaustive => {
+                TrialVectors::exhaustive(&candidates, self.config.max_flip_weight)
+            }
+            TrialSampling::Sampled { per_weight } => TrialVectors::sampled(
+                &candidates,
+                self.config.max_flip_weight,
+                per_weight,
+                &mut self.rng,
+            ),
+        };
+
+        // Open a new serial epoch: raise the serial *before* clearing the
+        // stop flag so late workers of the previous epoch always see a
+        // mismatch, never a spuriously cleared flag.
+        let serial = self.shared.current_serial.fetch_add(1, Ordering::AcqRel) + 1;
+        self.shared.found.store(false, Ordering::Release);
+
+        let tx = self.job_tx.as_ref().expect("pool is alive");
+        for (trial_idx, t) in trials.iter().enumerate() {
+            let mut flipped = self.h.mul_sparse_vec(t);
+            flipped.xor_assign(syndrome);
+            tx.send(Job {
+                serial,
+                trial_idx,
+                syndrome: flipped,
+            })
+            .expect("workers alive");
+        }
+
+        let dispatched = trials.len();
+        let mut decoded_count = 0usize;
+        let mut received = 0usize;
+        let mut serial_iterations = initial.iterations;
+        let mut winner: Option<(usize, BitVec, usize)> = None;
+        while received < dispatched {
+            let outcome = self.result_rx.recv().expect("workers alive");
+            if outcome.serial != serial {
+                continue; // stale epoch, not counted
+            }
+            received += 1;
+            if let Some((converged, error_hat, iterations)) = outcome.decoded {
+                decoded_count += 1;
+                serial_iterations += iterations;
+                if converged && winner.is_none() {
+                    // Undo the flipped bits in the error domain.
+                    let mut e = error_hat;
+                    for &bit in &trials.vectors()[outcome.trial_idx] {
+                        e.flip(bit);
+                    }
+                    debug_assert_eq!(self.h.mul_vec(&e), *syndrome);
+                    winner = Some((outcome.trial_idx, e, iterations));
+                    self.shared.found.store(true, Ordering::Release);
+                }
+            }
+        }
+        let result = match winner {
+            Some((idx, error_hat, trial_iters)) => BpSfResult {
+                success: true,
+                error_hat,
+                initial_converged: false,
+                initial_iterations: initial.iterations,
+                candidates,
+                trials_executed: decoded_count,
+                winning_trial: Some(idx),
+                serial_iterations,
+                critical_path_iterations: initial.iterations + trial_iters,
+            },
+            None => BpSfResult {
+                success: false,
+                error_hat: initial.error_hat,
+                initial_converged: false,
+                initial_iterations: initial.iterations,
+                candidates,
+                trials_executed: decoded_count,
+                winning_trial: None,
+                serial_iterations,
+                critical_path_iterations: initial.iterations + self.config.trial_bp_iters,
+            },
+        };
+        let stats = ParallelDecodeStats {
+            trials_dispatched: dispatched,
+            trials_decoded: decoded_count,
+            wall_time: start.elapsed(),
+        };
+        (result, stats)
+    }
+}
+
+impl Drop for ParallelBpSf {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Closing the job channel wakes idle workers.
+        self.job_tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::BpSfDecoder;
+    use qldpc_codes::coprime_bb;
+    use rand::Rng;
+
+    #[test]
+    fn parallel_matches_serial_success() {
+        let code = coprime_bb::coprime154();
+        let hz = code.hz();
+        let n = hz.cols();
+        let config = BpSfConfig::code_capacity(40, 8, 1);
+        let mut serial = BpSfDecoder::new(hz, &vec![0.02; n], config);
+        let mut pool = ParallelBpSf::new(hz, &vec![0.02; n], config, 2);
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..30 {
+            let mut e = BitVec::zeros(n);
+            for i in 0..n {
+                if rng.random_bool(0.02) {
+                    e.set(i, true);
+                }
+            }
+            let s = hz.mul_vec(&e);
+            let rs = serial.decode(&s);
+            let (rp, stats) = pool.decode(&s);
+            // Success status must agree (the same trial set is generated;
+            // only the winning trial index may differ by scheduling).
+            assert_eq!(rs.success, rp.success, "serial/parallel disagree");
+            if rp.success {
+                assert_eq!(hz.mul_vec(&rp.error_hat), s);
+            }
+            if !rp.initial_converged {
+                assert!(stats.trials_dispatched > 0);
+                assert!(stats.trials_decoded <= stats.trials_dispatched);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_survives_many_epochs() {
+        let code = coprime_bb::coprime154();
+        let hz = code.hz();
+        let n = hz.cols();
+        let mut pool = ParallelBpSf::new(hz, &vec![0.03; n], BpSfConfig::code_capacity(20, 6, 1), 2);
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..20 {
+            let mut e = BitVec::zeros(n);
+            for i in 0..n {
+                if rng.random_bool(0.03) {
+                    e.set(i, true);
+                }
+            }
+            let s = hz.mul_vec(&e);
+            let (r, _) = pool.decode(&s);
+            if r.success {
+                assert_eq!(hz.mul_vec(&r.error_hat), s);
+            }
+        }
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let code = coprime_bb::coprime154();
+        let hz = code.hz();
+        let n = hz.cols();
+        let pool = ParallelBpSf::new(hz, &vec![0.02; n], BpSfConfig::code_capacity(10, 4, 1), 3);
+        assert_eq!(pool.num_workers(), 3);
+        drop(pool); // must not hang
+    }
+}

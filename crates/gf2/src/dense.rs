@@ -1,0 +1,623 @@
+//! Dense bit-packed matrices over GF(2).
+
+use crate::gauss::{Echelon, OrderedEchelon};
+use crate::{words_for, BitVec, WORD_BITS};
+use std::fmt;
+
+/// A dense matrix over GF(2), stored row-major with 64 bits per word.
+///
+/// `BitMatrix` backs every construction-time computation in the workspace:
+/// parity-check matrices are assembled here (via circulant and Kronecker
+/// products), logical operators are extracted from kernels and quotient
+/// spaces, and ordered-statistics decoding runs Gaussian elimination on a
+/// dense working copy.
+///
+/// # Examples
+///
+/// ```
+/// use qldpc_gf2::BitMatrix;
+///
+/// let id = BitMatrix::identity(4);
+/// let shift = BitMatrix::cyclic_shift(4, 1);
+/// // S^4 = I for a 4×4 cyclic shift.
+/// let mut m = BitMatrix::identity(4);
+/// for _ in 0..4 {
+///     m = m.mul(&shift);
+/// }
+/// assert_eq!(m, id);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    data: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let words_per_row = words_for(cols);
+        Self {
+            rows,
+            cols,
+            words_per_row,
+            data: vec![0; rows * words_per_row],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Creates the `n × n` right-cyclic-shift matrix `S` with
+    /// `S[i][(i+shift) mod n] = 1`.
+    ///
+    /// This matches the paper's convention `S_l = I_l >> 1`: each row of the
+    /// identity is shifted right cyclically, so `S^k` represents the
+    /// monomial `x^k` in circulant polynomial constructions.
+    pub fn cyclic_shift(n: usize, shift: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, (i + shift) % n, true);
+        }
+        m
+    }
+
+    /// Builds a matrix from row vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths. An empty slice yields a
+    /// `0 × 0` matrix.
+    pub fn from_rows(rows: &[BitVec]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut m = Self::zeros(rows.len(), cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "row {i} has inconsistent length");
+            m.row_mut_words(i).copy_from_slice(r.as_words());
+        }
+        m
+    }
+
+    /// Builds a matrix from a nested boolean description (row major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner slices have differing lengths.
+    pub fn from_dense(rows: &[&[u8]]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut m = Self::zeros(rows.len(), cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "row {i} has inconsistent length");
+            for (j, &v) in r.iter().enumerate() {
+                if v != 0 {
+                    m.set(i, j, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        (self.data[row * self.words_per_row + col / WORD_BITS] >> (col % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        let w = row * self.words_per_row + col / WORD_BITS;
+        let mask = 1u64 << (col % WORD_BITS);
+        if value {
+            self.data[w] |= mask;
+        } else {
+            self.data[w] &= !mask;
+        }
+    }
+
+    /// Read-only view of a row's words.
+    #[inline]
+    pub fn row_words(&self, row: usize) -> &[u64] {
+        &self.data[row * self.words_per_row..(row + 1) * self.words_per_row]
+    }
+
+    #[inline]
+    pub(crate) fn row_mut_words(&mut self, row: usize) -> &mut [u64] {
+        &mut self.data[row * self.words_per_row..(row + 1) * self.words_per_row]
+    }
+
+    /// Copies row `row` into an owned [`BitVec`].
+    pub fn row(&self, row: usize) -> BitVec {
+        let mut v = BitVec::zeros(self.cols);
+        v.as_words_mut().copy_from_slice(self.row_words(row));
+        v
+    }
+
+    /// Copies column `col` into an owned [`BitVec`] of length `rows`.
+    pub fn column(&self, col: usize) -> BitVec {
+        let mut v = BitVec::zeros(self.rows);
+        for r in 0..self.rows {
+            if self.get(r, col) {
+                v.set(r, true);
+            }
+        }
+        v
+    }
+
+    /// Iterates over owned copies of the rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = BitVec> + '_ {
+        (0..self.rows).map(move |r| self.row(r))
+    }
+
+    /// XORs row `src` into row `dst` (`dst ^= src`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    #[inline]
+    pub fn xor_row_into(&mut self, src: usize, dst: usize) {
+        assert!(src < self.rows && dst < self.rows, "row index out of bounds");
+        if src == dst {
+            // r ^= r zeroes the row; callers never want that implicitly.
+            panic!("xor_row_into called with src == dst");
+        }
+        let wpr = self.words_per_row;
+        let (a, b) = if src < dst {
+            let (head, tail) = self.data.split_at_mut(dst * wpr);
+            (&head[src * wpr..src * wpr + wpr], &mut tail[..wpr])
+        } else {
+            let (head, tail) = self.data.split_at_mut(src * wpr);
+            let dst_slice = &mut head[dst * wpr..dst * wpr + wpr];
+            // Need the src row from tail; reborrow as immutable.
+            (&tail[..wpr], dst_slice)
+        };
+        for (d, s) in b.iter_mut().zip(a) {
+            *d ^= s;
+        }
+    }
+
+    /// Swaps two rows.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let wpr = self.words_per_row;
+        for k in 0..wpr {
+            self.data.swap(a * wpr + k, b * wpr + k);
+        }
+    }
+
+    /// Returns `true` if every entry is zero.
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(|&w| w == 0)
+    }
+
+    /// Total number of ones.
+    pub fn weight(&self) -> usize {
+        self.data.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Self {
+        let mut t = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            let mut v = BitVec::zeros(self.cols);
+            v.as_words_mut().copy_from_slice(self.row_words(r));
+            for c in v.iter_ones() {
+                t.set(c, r, true);
+            }
+        }
+        t
+    }
+
+    /// Matrix product over GF(2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn mul(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.rows,
+            "matrix product dimension mismatch: {}×{} · {}×{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Self::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let out_row = out.row_mut_words(r);
+            for k in row.iter_ones() {
+                let other_row = &other.data[k * other.words_per_row..(k + 1) * other.words_per_row];
+                for (d, s) in out_row.iter_mut().zip(other_row) {
+                    *d ^= s;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · v` over GF(2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &BitVec) -> BitVec {
+        assert_eq!(v.len(), self.cols, "matrix–vector dimension mismatch");
+        let mut out = BitVec::zeros(self.rows);
+        for r in 0..self.rows {
+            let mut acc = 0u64;
+            for (a, b) in self.row_words(r).iter().zip(v.as_words()) {
+                acc ^= a & b;
+            }
+            if acc.count_ones() % 2 == 1 {
+                out.set(r, true);
+            }
+        }
+        out
+    }
+
+    /// Kronecker product `self ⊗ other`.
+    pub fn kron(&self, other: &Self) -> Self {
+        let mut out = Self::zeros(self.rows * other.rows, self.cols * other.cols);
+        for r1 in 0..self.rows {
+            let row1 = self.row(r1);
+            for c1 in row1.iter_ones() {
+                for r2 in 0..other.rows {
+                    let row2 = other.row(r2);
+                    for c2 in row2.iter_ones() {
+                        out.set(r1 * other.rows + r2, c1 * other.cols + c2, true);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ.
+    pub fn hstack(&self, other: &Self) -> Self {
+        assert_eq!(self.rows, other.rows, "hstack row count mismatch");
+        let mut out = Self::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            let a = self.row(r);
+            let b = other.row(r);
+            let joined = a.concat(&b);
+            out.row_mut_words(r).copy_from_slice(joined.as_words());
+        }
+        out
+    }
+
+    /// Vertical concatenation `[self; other]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ.
+    pub fn vstack(&self, other: &Self) -> Self {
+        assert_eq!(self.cols, other.cols, "vstack column count mismatch");
+        let mut out = Self::zeros(self.rows + other.rows, self.cols);
+        out.data[..self.data.len()].copy_from_slice(&self.data);
+        out.data[self.data.len()..].copy_from_slice(&other.data);
+        out
+    }
+
+    /// Returns the sub-matrix formed by the given columns, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column index is out of bounds.
+    pub fn select_columns(&self, cols: &[usize]) -> Self {
+        let mut out = Self::zeros(self.rows, cols.len());
+        for (j, &c) in cols.iter().enumerate() {
+            assert!(c < self.cols, "column index {c} out of bounds");
+            for r in 0..self.rows {
+                if self.get(r, c) {
+                    out.set(r, j, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Rank over GF(2).
+    pub fn rank(&self) -> usize {
+        Echelon::reduce(self.clone(), false).rank()
+    }
+
+    /// Basis of the kernel (right null space) `{x : self·x = 0}`.
+    ///
+    /// Returns one `BitVec` of length `cols()` per basis vector.
+    pub fn kernel(&self) -> Vec<BitVec> {
+        let ech = Echelon::reduce(self.clone(), true);
+        let pivots = ech.pivot_cols();
+        let mut is_pivot = vec![false; self.cols];
+        let mut pivot_row_of_col = vec![usize::MAX; self.cols];
+        for (row, &col) in pivots.iter().enumerate() {
+            is_pivot[col] = true;
+            pivot_row_of_col[col] = row;
+        }
+        let reduced = ech.matrix();
+        let mut basis = Vec::new();
+        for free in 0..self.cols {
+            if is_pivot[free] {
+                continue;
+            }
+            let mut v = BitVec::zeros(self.cols);
+            v.set(free, true);
+            // In RREF, each pivot row reads: x_pivot + Σ (free coeffs) = 0.
+            for (&pc, row) in pivots.iter().zip(0..) {
+                if reduced.get(row, free) {
+                    v.set(pc, true);
+                }
+            }
+            basis.push(v);
+        }
+        basis
+    }
+
+    /// A basis for the row space, as owned vectors.
+    pub fn row_space_basis(&self) -> Vec<BitVec> {
+        let ech = Echelon::reduce(self.clone(), false);
+        let rank = ech.rank();
+        let m = ech.matrix();
+        (0..rank).map(|r| m.row(r)).collect()
+    }
+
+    /// Runs plain Gaussian elimination; see [`Echelon::reduce`].
+    pub fn echelon(&self, reduced: bool) -> Echelon {
+        Echelon::reduce(self.clone(), reduced)
+    }
+
+    /// Runs column-ordered Gaussian elimination on `[self | rhs]`;
+    /// see [`OrderedEchelon::reduce`]. Used by OSD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs.len() != self.rows()` or `order.len() != self.cols()`.
+    pub fn ordered_echelon(&self, rhs: &BitVec, order: &[usize]) -> OrderedEchelon {
+        OrderedEchelon::reduce(self.clone(), rhs, order)
+    }
+
+    /// Extends a basis of the row space of `sub` to a basis of the row space
+    /// of `[sub; extra]`, returning only the *added* vectors.
+    ///
+    /// This is the quotient-space computation used to extract logical
+    /// operators: with `sub` spanning the stabilizer/gauge rows and `extra`
+    /// spanning the centralizer kernel, the returned vectors represent a
+    /// basis of `rowspace(extra) / rowspace(sub)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts differ.
+    pub fn quotient_basis(sub: &Self, extra: &Self) -> Vec<BitVec> {
+        assert_eq!(sub.cols, extra.cols, "quotient_basis column mismatch");
+        let cols = sub.cols;
+        // Maintain an RREF-like accumulator: rows with known pivot columns.
+        let mut acc: Vec<(usize, BitVec)> = Vec::new();
+        let reduce = |mut v: BitVec, acc: &Vec<(usize, BitVec)>| -> BitVec {
+            for (p, row) in acc {
+                if v.get(*p) {
+                    v.xor_assign(row);
+                }
+            }
+            v
+        };
+        let insert = |v: BitVec, acc: &mut Vec<(usize, BitVec)>| -> bool {
+            if let Some(p) = v.iter_ones().next() {
+                acc.push((p, v));
+                true
+            } else {
+                false
+            }
+        };
+        for r in 0..sub.rows {
+            let v = reduce(sub.row(r), &acc);
+            insert(v, &mut acc);
+        }
+        let mut added = Vec::new();
+        for r in 0..extra.rows {
+            let v = reduce(extra.row(r), &acc);
+            if !v.is_zero() {
+                added.push(extra.row(r));
+                insert(v, &mut acc);
+            }
+        }
+        let _ = cols;
+        added
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BitMatrix({}×{})", self.rows, self.cols)?;
+        let max_rows = 16.min(self.rows);
+        for r in 0..max_rows {
+            writeln!(f, "  {}", self.row(r))?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  … ({} more rows)", self.rows - max_rows)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            writeln!(f, "{}", self.row(r))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_properties() {
+        let id = BitMatrix::identity(5);
+        assert_eq!(id.rank(), 5);
+        assert!(id.kernel().is_empty());
+        let v = BitVec::from_indices(5, &[1, 3]);
+        assert_eq!(id.mul_vec(&v), v);
+    }
+
+    #[test]
+    fn cyclic_shift_order() {
+        let s = BitMatrix::cyclic_shift(7, 1);
+        let mut m = s.clone();
+        for _ in 0..6 {
+            m = m.mul(&s);
+        }
+        assert_eq!(m, BitMatrix::identity(7));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = BitMatrix::from_dense(&[&[1, 0, 1, 1], &[0, 1, 1, 0], &[1, 1, 0, 0]]);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn mul_matches_manual() {
+        let a = BitMatrix::from_dense(&[&[1, 1, 0], &[0, 1, 1]]);
+        let b = BitMatrix::from_dense(&[&[1, 0], &[1, 1], &[0, 1]]);
+        let c = a.mul(&b);
+        // c = [[0,1],[1,0]]
+        assert_eq!(c, BitMatrix::from_dense(&[&[0, 1], &[1, 0]]));
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let a = BitMatrix::from_dense(&[&[1, 1, 0, 1], &[0, 1, 1, 0], &[1, 0, 0, 1]]);
+        let v = BitVec::from_indices(4, &[0, 3]);
+        let as_mat = BitMatrix::from_rows(&[v.clone()]).transpose();
+        let prod = a.mul(&as_mat);
+        let mv = a.mul_vec(&v);
+        for r in 0..3 {
+            assert_eq!(prod.get(r, 0), mv.get(r));
+        }
+    }
+
+    #[test]
+    fn kernel_vectors_are_annihilated() {
+        let m = BitMatrix::from_dense(&[&[1, 1, 0, 0, 1], &[0, 1, 1, 1, 0], &[1, 0, 1, 1, 1]]);
+        let k = m.kernel();
+        assert_eq!(k.len(), 5 - m.rank());
+        for v in &k {
+            assert!(m.mul_vec(v).is_zero(), "kernel vector not annihilated");
+        }
+    }
+
+    #[test]
+    fn kron_dimensions_and_structure() {
+        let a = BitMatrix::identity(2);
+        let b = BitMatrix::from_dense(&[&[1, 1], &[0, 1]]);
+        let k = a.kron(&b);
+        assert_eq!(k.rows(), 4);
+        assert_eq!(k.cols(), 4);
+        assert!(k.get(0, 0) && k.get(0, 1) && k.get(1, 1));
+        assert!(k.get(2, 2) && k.get(2, 3) && k.get(3, 3));
+        assert!(!k.get(0, 2) && !k.get(2, 0));
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A⊗B)(C⊗D) = AC ⊗ BD
+        let a = BitMatrix::from_dense(&[&[1, 0], &[1, 1]]);
+        let b = BitMatrix::from_dense(&[&[0, 1], &[1, 1]]);
+        let c = BitMatrix::from_dense(&[&[1, 1], &[0, 1]]);
+        let d = BitMatrix::from_dense(&[&[1, 0], &[1, 0]]);
+        let lhs = a.kron(&b).mul(&c.kron(&d));
+        let rhs = a.mul(&c).kron(&b.mul(&d));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn hstack_vstack_shapes() {
+        let a = BitMatrix::identity(2);
+        let b = BitMatrix::zeros(2, 3);
+        let h = a.hstack(&b);
+        assert_eq!((h.rows(), h.cols()), (2, 5));
+        let c = BitMatrix::zeros(4, 5);
+        let v = h.vstack(&c);
+        assert_eq!((v.rows(), v.cols()), (6, 5));
+        assert!(v.get(0, 0) && v.get(1, 1));
+    }
+
+    #[test]
+    fn select_columns_picks_in_order() {
+        let m = BitMatrix::from_dense(&[&[1, 0, 1], &[0, 1, 1]]);
+        let s = m.select_columns(&[2, 0]);
+        assert_eq!(s, BitMatrix::from_dense(&[&[1, 1], &[1, 0]]));
+    }
+
+    #[test]
+    fn quotient_basis_counts() {
+        // rowspace(sub) = span{1100, 0011}; extra adds 1000 (and 0100 = 1000+1100 dependent after).
+        let sub = BitMatrix::from_dense(&[&[1, 1, 0, 0], &[0, 0, 1, 1]]);
+        let extra = BitMatrix::from_dense(&[&[1, 0, 0, 0], &[0, 1, 0, 0], &[1, 1, 1, 1]]);
+        let q = BitMatrix::quotient_basis(&sub, &extra);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn row_ops() {
+        let mut m = BitMatrix::from_dense(&[&[1, 1, 0], &[0, 1, 1]]);
+        m.xor_row_into(0, 1);
+        assert_eq!(m.row(1).to_string(), "101");
+        m.swap_rows(0, 1);
+        assert_eq!(m.row(0).to_string(), "101");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_dimension_mismatch_panics() {
+        BitMatrix::zeros(2, 3).mul(&BitMatrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn row_space_basis_spans() {
+        let m = BitMatrix::from_dense(&[&[1, 1, 0], &[0, 1, 1], &[1, 0, 1]]);
+        // third row = sum of first two
+        let basis = m.row_space_basis();
+        assert_eq!(basis.len(), 2);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the GF(2) algebra laws.
+
+use proptest::prelude::*;
+use qldpc_gf2::{BitMatrix, BitVec};
+
+fn bit_matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = BitMatrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(proptest::collection::vec(proptest::bool::ANY, c), r).prop_map(
+            move |data| {
+                let mut m = BitMatrix::zeros(data.len(), c);
+                for (i, row) in data.iter().enumerate() {
+                    for (j, &b) in row.iter().enumerate() {
+                        if b {
+                            m.set(i, j, true);
+                        }
+                    }
+                }
+                m
+            },
+        )
+    })
+}
+
+fn bit_vec(len: usize) -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(proptest::bool::ANY, len).prop_map(|b| BitVec::from_bools(&b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn xor_is_commutative_and_self_inverse(a in bit_vec(90), b in bit_vec(90)) {
+        let ab = &a ^ &b;
+        let ba = &b ^ &a;
+        prop_assert_eq!(&ab, &ba);
+        let back = &ab ^ &b;
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn dot_is_bilinear(a in bit_vec(70), b in bit_vec(70), c in bit_vec(70)) {
+        // (a ⊕ b)·c = a·c ⊕ b·c over GF(2).
+        let lhs = (&a ^ &b).dot(&c);
+        let rhs = a.dot(&c) ^ b.dot(&c);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn weight_matches_iter_ones(a in bit_vec(130)) {
+        prop_assert_eq!(a.weight(), a.iter_ones().count());
+    }
+
+    #[test]
+    fn matrix_vector_distributes(m in bit_matrix(1..6, 1..10), ) {
+        let cols = m.cols();
+        let strategy_runs = 1; // one pair per matrix case
+        for _ in 0..strategy_runs {
+            let a = BitVec::from_indices(cols, &[]);
+            let ones: Vec<usize> = (0..cols).step_by(2).collect();
+            let b = BitVec::from_indices(cols, &ones);
+            let lhs = m.mul_vec(&(&a ^ &b));
+            let rhs = &m.mul_vec(&a) ^ &m.mul_vec(&b);
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_products(a in bit_matrix(1..5, 1..6), b_cols in 1usize..6) {
+        // Build b with compatible shape.
+        let b = BitMatrix::identity(a.cols()).hstack(&BitMatrix::zeros(a.cols(), b_cols));
+        let lhs = a.mul(&b).transpose();
+        let rhs = b.transpose().mul(&a.transpose());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn rank_is_transpose_invariant(m in bit_matrix(1..7, 1..9)) {
+        prop_assert_eq!(m.rank(), m.transpose().rank());
+    }
+
+    #[test]
+    fn kernel_is_orthogonal_to_row_space(m in bit_matrix(1..7, 1..9)) {
+        let kernel = m.kernel();
+        let rows = m.row_space_basis();
+        for k in &kernel {
+            prop_assert!(m.mul_vec(k).is_zero());
+            for r in &rows {
+                prop_assert!(!r.dot(k), "kernel vector not orthogonal to row space");
+            }
+        }
+        prop_assert_eq!(kernel.len() + m.rank(), m.cols());
+    }
+
+    #[test]
+    fn echelon_preserves_row_space(m in bit_matrix(1..6, 1..8)) {
+        let ech = m.echelon(true);
+        // Every original row must reduce to zero against the echelon rows.
+        let basis = ech.matrix().row_space_basis();
+        for r in 0..m.rows() {
+            let mut v = m.row(r);
+            for b in &basis {
+                if let Some(p) = b.iter_ones().next() {
+                    if v.get(p) {
+                        v.xor_assign(b);
+                    }
+                }
+            }
+            prop_assert!(v.is_zero(), "row {r} escapes the echelon row space");
+        }
+    }
+
+    #[test]
+    fn ordered_echelon_solutions_satisfy(m in bit_matrix(2..6, 2..8), seed in 0u64..200) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut e = BitVec::zeros(m.cols());
+        for i in 0..m.cols() {
+            if rng.random_bool(0.4) { e.set(i, true); }
+        }
+        let s = m.mul_vec(&e);
+        let order: Vec<usize> = (0..m.cols()).collect();
+        let ech = m.ordered_echelon(&s, &order);
+        prop_assert!(ech.is_consistent());
+        let sol = ech.solve_for_pattern(&[]);
+        prop_assert_eq!(m.mul_vec(&sol), s);
+    }
+
+    #[test]
+    fn kron_dimensions(a in bit_matrix(1..4, 1..4), b in bit_matrix(1..4, 1..4)) {
+        let k = a.kron(&b);
+        prop_assert_eq!(k.rows(), a.rows() * b.rows());
+        prop_assert_eq!(k.cols(), a.cols() * b.cols());
+        prop_assert_eq!(k.weight(), a.weight() * b.weight());
+    }
+}

@@ -1,0 +1,303 @@
+//! A uniform decoder interface over BP, BP-OSD and BP-SF.
+
+use bpsf_core::{BpSfConfig, BpSfDecoder, ParallelBpSf};
+use qldpc_bp::{BpConfig, MinSumDecoder, Schedule};
+use qldpc_gf2::{BitVec, SparseBitMatrix};
+use qldpc_osd::{BpOsdDecoder, OsdConfig};
+
+/// The result of a single syndrome decode, with latency accounting.
+#[derive(Debug, Clone)]
+pub struct DecodeOutcome {
+    /// Estimated error (meaningful only if `solved`).
+    pub error_hat: BitVec,
+    /// Whether the correction satisfies the syndrome.
+    pub solved: bool,
+    /// Cumulative BP iterations under serial execution (BP-OSD reports its
+    /// BP stage only — the elimination cost shows up in wall time).
+    pub serial_iterations: usize,
+    /// BP iterations on the fully parallel critical path.
+    pub critical_iterations: usize,
+    /// Whether post-processing (OSD stage or BP-SF trials) ran.
+    pub postprocessed: bool,
+}
+
+/// Anything that decodes syndromes against a fixed check matrix.
+///
+/// Implementations exist for plain min-sum BP, BP-OSD and BP-SF (serial
+/// and parallel); the Monte Carlo runners drive them uniformly.
+pub trait SyndromeDecoder {
+    /// Decodes one syndrome.
+    fn decode_syndrome(&mut self, syndrome: &BitVec) -> DecodeOutcome;
+
+    /// Short display name, e.g. `"BP1000-OSD10"`.
+    fn label(&self) -> String;
+}
+
+/// Builds a decoder for a given check matrix and priors — the unit the
+/// Monte Carlo runners consume so each basis (X/Z) gets its own instance.
+pub type DecoderFactory =
+    Box<dyn Fn(&SparseBitMatrix, &[f64]) -> Box<dyn SyndromeDecoder> + Send + Sync>;
+
+// ---------------------------------------------------------------------
+// Plain BP
+// ---------------------------------------------------------------------
+
+struct PlainBp {
+    decoder: MinSumDecoder,
+    label: String,
+}
+
+impl SyndromeDecoder for PlainBp {
+    fn decode_syndrome(&mut self, syndrome: &BitVec) -> DecodeOutcome {
+        let r = self.decoder.decode(syndrome);
+        DecodeOutcome {
+            error_hat: r.error_hat,
+            solved: r.converged,
+            serial_iterations: r.iterations,
+            critical_iterations: r.iterations,
+            postprocessed: false,
+        }
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Factory for plain flooding min-sum BP with `max_iters` iterations
+/// (the paper's `BP{max_iters}` baseline).
+pub fn plain_bp(max_iters: usize) -> DecoderFactory {
+    Box::new(move |h, priors| {
+        let config = BpConfig {
+            max_iters,
+            ..BpConfig::default()
+        };
+        Box::new(PlainBp {
+            decoder: MinSumDecoder::new(h, priors, config),
+            label: format!("BP{max_iters}"),
+        })
+    })
+}
+
+/// Factory for plain layered min-sum BP (used for `[[288,12,18]]`,
+/// Fig. 8).
+pub fn layered_bp(max_iters: usize) -> DecoderFactory {
+    Box::new(move |h, priors| {
+        let config = BpConfig {
+            max_iters,
+            schedule: Schedule::Layered,
+            ..BpConfig::default()
+        };
+        Box::new(PlainBp {
+            decoder: MinSumDecoder::new(h, priors, config),
+            label: format!("LayeredBP{max_iters}"),
+        })
+    })
+}
+
+// ---------------------------------------------------------------------
+// BP-OSD
+// ---------------------------------------------------------------------
+
+struct BpOsd {
+    decoder: BpOsdDecoder,
+    label: String,
+}
+
+impl SyndromeDecoder for BpOsd {
+    fn decode_syndrome(&mut self, syndrome: &BitVec) -> DecodeOutcome {
+        let r = self.decoder.decode(syndrome);
+        DecodeOutcome {
+            error_hat: r.error_hat,
+            solved: r.solved,
+            serial_iterations: r.bp_iterations,
+            critical_iterations: r.bp_iterations,
+            postprocessed: !r.bp_converged,
+        }
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Factory for the `BP{bp_iters}-OSD{order}` baseline (flooding BP).
+pub fn bp_osd(bp_iters: usize, order: usize) -> DecoderFactory {
+    Box::new(move |h, priors| {
+        let bp = BpConfig {
+            max_iters: bp_iters,
+            ..BpConfig::default()
+        };
+        let osd = OsdConfig {
+            order,
+            ..OsdConfig::default()
+        };
+        Box::new(BpOsd {
+            decoder: BpOsdDecoder::new(h, priors, bp, osd),
+            label: format!("BP{bp_iters}-OSD{order}"),
+        })
+    })
+}
+
+/// Factory for the layered-schedule BP-OSD variant.
+pub fn layered_bp_osd(bp_iters: usize, order: usize) -> DecoderFactory {
+    Box::new(move |h, priors| {
+        let bp = BpConfig {
+            max_iters: bp_iters,
+            schedule: Schedule::Layered,
+            ..BpConfig::default()
+        };
+        let osd = OsdConfig {
+            order,
+            ..OsdConfig::default()
+        };
+        Box::new(BpOsd {
+            decoder: BpOsdDecoder::new(h, priors, bp, osd),
+            label: format!("LayeredBP{bp_iters}-OSD{order}"),
+        })
+    })
+}
+
+// ---------------------------------------------------------------------
+// BP-SF
+// ---------------------------------------------------------------------
+
+struct BpSf {
+    decoder: BpSfDecoder,
+    label: String,
+}
+
+impl SyndromeDecoder for BpSf {
+    fn decode_syndrome(&mut self, syndrome: &BitVec) -> DecodeOutcome {
+        let r = self.decoder.decode(syndrome);
+        DecodeOutcome {
+            error_hat: r.error_hat,
+            solved: r.success,
+            serial_iterations: r.serial_iterations,
+            critical_iterations: r.critical_path_iterations,
+            postprocessed: !r.initial_converged,
+        }
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Factory for the serial BP-SF decoder with an explicit configuration.
+pub fn bp_sf(config: BpSfConfig) -> DecoderFactory {
+    Box::new(move |h, priors| {
+        let label = match config.sampling {
+            bpsf_core::TrialSampling::Exhaustive => format!(
+                "BP-SF(BP{},w={},|Φ|={})",
+                config.initial_bp.max_iters, config.max_flip_weight, config.candidates
+            ),
+            bpsf_core::TrialSampling::Sampled { per_weight } => format!(
+                "BP-SF(BP{},w={},|Φ|={},ns={})",
+                config.initial_bp.max_iters,
+                config.max_flip_weight,
+                config.candidates,
+                per_weight
+            ),
+        };
+        Box::new(BpSf {
+            decoder: BpSfDecoder::new(h, priors, config),
+            label,
+        })
+    })
+}
+
+/// Factory for the layered-schedule BP-SF variant (Fig. 8).
+pub fn layered_bp_sf(mut config: BpSfConfig) -> DecoderFactory {
+    config.initial_bp.schedule = Schedule::Layered;
+    Box::new(move |h, priors| {
+        Box::new(BpSf {
+            decoder: BpSfDecoder::new(h, priors, config),
+            label: format!(
+                "Layered-BP-SF(BP{},w={},|Φ|={})",
+                config.initial_bp.max_iters, config.max_flip_weight, config.candidates
+            ),
+        })
+    })
+}
+
+// ---------------------------------------------------------------------
+// Parallel BP-SF
+// ---------------------------------------------------------------------
+
+struct ParallelBpSfAdapter {
+    decoder: ParallelBpSf,
+    label: String,
+}
+
+impl SyndromeDecoder for ParallelBpSfAdapter {
+    fn decode_syndrome(&mut self, syndrome: &BitVec) -> DecodeOutcome {
+        let (r, _stats) = self.decoder.decode(syndrome);
+        DecodeOutcome {
+            error_hat: r.error_hat,
+            solved: r.success,
+            serial_iterations: r.serial_iterations,
+            critical_iterations: r.critical_path_iterations,
+            postprocessed: !r.initial_converged,
+        }
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Factory for the worker-pool parallel BP-SF decoder
+/// (the paper's "BP-SF (CPU, P={workers})").
+pub fn parallel_bp_sf(config: BpSfConfig, workers: usize) -> DecoderFactory {
+    Box::new(move |h, priors| {
+        Box::new(ParallelBpSfAdapter {
+            decoder: ParallelBpSf::new(h, priors, config, workers),
+            label: format!("BP-SF(P={workers})"),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qldpc_codes::bb;
+
+    #[test]
+    fn factories_produce_labeled_decoders() {
+        let code = bb::bb72();
+        let hz = code.hz();
+        let priors = vec![0.01; hz.cols()];
+        let labels = [
+            (plain_bp(100)(hz, &priors).label(), "BP100"),
+            (bp_osd(1000, 10)(hz, &priors).label(), "BP1000-OSD10"),
+            (layered_bp(50)(hz, &priors).label(), "LayeredBP50"),
+        ];
+        for (got, want) in labels {
+            assert_eq!(got, want);
+        }
+        let sf = bp_sf(BpSfConfig::code_capacity(50, 8, 1))(hz, &priors);
+        assert!(sf.label().contains("BP-SF"));
+    }
+
+    #[test]
+    fn all_decoders_solve_a_zero_syndrome() {
+        let code = bb::bb72();
+        let hz = code.hz();
+        let priors = vec![0.01; hz.cols()];
+        let zero = BitVec::zeros(hz.rows());
+        let factories: Vec<DecoderFactory> = vec![
+            plain_bp(50),
+            layered_bp(50),
+            bp_osd(50, 10),
+            bp_sf(BpSfConfig::code_capacity(50, 4, 1)),
+            parallel_bp_sf(BpSfConfig::code_capacity(50, 4, 1), 2),
+        ];
+        for f in factories {
+            let mut d = f(hz, &priors);
+            let out = d.decode_syndrome(&zero);
+            assert!(out.solved, "{} failed zero syndrome", d.label());
+            assert!(out.error_hat.is_zero());
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Monte Carlo simulation harness for the BP-SF reproduction.
+//!
+//! Ties the stack together: noise sampling (code-capacity and
+//! circuit-level), a uniform [`SyndromeDecoder`] interface over plain BP,
+//! BP-OSD and BP-SF, logical-error-rate estimation with per-round
+//! conversion (paper Eq. 11), wall-clock and iteration-count statistics,
+//! and the analytic hardware latency model used for the paper's GPU
+//! estimate and FPGA discussion.
+//!
+//! # Examples
+//!
+//! ```
+//! use qldpc_codes::bb;
+//! use qldpc_sim::{decoders, run_code_capacity, CodeCapacityConfig};
+//!
+//! let code = bb::bb72();
+//! let config = CodeCapacityConfig { p: 0.02, shots: 50, seed: 7 };
+//! let report = run_code_capacity(&code, &config, &decoders::plain_bp(100));
+//! assert_eq!(report.shots, 50);
+//! assert!(report.ler() <= 1.0);
+//! ```
+
+mod code_capacity;
+mod circuit_level;
+pub mod decoders;
+mod latency;
+mod parallel_runner;
+mod report;
+mod stats;
+
+pub use circuit_level::{run_circuit_level, CircuitLevelConfig};
+pub use code_capacity::{run_code_capacity, sample_depolarizing, CodeCapacityConfig};
+pub use decoders::{DecodeOutcome, DecoderFactory, SyndromeDecoder};
+pub use latency::HardwareLatencyModel;
+pub use parallel_runner::{run_circuit_level_parallel, run_code_capacity_parallel};
+pub use report::{RunReport, ShotRecord};
+pub use stats::{percentile, LatencyStats};
+
+/// Converts an end-to-end logical error rate over `rounds` rounds into a
+/// per-round rate via the paper's Eq. 11: `1 − (1 − LER)^(1/d)`.
+///
+/// # Examples
+///
+/// ```
+/// let per_round = qldpc_sim::ler_per_round(0.3, 10);
+/// assert!(per_round > 0.03 && per_round < 0.04);
+/// assert_eq!(qldpc_sim::ler_per_round(0.0, 5), 0.0);
+/// ```
+pub fn ler_per_round(ler: f64, rounds: usize) -> f64 {
+    assert!(rounds > 0, "rounds must be positive");
+    1.0 - (1.0 - ler).powf(1.0 / rounds as f64)
+}

@@ -1,0 +1,217 @@
+//! Per-run reports and shot records.
+
+use crate::stats::LatencyStats;
+use std::fmt;
+
+/// One decoded shot's accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShotRecord {
+    /// Wall-clock decode time in nanoseconds.
+    pub wall_ns: u64,
+    /// Cumulative BP iterations under serial execution.
+    pub serial_iterations: usize,
+    /// BP iterations on the fully parallel critical path.
+    pub critical_iterations: usize,
+    /// Whether post-processing ran (initial BP failed).
+    pub postprocessed: bool,
+    /// Whether the shot ended in a logical failure (or was unsolved).
+    pub failed: bool,
+}
+
+/// Aggregated result of a Monte Carlo run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Decoder label.
+    pub decoder: String,
+    /// Workload label (code, noise model, parameters).
+    pub workload: String,
+    /// Shots simulated.
+    pub shots: usize,
+    /// Logical failures (including unsolved shots).
+    pub failures: usize,
+    /// Shots the decoder could not solve at all.
+    pub unsolved: usize,
+    /// Per-shot records, in simulation order.
+    pub records: Vec<ShotRecord>,
+}
+
+impl RunReport {
+    /// Logical error rate.
+    pub fn ler(&self) -> f64 {
+        if self.shots == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.shots as f64
+        }
+    }
+
+    /// Standard error of the LER estimate (binomial).
+    pub fn ler_std_err(&self) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        let p = self.ler();
+        (p * (1.0 - p) / self.shots as f64).sqrt()
+    }
+
+    /// Logical error rate per round (paper Eq. 11).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    pub fn ler_per_round(&self, rounds: usize) -> f64 {
+        crate::ler_per_round(self.ler(), rounds)
+    }
+
+    /// Fraction of shots needing post-processing.
+    pub fn postprocessing_rate(&self) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.postprocessed).count() as f64 / self.shots as f64
+    }
+
+    /// Wall-clock statistics in milliseconds over all shots.
+    pub fn wall_stats_ms(&self) -> LatencyStats {
+        LatencyStats::from_samples(
+            self.records
+                .iter()
+                .map(|r| r.wall_ns as f64 / 1.0e6)
+                .collect(),
+        )
+    }
+
+    /// Wall-clock statistics in milliseconds over post-processed shots only
+    /// (the paper's dashed "post-processing stage" series in Fig. 13).
+    pub fn postprocessed_wall_stats_ms(&self) -> LatencyStats {
+        LatencyStats::from_samples(
+            self.records
+                .iter()
+                .filter(|r| r.postprocessed)
+                .map(|r| r.wall_ns as f64 / 1.0e6)
+                .collect(),
+        )
+    }
+
+    /// Serial-iteration statistics (Fig. 12's y-axis).
+    pub fn serial_iteration_stats(&self) -> LatencyStats {
+        LatencyStats::from_samples(self.records.iter().map(|r| r.serial_iterations as f64).collect())
+    }
+
+    /// Critical-path iteration statistics.
+    pub fn critical_iteration_stats(&self) -> LatencyStats {
+        LatencyStats::from_samples(
+            self.records
+                .iter()
+                .map(|r| r.critical_iterations as f64)
+                .collect(),
+        )
+    }
+
+    /// Serializes the header + one row of the aggregate metrics as TSV.
+    pub fn tsv_row(&self, rounds: Option<usize>) -> String {
+        let wall = self.wall_stats_ms();
+        let ler = self.ler();
+        let lpr = rounds.map(|r| crate::ler_per_round(ler, r));
+        format!(
+            "{}\t{}\t{}\t{}\t{:.3e}\t{}\t{:.4}\t{:.4}\t{:.4}",
+            self.decoder,
+            self.workload,
+            self.shots,
+            self.failures,
+            ler,
+            lpr.map_or_else(|| "-".to_string(), |v| format!("{v:.3e}")),
+            wall.mean,
+            wall.max,
+            self.postprocessing_rate(),
+        )
+    }
+
+    /// TSV header matching [`Self::tsv_row`].
+    pub fn tsv_header() -> &'static str {
+        "decoder\tworkload\tshots\tfailures\tler\tler_per_round\tavg_ms\tmax_ms\tpostproc_rate"
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let wall = self.wall_stats_ms();
+        write!(
+            f,
+            "{:<40} {:>8} shots  LER {:.3e} (±{:.1e})  avg {:.3} ms  max {:.3} ms  postproc {:.1}%",
+            format!("{} on {}", self.decoder, self.workload),
+            self.shots,
+            self.ler(),
+            self.ler_std_err(),
+            wall.mean,
+            wall.max,
+            100.0 * self.postprocessing_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(failed: bool, post: bool, wall_ms: f64) -> ShotRecord {
+        ShotRecord {
+            wall_ns: (wall_ms * 1e6) as u64,
+            serial_iterations: 10,
+            critical_iterations: 10,
+            postprocessed: post,
+            failed,
+        }
+    }
+
+    fn report() -> RunReport {
+        RunReport {
+            decoder: "BP-SF".into(),
+            workload: "test".into(),
+            shots: 4,
+            failures: 1,
+            unsolved: 0,
+            records: vec![
+                record(false, false, 1.0),
+                record(false, true, 5.0),
+                record(true, true, 9.0),
+                record(false, false, 1.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn ler_and_rates() {
+        let r = report();
+        assert!((r.ler() - 0.25).abs() < 1e-12);
+        assert!((r.postprocessing_rate() - 0.5).abs() < 1e-12);
+        assert!(r.ler_std_err() > 0.0);
+    }
+
+    #[test]
+    fn per_round_conversion() {
+        let r = report();
+        let lpr = r.ler_per_round(10);
+        assert!(lpr < r.ler());
+        assert!(lpr > 0.0);
+    }
+
+    #[test]
+    fn wall_stats() {
+        let r = report();
+        let s = r.wall_stats_ms();
+        assert!((s.mean - 4.0).abs() < 1e-9);
+        assert!((s.max - 9.0).abs() < 1e-9);
+        let pp = r.postprocessed_wall_stats_ms();
+        assert!((pp.mean - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tsv_row_shape() {
+        let r = report();
+        assert_eq!(
+            RunReport::tsv_header().split('\t').count(),
+            r.tsv_row(Some(3)).split('\t').count()
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Latency and iteration statistics.
+
+/// Summary statistics over a sample of latencies (or iteration counts).
+///
+/// # Examples
+///
+/// ```
+/// use qldpc_sim::LatencyStats;
+///
+/// let s = LatencyStats::from_samples(vec![1.0, 2.0, 3.0, 10.0]);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 10.0);
+/// assert_eq!(s.mean, 4.0);
+/// assert_eq!(s.median, 2.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples (0 ⇒ all other fields are 0).
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile, midpoint interpolation).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl LatencyStats {
+    /// Computes statistics from raw samples; an empty sample yields zeros.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return Self {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+            };
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        Self {
+            count,
+            mean,
+            min: samples[0],
+            max: samples[count - 1],
+            median: percentile(&samples, 50.0),
+            p95: percentile(&samples, 95.0),
+            p99: percentile(&samples, 99.0),
+        }
+    }
+
+    /// Renders a compact one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={:.3} min={:.3} median={:.3} p95={:.3} p99={:.3} max={:.3}",
+            self.count, self.mean, self.min, self.median, self.p95, self.p99, self.max
+        )
+    }
+
+    /// Renders a text histogram on a log scale (the Fig. 15/16 "violin"
+    /// substitute): `bins` buckets between min and max.
+    pub fn log_histogram(&self, samples: &[f64], bins: usize) -> String {
+        if samples.is_empty() || bins == 0 {
+            return String::from("(no samples)");
+        }
+        let lo = samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-9);
+        let hi = samples.iter().copied().fold(0.0, f64::max).max(lo * 1.0001);
+        let (llo, lhi) = (lo.ln(), hi.ln());
+        let mut counts = vec![0usize; bins];
+        for &s in samples {
+            let t = ((s.max(lo).ln() - llo) / (lhi - llo) * bins as f64) as usize;
+            counts[t.min(bins - 1)] += 1;
+        }
+        let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (i, &c) in counts.iter().enumerate() {
+            let left = (llo + (lhi - llo) * i as f64 / bins as f64).exp();
+            let bar_len = (c * 50).div_ceil(peak);
+            out.push_str(&format!(
+                "{:>10.3} | {:<50} {}\n",
+                left,
+                "#".repeat(if c > 0 { bar_len.max(1) } else { 0 }),
+                c
+            ));
+        }
+        out
+    }
+}
+
+/// Percentile with midpoint interpolation over a **sorted** sample.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or `pct` is outside `[0, 100]`.
+pub fn percentile(samples: &[f64], pct: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&pct), "percentile must be in [0,100]");
+    let n = samples.len();
+    if n == 1 {
+        return samples[0];
+    }
+    let rank = pct / 100.0 * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    samples[lo] * (1.0 - frac) + samples[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_zeroes() {
+        let s = LatencyStats::from_samples(vec![]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = LatencyStats::from_samples(vec![2.5]);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.p99, 2.5);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert!((percentile(&sorted, 50.0) - 50.5).abs() < 1e-9);
+        assert!((percentile(&sorted, 0.0) - 1.0).abs() < 1e-9);
+        assert!((percentile(&sorted, 100.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_renders() {
+        let samples = vec![0.1, 0.2, 0.2, 5.0, 50.0];
+        let s = LatencyStats::from_samples(samples.clone());
+        let h = s.log_histogram(&samples, 8);
+        assert_eq!(h.lines().count(), 8);
+        assert!(h.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+}

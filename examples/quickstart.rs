@@ -1,0 +1,66 @@
+//! Quickstart: decode errors on the [[144,12,12]] "gross" code with BP-SF.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bpsf::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // 1. Build a code. All constructions from the paper are available:
+    //    bb::{bb72, gross_code, bb288}, coprime_bb::{coprime126, coprime154},
+    //    gb::gb254, shp::shyps225.
+    let code = bb::gross_code();
+    println!("code: {code} (n={}, k={}, d={:?})", code.n(), code.k(), code.d());
+
+    // 2. Configure BP-SF: 50 BP iterations, |Φ| = 8 candidates, exhaustive
+    //    weight-1 syndrome flips (the paper's code-capacity setting).
+    let hz = code.hz().clone();
+    let n = hz.cols();
+    let p = 0.03;
+    let priors = vec![2.0 * p / 3.0; n];
+    let mut decoder = BpSfDecoder::new(&hz, &priors, BpSfConfig::code_capacity(50, 8, 1));
+
+    // 3. Sample depolarizing errors and decode their syndromes.
+    let mut rng = StdRng::seed_from_u64(2024);
+    let shots = 200;
+    let mut initial_failures = 0;
+    let mut rescued = 0;
+    let mut logical_failures = 0;
+    for _ in 0..shots {
+        let mut error = BitVec::zeros(n);
+        for i in 0..n {
+            if rng.random_bool(2.0 * p / 3.0) {
+                error.set(i, true);
+            }
+        }
+        let syndrome = hz.mul_vec(&error);
+        let result = decoder.decode(&syndrome);
+        if !result.initial_converged {
+            initial_failures += 1;
+            if result.success {
+                rescued += 1;
+            }
+        }
+        if result.success {
+            let residual = &result.error_hat ^ &error;
+            if code.is_x_logical_error(&residual) {
+                logical_failures += 1;
+            }
+        } else {
+            logical_failures += 1;
+        }
+    }
+
+    println!("shots: {shots} at p = {p}");
+    println!("initial BP failures: {initial_failures} (rescued by syndrome flips: {rescued})");
+    println!("logical failures: {logical_failures}");
+    println!(
+        "logical error rate: {:.2e}",
+        logical_failures as f64 / shots as f64
+    );
+}

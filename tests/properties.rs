@@ -1,0 +1,159 @@
+//! Property-based tests on the core invariants, spanning crates.
+
+use bpsf::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random sparse check matrix with the given shape bounds.
+fn sparse_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = SparseBitMatrix> {
+    (2..=max_rows, 3..=max_cols)
+        .prop_flat_map(|(rows, cols)| {
+            let row = proptest::collection::vec(0..cols, 1..=cols.min(5));
+            proptest::collection::vec(row, rows).prop_map(move |mut r| {
+                for cs in &mut r {
+                    cs.sort_unstable();
+                    cs.dedup();
+                }
+                let rows = r.len();
+                SparseBitMatrix::from_row_indices(rows, cols, &r)
+            })
+        })
+        .prop_filter("need at least one entry", |h| h.nnz() > 0)
+}
+
+/// Strategy: a random error vector for a given length.
+fn error_vector(len: usize) -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(proptest::bool::weighted(0.15), len)
+        .prop_map(|bits| BitVec::from_bools(&bits))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any syndrome produced by a real error is solved by BP-OSD, and the
+    /// solution reproduces the syndrome exactly.
+    #[test]
+    fn osd_always_satisfies_real_syndromes(h in sparse_matrix(12, 24), seed in 0u64..1000) {
+        let n = h.cols();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::{Rng, SeedableRng};
+        let mut e = BitVec::zeros(n);
+        for i in 0..n {
+            if rng.random_bool(0.2) { e.set(i, true); }
+        }
+        let s = h.mul_vec(&e);
+        let mut dec = BpOsdDecoder::new(
+            &h,
+            &vec![0.2; n],
+            BpConfig { max_iters: 5, ..BpConfig::default() },
+            OsdConfig::default(),
+        );
+        let r = dec.decode(&s);
+        prop_assert!(r.solved);
+        prop_assert_eq!(h.mul_vec(&r.error_hat), s);
+    }
+
+    /// BP-SF output always satisfies the *original* syndrome whenever it
+    /// claims success — flipping back the trial bits must restore
+    /// consistency (paper Fig. 1c).
+    #[test]
+    fn bp_sf_restores_original_syndrome(h in sparse_matrix(12, 24), e in error_vector(24)) {
+        let n = h.cols();
+        let e = e.slice(0..n);
+        let s = h.mul_vec(&e);
+        let mut dec = BpSfDecoder::new(
+            &h,
+            &vec![0.15; n],
+            BpSfConfig::code_capacity(8, 4, 2),
+        );
+        let r = dec.decode(&s);
+        if r.success {
+            prop_assert_eq!(h.mul_vec(&r.error_hat), s);
+        }
+    }
+
+    /// Converged plain BP always reproduces its syndrome.
+    #[test]
+    fn bp_convergence_implies_satisfaction(h in sparse_matrix(10, 20), e in error_vector(20)) {
+        let n = h.cols();
+        let e = e.slice(0..n);
+        let s = h.mul_vec(&e);
+        let mut dec = MinSumDecoder::new(&h, &vec![0.15; n], BpConfig::default());
+        let r = dec.decode(&s);
+        if r.converged {
+            prop_assert_eq!(h.mul_vec(&r.error_hat), s);
+        }
+        prop_assert!(r.iterations >= 1 && r.iterations <= 100);
+    }
+
+    /// Layered and flooding schedules satisfy the same contract.
+    #[test]
+    fn layered_bp_contract(h in sparse_matrix(10, 20), e in error_vector(20)) {
+        let n = h.cols();
+        let e = e.slice(0..n);
+        let s = h.mul_vec(&e);
+        let mut dec = MinSumDecoder::new(
+            &h,
+            &vec![0.15; n],
+            BpConfig { schedule: Schedule::Layered, ..BpConfig::default() },
+        );
+        let r = dec.decode(&s);
+        if r.converged {
+            prop_assert_eq!(h.mul_vec(&r.error_hat), s);
+        }
+    }
+
+    /// Kernel vectors of random dense matrices are annihilated, and the
+    /// rank–nullity identity holds.
+    #[test]
+    fn rank_nullity(rows in 1usize..8, cols in 1usize..12, seed in 0u64..500) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut m = BitMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if rng.random_bool(0.4) { m.set(r, c, true); }
+            }
+        }
+        let kernel = m.kernel();
+        prop_assert_eq!(m.rank() + kernel.len(), cols);
+        for v in &kernel {
+            prop_assert!(m.mul_vec(v).is_zero());
+        }
+    }
+
+    /// Trial syndrome generation: s′ = s ⊕ H·t implies decoding e′ for s′
+    /// gives e′ ⊕ t decoding s (the algebra behind syndrome flipping).
+    #[test]
+    fn syndrome_flip_algebra(h in sparse_matrix(10, 20), e in error_vector(20), t in error_vector(20)) {
+        let n = h.cols();
+        let e = e.slice(0..n);
+        let t = t.slice(0..n);
+        let s = h.mul_vec(&e);
+        let support: Vec<usize> = t.iter_ones().collect();
+        let mut s_flipped = h.mul_sparse_vec(&support);
+        s_flipped.xor_assign(&s);
+        // e ⊕ t satisfies the flipped syndrome.
+        let et = &e ^ &t;
+        prop_assert_eq!(h.mul_vec(&et), s_flipped);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random GB codes from random polynomial pairs always commute.
+    #[test]
+    fn random_gb_codes_commute(
+        l in 3usize..12,
+        a_exps in proptest::collection::btree_set(0usize..12, 1..4),
+        b_exps in proptest::collection::btree_set(0usize..12, 1..4),
+    ) {
+        use bpsf::codes::circulant::UniPoly;
+        use bpsf::codes::gb::gb_code;
+        let a: Vec<usize> = a_exps.into_iter().collect();
+        let b: Vec<usize> = b_exps.into_iter().collect();
+        let code = gb_code("prop", l, &UniPoly::new(&a), &UniPoly::new(&b), None);
+        // H_X · H_Zᵀ = 0 and logical count consistency.
+        prop_assert!(code.validate().is_ok());
+    }
+}
