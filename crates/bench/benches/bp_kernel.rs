@@ -35,11 +35,9 @@ fn bench_bp_kernel(c: &mut Criterion) {
                 ..BpConfig::default()
             };
             let mut dec = MinSumDecoder::new(hz, &vec![0.03; n], config);
-            group.bench_with_input(
-                BenchmarkId::new(format!("{schedule:?}"), n),
-                &s,
-                |b, s| b.iter(|| std::hint::black_box(dec.decode(s))),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{schedule:?}"), n), &s, |b, s| {
+                b.iter(|| std::hint::black_box(dec.decode(s)))
+            });
         }
     }
     group.finish();

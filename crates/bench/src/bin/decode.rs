@@ -127,11 +127,7 @@ fn main() {
     let factory = cli.resolve_decoder();
     println!(
         "decoding {} under the {} model at p = {} ({} shots, {} thread(s))",
-        code,
-        cli.model,
-        cli.p,
-        cli.shots,
-        cli.threads
+        code, cli.model, cli.p, cli.shots, cli.threads
     );
 
     let report = match cli.model.as_str() {

@@ -59,11 +59,7 @@ fn main() {
         println!("{:>10} {:>22}", "iteration", "1 - convergence rate");
         for &m in milestones.iter().filter(|&&m| m <= max_iters) {
             let not_done = iteration_counts.iter().filter(|&&i| i > m).count();
-            println!(
-                "{:>10} {:>22.4e}",
-                m,
-                not_done as f64 / args.shots as f64
-            );
+            println!("{:>10} {:>22.4e}", m, not_done as f64 / args.shots as f64);
         }
     }
     paper_reference(&[

@@ -51,7 +51,17 @@ fn main() {
         );
     }
     let sweeps: &[(usize, usize)] = if args.full {
-        &[(1, 1), (1, 5), (1, 10), (5, 1), (5, 5), (5, 10), (10, 1), (10, 5), (10, 10)]
+        &[
+            (1, 1),
+            (1, 5),
+            (1, 10),
+            (5, 1),
+            (5, 5),
+            (5, 10),
+            (10, 1),
+            (10, 5),
+            (10, 10),
+        ]
     } else {
         &[(1, 5), (5, 5), (10, 10)]
     };

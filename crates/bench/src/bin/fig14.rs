@@ -44,12 +44,22 @@ fn main() {
         ));
         rows.push((
             "BP-SF (CPU, P=2)".into(),
-            run_circuit_level(&dem, "gross", &config, &decoders::parallel_bp_sf(sf_config, 2)),
+            run_circuit_level(
+                &dem,
+                "gross",
+                &config,
+                &decoders::parallel_bp_sf(sf_config, 2),
+            ),
         ));
         if args.full {
             rows.push((
                 "BP-SF (CPU, P=4)".into(),
-                run_circuit_level(&dem, "gross", &config, &decoders::parallel_bp_sf(sf_config, 4)),
+                run_circuit_level(
+                    &dem,
+                    "gross",
+                    &config,
+                    &decoders::parallel_bp_sf(sf_config, 4),
+                ),
             ));
         }
         rows.push((

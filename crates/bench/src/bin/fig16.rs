@@ -38,7 +38,10 @@ fn main() {
     let gpu_batched = HardwareLatencyModel::gpu_batched();
     let fpga = HardwareLatencyModel::fpga();
 
-    println!("\n{:<34} {:>10} {:>10} {:>10}", "model", "avg ms", "median ms", "max ms");
+    println!(
+        "\n{:<34} {:>10} {:>10} {:>10}",
+        "model", "avg ms", "median ms", "max ms"
+    );
     for (name, report, model) in [
         ("BP-SF (GPU_Est, serial trials)", &sf, gpu_serial),
         ("BP-SF (GPU batched trials)", &sf, gpu_batched),
@@ -59,9 +62,7 @@ fn main() {
         .map(|r| r.critical_iterations)
         .max()
         .unwrap_or(0);
-    println!(
-        "\nFPGA/ASIC projection @ 20 ns per BP iteration (fully parallel trials):"
-    );
+    println!("\nFPGA/ASIC projection @ 20 ns per BP iteration (fully parallel trials):");
     println!(
         "  avg {:.3} µs, worst case {} iterations → {:.3} µs",
         fpga_stats.mean * 1e3,

@@ -37,7 +37,9 @@ fn main() {
         capacity_sweep(&code, ps_a, args.shots, args.seed, &factories);
     }
 
-    println!("\n(b) code capacity, coprime-BB `[[126,12,10]]` (|Φ|=6) and GB `[[254,28]]` (|Φ|=13):");
+    println!(
+        "\n(b) code capacity, coprime-BB `[[126,12,10]]` (|Φ|=6) and GB `[[254,28]]` (|Φ|=13):"
+    );
     let ps_b: &[f64] = if args.full {
         &[0.02, 0.04, 0.06, 0.10]
     } else {

@@ -145,15 +145,7 @@ pub fn capacity_sweep(
     );
     for &p in ps {
         for factory in factories {
-            let report = run_code_capacity(
-                code,
-                &CodeCapacityConfig {
-                    p,
-                    shots,
-                    seed,
-                },
-                factory,
-            );
+            let report = run_code_capacity(code, &CodeCapacityConfig { p, shots, seed }, factory);
             let wall = report.wall_stats_ms();
             println!(
                 "{:<36} {:>9.1e} {:>10.3e} {:>9.3} {:>9.3} {:>9.3}",
@@ -187,13 +179,7 @@ mod tests {
     #[test]
     fn sweeps_produce_one_report_per_cell() {
         let code = bb::bb72();
-        let reports = capacity_sweep(
-            &code,
-            &[0.02, 0.05],
-            10,
-            1,
-            &[decoders::plain_bp(20)],
-        );
+        let reports = capacity_sweep(&code, &[0.02, 0.05], 10, 1, &[decoders::plain_bp(20)]);
         assert_eq!(reports.len(), 2);
         let reports = circuit_sweep(&code, 2, &[1e-3], 5, 1, &[decoders::plain_bp(20)]);
         assert_eq!(reports.len(), 1);

@@ -222,7 +222,11 @@ impl MinSumDecoder {
     ///
     /// Panics if `priors.len() != num_vars()`.
     pub fn set_priors(&mut self, priors: &[f64]) {
-        assert_eq!(priors.len(), self.graph.num_vars(), "one prior per variable required");
+        assert_eq!(
+            priors.len(),
+            self.graph.num_vars(),
+            "one prior per variable required"
+        );
         self.channel_llrs = priors.iter().map(|&p| prior_llr(p)).collect();
     }
 
@@ -488,11 +492,8 @@ mod tests {
 
     #[test]
     fn converged_output_always_satisfies_syndrome() {
-        let h = SparseBitMatrix::from_row_indices(
-            3,
-            6,
-            &[vec![0, 1, 2], vec![2, 3, 4], vec![4, 5, 0]],
-        );
+        let h =
+            SparseBitMatrix::from_row_indices(3, 6, &[vec![0, 1, 2], vec![2, 3, 4], vec![4, 5, 0]]);
         let mut dec = MinSumDecoder::new(&h, &[0.08; 6], BpConfig::default());
         for mask in 0..8u32 {
             let s = BitVec::from_bools(&[(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0]);

@@ -129,11 +129,8 @@ mod tests {
 
     #[test]
     fn edge_layout_roundtrip() {
-        let h = SparseBitMatrix::from_row_indices(
-            3,
-            4,
-            &[vec![0, 1, 2], vec![1, 3], vec![0, 2, 3]],
-        );
+        let h =
+            SparseBitMatrix::from_row_indices(3, 4, &[vec![0, 1, 2], vec![1, 3], vec![0, 2, 3]]);
         let g = TannerGraph::new(&h);
         assert_eq!(g.num_edges(), 8);
         assert_eq!(g.num_checks(), 3);

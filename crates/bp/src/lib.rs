@@ -33,11 +33,13 @@
 //! assert_eq!(result.error_hat, error);
 //! ```
 
+mod api;
 mod decoder;
 mod graph;
 
 pub use decoder::{BpAlgorithm, BpConfig, BpResult, DampingSchedule, MinSumDecoder, Schedule};
 pub use graph::TannerGraph;
+pub use qldpc_decoder_api::{DecodeOutcome, SyndromeDecoder};
 
 /// Converts a per-bit error probability into a channel log-likelihood
 /// ratio `ln((1−p)/p)` (paper Eq. 4).

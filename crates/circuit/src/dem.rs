@@ -72,10 +72,12 @@ impl DetectorErrorModel {
 
         // Per-qubit signatures of an X / Z fault inserted at the current
         // (backward) position. sig = (detector bitset, observable bitset).
-        let mut sig_x: Vec<(BitVec, BitVec)> =
-            (0..nq).map(|_| (BitVec::zeros(nd), BitVec::zeros(no))).collect();
-        let mut sig_z: Vec<(BitVec, BitVec)> =
-            (0..nq).map(|_| (BitVec::zeros(nd), BitVec::zeros(no))).collect();
+        let mut sig_x: Vec<(BitVec, BitVec)> = (0..nq)
+            .map(|_| (BitVec::zeros(nd), BitVec::zeros(no)))
+            .collect();
+        let mut sig_z: Vec<(BitVec, BitVec)> = (0..nq)
+            .map(|_| (BitVec::zeros(nd), BitVec::zeros(no)))
+            .collect();
 
         // Accumulate merged mechanisms keyed by signature.
         let mut merged: HashMap<(BitVec, BitVec), f64> = HashMap::new();
@@ -279,7 +281,11 @@ impl DetectorErrorModel {
     ///
     /// Panics if dimensions disagree.
     pub fn is_logical_error(&self, true_obs_flips: &BitVec, error_hat: &BitVec) -> bool {
-        assert_eq!(true_obs_flips.len(), self.num_observables, "observable count mismatch");
+        assert_eq!(
+            true_obs_flips.len(),
+            self.num_observables,
+            "observable count mismatch"
+        );
         let predicted = self.obs.mul_vec(error_hat);
         predicted != *true_obs_flips
     }
@@ -372,7 +378,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn small_dem() -> DetectorErrorModel {
-        let exp = MemoryExperiment::memory_z(&bb::bb72(), 2, &NoiseModel::uniform_depolarizing(1e-3));
+        let exp =
+            MemoryExperiment::memory_z(&bb::bb72(), 2, &NoiseModel::uniform_depolarizing(1e-3));
         exp.detector_error_model()
     }
 
@@ -395,7 +402,8 @@ mod tests {
     fn backward_sweep_matches_forward_propagation() {
         // Recompute every mechanism by brute-force forward propagation and
         // compare the merged maps.
-        let exp = MemoryExperiment::memory_z(&bb::bb72(), 2, &NoiseModel::uniform_depolarizing(2e-3));
+        let exp =
+            MemoryExperiment::memory_z(&bb::bb72(), 2, &NoiseModel::uniform_depolarizing(2e-3));
         let dem = exp.detector_error_model();
         let circuit = exp.circuit();
 
@@ -429,11 +437,17 @@ mod tests {
             if let Op::Noise(ch) = op {
                 match *ch {
                     NoiseChannel::XError(q, p) => {
-                        add(meas_to_sig(&circuit.propagate_fault(pos + 1, q, Pauli::X)), p);
+                        add(
+                            meas_to_sig(&circuit.propagate_fault(pos + 1, q, Pauli::X)),
+                            p,
+                        );
                     }
                     NoiseChannel::Depolarize1(q, p) => {
                         for pauli in [Pauli::X, Pauli::Z, Pauli::Y] {
-                            add(meas_to_sig(&circuit.propagate_fault(pos + 1, q, pauli)), p / 3.0);
+                            add(
+                                meas_to_sig(&circuit.propagate_fault(pos + 1, q, pauli)),
+                                p / 3.0,
+                            );
                         }
                     }
                     NoiseChannel::Depolarize2(a, b, p) => {
@@ -458,7 +472,11 @@ mod tests {
             }
         }
 
-        assert_eq!(merged.len(), dem.num_mechanisms(), "mechanism count mismatch");
+        assert_eq!(
+            merged.len(),
+            dem.num_mechanisms(),
+            "mechanism count mismatch"
+        );
         for m in 0..dem.num_mechanisms() {
             let key = (
                 dem.mechanism_detectors(m).to_vec(),

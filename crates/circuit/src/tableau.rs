@@ -253,11 +253,7 @@ impl StabilizerSimulator {
     pub fn detector_values(outcomes: &[Outcome], detectors: &[Vec<u32>]) -> BitVec {
         let mut out = BitVec::zeros(detectors.len());
         for (d, meas) in detectors.iter().enumerate() {
-            let parity = meas
-                .iter()
-                .filter(|&&m| outcomes[m as usize].value)
-                .count()
-                % 2;
+            let parity = meas.iter().filter(|&&m| outcomes[m as usize].value).count() % 2;
             if parity == 1 {
                 out.set(d, true);
             }
@@ -347,7 +343,10 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let outcomes = StabilizerSimulator::run_circuit(exp.circuit(), None, &mut rng);
             let dets = StabilizerSimulator::detector_values(&outcomes, exp.detectors());
-            assert!(dets.is_zero(), "noiseless detectors fired (seed {seed}): {dets:?}");
+            assert!(
+                dets.is_zero(),
+                "noiseless detectors fired (seed {seed}): {dets:?}"
+            );
             let obs = StabilizerSimulator::detector_values(&outcomes, exp.observables());
             assert!(obs.is_zero(), "noiseless observables flipped (seed {seed})");
         }
@@ -367,9 +366,15 @@ mod tests {
             let outcomes = StabilizerSimulator::run_circuit(exp.circuit(), None, &mut rng);
             saw_random_gauge |= outcomes.iter().any(|o| !o.deterministic);
             let dets = StabilizerSimulator::detector_values(&outcomes, exp.detectors());
-            assert!(dets.is_zero(), "noiseless subsystem detectors fired (seed {seed})");
+            assert!(
+                dets.is_zero(),
+                "noiseless subsystem detectors fired (seed {seed})"
+            );
             let obs = StabilizerSimulator::detector_values(&outcomes, exp.observables());
-            assert!(obs.is_zero(), "noiseless subsystem observables flipped (seed {seed})");
+            assert!(
+                obs.is_zero(),
+                "noiseless subsystem observables flipped (seed {seed})"
+            );
         }
         assert!(
             saw_random_gauge,
@@ -406,8 +411,7 @@ mod tests {
                 let flips = circuit.propagate_fault(pos + 1, *q, Pauli::X);
                 let mut expected = BitVec::zeros(exp.num_detectors());
                 for (d, meas) in exp.detectors().iter().enumerate() {
-                    let parity =
-                        meas.iter().filter(|&&m| flips.get(m as usize)).count() % 2;
+                    let parity = meas.iter().filter(|&&m| flips.get(m as usize)).count() % 2;
                     if parity == 1 {
                         expected.set(d, true);
                     }

@@ -152,10 +152,16 @@ fn monomial_xy(l: usize, m: usize, ex: usize, ey: usize) -> BitMatrix {
 ///
 /// Panics if the iterator is empty or the shapes disagree.
 fn sum_terms(mut terms: impl Iterator<Item = BitMatrix>) -> BitMatrix {
-    let first = terms.next().expect("polynomial must have at least one term");
+    let first = terms
+        .next()
+        .expect("polynomial must have at least one term");
     let mut acc = first;
     for t in terms {
-        assert_eq!((acc.rows(), acc.cols()), (t.rows(), t.cols()), "term shape mismatch");
+        assert_eq!(
+            (acc.rows(), acc.cols()),
+            (t.rows(), t.cols()),
+            "term shape mismatch"
+        );
         let mut next = BitMatrix::zeros(acc.rows(), acc.cols());
         for r in 0..acc.rows() {
             let mut row = acc.row(r);

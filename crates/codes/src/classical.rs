@@ -32,7 +32,10 @@ impl ClassicalCode {
     /// Panics if `h` has no kernel (a zero-dimensional code).
     pub fn from_parity_check(name: impl Into<String>, h: BitMatrix, d: Option<usize>) -> Self {
         let kernel = h.kernel();
-        assert!(!kernel.is_empty(), "parity-check matrix has trivial kernel (k = 0)");
+        assert!(
+            !kernel.is_empty(),
+            "parity-check matrix has trivial kernel (k = 0)"
+        );
         let generator = BitMatrix::from_rows(&kernel);
         Self {
             name: name.into(),

@@ -36,7 +36,11 @@ pub fn coprime_bb_code(
     b: &UniPoly,
     declared_d: Option<usize>,
 ) -> CssCode {
-    assert_eq!(gcd(l, m), 1, "coprime-BB construction requires gcd(l, m) = 1");
+    assert_eq!(
+        gcd(l, m),
+        1,
+        "coprime-BB construction requires gcd(l, m) = 1"
+    );
     let a_mat = a.eval_pi(l, m);
     let b_mat = b.eval_pi(l, m);
     let hx = a_mat.hstack(&b_mat);

@@ -39,7 +39,10 @@ impl fmt::Display for CodeError {
                 write!(f, "found {x} logical X but {z} logical Z operators")
             }
             Self::WrongLogicalCount { declared, found } => {
-                write!(f, "declared k = {declared} but found {found} logical qubits")
+                write!(
+                    f,
+                    "declared k = {declared} but found {found} logical qubits"
+                )
             }
             Self::LogicalViolatesChecks => {
                 write!(f, "a logical operator anticommutes with a parity check")
@@ -108,7 +111,11 @@ impl CssCode {
         declared_d: Option<usize>,
         subsystem: bool,
     ) -> Self {
-        assert_eq!(hx.cols(), hz.cols(), "H_X and H_Z must act on the same qubits");
+        assert_eq!(
+            hx.cols(),
+            hz.cols(),
+            "H_X and H_Z must act on the same qubits"
+        );
         let n = hx.cols();
         let logicals = compute_logicals(hx, hz);
         let k = logicals.x.rows();

@@ -226,7 +226,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let b = estimate_x_distance(&code, 30, &mut rng);
         // An upper bound can exceed d but never undercut it.
-        assert!(b.upper_bound >= 6, "found impossible weight {}", b.upper_bound);
+        assert!(
+            b.upper_bound >= 6,
+            "found impossible weight {}",
+            b.upper_bound
+        );
         assert!(b.upper_bound <= code.n());
         assert!(b.hits >= 1);
         assert_eq!(b.restarts, 30);

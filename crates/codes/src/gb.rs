@@ -26,7 +26,13 @@ use crate::css::CssCode;
 /// assert_eq!(code.n(), 10);
 /// code.validate().unwrap();
 /// ```
-pub fn gb_code(name: &str, l: usize, a: &UniPoly, b: &UniPoly, declared_d: Option<usize>) -> CssCode {
+pub fn gb_code(
+    name: &str,
+    l: usize,
+    a: &UniPoly,
+    b: &UniPoly,
+    declared_d: Option<usize>,
+) -> CssCode {
     let a_mat = a.eval_shift(l);
     let b_mat = b.eval_shift(l);
     let hx = a_mat.hstack(&b_mat);

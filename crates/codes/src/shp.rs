@@ -34,11 +34,7 @@ use qldpc_gf2::BitMatrix;
 /// assert_eq!((code.n(), code.k()), (49, 9));
 /// assert!(code.is_subsystem());
 /// ```
-pub fn subsystem_hypergraph_product(
-    name: &str,
-    c1: &ClassicalCode,
-    c2: &ClassicalCode,
-) -> CssCode {
+pub fn subsystem_hypergraph_product(name: &str, c1: &ClassicalCode, c2: &ClassicalCode) -> CssCode {
     let h1 = c1.parity_check();
     let h2 = c2.parity_check();
     let n1 = h1.cols();

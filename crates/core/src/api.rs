@@ -1,0 +1,94 @@
+//! [`SyndromeDecoder`] implementations for the serial and worker-pool
+//! BP-SF decoders — BP-SF plugs into the unified stack API directly.
+
+use crate::decoder::{BpSfDecoder, BpSfResult, TrialSampling};
+use crate::parallel::ParallelBpSf;
+use qldpc_bp::Schedule;
+use qldpc_decoder_api::{DecodeOutcome, SyndromeDecoder};
+use qldpc_gf2::BitVec;
+
+fn outcome_from(r: BpSfResult) -> DecodeOutcome {
+    DecodeOutcome {
+        error_hat: r.error_hat,
+        solved: r.success,
+        serial_iterations: r.serial_iterations,
+        critical_iterations: r.critical_path_iterations,
+        postprocessed: !r.initial_converged,
+    }
+}
+
+impl SyndromeDecoder for BpSfDecoder {
+    fn decode_syndrome(&mut self, syndrome: &BitVec) -> DecodeOutcome {
+        outcome_from(self.decode(syndrome))
+    }
+
+    /// `"BP-SF(BP{iters},w={w_max},|Φ|={candidates}[,ns={per_weight}])"`,
+    /// with a `Layered-` prefix under the layered schedule (paper Fig. 8
+    /// naming).
+    fn label(&self) -> String {
+        let c = self.config();
+        match (c.initial_bp.schedule, c.sampling) {
+            (Schedule::Layered, _) => format!(
+                "Layered-BP-SF(BP{},w={},|Φ|={})",
+                c.initial_bp.max_iters, c.max_flip_weight, c.candidates
+            ),
+            (Schedule::Flooding, TrialSampling::Exhaustive) => format!(
+                "BP-SF(BP{},w={},|Φ|={})",
+                c.initial_bp.max_iters, c.max_flip_weight, c.candidates
+            ),
+            (Schedule::Flooding, TrialSampling::Sampled { per_weight }) => format!(
+                "BP-SF(BP{},w={},|Φ|={},ns={})",
+                c.initial_bp.max_iters, c.max_flip_weight, c.candidates, per_weight
+            ),
+        }
+    }
+}
+
+impl SyndromeDecoder for ParallelBpSf {
+    fn decode_syndrome(&mut self, syndrome: &BitVec) -> DecodeOutcome {
+        let (r, _stats) = self.decode(syndrome);
+        outcome_from(r)
+    }
+
+    /// `"BP-SF(P={workers})"` — the paper's "BP-SF (CPU, P=N)" series.
+    fn label(&self) -> String {
+        format!("BP-SF(P={})", self.num_workers())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::BpSfConfig;
+    use qldpc_codes::bb;
+
+    #[test]
+    fn labels_cover_sampling_and_schedule() {
+        let code = bb::bb72();
+        let hz = code.hz();
+        let priors = vec![0.01; hz.cols()];
+        let serial = BpSfDecoder::new(hz, &priors, BpSfConfig::code_capacity(50, 8, 2));
+        assert_eq!(serial.label(), "BP-SF(BP50,w=2,|Φ|=8)");
+        let sampled = BpSfDecoder::new(hz, &priors, BpSfConfig::circuit_level(60, 50, 3, 4));
+        assert_eq!(sampled.label(), "BP-SF(BP60,w=3,|Φ|=50,ns=4)");
+        let mut layered_cfg = BpSfConfig::code_capacity(40, 8, 2);
+        layered_cfg.initial_bp.schedule = Schedule::Layered;
+        let layered = BpSfDecoder::new(hz, &priors, layered_cfg);
+        assert_eq!(layered.label(), "Layered-BP-SF(BP40,w=2,|Φ|=8)");
+        let pool = ParallelBpSf::new(hz, &priors, BpSfConfig::code_capacity(20, 4, 1), 2);
+        assert_eq!(pool.label(), "BP-SF(P=2)");
+    }
+
+    #[test]
+    fn parallel_pool_decodes_through_the_trait() {
+        let code = bb::bb72();
+        let hz = code.hz();
+        let priors = vec![0.01; hz.cols()];
+        let mut pool = ParallelBpSf::new(hz, &priors, BpSfConfig::code_capacity(30, 4, 1), 2);
+        let e = BitVec::from_indices(hz.cols(), &[3, 40]);
+        let out = pool.decode_syndrome(&hz.mul_vec(&e));
+        assert!(out.solved);
+        assert_eq!(hz.mul_vec(&out.error_hat), hz.mul_vec(&e));
+        assert!(out.critical_iterations <= out.serial_iterations);
+    }
+}

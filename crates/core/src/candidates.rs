@@ -152,7 +152,10 @@ mod tests {
         let flips = [3u32, 3, 1, 0];
         let posteriors = [2.0, -0.1, 0.5, 0.0];
         // Bits 0 and 1 tie on flips; bit 1 is less reliable (|−0.1| < |2.0|).
-        assert_eq!(select_candidates(&flips, &posteriors, 3, false), vec![1, 0, 2]);
+        assert_eq!(
+            select_candidates(&flips, &posteriors, 3, false),
+            vec![1, 0, 2]
+        );
     }
 
     #[test]
@@ -198,8 +201,13 @@ mod tests {
     fn flip_count_only_breaks_ties_by_index() {
         let flips = [3u32, 3, 1];
         let posteriors = [0.1, 5.0, 0.0];
-        let c =
-            select_candidates_ranked(&flips, &posteriors, 3, false, CandidateRanking::FlipCountOnly);
+        let c = select_candidates_ranked(
+            &flips,
+            &posteriors,
+            3,
+            false,
+            CandidateRanking::FlipCountOnly,
+        );
         assert_eq!(c, vec![0, 1, 2]);
         // Default ranking prefers the less reliable of the tied pair.
         let d = select_candidates(&flips, &posteriors, 3, false);

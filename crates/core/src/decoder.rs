@@ -116,7 +116,9 @@ impl BpSfConfig {
         match self.sampling {
             TrialSampling::Exhaustive => {
                 let k = self.candidates;
-                (1..=self.max_flip_weight.min(k)).map(|w| binomial(k, w)).sum()
+                (1..=self.max_flip_weight.min(k))
+                    .map(|w| binomial(k, w))
+                    .sum()
             }
             TrialSampling::Sampled { per_weight } => per_weight * self.max_flip_weight,
         }
@@ -186,7 +188,10 @@ impl BpSfDecoder {
     /// for zero candidates or zero flip weight.
     pub fn new(h: &SparseBitMatrix, priors: &[f64], config: BpSfConfig) -> Self {
         assert!(config.candidates > 0, "candidate set must be non-empty");
-        assert!(config.max_flip_weight > 0, "max flip weight must be positive");
+        assert!(
+            config.max_flip_weight > 0,
+            "max flip weight must be positive"
+        );
         let initial_cfg = BpConfig {
             track_oscillations: true,
             ..config.initial_bp
@@ -336,7 +341,11 @@ mod tests {
     fn zero_syndrome_short_circuits() {
         let code = bb::bb72();
         let hz = code.hz();
-        let mut dec = BpSfDecoder::new(hz, &vec![0.01; hz.cols()], BpSfConfig::code_capacity(50, 8, 1));
+        let mut dec = BpSfDecoder::new(
+            hz,
+            &vec![0.01; hz.cols()],
+            BpSfConfig::code_capacity(50, 8, 1),
+        );
         let r = dec.decode(&BitVec::zeros(hz.rows()));
         assert!(r.success && r.initial_converged);
         assert_eq!(r.trials_executed, 0);
@@ -348,8 +357,7 @@ mod tests {
         let code = coprime_bb::coprime154();
         let hz = code.hz();
         let n = hz.cols();
-        let mut dec =
-            BpSfDecoder::new(hz, &vec![0.05; n], BpSfConfig::code_capacity(20, 8, 2));
+        let mut dec = BpSfDecoder::new(hz, &vec![0.05; n], BpSfConfig::code_capacity(20, 8, 2));
         let mut rng = StdRng::seed_from_u64(3);
         let mut post_processed = 0;
         for _ in 0..100 {
@@ -378,8 +386,7 @@ mod tests {
         let code = coprime_bb::coprime154();
         let hz = code.hz();
         let n = hz.cols();
-        let mut dec =
-            BpSfDecoder::new(hz, &vec![0.03; n], BpSfConfig::code_capacity(30, 6, 2));
+        let mut dec = BpSfDecoder::new(hz, &vec![0.03; n], BpSfConfig::code_capacity(30, 6, 2));
         let mut rng = StdRng::seed_from_u64(17);
         for _ in 0..40 {
             let mut e = BitVec::zeros(n);
@@ -390,7 +397,11 @@ mod tests {
             }
             let r = dec.decode(&hz.mul_vec(&e));
             assert!(r.serial_iterations >= r.initial_iterations);
-            assert!(r.critical_path_iterations <= r.serial_iterations.max(r.initial_iterations + dec.config().trial_bp_iters));
+            assert!(
+                r.critical_path_iterations
+                    <= r.serial_iterations
+                        .max(r.initial_iterations + dec.config().trial_bp_iters)
+            );
             if r.initial_converged {
                 assert_eq!(r.serial_iterations, r.initial_iterations);
             }

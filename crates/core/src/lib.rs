@@ -37,6 +37,7 @@
 //! assert_eq!(hz.mul_vec(&result.error_hat), hz.mul_vec(&error));
 //! ```
 
+mod api;
 mod candidates;
 mod decoder;
 mod parallel;
@@ -47,4 +48,5 @@ pub use candidates::{
 };
 pub use decoder::{BpSfConfig, BpSfDecoder, BpSfResult, TrialSampling, TrialSelection};
 pub use parallel::{ParallelBpSf, ParallelDecodeStats};
+pub use qldpc_decoder_api::{DecodeOutcome, SyndromeDecoder};
 pub use trials::TrialVectors;

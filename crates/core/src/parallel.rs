@@ -333,7 +333,8 @@ mod tests {
         let code = coprime_bb::coprime154();
         let hz = code.hz();
         let n = hz.cols();
-        let mut pool = ParallelBpSf::new(hz, &vec![0.03; n], BpSfConfig::code_capacity(20, 6, 1), 2);
+        let mut pool =
+            ParallelBpSf::new(hz, &vec![0.03; n], BpSfConfig::code_capacity(20, 6, 1), 2);
         let mut rng = StdRng::seed_from_u64(77);
         for _ in 0..20 {
             let mut e = BitVec::zeros(n);

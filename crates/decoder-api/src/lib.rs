@@ -1,0 +1,142 @@
+//! The unified decoder interface of the BP-SF stack.
+//!
+//! Every decoder in the workspace — plain min-sum BP (`qldpc-bp`), BP-OSD
+//! (`qldpc-osd`), and serial or worker-pool BP-SF (`bpsf-core`) —
+//! implements [`SyndromeDecoder`], and every consumer — the Monte Carlo
+//! runners in `qldpc-sim`, the figure binaries in `qldpc-bench`, user
+//! code via the `bpsf` facade — drives decoders exclusively through it.
+//! The trait lives in this leaf crate (depending only on `qldpc-gf2`) so
+//! that implementers and consumers never need each other.
+//!
+//! # Iteration accounting: serial vs critical-path (paper §VI)
+//!
+//! Decode latency is reported in **BP iterations**, the paper's
+//! hardware-neutral unit, in two flavors carried by every
+//! [`DecodeOutcome`]:
+//!
+//! * [`serial_iterations`](DecodeOutcome::serial_iterations) — total BP
+//!   iterations summed over *everything* the decoder ran: the initial BP
+//!   attempt plus every post-processing trial, as if executed one after
+//!   another on a single engine. This is the paper's "BP-SF (serial)"
+//!   cost and the fair comparison against single-engine baselines.
+//! * [`critical_iterations`](DecodeOutcome::critical_iterations) — BP
+//!   iterations on the longest *dependency chain* when every trial runs
+//!   on its own engine: initial iterations + the single winning (or
+//!   longest surviving) trial. This is the paper's "fully parallelized"
+//!   cost, the latency a P-engine hardware implementation would see.
+//!
+//! A converged initial BP makes the two equal; post-processing opens the
+//! gap (`critical ≤ serial`). BP-OSD reports its BP stage in both fields
+//! — the Gaussian-elimination cost is inherently serial and shows up only
+//! in wall-clock time.
+//!
+//! # Adding a new decoder
+//!
+//! 1. Implement [`SyndromeDecoder`] for your decoder type in *its own*
+//!    crate (add `qldpc-decoder-api` to its `[dependencies]`):
+//!    `decode_syndrome` must return a syndrome-consistent `error_hat`
+//!    whenever it sets `solved`, and fill both iteration fields (equal if
+//!    the notion of parallel trials does not apply).
+//! 2. If the decoder has a natural batched mode (SIMD across syndromes,
+//!    shared setup, a persistent worker pool), override
+//!    [`SyndromeDecoder::decode_batch`]; the default simply loops.
+//!    Batched and looped decoding **must** produce identical outcomes —
+//!    `qldpc-sim`'s property tests enforce this for the in-tree decoders.
+//! 3. Expose a [`DecoderFactory`] constructor (see `qldpc_sim::decoders`)
+//!    so the Monte Carlo runners can build per-basis and per-thread
+//!    instances; factories must be `Send + Sync`, the instances they
+//!    build need not be.
+
+use qldpc_gf2::{BitVec, SparseBitMatrix};
+
+/// The result of a single syndrome decode, with latency accounting.
+#[derive(Debug, Clone)]
+pub struct DecodeOutcome {
+    /// Estimated error (meaningful only if `solved`).
+    pub error_hat: BitVec,
+    /// Whether the correction satisfies the syndrome.
+    pub solved: bool,
+    /// Cumulative BP iterations under serial execution (BP-OSD reports its
+    /// BP stage only — the elimination cost shows up in wall time).
+    pub serial_iterations: usize,
+    /// BP iterations on the fully parallel critical path.
+    pub critical_iterations: usize,
+    /// Whether post-processing (OSD stage or BP-SF trials) ran.
+    pub postprocessed: bool,
+}
+
+/// Anything that decodes syndromes against a fixed check matrix.
+///
+/// Implementations exist for plain min-sum BP, BP-OSD and BP-SF (serial
+/// and parallel); the Monte Carlo runners drive them uniformly.
+pub trait SyndromeDecoder {
+    /// Decodes one syndrome.
+    fn decode_syndrome(&mut self, syndrome: &BitVec) -> DecodeOutcome;
+
+    /// Short display name, e.g. `"BP1000-OSD10"`.
+    fn label(&self) -> String;
+
+    /// Decodes a batch of syndromes, in order.
+    ///
+    /// The default implementation loops over [`Self::decode_syndrome`];
+    /// decoders with a cheaper amortized path may override it, but must
+    /// return exactly the outcomes the loop would (same `solved`, same
+    /// `error_hat`, same iteration counts, in the same order).
+    fn decode_batch(&mut self, syndromes: &[BitVec]) -> Vec<DecodeOutcome> {
+        syndromes.iter().map(|s| self.decode_syndrome(s)).collect()
+    }
+}
+
+/// Builds a decoder for a given check matrix and priors — the unit the
+/// Monte Carlo runners consume so each basis (X/Z) and each worker thread
+/// gets its own instance.
+pub type DecoderFactory =
+    Box<dyn Fn(&SparseBitMatrix, &[f64]) -> Box<dyn SyndromeDecoder> + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A decoder that echoes the syndrome back as the error estimate.
+    struct Echo {
+        calls: usize,
+    }
+
+    impl SyndromeDecoder for Echo {
+        fn decode_syndrome(&mut self, syndrome: &BitVec) -> DecodeOutcome {
+            self.calls += 1;
+            DecodeOutcome {
+                error_hat: syndrome.clone(),
+                solved: true,
+                serial_iterations: self.calls,
+                critical_iterations: self.calls,
+                postprocessed: false,
+            }
+        }
+
+        fn label(&self) -> String {
+            "Echo".into()
+        }
+    }
+
+    #[test]
+    fn default_batch_loops_in_order_with_state() {
+        let syndromes: Vec<BitVec> = (0..5).map(|i| BitVec::from_indices(8, &[i])).collect();
+        let mut d = Echo { calls: 0 };
+        let outs = d.decode_batch(&syndromes);
+        assert_eq!(outs.len(), 5);
+        for (i, (o, s)) in outs.iter().zip(&syndromes).enumerate() {
+            assert_eq!(&o.error_hat, s);
+            // Statefulness flows through the batch in order.
+            assert_eq!(o.serial_iterations, i + 1);
+        }
+    }
+
+    #[test]
+    fn factories_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        let f: DecoderFactory =
+            Box::new(|_h, _p| Box::new(Echo { calls: 0 }) as Box<dyn SyndromeDecoder>);
+        assert_send_sync(&f);
+    }
+}

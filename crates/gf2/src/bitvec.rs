@@ -117,7 +117,11 @@ impl BitVec {
     /// Panics if `index >= len`.
     #[inline]
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
     }
 
@@ -128,7 +132,11 @@ impl BitVec {
     /// Panics if `index >= len`.
     #[inline]
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let mask = 1u64 << (index % WORD_BITS);
         if value {
             self.words[index / WORD_BITS] |= mask;
@@ -144,7 +152,11 @@ impl BitVec {
     /// Panics if `index >= len`.
     #[inline]
     pub fn flip(&mut self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let mask = 1u64 << (index % WORD_BITS);
         self.words[index / WORD_BITS] ^= mask;
         self.words[index / WORD_BITS] & mask != 0
@@ -254,7 +266,6 @@ impl BitVec {
         }
         out
     }
-
 }
 
 /// Iterator over set-bit indices produced by [`BitVec::iter_ones`].
@@ -301,7 +312,12 @@ impl BitXor<&BitVec> for &BitVec {
 
 impl fmt::Debug for BitVec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "BitVec(len={}, ones={:?})", self.len, self.iter_ones().collect::<Vec<_>>())
+        write!(
+            f,
+            "BitVec(len={}, ones={:?})",
+            self.len,
+            self.iter_ones().collect::<Vec<_>>()
+        )
     }
 }
 
@@ -357,7 +373,10 @@ mod tests {
     #[test]
     fn iter_ones_crosses_word_boundaries() {
         let v = BitVec::from_indices(300, &[0, 63, 64, 65, 255, 299]);
-        assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 65, 255, 299]);
+        assert_eq!(
+            v.iter_ones().collect::<Vec<_>>(),
+            vec![0, 63, 64, 65, 255, 299]
+        );
     }
 
     #[test]

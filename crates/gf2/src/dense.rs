@@ -129,7 +129,10 @@ impl BitMatrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> bool {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds"
+        );
         (self.data[row * self.words_per_row + col / WORD_BITS] >> (col % WORD_BITS)) & 1 == 1
     }
 
@@ -140,7 +143,10 @@ impl BitMatrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: bool) {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds"
+        );
         let w = row * self.words_per_row + col / WORD_BITS;
         let mask = 1u64 << (col % WORD_BITS);
         if value {
@@ -191,7 +197,10 @@ impl BitMatrix {
     /// Panics if either index is out of bounds.
     #[inline]
     pub fn xor_row_into(&mut self, src: usize, dst: usize) {
-        assert!(src < self.rows && dst < self.rows, "row index out of bounds");
+        assert!(
+            src < self.rows && dst < self.rows,
+            "row index out of bounds"
+        );
         if src == dst {
             // r ^= r zeroes the row; callers never want that implicitly.
             panic!("xor_row_into called with src == dst");
@@ -374,10 +383,7 @@ impl BitMatrix {
         }
         let reduced = ech.matrix();
         let mut basis = Vec::new();
-        for free in 0..self.cols {
-            if is_pivot[free] {
-                continue;
-            }
+        for (free, _) in is_pivot.iter().enumerate().filter(|&(_, &piv)| !piv) {
             let mut v = BitVec::zeros(self.cols);
             v.set(free, true);
             // In RREF, each pivot row reads: x_pivot + Σ (free coeffs) = 0.
@@ -528,7 +534,7 @@ mod tests {
     fn mul_vec_matches_mul() {
         let a = BitMatrix::from_dense(&[&[1, 1, 0, 1], &[0, 1, 1, 0], &[1, 0, 0, 1]]);
         let v = BitVec::from_indices(4, &[0, 3]);
-        let as_mat = BitMatrix::from_rows(&[v.clone()]).transpose();
+        let as_mat = BitMatrix::from_rows(std::slice::from_ref(&v)).transpose();
         let prod = a.mul(&as_mat);
         let mv = a.mul_vec(&v);
         for r in 0..3 {

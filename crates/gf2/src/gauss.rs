@@ -134,7 +134,10 @@ impl OrderedEchelon {
         assert_eq!(order.len(), matrix.cols(), "order must cover every column");
         let mut seen = vec![false; matrix.cols()];
         for &c in order {
-            assert!(c < matrix.cols() && !seen[c], "order must be a permutation of columns");
+            assert!(
+                c < matrix.cols() && !seen[c],
+                "order must be a permutation of columns"
+            );
             seen[c] = true;
         }
 

@@ -145,12 +145,18 @@ impl SparseBitMatrix {
 
     /// Maximum row degree across the matrix (0 for an empty matrix).
     pub fn max_row_degree(&self) -> usize {
-        (0..self.rows).map(|r| self.row_degree(r)).max().unwrap_or(0)
+        (0..self.rows)
+            .map(|r| self.row_degree(r))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum column degree across the matrix (0 for an empty matrix).
     pub fn max_col_degree(&self) -> usize {
-        (0..self.cols).map(|c| self.col_degree(c)).max().unwrap_or(0)
+        (0..self.cols)
+            .map(|c| self.col_degree(c))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Sparse matrix–vector product `self · v` over GF(2).
@@ -280,7 +286,12 @@ mod tests {
         let h = h();
         let d = h.to_dense();
         for mask in 0..16u32 {
-            let v = BitVec::from_bools(&[(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0, (mask & 8) != 0]);
+            let v = BitVec::from_bools(&[
+                (mask & 1) != 0,
+                (mask & 2) != 0,
+                (mask & 4) != 0,
+                (mask & 8) != 0,
+            ]);
             assert_eq!(h.mul_vec(&v), d.mul_vec(&v));
         }
     }

@@ -3,7 +3,10 @@
 use proptest::prelude::*;
 use qldpc_gf2::{BitMatrix, BitVec};
 
-fn bit_matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = BitMatrix> {
+fn bit_matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = BitMatrix> {
     (rows, cols).prop_flat_map(|(r, c)| {
         proptest::collection::vec(proptest::collection::vec(proptest::bool::ANY, c), r).prop_map(
             move |data| {

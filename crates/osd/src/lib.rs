@@ -27,7 +27,8 @@
 //! assert_eq!(r.error_hat, e);
 //! ```
 
-use qldpc_bp::{BpConfig, MinSumDecoder};
+use qldpc_bp::{BpConfig, MinSumDecoder, Schedule};
+pub use qldpc_decoder_api::{DecodeOutcome, SyndromeDecoder};
 use qldpc_gf2::{BitMatrix, BitVec, SparseBitMatrix};
 
 /// How OSD scores candidate solutions.
@@ -170,7 +171,11 @@ pub fn osd_postprocess(
     priors: &[f64],
     config: OsdConfig,
 ) -> (BitVec, bool, usize) {
-    assert_eq!(posteriors.len(), h.cols(), "one posterior per column required");
+    assert_eq!(
+        posteriors.len(),
+        h.cols(),
+        "one posterior per column required"
+    );
     assert_eq!(priors.len(), h.cols(), "one prior per column required");
     let n = h.cols();
 
@@ -238,6 +243,30 @@ pub fn osd_postprocess(
     (best, true, candidates)
 }
 
+impl SyndromeDecoder for BpOsdDecoder {
+    fn decode_syndrome(&mut self, syndrome: &BitVec) -> DecodeOutcome {
+        let r = self.decode(syndrome);
+        DecodeOutcome {
+            error_hat: r.error_hat,
+            solved: r.solved,
+            serial_iterations: r.bp_iterations,
+            critical_iterations: r.bp_iterations,
+            postprocessed: !r.bp_converged,
+        }
+    }
+
+    /// `"BP{bp_iters}-OSD{order}"` (with a `Layered` prefix under the
+    /// layered schedule) — the paper's baseline names.
+    fn label(&self) -> String {
+        let bp = self.bp.config();
+        let prefix = match bp.schedule {
+            Schedule::Flooding => "",
+            Schedule::Layered => "Layered",
+        };
+        format!("{prefix}BP{}-OSD{}", bp.max_iters, self.config.order)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,7 +294,11 @@ mod tests {
             let s = BitVec::from_bools(&[(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0]);
             let r = dec.decode(&s);
             assert!(r.solved);
-            assert_eq!(h.mul_vec(&r.error_hat), s, "syndrome {mask:#b} not satisfied");
+            assert_eq!(
+                h.mul_vec(&r.error_hat),
+                s,
+                "syndrome {mask:#b} not satisfied"
+            );
         }
     }
 
@@ -341,7 +374,10 @@ mod tests {
             );
             assert_eq!(dense.mul_vec(&e0), s);
             assert_eq!(dense.mul_vec(&ecs), s);
-            assert!(ecs.weight() <= e0.weight(), "CS must not be heavier than OSD-0");
+            assert!(
+                ecs.weight() <= e0.weight(),
+                "CS must not be heavier than OSD-0"
+            );
         }
     }
 

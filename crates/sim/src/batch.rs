@@ -1,0 +1,349 @@
+//! Batched, thread-parallel Monte Carlo runners.
+//!
+//! The throughput path for LER sweeps: shots fan out across threads (per
+//! the [`crate::engine`] policy — per-thread decoder instances, thread
+//! `t` seeded `seed + t`), and *within* each thread syndromes are decoded
+//! in groups via [`crate::SyndromeDecoder::decode_batch`], letting decoders with
+//! an amortized batch path (persistent pools, shared setup) exploit it.
+//!
+//! For *deterministic* decoders (plain BP, BP-OSD, serial BP-SF),
+//! failure statistics are **bit-identical** to the same-seed sequential
+//! runners: sampling consumes the shot RNG in the same order, and
+//! `decode_batch` is contractually equivalent to the sequential decode
+//! loop. The worker-pool `ParallelBpSf` is the exception — its winning
+//! trial depends on worker scheduling, so per-shot outcomes (and thus
+//! failure counts) can vary across runs under any runner, sequential or
+//! batched. `wall_ns` also differs here: it is measured per batch and
+//! amortized evenly over the batch's shots, so per-shot latency
+//! percentiles from a batched run are approximations; use the sequential
+//! runners for the paper's latency methodology.
+
+use crate::code_capacity::{sample_depolarizing, CodeCapacityConfig};
+use crate::decoders::DecoderFactory;
+use crate::engine;
+use crate::report::RunReport;
+use crate::CircuitLevelConfig;
+use qldpc_circuit::{DemSampler, DetectorErrorModel};
+use qldpc_codes::CssCode;
+use qldpc_gf2::BitVec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Thread/batch shape of a batched run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Worker threads (each with its own decoder instances and seed).
+    pub threads: usize,
+    /// Syndromes per `decode_batch` call within a thread.
+    pub batch_size: usize,
+}
+
+impl BatchConfig {
+    /// `threads` workers with the default batch size of 32.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            batch_size: 32,
+        }
+    }
+}
+
+impl Default for BatchConfig {
+    /// One thread per available core, batch size 32.
+    fn default() -> Self {
+        Self::with_threads(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+}
+
+/// Runs a code-capacity experiment batched across `batch.threads`
+/// threads; thread `t` uses seed `config.seed + t`, identical to
+/// [`crate::run_code_capacity_parallel`]'s seeding.
+///
+/// # Panics
+///
+/// Panics if `batch.threads == 0` or `batch.batch_size == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use qldpc_codes::bb;
+/// use qldpc_sim::{decoders, run_code_capacity_batched, BatchConfig, CodeCapacityConfig};
+///
+/// let report = run_code_capacity_batched(
+///     &bb::bb72(),
+///     &CodeCapacityConfig { p: 0.02, shots: 40, seed: 1 },
+///     &decoders::plain_bp(50),
+///     &BatchConfig { threads: 2, batch_size: 8 },
+/// );
+/// assert_eq!(report.shots, 40);
+/// ```
+pub fn run_code_capacity_batched(
+    code: &CssCode,
+    config: &CodeCapacityConfig,
+    factory: &DecoderFactory,
+    batch: &BatchConfig,
+) -> RunReport {
+    assert!(batch.batch_size > 0, "need a positive batch size");
+    let reports = engine::fan_out(config.shots, batch.threads, |t, shots| {
+        code_capacity_chunk(
+            code,
+            &CodeCapacityConfig {
+                p: config.p,
+                shots,
+                seed: config.seed + t as u64,
+            },
+            factory,
+            batch.batch_size,
+        )
+    });
+    engine::merge_reports(
+        reports,
+        &format!("[{}T,batch={}]", batch.threads, batch.batch_size),
+    )
+}
+
+/// One thread's worth of batched code-capacity shots.
+fn code_capacity_chunk(
+    code: &CssCode,
+    config: &CodeCapacityConfig,
+    factory: &DecoderFactory,
+    batch_size: usize,
+) -> RunReport {
+    let n = code.n();
+    let marginal = 2.0 * config.p / 3.0;
+    let priors = vec![marginal; n];
+    let mut dec_x = factory(code.hz(), &priors); // Z checks see X errors
+    let mut dec_z = factory(code.hx(), &priors); // X checks see Z errors
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut records = Vec::with_capacity(config.shots);
+    let mut failures = 0usize;
+    let mut unsolved = 0usize;
+    let mut remaining = config.shots;
+    while remaining > 0 {
+        let this_batch = remaining.min(batch_size);
+        remaining -= this_batch;
+
+        let mut exs = Vec::with_capacity(this_batch);
+        let mut ezs = Vec::with_capacity(this_batch);
+        let mut sxs = Vec::with_capacity(this_batch);
+        let mut szs = Vec::with_capacity(this_batch);
+        for _ in 0..this_batch {
+            let (ex, ez) = sample_depolarizing(n, config.p, &mut rng);
+            sxs.push(code.hz().mul_vec(&ex));
+            szs.push(code.hx().mul_vec(&ez));
+            exs.push(ex);
+            ezs.push(ez);
+        }
+
+        let start = Instant::now();
+        let outs_x = dec_x.decode_batch(&sxs);
+        let outs_z = dec_z.decode_batch(&szs);
+        let wall_ns = (start.elapsed().as_nanos() as u64) / this_batch as u64;
+        assert_eq!(
+            outs_x.len(),
+            this_batch,
+            "decode_batch must return one outcome per syndrome ({})",
+            dec_x.label()
+        );
+        assert_eq!(
+            outs_z.len(),
+            this_batch,
+            "decode_batch must return one outcome per syndrome ({})",
+            dec_z.label()
+        );
+
+        for i in 0..this_batch {
+            let (record, shot_unsolved) = crate::code_capacity::score_shot(
+                code, &outs_x[i], &outs_z[i], &exs[i], &ezs[i], wall_ns,
+            );
+            failures += usize::from(record.failed);
+            unsolved += usize::from(shot_unsolved);
+            records.push(record);
+        }
+    }
+
+    RunReport {
+        decoder: dec_x.label(),
+        workload: format!("{} code-capacity p={}", code.name(), config.p),
+        shots: config.shots,
+        failures,
+        unsolved,
+        records,
+    }
+}
+
+/// Runs a circuit-level experiment batched across `batch.threads`
+/// threads; see [`run_code_capacity_batched`] for the seeding and timing
+/// semantics.
+///
+/// # Panics
+///
+/// Panics if `batch.threads == 0` or `batch.batch_size == 0`.
+pub fn run_circuit_level_batched(
+    dem: &DetectorErrorModel,
+    workload: &str,
+    config: &CircuitLevelConfig,
+    factory: &DecoderFactory,
+    batch: &BatchConfig,
+) -> RunReport {
+    assert!(batch.batch_size > 0, "need a positive batch size");
+    let reports = engine::fan_out(config.shots, batch.threads, |t, shots| {
+        circuit_level_chunk(
+            dem,
+            workload,
+            &CircuitLevelConfig {
+                shots,
+                seed: config.seed + t as u64,
+            },
+            factory,
+            batch.batch_size,
+        )
+    });
+    engine::merge_reports(
+        reports,
+        &format!("[{}T,batch={}]", batch.threads, batch.batch_size),
+    )
+}
+
+/// One thread's worth of batched circuit-level shots.
+fn circuit_level_chunk(
+    dem: &DetectorErrorModel,
+    workload: &str,
+    config: &CircuitLevelConfig,
+    factory: &DecoderFactory,
+    batch_size: usize,
+) -> RunReport {
+    let mut decoder = factory(dem.check_matrix(), dem.priors());
+    let sampler = DemSampler::new(dem);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut records = Vec::with_capacity(config.shots);
+    let mut failures = 0usize;
+    let mut unsolved = 0usize;
+    let mut remaining = config.shots;
+    while remaining > 0 {
+        let this_batch = remaining.min(batch_size);
+        remaining -= this_batch;
+
+        let shots: Vec<_> = (0..this_batch).map(|_| sampler.sample(&mut rng)).collect();
+        let syndromes: Vec<BitVec> = shots.iter().map(|s| s.syndrome.clone()).collect();
+
+        let start = Instant::now();
+        let outs = decoder.decode_batch(&syndromes);
+        let wall_ns = (start.elapsed().as_nanos() as u64) / this_batch as u64;
+        assert_eq!(
+            outs.len(),
+            this_batch,
+            "decode_batch must return one outcome per syndrome ({})",
+            decoder.label()
+        );
+
+        for (shot, out) in shots.iter().zip(&outs) {
+            let (record, shot_unsolved) =
+                crate::circuit_level::score_shot(dem, &shot.obs_flips, out, wall_ns);
+            failures += usize::from(record.failed);
+            unsolved += usize::from(shot_unsolved);
+            records.push(record);
+        }
+    }
+
+    RunReport {
+        decoder: decoder.label(),
+        workload: workload.to_string(),
+        shots: config.shots,
+        failures,
+        unsolved,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoders;
+    use crate::run_code_capacity;
+    use qldpc_circuit::{MemoryExperiment, NoiseModel};
+    use qldpc_codes::bb;
+
+    #[test]
+    fn batched_single_thread_matches_sequential_statistics() {
+        let code = bb::bb72();
+        let config = CodeCapacityConfig {
+            p: 0.04,
+            shots: 60,
+            seed: 11,
+        };
+        let seq = run_code_capacity(&code, &config, &decoders::plain_bp(30));
+        let bat = run_code_capacity_batched(
+            &code,
+            &config,
+            &decoders::plain_bp(30),
+            &BatchConfig {
+                threads: 1,
+                batch_size: 7,
+            },
+        );
+        assert_eq!(bat.shots, seq.shots);
+        assert_eq!(bat.failures, seq.failures);
+        assert_eq!(bat.unsolved, seq.unsolved);
+        // Per-shot iteration accounting is identical; only wall_ns differs.
+        for (b, s) in bat.records.iter().zip(&seq.records) {
+            assert_eq!(b.serial_iterations, s.serial_iterations);
+            assert_eq!(b.failed, s.failed);
+        }
+    }
+
+    #[test]
+    fn zero_shot_runs_return_an_empty_report() {
+        let code = bb::bb72();
+        let config = CodeCapacityConfig {
+            p: 0.02,
+            shots: 0,
+            seed: 1,
+        };
+        let report = run_code_capacity_batched(
+            &code,
+            &config,
+            &decoders::plain_bp(10),
+            &BatchConfig {
+                threads: 4,
+                batch_size: 8,
+            },
+        );
+        assert_eq!(report.shots, 0);
+        assert_eq!(report.failures, 0);
+        assert!(report.records.is_empty());
+        assert_eq!(report.ler(), 0.0);
+        // Same contract on the unbatched parallel runner.
+        let par = crate::run_code_capacity_parallel(&code, &config, &decoders::plain_bp(10), 4);
+        assert_eq!(par.shots, 0);
+        assert!(par.records.is_empty());
+    }
+
+    #[test]
+    fn batched_circuit_level_covers_all_shots() {
+        let code = bb::bb72();
+        let dem = MemoryExperiment::memory_z(&code, 2, &NoiseModel::uniform_depolarizing(1e-3))
+            .detector_error_model();
+        let report = run_circuit_level_batched(
+            &dem,
+            "bb72 r2",
+            &CircuitLevelConfig { shots: 25, seed: 5 },
+            &decoders::bp_osd(30, 10),
+            &BatchConfig {
+                threads: 2,
+                batch_size: 4,
+            },
+        );
+        assert_eq!(report.shots, 25);
+        assert_eq!(report.records.len(), 25);
+        assert!(report.workload.contains("[2T,batch=4]"));
+        assert_eq!(report.unsolved, 0);
+    }
+}

@@ -56,22 +56,14 @@ pub fn run_circuit_level(
         let out = decoder.decode_syndrome(&shot.syndrome);
         let wall_ns = start.elapsed().as_nanos() as u64;
 
-        let failed = if out.solved {
-            dem.is_logical_error(&shot.obs_flips, &out.error_hat)
-        } else {
-            unsolved += 1;
-            true
-        };
-        if failed {
+        let (record, shot_unsolved) = score_shot(dem, &shot.obs_flips, &out, wall_ns);
+        if record.failed {
             failures += 1;
         }
-        records.push(ShotRecord {
-            wall_ns,
-            serial_iterations: out.serial_iterations,
-            critical_iterations: out.critical_iterations,
-            postprocessed: out.postprocessed,
-            failed,
-        });
+        if shot_unsolved {
+            unsolved += 1;
+        }
+        records.push(record);
     }
 
     RunReport {
@@ -82,6 +74,34 @@ pub fn run_circuit_level(
         unsolved,
         records,
     }
+}
+
+/// Scores one decoded circuit-level shot — the single definition of
+/// logical failure and unsolved accounting, shared by the sequential
+/// ([`run_circuit_level`]) and batched
+/// ([`crate::run_circuit_level_batched`]) runners so their statistics can
+/// never drift apart.
+///
+/// Returns the shot record and whether the shot was unsolved.
+pub(crate) fn score_shot(
+    dem: &DetectorErrorModel,
+    true_obs_flips: &qldpc_gf2::BitVec,
+    out: &crate::DecodeOutcome,
+    wall_ns: u64,
+) -> (ShotRecord, bool) {
+    let (failed, unsolved) = if out.solved {
+        (dem.is_logical_error(true_obs_flips, &out.error_hat), false)
+    } else {
+        (true, true)
+    };
+    let record = ShotRecord {
+        wall_ns,
+        serial_iterations: out.serial_iterations,
+        critical_iterations: out.critical_iterations,
+        postprocessed: out.postprocessed,
+        failed,
+    };
+    (record, unsolved)
 }
 
 #[cfg(test)]

@@ -87,39 +87,14 @@ pub fn run_code_capacity(
         let out_z = dec_z.decode_syndrome(&sz);
         let wall_ns = start.elapsed().as_nanos() as u64;
 
-        let mut shot_unsolved = false;
-        let mut failed = false;
-        if out_x.solved {
-            let residual = &out_x.error_hat ^ &ex;
-            if code.is_x_logical_error(&residual) {
-                failed = true;
-            }
-        } else {
-            shot_unsolved = true;
-            failed = true;
-        }
-        if out_z.solved {
-            let residual = &out_z.error_hat ^ &ez;
-            if code.is_z_logical_error(&residual) {
-                failed = true;
-            }
-        } else {
-            shot_unsolved = true;
-            failed = true;
-        }
-        if failed {
+        let (record, shot_unsolved) = score_shot(code, &out_x, &out_z, &ex, &ez, wall_ns);
+        if record.failed {
             failures += 1;
         }
         if shot_unsolved {
             unsolved += 1;
         }
-        records.push(ShotRecord {
-            wall_ns,
-            serial_iterations: out_x.serial_iterations + out_z.serial_iterations,
-            critical_iterations: out_x.critical_iterations.max(out_z.critical_iterations),
-            postprocessed: out_x.postprocessed || out_z.postprocessed,
-            failed,
-        });
+        records.push(record);
     }
 
     RunReport {
@@ -130,6 +105,48 @@ pub fn run_code_capacity(
         unsolved,
         records,
     }
+}
+
+/// Scores one decoded code-capacity shot — the single definition of
+/// logical failure and unsolved accounting, shared by the sequential
+/// ([`run_code_capacity`]) and batched ([`crate::run_code_capacity_batched`])
+/// runners so their statistics can never drift apart.
+///
+/// Returns the shot record and whether either basis was unsolved.
+pub(crate) fn score_shot(
+    code: &CssCode,
+    out_x: &crate::DecodeOutcome,
+    out_z: &crate::DecodeOutcome,
+    ex: &BitVec,
+    ez: &BitVec,
+    wall_ns: u64,
+) -> (ShotRecord, bool) {
+    let mut unsolved = false;
+    let mut failed = false;
+    if out_x.solved {
+        if code.is_x_logical_error(&(&out_x.error_hat ^ ex)) {
+            failed = true;
+        }
+    } else {
+        unsolved = true;
+        failed = true;
+    }
+    if out_z.solved {
+        if code.is_z_logical_error(&(&out_z.error_hat ^ ez)) {
+            failed = true;
+        }
+    } else {
+        unsolved = true;
+        failed = true;
+    }
+    let record = ShotRecord {
+        wall_ns,
+        serial_iterations: out_x.serial_iterations + out_z.serial_iterations,
+        critical_iterations: out_x.critical_iterations.max(out_z.critical_iterations),
+        postprocessed: out_x.postprocessed || out_z.postprocessed,
+        failed,
+    };
+    (record, unsolved)
 }
 
 #[cfg(test)]
@@ -186,6 +203,11 @@ mod tests {
         let bp = run_code_capacity(&code, &config, &decoders::plain_bp(30));
         let osd = run_code_capacity(&code, &config, &decoders::bp_osd(30, 10));
         assert_eq!(osd.unsolved, 0, "OSD always solves");
-        assert!(osd.failures <= bp.failures, "OSD {} vs BP {}", osd.failures, bp.failures);
+        assert!(
+            osd.failures <= bp.failures,
+            "OSD {} vs BP {}",
+            osd.failures,
+            bp.failures
+        );
     }
 }

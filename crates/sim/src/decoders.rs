@@ -1,68 +1,19 @@
-//! A uniform decoder interface over BP, BP-OSD and BP-SF.
+//! Factory functions building the paper's decoder configurations.
+//!
+//! The decoder *interface* ([`SyndromeDecoder`], [`DecodeOutcome`],
+//! [`DecoderFactory`]) lives in `qldpc-decoder-api` and is implemented
+//! natively by each decoder crate — `MinSumDecoder`, `BpOsdDecoder`,
+//! `BpSfDecoder` and `ParallelBpSf` are the trait objects themselves, no
+//! sim-local adapters. This module only packages the paper's named
+//! configurations (`BP1000`, `BP1000-OSD10`, `BP-SF(…)`) as
+//! [`DecoderFactory`] closures for the Monte Carlo runners, which build
+//! one instance per basis (X/Z) and per worker thread.
 
 use bpsf_core::{BpSfConfig, BpSfDecoder, ParallelBpSf};
 use qldpc_bp::{BpConfig, MinSumDecoder, Schedule};
-use qldpc_gf2::{BitVec, SparseBitMatrix};
 use qldpc_osd::{BpOsdDecoder, OsdConfig};
 
-/// The result of a single syndrome decode, with latency accounting.
-#[derive(Debug, Clone)]
-pub struct DecodeOutcome {
-    /// Estimated error (meaningful only if `solved`).
-    pub error_hat: BitVec,
-    /// Whether the correction satisfies the syndrome.
-    pub solved: bool,
-    /// Cumulative BP iterations under serial execution (BP-OSD reports its
-    /// BP stage only — the elimination cost shows up in wall time).
-    pub serial_iterations: usize,
-    /// BP iterations on the fully parallel critical path.
-    pub critical_iterations: usize,
-    /// Whether post-processing (OSD stage or BP-SF trials) ran.
-    pub postprocessed: bool,
-}
-
-/// Anything that decodes syndromes against a fixed check matrix.
-///
-/// Implementations exist for plain min-sum BP, BP-OSD and BP-SF (serial
-/// and parallel); the Monte Carlo runners drive them uniformly.
-pub trait SyndromeDecoder {
-    /// Decodes one syndrome.
-    fn decode_syndrome(&mut self, syndrome: &BitVec) -> DecodeOutcome;
-
-    /// Short display name, e.g. `"BP1000-OSD10"`.
-    fn label(&self) -> String;
-}
-
-/// Builds a decoder for a given check matrix and priors — the unit the
-/// Monte Carlo runners consume so each basis (X/Z) gets its own instance.
-pub type DecoderFactory =
-    Box<dyn Fn(&SparseBitMatrix, &[f64]) -> Box<dyn SyndromeDecoder> + Send + Sync>;
-
-// ---------------------------------------------------------------------
-// Plain BP
-// ---------------------------------------------------------------------
-
-struct PlainBp {
-    decoder: MinSumDecoder,
-    label: String,
-}
-
-impl SyndromeDecoder for PlainBp {
-    fn decode_syndrome(&mut self, syndrome: &BitVec) -> DecodeOutcome {
-        let r = self.decoder.decode(syndrome);
-        DecodeOutcome {
-            error_hat: r.error_hat,
-            solved: r.converged,
-            serial_iterations: r.iterations,
-            critical_iterations: r.iterations,
-            postprocessed: false,
-        }
-    }
-
-    fn label(&self) -> String {
-        self.label.clone()
-    }
-}
+pub use qldpc_decoder_api::{DecodeOutcome, DecoderFactory, SyndromeDecoder};
 
 /// Factory for plain flooding min-sum BP with `max_iters` iterations
 /// (the paper's `BP{max_iters}` baseline).
@@ -72,10 +23,7 @@ pub fn plain_bp(max_iters: usize) -> DecoderFactory {
             max_iters,
             ..BpConfig::default()
         };
-        Box::new(PlainBp {
-            decoder: MinSumDecoder::new(h, priors, config),
-            label: format!("BP{max_iters}"),
-        })
+        Box::new(MinSumDecoder::new(h, priors, config))
     })
 }
 
@@ -88,37 +36,8 @@ pub fn layered_bp(max_iters: usize) -> DecoderFactory {
             schedule: Schedule::Layered,
             ..BpConfig::default()
         };
-        Box::new(PlainBp {
-            decoder: MinSumDecoder::new(h, priors, config),
-            label: format!("LayeredBP{max_iters}"),
-        })
+        Box::new(MinSumDecoder::new(h, priors, config))
     })
-}
-
-// ---------------------------------------------------------------------
-// BP-OSD
-// ---------------------------------------------------------------------
-
-struct BpOsd {
-    decoder: BpOsdDecoder,
-    label: String,
-}
-
-impl SyndromeDecoder for BpOsd {
-    fn decode_syndrome(&mut self, syndrome: &BitVec) -> DecodeOutcome {
-        let r = self.decoder.decode(syndrome);
-        DecodeOutcome {
-            error_hat: r.error_hat,
-            solved: r.solved,
-            serial_iterations: r.bp_iterations,
-            critical_iterations: r.bp_iterations,
-            postprocessed: !r.bp_converged,
-        }
-    }
-
-    fn label(&self) -> String {
-        self.label.clone()
-    }
 }
 
 /// Factory for the `BP{bp_iters}-OSD{order}` baseline (flooding BP).
@@ -132,10 +51,7 @@ pub fn bp_osd(bp_iters: usize, order: usize) -> DecoderFactory {
             order,
             ..OsdConfig::default()
         };
-        Box::new(BpOsd {
-            decoder: BpOsdDecoder::new(h, priors, bp, osd),
-            label: format!("BP{bp_iters}-OSD{order}"),
-        })
+        Box::new(BpOsdDecoder::new(h, priors, bp, osd))
     })
 }
 
@@ -151,117 +67,32 @@ pub fn layered_bp_osd(bp_iters: usize, order: usize) -> DecoderFactory {
             order,
             ..OsdConfig::default()
         };
-        Box::new(BpOsd {
-            decoder: BpOsdDecoder::new(h, priors, bp, osd),
-            label: format!("LayeredBP{bp_iters}-OSD{order}"),
-        })
+        Box::new(BpOsdDecoder::new(h, priors, bp, osd))
     })
-}
-
-// ---------------------------------------------------------------------
-// BP-SF
-// ---------------------------------------------------------------------
-
-struct BpSf {
-    decoder: BpSfDecoder,
-    label: String,
-}
-
-impl SyndromeDecoder for BpSf {
-    fn decode_syndrome(&mut self, syndrome: &BitVec) -> DecodeOutcome {
-        let r = self.decoder.decode(syndrome);
-        DecodeOutcome {
-            error_hat: r.error_hat,
-            solved: r.success,
-            serial_iterations: r.serial_iterations,
-            critical_iterations: r.critical_path_iterations,
-            postprocessed: !r.initial_converged,
-        }
-    }
-
-    fn label(&self) -> String {
-        self.label.clone()
-    }
 }
 
 /// Factory for the serial BP-SF decoder with an explicit configuration.
 pub fn bp_sf(config: BpSfConfig) -> DecoderFactory {
-    Box::new(move |h, priors| {
-        let label = match config.sampling {
-            bpsf_core::TrialSampling::Exhaustive => format!(
-                "BP-SF(BP{},w={},|Φ|={})",
-                config.initial_bp.max_iters, config.max_flip_weight, config.candidates
-            ),
-            bpsf_core::TrialSampling::Sampled { per_weight } => format!(
-                "BP-SF(BP{},w={},|Φ|={},ns={})",
-                config.initial_bp.max_iters,
-                config.max_flip_weight,
-                config.candidates,
-                per_weight
-            ),
-        };
-        Box::new(BpSf {
-            decoder: BpSfDecoder::new(h, priors, config),
-            label,
-        })
-    })
+    Box::new(move |h, priors| Box::new(BpSfDecoder::new(h, priors, config)))
 }
 
 /// Factory for the layered-schedule BP-SF variant (Fig. 8).
 pub fn layered_bp_sf(mut config: BpSfConfig) -> DecoderFactory {
     config.initial_bp.schedule = Schedule::Layered;
-    Box::new(move |h, priors| {
-        Box::new(BpSf {
-            decoder: BpSfDecoder::new(h, priors, config),
-            label: format!(
-                "Layered-BP-SF(BP{},w={},|Φ|={})",
-                config.initial_bp.max_iters, config.max_flip_weight, config.candidates
-            ),
-        })
-    })
-}
-
-// ---------------------------------------------------------------------
-// Parallel BP-SF
-// ---------------------------------------------------------------------
-
-struct ParallelBpSfAdapter {
-    decoder: ParallelBpSf,
-    label: String,
-}
-
-impl SyndromeDecoder for ParallelBpSfAdapter {
-    fn decode_syndrome(&mut self, syndrome: &BitVec) -> DecodeOutcome {
-        let (r, _stats) = self.decoder.decode(syndrome);
-        DecodeOutcome {
-            error_hat: r.error_hat,
-            solved: r.success,
-            serial_iterations: r.serial_iterations,
-            critical_iterations: r.critical_path_iterations,
-            postprocessed: !r.initial_converged,
-        }
-    }
-
-    fn label(&self) -> String {
-        self.label.clone()
-    }
+    Box::new(move |h, priors| Box::new(BpSfDecoder::new(h, priors, config)))
 }
 
 /// Factory for the worker-pool parallel BP-SF decoder
 /// (the paper's "BP-SF (CPU, P={workers})").
 pub fn parallel_bp_sf(config: BpSfConfig, workers: usize) -> DecoderFactory {
-    Box::new(move |h, priors| {
-        Box::new(ParallelBpSfAdapter {
-            decoder: ParallelBpSf::new(h, priors, config, workers),
-            label: format!("BP-SF(P={workers})"),
-        })
-    })
+    Box::new(move |h, priors| Box::new(ParallelBpSf::new(h, priors, config, workers)))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use qldpc_codes::bb;
+    use qldpc_gf2::BitVec;
 
     #[test]
     fn factories_produce_labeled_decoders() {
@@ -272,12 +103,20 @@ mod tests {
             (plain_bp(100)(hz, &priors).label(), "BP100"),
             (bp_osd(1000, 10)(hz, &priors).label(), "BP1000-OSD10"),
             (layered_bp(50)(hz, &priors).label(), "LayeredBP50"),
+            (
+                layered_bp_osd(50, 10)(hz, &priors).label(),
+                "LayeredBP50-OSD10",
+            ),
         ];
         for (got, want) in labels {
             assert_eq!(got, want);
         }
         let sf = bp_sf(BpSfConfig::code_capacity(50, 8, 1))(hz, &priors);
         assert!(sf.label().contains("BP-SF"));
+        let lsf = layered_bp_sf(BpSfConfig::code_capacity(50, 8, 1))(hz, &priors);
+        assert!(lsf.label().starts_with("Layered-BP-SF"));
+        let psf = parallel_bp_sf(BpSfConfig::code_capacity(50, 4, 1), 2)(hz, &priors);
+        assert_eq!(psf.label(), "BP-SF(P=2)");
     }
 
     #[test]
@@ -298,6 +137,30 @@ mod tests {
             let out = d.decode_syndrome(&zero);
             assert!(out.solved, "{} failed zero syndrome", d.label());
             assert!(out.error_hat.is_zero());
+        }
+    }
+
+    #[test]
+    fn batch_defaults_to_the_sequential_loop() {
+        let code = bb::bb72();
+        let hz = code.hz();
+        let n = hz.cols();
+        let priors = vec![0.02; n];
+        let syndromes: Vec<BitVec> = (0..6)
+            .map(|i| hz.mul_vec(&BitVec::from_indices(n, &[i, i + 9])))
+            .collect();
+        let mut batched = bp_osd(40, 10)(hz, &priors);
+        let mut looped = bp_osd(40, 10)(hz, &priors);
+        let b = batched.decode_batch(&syndromes);
+        let l: Vec<DecodeOutcome> = syndromes
+            .iter()
+            .map(|s| looped.decode_syndrome(s))
+            .collect();
+        assert_eq!(b.len(), l.len());
+        for (x, y) in b.iter().zip(&l) {
+            assert_eq!(x.solved, y.solved);
+            assert_eq!(x.error_hat, y.error_hat);
+            assert_eq!(x.serial_iterations, y.serial_iterations);
         }
     }
 }

@@ -1,0 +1,137 @@
+//! The shared thread fan-out engine behind every parallel Monte Carlo
+//! runner.
+//!
+//! One policy, used by [`crate::parallel_runner`] and [`crate::batch`]
+//! alike:
+//!
+//! * shots are split as evenly as possible across `threads` (earlier
+//!   threads take the remainder, and empty chunks are dropped);
+//! * thread `t` runs with the *deterministic* seed `base_seed + t`, so a
+//!   T-thread run is exactly the union of T seeded sequential runs —
+//!   reproducible regardless of scheduling whenever the decoder itself is
+//!   deterministic (the worker-pool `ParallelBpSf` is not: its winning
+//!   trial depends on its own workers' scheduling);
+//! * every thread builds its own decoder instances from the shared
+//!   [`crate::decoders::DecoderFactory`] (decoders are stateful and not
+//!   `Sync`; factories are);
+//! * per-thread reports are merged in thread order, so `records` is a
+//!   deterministic concatenation.
+
+use crate::report::RunReport;
+
+/// Splits `total` shots into per-thread chunk sizes (empty chunks
+/// dropped).
+pub(crate) fn split_shots(total: usize, threads: usize) -> Vec<usize> {
+    let base = total / threads;
+    let extra = total % threads;
+    (0..threads)
+        .map(|t| base + usize::from(t < extra))
+        .filter(|&s| s > 0)
+        .collect()
+}
+
+/// Runs `job(thread_idx, chunk_shots)` on its own thread for every chunk
+/// of `total` shots and returns the reports in thread order.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or if any worker panics.
+pub(crate) fn fan_out<J>(total: usize, threads: usize, job: J) -> Vec<RunReport>
+where
+    J: Fn(usize, usize) -> RunReport + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    let mut chunks = split_shots(total, threads);
+    if chunks.is_empty() {
+        // Zero-shot runs still produce one (empty) report, matching the
+        // sequential runners instead of panicking in the merge.
+        chunks.push(0);
+    }
+    let job = &job;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .enumerate()
+            .map(|(t, &shots)| scope.spawn(move |_| job(t, shots)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("scope panicked")
+}
+
+/// Merges per-thread reports (thread order), tagging the workload with
+/// `tag` (e.g. `"[4T]"` or `"[4T,batch=32]"`).
+///
+/// # Panics
+///
+/// Panics on an empty report list.
+pub(crate) fn merge_reports(reports: Vec<RunReport>, tag: &str) -> RunReport {
+    let mut iter = reports.into_iter();
+    let mut merged = iter.next().expect("at least one report");
+    merged.workload = format!("{} {tag}", merged.workload);
+    for r in iter {
+        merged.shots += r.shots;
+        merged.failures += r.failures;
+        merged.unsolved += r.unsolved;
+        merged.records.extend(r.records);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ShotRecord;
+
+    #[test]
+    fn shot_splitting_is_exact() {
+        assert_eq!(split_shots(10, 3), vec![4, 3, 3]);
+        assert_eq!(split_shots(2, 4), vec![1, 1]);
+        assert_eq!(split_shots(9, 1), vec![9]);
+    }
+
+    fn report(workload: &str, shots: usize, failures: usize) -> RunReport {
+        RunReport {
+            decoder: "D".into(),
+            workload: workload.into(),
+            shots,
+            failures,
+            unsolved: 0,
+            records: vec![
+                ShotRecord {
+                    wall_ns: 1,
+                    serial_iterations: 1,
+                    critical_iterations: 1,
+                    postprocessed: false,
+                    failed: false,
+                };
+                shots
+            ],
+        }
+    }
+
+    #[test]
+    fn fan_out_runs_every_chunk_once() {
+        let reports = fan_out(10, 3, |t, shots| report(&format!("t{t}"), shots, t));
+        assert_eq!(reports.len(), 3);
+        assert_eq!(
+            reports.iter().map(|r| r.shots).collect::<Vec<_>>(),
+            vec![4, 3, 3]
+        );
+        // Thread order is preserved.
+        assert_eq!(reports[0].workload, "t0");
+        assert_eq!(reports[2].workload, "t2");
+    }
+
+    #[test]
+    fn merging_sums_counts_and_concatenates_records() {
+        let merged = merge_reports(vec![report("w", 4, 1), report("w", 3, 2)], "[2T]");
+        assert_eq!(merged.shots, 7);
+        assert_eq!(merged.failures, 3);
+        assert_eq!(merged.records.len(), 7);
+        assert_eq!(merged.workload, "w [2T]");
+    }
+}

@@ -20,14 +20,17 @@
 //! assert!(report.ler() <= 1.0);
 //! ```
 
-mod code_capacity;
+mod batch;
 mod circuit_level;
+mod code_capacity;
 pub mod decoders;
+mod engine;
 mod latency;
 mod parallel_runner;
 mod report;
 mod stats;
 
+pub use batch::{run_circuit_level_batched, run_code_capacity_batched, BatchConfig};
 pub use circuit_level::{run_circuit_level, CircuitLevelConfig};
 pub use code_capacity::{run_code_capacity, sample_depolarizing, CodeCapacityConfig};
 pub use decoders::{DecodeOutcome, DecoderFactory, SyndromeDecoder};

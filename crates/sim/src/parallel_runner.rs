@@ -1,16 +1,22 @@
-//! Multi-threaded Monte Carlo shot runners.
+//! Multi-threaded Monte Carlo shot runners (one decode per call).
 //!
 //! The sequential runners in [`crate::run_code_capacity`] and
 //! [`crate::run_circuit_level`] decode a single stream (matching the
 //! paper's latency methodology). For *throughput* — LER estimation over
-//! many shots — this module fans shots out across threads, each with its
-//! own decoder instances and a derived RNG seed. Aggregate statistics are
-//! identical in distribution; the exact shot stream differs from the
-//! sequential runner (one seed per thread), which is recorded in the
-//! report's workload label.
+//! many shots — these runners fan shots out across threads via the shared
+//! [`crate::engine`] policy: per-thread decoder instances built from the
+//! factory, thread `t` seeded `config.seed + t`, reports concatenated in
+//! thread order. Aggregate statistics are identical in distribution; the
+//! exact shot stream differs from the sequential runner (one seed per
+//! thread), which is recorded in the report's workload label.
+//!
+//! For batched decoding within each thread (amortizing per-call overhead
+//! through [`crate::decoders::SyndromeDecoder::decode_batch`]), see
+//! [`crate::run_code_capacity_batched`].
 
 use crate::code_capacity::CodeCapacityConfig;
 use crate::decoders::DecoderFactory;
+use crate::engine;
 use crate::report::RunReport;
 use crate::CircuitLevelConfig;
 use qldpc_circuit::DetectorErrorModel;
@@ -45,25 +51,18 @@ pub fn run_code_capacity_parallel(
     factory: &DecoderFactory,
     threads: usize,
 ) -> RunReport {
-    assert!(threads > 0, "need at least one thread");
-    let chunks = split_shots(config.shots, threads);
-    let reports: Vec<RunReport> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .enumerate()
-            .map(|(t, &shots)| {
-                let sub = CodeCapacityConfig {
-                    p: config.p,
-                    shots,
-                    seed: config.seed + t as u64,
-                };
-                scope.spawn(move |_| crate::run_code_capacity(code, &sub, factory))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope panicked");
-    merge_reports(reports, threads)
+    let reports = engine::fan_out(config.shots, threads, |t, shots| {
+        crate::run_code_capacity(
+            code,
+            &CodeCapacityConfig {
+                p: config.p,
+                shots,
+                seed: config.seed + t as u64,
+            },
+            factory,
+        )
+    });
+    engine::merge_reports(reports, &format!("[{threads}T]"))
 }
 
 /// Runs a circuit-level experiment across `threads` worker threads; see
@@ -79,46 +78,18 @@ pub fn run_circuit_level_parallel(
     factory: &DecoderFactory,
     threads: usize,
 ) -> RunReport {
-    assert!(threads > 0, "need at least one thread");
-    let chunks = split_shots(config.shots, threads);
-    let reports: Vec<RunReport> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .enumerate()
-            .map(|(t, &shots)| {
-                let sub = CircuitLevelConfig {
-                    shots,
-                    seed: config.seed + t as u64,
-                };
-                scope.spawn(move |_| crate::run_circuit_level(dem, workload, &sub, factory))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope panicked");
-    merge_reports(reports, threads)
-}
-
-fn split_shots(total: usize, threads: usize) -> Vec<usize> {
-    let base = total / threads;
-    let extra = total % threads;
-    (0..threads)
-        .map(|t| base + usize::from(t < extra))
-        .filter(|&s| s > 0)
-        .collect()
-}
-
-fn merge_reports(reports: Vec<RunReport>, threads: usize) -> RunReport {
-    let mut iter = reports.into_iter();
-    let mut merged = iter.next().expect("at least one report");
-    merged.workload = format!("{} [{}T]", merged.workload, threads);
-    for r in iter {
-        merged.shots += r.shots;
-        merged.failures += r.failures;
-        merged.unsolved += r.unsolved;
-        merged.records.extend(r.records);
-    }
-    merged
+    let reports = engine::fan_out(config.shots, threads, |t, shots| {
+        crate::run_circuit_level(
+            dem,
+            workload,
+            &CircuitLevelConfig {
+                shots,
+                seed: config.seed + t as u64,
+            },
+            factory,
+        )
+    });
+    engine::merge_reports(reports, &format!("[{threads}T]"))
 }
 
 #[cfg(test)]
@@ -127,13 +98,6 @@ mod tests {
     use crate::decoders;
     use qldpc_circuit::{MemoryExperiment, NoiseModel};
     use qldpc_codes::bb;
-
-    #[test]
-    fn shot_splitting_is_exact() {
-        assert_eq!(split_shots(10, 3), vec![4, 3, 3]);
-        assert_eq!(split_shots(2, 4), vec![1, 1]);
-        assert_eq!(split_shots(9, 1), vec![9]);
-    }
 
     #[test]
     fn parallel_capacity_run_covers_all_shots() {

@@ -95,7 +95,12 @@ impl RunReport {
 
     /// Serial-iteration statistics (Fig. 12's y-axis).
     pub fn serial_iteration_stats(&self) -> LatencyStats {
-        LatencyStats::from_samples(self.records.iter().map(|r| r.serial_iterations as f64).collect())
+        LatencyStats::from_samples(
+            self.records
+                .iter()
+                .map(|r| r.serial_iterations as f64)
+                .collect(),
+        )
     }
 
     /// Critical-path iteration statistics.

@@ -108,7 +108,10 @@ impl LatencyStats {
 /// Panics if `samples` is empty or `pct` is outside `[0, 100]`.
 pub fn percentile(samples: &[f64], pct: f64) -> f64 {
     assert!(!samples.is_empty(), "percentile of empty sample");
-    assert!((0.0..=100.0).contains(&pct), "percentile must be in [0,100]");
+    assert!(
+        (0.0..=100.0).contains(&pct),
+        "percentile must be in [0,100]"
+    );
     let n = samples.len();
     if n == 1 {
         return samples[0];

@@ -1,0 +1,70 @@
+//! Property tests: `decode_batch` must be observationally identical to a
+//! sequential `decode_syndrome` loop (the contract documented on
+//! `qldpc_decoder_api::SyndromeDecoder::decode_batch`), exercised here
+//! through the paper's decoders on a BB code.
+
+use proptest::prelude::*;
+use qldpc_gf2::BitVec;
+use qldpc_sim::decoders::{self, DecodeOutcome, DecoderFactory};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random error syndromes on bb72's Z-check matrix from a seeded stream.
+fn syndromes_for_seed(seed: u64, count: usize, p: f64) -> Vec<BitVec> {
+    let code = qldpc_codes::bb::bb72();
+    let hz = code.hz();
+    let n = hz.cols();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mut e = BitVec::zeros(n);
+            for i in 0..n {
+                if rng.random_bool(p) {
+                    e.set(i, true);
+                }
+            }
+            hz.mul_vec(&e)
+        })
+        .collect()
+}
+
+fn assert_batch_equals_loop(factory: &DecoderFactory, syndromes: &[BitVec]) {
+    let code = qldpc_codes::bb::bb72();
+    let hz = code.hz();
+    let priors = vec![0.02; hz.cols()];
+    // Two independent instances: decoders are stateful, so batching must
+    // thread state through in exactly the same order as the loop.
+    let mut batched = factory(hz, &priors);
+    let mut looped = factory(hz, &priors);
+    let b = batched.decode_batch(syndromes);
+    let l: Vec<DecodeOutcome> = syndromes
+        .iter()
+        .map(|s| looped.decode_syndrome(s))
+        .collect();
+    assert_eq!(b.len(), l.len());
+    for (i, (x, y)) in b.iter().zip(&l).enumerate() {
+        assert_eq!(x.solved, y.solved, "solved diverged at shot {i}");
+        assert_eq!(x.error_hat, y.error_hat, "error_hat diverged at shot {i}");
+        assert_eq!(x.serial_iterations, y.serial_iterations, "shot {i}");
+        assert_eq!(x.critical_iterations, y.critical_iterations, "shot {i}");
+        assert_eq!(x.postprocessed, y.postprocessed, "shot {i}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Plain BP: batch ≡ loop on random syndrome streams.
+    #[test]
+    fn plain_bp_batch_equals_loop(seed in 0u64..10_000, count in 1usize..12) {
+        let syndromes = syndromes_for_seed(seed, count, 0.03);
+        assert_batch_equals_loop(&decoders::plain_bp(30), &syndromes);
+    }
+
+    /// BP-OSD: batch ≡ loop, including post-processed shots.
+    #[test]
+    fn bp_osd_batch_equals_loop(seed in 0u64..10_000, count in 1usize..10) {
+        let syndromes = syndromes_for_seed(seed, count, 0.05);
+        assert_batch_equals_loop(&decoders::bp_osd(25, 10), &syndromes);
+    }
+}

@@ -15,7 +15,12 @@ fn main() {
     //    bb::{bb72, gross_code, bb288}, coprime_bb::{coprime126, coprime154},
     //    gb::gb254, shp::shyps225.
     let code = bb::gross_code();
-    println!("code: {code} (n={}, k={}, d={:?})", code.n(), code.k(), code.d());
+    println!(
+        "code: {code} (n={}, k={}, d={:?})",
+        code.n(),
+        code.k(),
+        code.d()
+    );
 
     // 2. Configure BP-SF: 50 BP iterations, |Φ| = 8 candidates, exhaustive
     //    weight-1 syndrome flips (the paper's code-capacity setting).

@@ -8,11 +8,12 @@
 //! |---|---|---|
 //! | GF(2) algebra | [`gf2`] | bit-packed vectors/matrices, Gaussian elimination |
 //! | Codes | [`codes`] | BB, coprime-BB, GB, HGP, SHYPS constructions |
+//! | Decoder API | [`decoder_api`] | the one [`SyndromeDecoder`](decoder_api::SyndromeDecoder) trait every decoder implements |
 //! | BP | [`bp`] | normalized min-sum (flooding + layered), oscillation tracking |
 //! | OSD baseline | [`osd`] | OSD-0 / OSD-CS post-processing |
 //! | Circuit noise | [`circuit`] | syndrome-extraction circuits, detector error models |
 //! | **BP-SF** | [`bpsf`] | the paper's oscillation-guided syndrome-flip decoder |
-//! | Monte Carlo | [`sim`] | LER estimation, latency stats, hardware models |
+//! | Monte Carlo | [`sim`] | LER estimation (sequential, parallel, batched), latency stats, hardware models |
 //!
 //! # Quickstart
 //!
@@ -36,6 +37,7 @@ pub use bpsf_core as bpsf;
 pub use qldpc_bp as bp;
 pub use qldpc_circuit as circuit;
 pub use qldpc_codes as codes;
+pub use qldpc_decoder_api as decoder_api;
 pub use qldpc_gf2 as gf2;
 pub use qldpc_osd as osd;
 pub use qldpc_sim as sim;
@@ -48,10 +50,12 @@ pub mod prelude {
     };
     pub use crate::circuit::{DemSampler, DetectorErrorModel, MemoryExperiment, NoiseModel};
     pub use crate::codes::{bb, coprime_bb, gb, hgp, shp, CssCode};
+    pub use crate::decoder_api::{DecodeOutcome, DecoderFactory, SyndromeDecoder};
     pub use crate::gf2::{BitMatrix, BitVec, SparseBitMatrix};
     pub use crate::osd::{BpOsdDecoder, OsdConfig};
     pub use crate::sim::{
-        decoders, run_circuit_level, run_code_capacity, CircuitLevelConfig, CodeCapacityConfig,
-        HardwareLatencyModel,
+        decoders, run_circuit_level, run_circuit_level_batched, run_circuit_level_parallel,
+        run_code_capacity, run_code_capacity_batched, run_code_capacity_parallel, BatchConfig,
+        CircuitLevelConfig, CodeCapacityConfig, HardwareLatencyModel,
     };
 }

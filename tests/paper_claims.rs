@@ -2,8 +2,8 @@
 //! scale with fixed seeds (full-scale reproductions live in the bench
 //! binaries; see EXPERIMENTS.md).
 
-use bpsf::prelude::*;
 use bpsf::bpsf::{hit_precision_recall, select_candidates};
+use bpsf::prelude::*;
 use qldpc_bp::MinSumDecoder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -47,7 +47,10 @@ fn oscillating_bits_predict_error_locations() {
             break;
         }
     }
-    assert!(failures_seen >= 3, "need BP failures to study; got {failures_seen}");
+    assert!(
+        failures_seen >= 3,
+        "need BP failures to study; got {failures_seen}"
+    );
     let mean: f64 = precisions.iter().sum::<f64>() / precisions.len() as f64;
     // Average mechanism prior is ~p/3 ≈ 1e-3; precision must be orders
     // of magnitude above it (the paper reports ~0.2–0.8).
@@ -87,7 +90,11 @@ fn iteration_distribution_is_long_tailed() {
         "median iterations {} should be small at p=1e-3",
         stats.median
     );
-    assert!(stats.mean < 60.0, "mean {} should sit far below the cap", stats.mean);
+    assert!(
+        stats.mean < 60.0,
+        "mean {} should sit far below the cap",
+        stats.mean
+    );
 }
 
 /// Paper Fig. 14/15: on shots where the initial BP fails, BP-SF's
@@ -98,7 +105,10 @@ fn bp_sf_postprocessing_is_faster_than_osd() {
     let noise = NoiseModel::uniform_depolarizing(4e-3);
     let exp = MemoryExperiment::memory_z(&code, 3, &noise);
     let dem = exp.detector_error_model();
-    let config = CircuitLevelConfig { shots: 120, seed: 9 };
+    let config = CircuitLevelConfig {
+        shots: 120,
+        seed: 9,
+    };
     let sf = run_circuit_level(
         &dem,
         "gross r3",
@@ -108,7 +118,10 @@ fn bp_sf_postprocessing_is_faster_than_osd() {
     let osd = run_circuit_level(&dem, "gross r3", &config, &decoders::bp_osd(60, 10));
     let sf_pp = sf.postprocessed_wall_stats_ms();
     let osd_pp = osd.postprocessed_wall_stats_ms();
-    assert!(sf_pp.count > 0 && osd_pp.count > 0, "need post-processed shots");
+    assert!(
+        sf_pp.count > 0 && osd_pp.count > 0,
+        "need post-processed shots"
+    );
     // Wall-clock comparisons are only meaningful with optimizations: debug
     // builds slow the float-heavy BP kernel far more than the bit-packed
     // elimination, inverting the ratio.
@@ -131,7 +144,10 @@ fn bp_sf_ler_comparable_to_bp_osd() {
     let noise = NoiseModel::uniform_depolarizing(4e-3);
     let exp = MemoryExperiment::memory_z(&code, 2, &noise);
     let dem = exp.detector_error_model();
-    let config = CircuitLevelConfig { shots: 150, seed: 10 };
+    let config = CircuitLevelConfig {
+        shots: 150,
+        seed: 10,
+    };
     let sf = run_circuit_level(
         &dem,
         "gross r2",
@@ -140,7 +156,10 @@ fn bp_sf_ler_comparable_to_bp_osd() {
     );
     let osd = run_circuit_level(&dem, "gross r2", &config, &decoders::bp_osd(100, 10));
     let bp = run_circuit_level(&dem, "gross r2", &config, &decoders::plain_bp(100));
-    assert!(sf.failures <= bp.failures, "BP-SF must not lose to plain BP");
+    assert!(
+        sf.failures <= bp.failures,
+        "BP-SF must not lose to plain BP"
+    );
     assert!(
         sf.failures <= osd.failures + 4,
         "BP-SF ({}) should be comparable to BP-OSD ({})",

@@ -1,0 +1,254 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Keeps criterion's bench-definition API (`criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_with_input`,
+//! `Bencher::iter`, [`black_box`]) so benches compile and run hermetically,
+//! but replaces the statistics engine with a simple
+//! median-of-samples timer printed to stdout. Invoke with `--test` (as
+//! `cargo test --benches` does) to run each benchmark body once and skip
+//! measurement.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value barrier; forwards to
+/// [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement settings shared by a group's benches.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    /// Timed samples per benchmark.
+    sample_size: usize,
+    /// Soft wall-clock budget per benchmark.
+    budget: Duration,
+    /// Run each body exactly once, untimed (test mode).
+    smoke_only: bool,
+}
+
+impl Settings {
+    fn from_args() -> Self {
+        let smoke_only = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: 10,
+            budget: Duration::from_millis(500),
+            smoke_only,
+        }
+    }
+}
+
+/// The harness entry point; one per process, created by
+/// [`criterion_main!`].
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            settings: Settings::from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.settings, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named set of benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.settings, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label);
+        run_one(&full, self.settings, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// A `name/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Builds a parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to each benchmark body; call [`Bencher::iter`] with the code to
+/// measure.
+pub struct Bencher {
+    settings: Settings,
+    /// Median time per iteration from the last `iter` call.
+    last_median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median per-iteration duration.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.settings.smoke_only {
+            black_box(f());
+            return;
+        }
+        // Warm-up, then decide how many inner iterations make one sample.
+        let warm = Instant::now();
+        black_box(f());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.settings.budget / (self.settings.sample_size as u32);
+        let inner = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+
+        let mut samples = Vec::with_capacity(self.settings.sample_size);
+        let deadline = Instant::now() + self.settings.budget;
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            for _ in 0..inner {
+                black_box(f());
+            }
+            samples.push(start.elapsed() / inner);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        samples.sort_unstable();
+        self.last_median = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn run_one<F>(id: &str, settings: Settings, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        settings,
+        last_median: None,
+    };
+    f(&mut b);
+    if settings.smoke_only {
+        println!("{id}: ok (smoke)");
+    } else {
+        match b.last_median {
+            Some(t) => println!("{id}: median {t:?}"),
+            None => println!("{id}: no measurement (Bencher::iter never called)"),
+        }
+    }
+}
+
+/// Declares a group fn that runs the listed benchmark fns.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_round_trips() {
+        let mut c = Criterion {
+            settings: Settings {
+                sample_size: 3,
+                budget: Duration::from_millis(20),
+                smoke_only: false,
+            },
+        };
+        let mut ran = 0u32;
+        c.bench_function("standalone", |b| b.iter(|| black_box(3u64 * 7)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &x| {
+            b.iter(|| black_box(x + 1))
+        });
+        g.bench_function("named", |b| b.iter(|| black_box(1u8)));
+        g.finish();
+        ran += 1;
+        assert_eq!(ran, 1);
+    }
+}

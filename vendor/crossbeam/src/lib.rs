@@ -1,0 +1,16 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate.
+//!
+//! The workspace builds hermetically, so the two crossbeam facilities it
+//! uses are reimplemented on top of std:
+//!
+//! * [`thread::scope`] — scoped spawning, a thin adapter over
+//!   [`std::thread::scope`] preserving crossbeam's `Result`-returning
+//!   signature and the `|scope| scope.spawn(|_| …)` closure shape.
+//! * [`channel`] — an unbounded MPMC channel (cloneable `Sender` **and**
+//!   `Receiver`) built from `Mutex<VecDeque>` + `Condvar`. Throughput is
+//!   adequate for the decoder worker pools here (hundreds of jobs per
+//!   decode), not for fine-grained message storms.
+
+pub mod channel;
+pub mod thread;

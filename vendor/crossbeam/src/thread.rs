@@ -1,0 +1,87 @@
+//! Scoped threads, adapted from [`std::thread::scope`] to crossbeam's
+//! `Result`-returning API.
+
+use std::any::Any;
+
+/// A scope handle; crossbeam passes it to every spawned closure (the call
+/// sites here all ignore it as `|_|`), and it allows nested spawns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread and returns its value, or the panic payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread that may borrow from the enclosing scope. The
+    /// closure receives this scope (crossbeam's signature); it is joined
+    /// implicitly at scope exit if not joined explicitly.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner_scope = self.inner;
+        ScopedJoinHandle {
+            inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })),
+        }
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-data threads can be spawned;
+/// every thread is joined before this returns.
+///
+/// Matches crossbeam's signature: `Ok(result)` normally; an `Err` carrying
+/// the panic payload if a spawned thread panicked and its handle was not
+/// joined (std re-raises such panics, which we capture here).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn joined_panic_is_a_handle_error_not_a_scope_error() {
+        let r = scope(|s| {
+            let h = s.spawn(|_| panic!("contained"));
+            assert!(h.join().is_err());
+            42
+        });
+        assert_eq!(r.unwrap(), 42);
+    }
+}

@@ -1,0 +1,39 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A fair coin.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// The fair-coin strategy value, mirroring `proptest::bool::ANY`.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.random_bool(0.5)
+    }
+}
+
+/// `true` with probability `p`.
+pub fn weighted(p: f64) -> Weighted {
+    Weighted { p }
+}
+
+/// See [`weighted`].
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted {
+    p: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.random_bool(self.p)
+    }
+}

@@ -1,0 +1,126 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(…)]`), the [`Strategy`]
+//! trait with `prop_map` / `prop_flat_map` / `prop_filter`, integer and
+//! float range strategies, tuple strategies, [`collection::vec`] /
+//! [`collection::btree_set`], and [`bool::ANY`] / [`bool::weighted`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its case number (stderr)
+//!   and re-raises the panic; generation is deterministic, so rerunning
+//!   the test replays the same case sequence for debugging.
+//! * **Fixed seeding** — every test fn draws from the same deterministic
+//!   seed, so CI runs are exactly reproducible (no `PROPTEST_` env vars).
+
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The everyday imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a property test (no shrinking, so this is
+/// plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its precondition fails (the case still
+/// counts toward the configured total).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` that runs `body` for `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::new_rng();
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                let __run = || $body;
+                if let Err(__panic) =
+                    ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run))
+                {
+                    eprintln!(
+                        "proptest: test `{}` failed at case {}/{} (deterministic seed; \
+                         rerun replays the same cases)",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn macro_runs_every_case(x in 0usize..100) {
+            prop_assert!(x < 100);
+        }
+
+        #[test]
+        #[should_panic]
+        fn failing_case_reraises_the_panic(x in 10usize..20) {
+            prop_assert!(x < 15, "x was {x}");
+        }
+    }
+}

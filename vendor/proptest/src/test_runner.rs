@@ -1,0 +1,30 @@
+//! Test-runner configuration and the deterministic case RNG.
+
+/// The generator property tests draw from.
+pub type TestRng = rand::rngs::StdRng;
+
+/// A fresh deterministic RNG; every `proptest!` test fn starts from this
+/// same stream so runs are exactly reproducible.
+pub fn new_rng() -> TestRng {
+    <TestRng as rand::SeedableRng>::seed_from_u64(0x5eed_cafe_f00d_0001)
+}
+
+/// Per-block configuration (only `cases` is honored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test fn.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
