@@ -1,13 +1,18 @@
-//! Criterion bench: cost of the min-sum BP kernel — the O(N) claim.
+//! Criterion bench: cost of the min-sum BP kernel — the O(N) claim —
+//! plus the batch-width sweep of the shot-interleaved kernel.
 //!
 //! Measures a fixed 20-iteration decode on the code-capacity check
-//! matrices of increasing size, flooding vs layered schedules.
+//! matrices of increasing size, flooding vs layered schedules; then
+//! sweeps `BatchMinSumDecoder` over B ∈ {1, 8, 32, 128} on the gross
+//! code against the scalar per-shot loop, writing the per-shot cost and
+//! speedup series to `BENCH_bp_batch.json` in the working directory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qldpc_bp::{BpConfig, MinSumDecoder, Schedule};
+use qldpc_bp::{BatchMinSumDecoder, BpConfig, MinSumDecoder, Schedule};
 use qldpc_gf2::BitVec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
 fn bench_bp_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("bp_kernel_20iters");
@@ -43,5 +48,106 @@ fn bench_bp_kernel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bp_kernel);
+/// Random gross-code syndromes from i.i.d. errors at rate `p`.
+fn gross_syndromes(shots: usize, p: f64, seed: u64) -> Vec<BitVec> {
+    let code = qldpc_codes::bb::gross_code();
+    let hz = code.hz();
+    let n = hz.cols();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..shots)
+        .map(|_| {
+            let mut e = BitVec::zeros(n);
+            for i in 0..n {
+                if rng.random_bool(p) {
+                    e.set(i, true);
+                }
+            }
+            hz.mul_vec(&e)
+        })
+        .collect()
+}
+
+/// Median-of-samples wall time for `f` over the whole shot set, in
+/// nanoseconds per shot.
+fn ns_per_shot(shots: usize, samples: usize, mut f: impl FnMut()) -> u64 {
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2] / shots as u64
+}
+
+/// Batch-width sweep: the amortization claim, measured. Emits
+/// `BENCH_bp_batch.json` with ns/shot for the scalar loop and for the
+/// interleaved kernel at B ∈ {1, 8, 32, 128}.
+fn bench_bp_batch(_c: &mut Criterion) {
+    // `cargo bench` invokes bench binaries with `--bench`; anything else
+    // (`cargo test --benches` runs them with NO marker argument, and in
+    // the dev profile at that) gets a fast smoke pass that must not
+    // overwrite the measurement artifact.
+    let smoke = !std::env::args().any(|a| a == "--bench");
+    let (shots, samples) = if smoke { (8, 1) } else { (256, 5) };
+    let bp_iters = 20;
+    let code = qldpc_codes::bb::gross_code();
+    let hz = code.hz();
+    let n = hz.cols();
+    let priors = vec![0.03; n];
+    let config = BpConfig {
+        max_iters: bp_iters,
+        ..BpConfig::default()
+    };
+    let syndromes = gross_syndromes(shots, 0.05, 7);
+
+    let mut scalar = MinSumDecoder::new(hz, &priors, config);
+    let scalar_ns = ns_per_shot(shots, samples, || {
+        for s in &syndromes {
+            std::hint::black_box(scalar.decode(s));
+        }
+    });
+    println!("bp_batch_sweep/scalar_loop: {scalar_ns} ns/shot");
+
+    let mut series = Vec::new();
+    let mut widths = vec![1usize, 8, 32, 128];
+    widths.retain(|&w| w <= shots); // smoke mode caps the shot count
+    for &width in &widths {
+        let mut engine = BatchMinSumDecoder::new(hz, &priors, config);
+        let batch_ns = ns_per_shot(shots, samples, || {
+            for chunk in syndromes.chunks(width) {
+                std::hint::black_box(engine.decode_batch_results(chunk));
+            }
+        });
+        let speedup = scalar_ns as f64 / batch_ns.max(1) as f64;
+        println!("bp_batch_sweep/B={width}: {batch_ns} ns/shot ({speedup:.2}x vs scalar loop)");
+        series.push(format!(
+            "    {{\"batch_width\": {width}, \"ns_per_shot\": {batch_ns}, \
+             \"speedup_vs_scalar\": {speedup:.3}}}"
+        ));
+    }
+
+    if smoke {
+        // `cargo test` runs bench targets with `--test`: keep the smoke
+        // pass from clobbering a real measurement artifact.
+        println!("bp_batch_sweep: smoke mode, not writing BENCH_bp_batch.json");
+        return;
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"bp_batch_sweep\",\n  \"code\": \"[[144,12,12]] gross\",\n  \
+         \"bp_iters\": {bp_iters},\n  \"shots\": {shots},\n  \"error_rate\": 0.05,\n  \
+         \"scalar_ns_per_shot\": {scalar_ns},\n  \"series\": [\n{}\n  ]\n}}\n",
+        series.join(",\n")
+    );
+    // Bench binaries run with cwd = crates/bench; emit at the workspace
+    // root where the other BENCH artifacts live.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_bp_batch.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("bp_batch_sweep: wrote {path}"),
+        Err(e) => eprintln!("bp_batch_sweep: could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_bp_kernel, bench_bp_batch);
 criterion_main!(benches);

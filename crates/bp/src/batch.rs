@@ -1,0 +1,637 @@
+//! Shot-interleaved batched min-sum BP: decode `B` syndromes per call.
+//!
+//! This is the throughput engine behind the paper's core claim — that
+//! fully parallelized BP wins on *throughput* because many syndromes can
+//! be decoded simultaneously, amortizing the Tanner-graph traversal
+//! across shots. [`BatchMinSumDecoder`] keeps all message state in
+//! structure-of-arrays slabs:
+//!
+//! * `c2v`, `v2c`: `num_edges × L` (edge-major, lane-minor),
+//! * `posterior`, `hard`, `flip_counts`: `num_vars × L`,
+//! * syndrome bits/signs: `num_checks × L`,
+//!
+//! where `L = min(B, max_lanes)` is the lane width of one tile. Each BP
+//! iteration walks the graph's edge structure **once** for all live
+//! lanes; the per-lane inner loops run over contiguous memory and
+//! auto-vectorize over the batch dimension. Check-node updates go
+//! through the same [`kernel`](crate::kernel) core the scalar decoder
+//! uses, so every lane executes the same floating-point operations in
+//! the same order as a scalar [`MinSumDecoder::decode`] of that shot —
+//! the outputs are **bit-identical**, enforced by the property suite in
+//! `crates/bp/tests/batch_equivalence.rs`.
+//!
+//! # Early termination: lane compaction
+//!
+//! Per-shot early exit is preserved via an active-lane prefix instead of
+//! a mask: when a lane converges, its column is swapped (a pure
+//! permutation — no lane's arithmetic changes) to the tail of every slab
+//! and the live width shrinks, so each iteration's cost is proportional
+//! to the number of *still-running* shots, exactly like the scalar
+//! decoder's per-shot iteration sum. Converged lanes keep their slot and
+//! frozen state until extraction.
+//!
+//! # Examples
+//!
+//! ```
+//! use qldpc_bp::{BatchMinSumDecoder, BpConfig};
+//! use qldpc_gf2::{BitVec, SparseBitMatrix};
+//!
+//! let h = SparseBitMatrix::from_row_indices(2, 3, &[vec![0, 1], vec![1, 2]]);
+//! let mut dec = BatchMinSumDecoder::new(&h, &[0.1; 3], BpConfig::default());
+//! let syndromes = vec![BitVec::zeros(2), BitVec::from_indices(2, &[0])];
+//! let results = dec.decode_batch_results(&syndromes);
+//! assert_eq!(results.len(), 2);
+//! assert!(results[0].converged && results[0].error_hat.is_zero());
+//! ```
+
+use crate::graph::TannerGraph;
+use crate::kernel::{self, CheckScratch, LLR_CLAMP};
+use crate::{prior_llr, BpConfig, BpResult, MinSumDecoder};
+use qldpc_gf2::{BitVec, SparseBitMatrix};
+
+/// Default cap on the lane width of one interleaved tile.
+///
+/// Bounds slab memory at `2 × num_edges × 128` doubles regardless of the
+/// caller's batch size; larger batches are processed as consecutive tiles
+/// (the ragged tail simply runs at a narrower width).
+pub const DEFAULT_MAX_LANES: usize = 128;
+
+/// A batched normalized min-sum decoder over shot-interleaved message
+/// slabs, bit-identical to per-shot [`MinSumDecoder`] decoding.
+///
+/// Supports everything the scalar decoder does — flooding and layered
+/// schedules, adaptive and fixed damping, posterior memory, min-sum and
+/// sum-product check rules, per-lane oscillation tracking for BP-SF —
+/// because both decoders share one check-update core and mirror each
+/// other's variable-phase operation order per lane.
+///
+/// The decoder owns all slabs and grows them lazily to the widest tile it
+/// has seen; repeated batch decodes do not allocate (beyond the returned
+/// results). Clone it to decode on several threads concurrently.
+#[derive(Debug, Clone)]
+pub struct BatchMinSumDecoder {
+    graph: TannerGraph,
+    h: SparseBitMatrix,
+    config: BpConfig,
+    channel_llrs: Vec<f64>,
+    max_lanes: usize,
+    // Shot-interleaved working slabs at the current tile's lane stride,
+    // reused across decodes.
+    c2v: Vec<f64>,
+    v2c: Vec<f64>,
+    posterior: Vec<f64>,
+    hard: Vec<bool>,
+    hard_prev: Vec<bool>,
+    flip_counts: Vec<u32>,
+    /// `±1.0` per (check, lane): `-1.0` where the syndrome bit is set.
+    syndrome_sign: Vec<f64>,
+    syndrome_bit: Vec<bool>,
+    /// Original shot index occupying each physical lane (compaction swaps
+    /// permute this alongside the slab columns).
+    lane_shot: Vec<usize>,
+    // Per-shot (not per-lane) bookkeeping.
+    converged: Vec<bool>,
+    iterations: Vec<usize>,
+    /// Per-lane accumulator for the variable phases.
+    lane_sum: Vec<f64>,
+    scratch: CheckScratch,
+}
+
+impl BatchMinSumDecoder {
+    /// Builds a batched decoder for check matrix `h` with per-variable
+    /// error priors `priors`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `priors.len() != h.cols()`, `max_iters == 0`, or the
+    /// memory strength lies outside `[0, 1)` — the same contract as
+    /// [`MinSumDecoder::new`].
+    pub fn new(h: &SparseBitMatrix, priors: &[f64], config: BpConfig) -> Self {
+        assert_eq!(priors.len(), h.cols(), "one prior per variable required");
+        assert!(config.max_iters > 0, "max_iters must be positive");
+        assert!(
+            (0.0..1.0).contains(&config.memory_strength),
+            "memory strength must lie in [0, 1)"
+        );
+        let channel_llrs = priors.iter().map(|&p| prior_llr(p)).collect();
+        Self::from_parts(TannerGraph::new(h), h.clone(), config, channel_llrs)
+    }
+
+    /// Builds a batched engine with the same check matrix, priors and
+    /// configuration as an existing scalar decoder, so a scalar decoder
+    /// can hand batches to the interleaved kernel with identical results.
+    pub fn from_scalar(scalar: &MinSumDecoder) -> Self {
+        Self::from_parts(
+            scalar.graph().clone(),
+            scalar.check_matrix().clone(),
+            *scalar.config(),
+            scalar.channel_llrs().to_vec(),
+        )
+    }
+
+    fn from_parts(
+        graph: TannerGraph,
+        h: SparseBitMatrix,
+        config: BpConfig,
+        channel_llrs: Vec<f64>,
+    ) -> Self {
+        Self {
+            graph,
+            h,
+            config,
+            channel_llrs,
+            max_lanes: DEFAULT_MAX_LANES,
+            c2v: Vec::new(),
+            v2c: Vec::new(),
+            posterior: Vec::new(),
+            hard: Vec::new(),
+            hard_prev: Vec::new(),
+            flip_counts: Vec::new(),
+            syndrome_sign: Vec::new(),
+            syndrome_bit: Vec::new(),
+            lane_shot: Vec::new(),
+            converged: Vec::new(),
+            iterations: Vec::new(),
+            lane_sum: Vec::new(),
+            scratch: CheckScratch::new(1),
+        }
+    }
+
+    /// The decoder's configuration.
+    pub fn config(&self) -> &BpConfig {
+        &self.config
+    }
+
+    /// The check matrix this decoder is bound to.
+    pub fn check_matrix(&self) -> &SparseBitMatrix {
+        &self.h
+    }
+
+    /// Number of variables (columns).
+    pub fn num_vars(&self) -> usize {
+        self.graph.num_vars()
+    }
+
+    /// The lane-width cap of one interleaved tile.
+    pub fn max_lanes(&self) -> usize {
+        self.max_lanes
+    }
+
+    /// Caps the lane width of one interleaved tile (memory/locality
+    /// trade-off; results are unaffected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_lanes == 0`.
+    pub fn set_max_lanes(&mut self, max_lanes: usize) {
+        assert!(max_lanes > 0, "need at least one lane");
+        self.max_lanes = max_lanes;
+    }
+
+    /// Re-syncs configuration and channel LLRs from the owning scalar
+    /// decoder (the cached engine behind `MinSumDecoder::decode_batch`
+    /// must honor `config_mut`/`set_priors` changes between calls).
+    pub(crate) fn sync(&mut self, config: BpConfig, channel_llrs: &[f64]) {
+        debug_assert_eq!(channel_llrs.len(), self.graph.num_vars());
+        self.config = config;
+        self.channel_llrs.clear();
+        self.channel_llrs.extend_from_slice(channel_llrs);
+    }
+
+    /// Replaces the channel priors (lengths must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `priors.len() != num_vars()`.
+    pub fn set_priors(&mut self, priors: &[f64]) {
+        assert_eq!(
+            priors.len(),
+            self.graph.num_vars(),
+            "one prior per variable required"
+        );
+        self.channel_llrs = priors.iter().map(|&p| prior_llr(p)).collect();
+    }
+
+    /// Decodes one syndrome (a batch of width 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `syndrome.len()` differs from the number of checks.
+    pub fn decode(&mut self, syndrome: &BitVec) -> BpResult {
+        self.decode_batch_results(std::slice::from_ref(syndrome))
+            .pop()
+            .expect("one result per syndrome")
+    }
+
+    /// Decodes a batch of syndromes, returning one [`BpResult`] per
+    /// syndrome in input order.
+    ///
+    /// An empty batch returns an empty vector. Batches wider than
+    /// [`Self::max_lanes`] are processed as consecutive tiles; the ragged
+    /// tail (`syndromes.len() % max_lanes != 0`) runs at a narrower lane
+    /// width. Lanes are fully isolated: the result of shot `i` depends
+    /// only on `syndromes[i]` and is bit-identical to
+    /// [`MinSumDecoder::decode`] of that syndrome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any syndrome's length differs from the number of checks.
+    pub fn decode_batch_results(&mut self, syndromes: &[BitVec]) -> Vec<BpResult> {
+        for s in syndromes {
+            assert_eq!(
+                s.len(),
+                self.graph.num_checks(),
+                "syndrome length must equal the number of checks"
+            );
+        }
+        let mut out = Vec::with_capacity(syndromes.len());
+        let max_lanes = self.max_lanes;
+        for tile in syndromes.chunks(max_lanes) {
+            self.decode_tile(tile, &mut out);
+        }
+        out
+    }
+
+    /// Decodes one tile of up to `max_lanes` shots into `out`.
+    fn decode_tile(&mut self, tile: &[BitVec], out: &mut Vec<BpResult>) {
+        let lanes = tile.len();
+        let vars = self.graph.num_vars();
+        self.reset(tile);
+
+        // `width` is the live-lane prefix; converged lanes are swapped
+        // past it and frozen.
+        let mut width = lanes;
+        for iter in 1..=self.config.max_iters {
+            if width == 0 {
+                break;
+            }
+            for b in 0..width {
+                self.iterations[self.lane_shot[b]] = iter;
+            }
+            let alpha = self.config.damping.factor(iter);
+            match self.config.schedule {
+                crate::Schedule::Flooding => self.flooding_iteration(lanes, width, alpha),
+                crate::Schedule::Layered => self.layered_iteration(lanes, width, alpha),
+            }
+            // Hard decision (paper Eq. 8) on the live lanes.
+            for v in 0..vars {
+                let vb = v * lanes;
+                for b in 0..width {
+                    self.hard[vb + b] = self.posterior[vb + b] <= 0.0;
+                }
+            }
+            if self.config.track_oscillations {
+                for v in 0..vars {
+                    let vb = v * lanes;
+                    for b in 0..width {
+                        if self.hard[vb + b] != self.hard_prev[vb + b] {
+                            self.flip_counts[vb + b] += 1;
+                        }
+                        self.hard_prev[vb + b] = self.hard[vb + b];
+                    }
+                }
+            }
+            // Retire converged lanes by compacting the live prefix. When
+            // lane `b` retires, the occupant of `width - 1` moves into
+            // `b` and is examined next — no lane is skipped.
+            let mut b = 0;
+            while b < width {
+                if self.lane_satisfied(b, lanes) {
+                    self.converged[self.lane_shot[b]] = true;
+                    self.swap_lanes(b, width - 1, lanes);
+                    width -= 1;
+                } else {
+                    b += 1;
+                }
+            }
+        }
+
+        for shot in 0..lanes {
+            // Compaction left this shot's state in some physical lane.
+            let b = self
+                .lane_shot
+                .iter()
+                .position(|&s| s == shot)
+                .expect("every shot occupies exactly one lane");
+            let mut error_hat = BitVec::zeros(vars);
+            for v in 0..vars {
+                if self.hard[v * lanes + b] {
+                    error_hat.set(v, true);
+                }
+            }
+            out.push(BpResult {
+                converged: self.converged[shot],
+                error_hat,
+                iterations: self.iterations[shot],
+                posteriors: (0..vars).map(|v| self.posterior[v * lanes + b]).collect(),
+                flip_counts: if self.config.track_oscillations {
+                    (0..vars).map(|v| self.flip_counts[v * lanes + b]).collect()
+                } else {
+                    Vec::new()
+                },
+            });
+        }
+    }
+
+    /// Sizes the slabs for `tile.len()` lanes and loads the tile's state.
+    fn reset(&mut self, tile: &[BitVec]) {
+        let lanes = tile.len();
+        let edges = self.graph.num_edges();
+        let vars = self.graph.num_vars();
+        let checks = self.graph.num_checks();
+
+        self.c2v.clear();
+        self.c2v.resize(edges * lanes, 0.0);
+        // v2c is fully rewritten before it is read each iteration (both
+        // schedules), exactly like the scalar decoder's buffer.
+        self.v2c.resize(edges * lanes, 0.0);
+
+        self.posterior.clear();
+        self.posterior.reserve(vars * lanes);
+        for v in 0..vars {
+            let llr = self.channel_llrs[v];
+            for _ in 0..lanes {
+                self.posterior.push(llr);
+            }
+        }
+        self.hard.clear();
+        self.hard.resize(vars * lanes, false);
+        self.hard_prev.clear();
+        self.hard_prev.resize(vars * lanes, false);
+        self.flip_counts.clear();
+        self.flip_counts.resize(vars * lanes, 0);
+
+        self.syndrome_bit.clear();
+        self.syndrome_bit.reserve(checks * lanes);
+        self.syndrome_sign.clear();
+        self.syndrome_sign.reserve(checks * lanes);
+        for c in 0..checks {
+            for s in tile {
+                let bit = s.get(c);
+                self.syndrome_bit.push(bit);
+                self.syndrome_sign.push(if bit { -1.0 } else { 1.0 });
+            }
+        }
+
+        self.lane_shot.clear();
+        self.lane_shot.extend(0..lanes);
+        self.converged.clear();
+        self.converged.resize(lanes, false);
+        self.iterations.clear();
+        self.iterations.resize(lanes, 0);
+        self.lane_sum.clear();
+        self.lane_sum.resize(lanes, 0.0);
+        self.scratch.ensure(lanes);
+    }
+
+    /// Swaps physical lanes `a` and `b` in every slab — a pure column
+    /// permutation; no lane's values or operation order change.
+    fn swap_lanes(&mut self, a: usize, b: usize, lanes: usize) {
+        if a == b {
+            return;
+        }
+        for e in 0..self.graph.num_edges() {
+            self.c2v.swap(e * lanes + a, e * lanes + b);
+            self.v2c.swap(e * lanes + a, e * lanes + b);
+        }
+        for v in 0..self.graph.num_vars() {
+            let vb = v * lanes;
+            self.posterior.swap(vb + a, vb + b);
+            self.hard.swap(vb + a, vb + b);
+            self.hard_prev.swap(vb + a, vb + b);
+            self.flip_counts.swap(vb + a, vb + b);
+        }
+        for c in 0..self.graph.num_checks() {
+            let cb = c * lanes;
+            self.syndrome_bit.swap(cb + a, cb + b);
+            self.syndrome_sign.swap(cb + a, cb + b);
+        }
+        self.lane_shot.swap(a, b);
+    }
+
+    /// One flooding iteration over the live lanes: V2C, C2V, posteriors.
+    ///
+    /// Mirrors [`MinSumDecoder`]'s flooding pass per lane: same edge
+    /// order, same accumulation order, same clamps. `lanes` is the slab
+    /// stride, `width` the live prefix.
+    fn flooding_iteration(&mut self, lanes: usize, width: usize, alpha: f64) {
+        let vars = self.graph.num_vars();
+        let gamma = self.config.memory_strength;
+        // V2C (paper Eq. 5): v2c[e] = lch[v] + Σ_{e'≠e} c2v[e'].
+        // Width-sliced rows hoist the bounds checks out of the per-lane
+        // loops so they vectorize over the batch dimension.
+        for v in 0..vars {
+            let llr = self.channel_llrs[v];
+            let sums = &mut self.lane_sum[..width];
+            if gamma == 0.0 {
+                sums.fill(llr);
+            } else {
+                let vrow = &self.posterior[v * lanes..v * lanes + width];
+                for (s, &p) in sums.iter_mut().zip(vrow) {
+                    *s = (1.0 - gamma) * llr + gamma * p;
+                }
+            }
+            for &e in self.graph.var_edges(v) {
+                let eb = e as usize * lanes;
+                let crow = &self.c2v[eb..eb + width];
+                for (s, &m) in sums.iter_mut().zip(crow) {
+                    *s += m;
+                }
+            }
+            for &e in self.graph.var_edges(v) {
+                let eb = e as usize * lanes;
+                let crow = &self.c2v[eb..eb + width];
+                let vrow = &mut self.v2c[eb..eb + width];
+                for ((out, &s), &m) in vrow.iter_mut().zip(sums.iter()).zip(crow) {
+                    *out = (s - m).clamp(-LLR_CLAMP, LLR_CLAMP);
+                }
+            }
+        }
+        // C2V (paper Eq. 6, or the exact tanh rule).
+        for c in 0..self.graph.num_checks() {
+            self.update_check(c, lanes, width, alpha);
+        }
+        // Posteriors (paper Eq. 7).
+        for v in 0..vars {
+            let sums = &mut self.lane_sum[..width];
+            sums.fill(self.channel_llrs[v]);
+            for &e in self.graph.var_edges(v) {
+                let eb = e as usize * lanes;
+                let crow = &self.c2v[eb..eb + width];
+                for (s, &m) in sums.iter_mut().zip(crow) {
+                    *s += m;
+                }
+            }
+            let prow = &mut self.posterior[v * lanes..v * lanes + width];
+            for (p, &s) in prow.iter_mut().zip(sums.iter()) {
+                *p = s.clamp(-LLR_CLAMP, LLR_CLAMP);
+            }
+        }
+    }
+
+    /// One layered iteration over the live lanes: checks processed
+    /// sequentially, per-shot posteriors updated immediately after each
+    /// check.
+    fn layered_iteration(&mut self, lanes: usize, width: usize, alpha: f64) {
+        for c in 0..self.graph.num_checks() {
+            let range = self.graph.check_edges(c);
+            // Fresh V2C from the running posterior, removing this check's
+            // previous contribution.
+            for e in range.clone() {
+                let v = self.graph.edge_var(e);
+                let (eb, vb) = (e * lanes, v * lanes);
+                let prow = &self.posterior[vb..vb + width];
+                let crow = &self.c2v[eb..eb + width];
+                let vrow = &mut self.v2c[eb..eb + width];
+                for ((out, &p), &m) in vrow.iter_mut().zip(prow).zip(crow) {
+                    *out = (p - m).clamp(-LLR_CLAMP, LLR_CLAMP);
+                }
+            }
+            self.update_check(c, lanes, width, alpha);
+            for e in range {
+                let v = self.graph.edge_var(e);
+                let (eb, vb) = (e * lanes, v * lanes);
+                let vrow = &self.v2c[eb..eb + width];
+                let crow = &self.c2v[eb..eb + width];
+                let prow = &mut self.posterior[vb..vb + width];
+                for ((out, &a), &m) in prow.iter_mut().zip(vrow).zip(crow) {
+                    *out = (a + m).clamp(-LLR_CLAMP, LLR_CLAMP);
+                }
+            }
+        }
+    }
+
+    /// Recomputes check `c`'s C2V messages for the live lanes via the
+    /// shared check-update core.
+    fn update_check(&mut self, c: usize, lanes: usize, width: usize, alpha: f64) {
+        let range = self.graph.check_edges(c);
+        kernel::update_check_lanes(
+            self.config.algorithm,
+            &self.v2c[range.start * lanes..range.end * lanes],
+            &mut self.c2v[range.start * lanes..range.end * lanes],
+            lanes,
+            width,
+            &self.syndrome_sign[c * lanes..c * lanes + width],
+            alpha,
+            &mut self.scratch,
+        );
+    }
+
+    /// Checks `H·ê = s` for physical lane `b` using its current hard
+    /// decision.
+    fn lane_satisfied(&self, b: usize, lanes: usize) -> bool {
+        for c in 0..self.graph.num_checks() {
+            let mut parity = false;
+            for &v in self.graph.check_vars(c) {
+                parity ^= self.hard[v as usize * lanes + b];
+            }
+            if parity != self.syndrome_bit[c * lanes + b] {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repetition_h(n: usize) -> SparseBitMatrix {
+        let rows: Vec<Vec<usize>> = (0..n - 1).map(|i| vec![i, i + 1]).collect();
+        SparseBitMatrix::from_row_indices(n - 1, n, &rows)
+    }
+
+    #[test]
+    fn empty_batch_returns_empty() {
+        let h = repetition_h(5);
+        let mut dec = BatchMinSumDecoder::new(&h, &[0.05; 5], BpConfig::default());
+        assert!(dec.decode_batch_results(&[]).is_empty());
+    }
+
+    #[test]
+    fn corrects_single_errors_across_lanes() {
+        let h = repetition_h(9);
+        let mut dec = BatchMinSumDecoder::new(&h, &[0.05; 9], BpConfig::default());
+        let errors: Vec<BitVec> = (0..9).map(|b| BitVec::from_indices(9, &[b])).collect();
+        let syndromes: Vec<BitVec> = errors.iter().map(|e| h.mul_vec(e)).collect();
+        let results = dec.decode_batch_results(&syndromes);
+        for (bit, (r, e)) in results.iter().zip(&errors).enumerate() {
+            assert!(r.converged, "lane {bit} failed");
+            assert_eq!(&r.error_hat, e, "lane {bit} mis-decoded");
+        }
+    }
+
+    #[test]
+    fn matches_scalar_bitwise_on_a_mixed_batch() {
+        let h = repetition_h(9);
+        let config = BpConfig {
+            max_iters: 30,
+            track_oscillations: true,
+            ..BpConfig::default()
+        };
+        let mut batch = BatchMinSumDecoder::new(&h, &[0.05; 9], config);
+        let mut scalar = MinSumDecoder::new(&h, &[0.05; 9], config);
+        let syndromes: Vec<BitVec> = [vec![], vec![3], vec![1, 5], vec![0, 4, 8]]
+            .iter()
+            .map(|bits| h.mul_vec(&BitVec::from_indices(9, bits)))
+            .collect();
+        let rb = batch.decode_batch_results(&syndromes);
+        for (r, s) in rb.iter().zip(&syndromes) {
+            let rs = scalar.decode(s);
+            assert_eq!(r.converged, rs.converged);
+            assert_eq!(r.iterations, rs.iterations);
+            assert_eq!(r.error_hat, rs.error_hat);
+            assert_eq!(r.flip_counts, rs.flip_counts);
+            for (a, b) in r.posteriors.iter().zip(&rs.posteriors) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn tiling_is_invisible() {
+        let h = repetition_h(9);
+        let syndromes: Vec<BitVec> = (0..10)
+            .map(|i| h.mul_vec(&BitVec::from_indices(9, &[i % 9])))
+            .collect();
+        let mut wide = BatchMinSumDecoder::new(&h, &[0.05; 9], BpConfig::default());
+        let mut narrow = BatchMinSumDecoder::new(&h, &[0.05; 9], BpConfig::default());
+        narrow.set_max_lanes(4); // 10 shots → tiles of 4, 4, 2 (ragged tail)
+        let rw = wide.decode_batch_results(&syndromes);
+        let rn = narrow.decode_batch_results(&syndromes);
+        assert_eq!(rw.len(), rn.len());
+        for (a, b) in rw.iter().zip(&rn) {
+            assert_eq!(a.error_hat, b.error_hat);
+            assert_eq!(a.iterations, b.iterations);
+            for (x, y) in a.posteriors.iter().zip(&b.posteriors) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn from_scalar_matches_new() {
+        let h = repetition_h(7);
+        let config = BpConfig {
+            max_iters: 15,
+            ..BpConfig::default()
+        };
+        let scalar = MinSumDecoder::new(&h, &[0.07; 7], config);
+        let mut a = BatchMinSumDecoder::from_scalar(&scalar);
+        let mut b = BatchMinSumDecoder::new(&h, &[0.07; 7], config);
+        let s = h.mul_vec(&BitVec::from_indices(7, &[2, 4]));
+        let ra = a.decode(&s);
+        let rb = b.decode(&s);
+        assert_eq!(ra.error_hat, rb.error_hat);
+        assert_eq!(ra.iterations, rb.iterations);
+    }
+
+    #[test]
+    #[should_panic(expected = "syndrome length")]
+    fn wrong_syndrome_length_panics() {
+        let h = repetition_h(5);
+        let mut dec = BatchMinSumDecoder::new(&h, &[0.05; 5], BpConfig::default());
+        dec.decode_batch_results(&[BitVec::zeros(4), BitVec::zeros(5)]);
+    }
+}

@@ -1,12 +1,10 @@
 //! Normalized min-sum BP with flooding and layered schedules.
 
+use crate::batch::BatchMinSumDecoder;
 use crate::graph::TannerGraph;
+use crate::kernel::{self, CheckScratch, LLR_CLAMP};
 use crate::prior_llr;
 use qldpc_gf2::{BitVec, SparseBitMatrix};
-
-/// Magnitude clamp for messages and posteriors, guarding against overflow
-/// on long runs (min-sum magnitudes can grow without bound).
-const LLR_CLAMP: f64 = 1e6;
 
 /// Message-passing schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -162,6 +160,12 @@ pub struct MinSumDecoder {
     hard: Vec<bool>,
     hard_prev: Vec<bool>,
     flip_counts: Vec<u32>,
+    scratch: CheckScratch,
+    /// Cached interleaved engine behind the `decode_batch` trait
+    /// override; built on the first batched call and re-synced to the
+    /// current config/priors on each one, so its slabs are reused across
+    /// batches.
+    batch: Option<Box<BatchMinSumDecoder>>,
 }
 
 impl MinSumDecoder {
@@ -192,7 +196,32 @@ impl MinSumDecoder {
             hard: vec![false; vars],
             hard_prev: vec![false; vars],
             flip_counts: vec![0; vars],
+            scratch: CheckScratch::new(1),
+            batch: None,
         }
+    }
+
+    /// The precomputed Tanner-graph edge layout.
+    pub(crate) fn graph(&self) -> &TannerGraph {
+        &self.graph
+    }
+
+    /// The lazily built, cached interleaved batch engine, re-synced to
+    /// the decoder's current config and priors (which `config_mut` /
+    /// `set_priors` may have changed since it was built — the sync is
+    /// O(n) and allocation-free, so repeated batches reuse the slabs).
+    pub(crate) fn batch_engine(&mut self) -> &mut BatchMinSumDecoder {
+        if self.batch.is_none() {
+            self.batch = Some(Box::new(BatchMinSumDecoder::from_scalar(self)));
+        } else if let Some(engine) = self.batch.as_deref_mut() {
+            engine.sync(self.config, &self.channel_llrs);
+        }
+        self.batch.as_mut().expect("engine built above")
+    }
+
+    /// The channel LLRs derived from the priors.
+    pub(crate) fn channel_llrs(&self) -> &[f64] {
+        &self.channel_llrs
     }
 
     /// The decoder's configuration.
@@ -338,75 +367,22 @@ impl MinSumDecoder {
 
     /// Recomputes the C2V messages of check `c` from the current V2C
     /// messages under the configured check-node rule.
+    ///
+    /// Delegates to the lane-generic core shared with
+    /// [`BatchMinSumDecoder`](crate::BatchMinSumDecoder), at lane width 1.
     fn update_check(&mut self, c: usize, syndrome_bit: bool, alpha: f64) {
         let range = self.graph.check_edges(c);
-        let base_sign = if syndrome_bit { -1.0 } else { 1.0 };
-        match self.config.algorithm {
-            BpAlgorithm::MinSum => {
-                let (mut min1, mut min2) = (f64::INFINITY, f64::INFINITY);
-                let mut argmin = usize::MAX;
-                let mut sign_product = base_sign;
-                for e in range.clone() {
-                    let m = self.v2c[e];
-                    let mag = m.abs();
-                    if mag < min1 {
-                        min2 = min1;
-                        min1 = mag;
-                        argmin = e;
-                    } else if mag < min2 {
-                        min2 = mag;
-                    }
-                    if m < 0.0 {
-                        sign_product = -sign_product;
-                    }
-                }
-                for e in range {
-                    let m = self.v2c[e];
-                    let mag = if e == argmin { min2 } else { min1 };
-                    let own_sign = if m < 0.0 { -1.0 } else { 1.0 };
-                    self.c2v[e] =
-                        (sign_product * own_sign * alpha * mag).clamp(-LLR_CLAMP, LLR_CLAMP);
-                }
-            }
-            BpAlgorithm::SumProduct => {
-                // Π tanh(|m|/2) with zero-factor bookkeeping so the
-                // exclusive product stays well defined.
-                let mut sign_product = base_sign;
-                let mut log_mag_sum = 0.0f64;
-                let mut zeros = 0usize;
-                let mut zero_edge = usize::MAX;
-                for e in range.clone() {
-                    let m = self.v2c[e];
-                    if m < 0.0 {
-                        sign_product = -sign_product;
-                    }
-                    let t = (m.abs() / 2.0).tanh();
-                    if t < 1e-300 {
-                        zeros += 1;
-                        zero_edge = e;
-                    } else {
-                        log_mag_sum += t.ln();
-                    }
-                }
-                for e in range {
-                    let m = self.v2c[e];
-                    let own_sign = if m < 0.0 { -1.0 } else { 1.0 };
-                    let excl = if zeros > 1 || (zeros == 1 && e != zero_edge) {
-                        0.0
-                    } else {
-                        let mut log_excl = log_mag_sum;
-                        if zeros == 0 {
-                            let t = (m.abs() / 2.0).tanh();
-                            log_excl -= t.ln();
-                        }
-                        log_excl.exp().min(1.0 - 1e-15)
-                    };
-                    let mag = 2.0 * excl.atanh();
-                    self.c2v[e] =
-                        (sign_product * own_sign * alpha * mag).clamp(-LLR_CLAMP, LLR_CLAMP);
-                }
-            }
-        }
+        let base_sign = [if syndrome_bit { -1.0 } else { 1.0 }];
+        kernel::update_check_lanes(
+            self.config.algorithm,
+            &self.v2c[range.clone()],
+            &mut self.c2v[range],
+            1,
+            1,
+            &base_sign,
+            alpha,
+            &mut self.scratch,
+        );
     }
 
     /// One layered iteration: checks processed sequentially, posteriors

@@ -1,0 +1,269 @@
+//! The check-node update core shared by the scalar and batched decoders.
+//!
+//! [`update_check_lanes`] recomputes the check-to-variable messages of a
+//! single check for a prefix of `width` live lanes out of a slab with
+//! `stride` interleaved lanes. Message slabs are laid out edge-major,
+//! lane-minor: the message of local edge `j` in lane `b` lives at index
+//! `j * stride + b`, so the per-lane inner loops walk contiguous memory
+//! and auto-vectorize over the batch dimension. The scalar
+//! [`MinSumDecoder`](crate::MinSumDecoder) calls the same core with
+//! `stride == width == 1`, which degenerates to the classic per-edge
+//! loop — both decoders therefore execute the *same floating-point
+//! operations in the same order per shot*, the invariant the
+//! batch-vs-scalar property suite
+//! (`crates/bp/tests/batch_equivalence.rs`) pins bit-for-bit.
+
+use crate::BpAlgorithm;
+
+/// Magnitude clamp for messages and posteriors, guarding against overflow
+/// on long runs (min-sum magnitudes can grow without bound).
+pub(crate) const LLR_CLAMP: f64 = 1e6;
+
+/// Per-lane reduction state for one check update, reused across checks and
+/// decodes so the hot loop never allocates.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CheckScratch {
+    /// Smallest incoming magnitude per lane (min-sum).
+    min1: Vec<f64>,
+    /// Second-smallest incoming magnitude per lane (min-sum).
+    min2: Vec<f64>,
+    /// Local edge index attaining `min1` per lane (min-sum).
+    argmin: Vec<usize>,
+    /// Running sign product per lane (both rules).
+    sign: Vec<f64>,
+    /// Σ ln tanh(|m|/2) over nonzero factors per lane (sum-product).
+    log_mag: Vec<f64>,
+    /// Number of (numerically) zero tanh factors per lane (sum-product).
+    zeros: Vec<u32>,
+    /// Local edge index of the last zero factor per lane (sum-product).
+    zero_edge: Vec<usize>,
+}
+
+impl CheckScratch {
+    /// Scratch sized for `lanes` interleaved shots.
+    pub(crate) fn new(lanes: usize) -> Self {
+        let mut s = Self::default();
+        s.ensure(lanes);
+        s
+    }
+
+    /// Grows (never shrinks) the per-lane buffers to `lanes`.
+    pub(crate) fn ensure(&mut self, lanes: usize) {
+        if self.min1.len() < lanes {
+            self.min1.resize(lanes, 0.0);
+            self.min2.resize(lanes, 0.0);
+            self.argmin.resize(lanes, 0);
+            self.sign.resize(lanes, 0.0);
+            self.log_mag.resize(lanes, 0.0);
+            self.zeros.resize(lanes, 0);
+            self.zero_edge.resize(lanes, 0);
+        }
+    }
+}
+
+/// Recomputes the C2V messages of one check from its V2C messages for the
+/// first `width` lanes of a `stride`-interleaved slab (paper Eq. 6, or
+/// the exact tanh rule).
+///
+/// `v2c` and `c2v` hold the check's `deg × stride` sub-slab (edge-major,
+/// lane-minor; with `stride == width == 1` these are plain per-edge
+/// slices). `base_sign[b]` is `-1.0` where lane `b`'s syndrome bit is
+/// set, `+1.0` otherwise. Lanes at or beyond `width` (retired by the
+/// batch decoder's compaction) are left untouched.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn update_check_lanes(
+    algorithm: BpAlgorithm,
+    v2c: &[f64],
+    c2v: &mut [f64],
+    stride: usize,
+    width: usize,
+    base_sign: &[f64],
+    alpha: f64,
+    scratch: &mut CheckScratch,
+) {
+    debug_assert_eq!(v2c.len(), c2v.len());
+    debug_assert_eq!(v2c.len() % stride.max(1), 0);
+    debug_assert!(width <= stride);
+    debug_assert_eq!(base_sign.len(), width);
+    let deg = v2c.len() / stride.max(1);
+    scratch.ensure(width);
+    match algorithm {
+        BpAlgorithm::MinSum => {
+            // Width-sliced views hoist every bounds check out of the
+            // per-lane loops so they vectorize over the batch dimension.
+            let min1 = &mut scratch.min1[..width];
+            let min2 = &mut scratch.min2[..width];
+            let argmin = &mut scratch.argmin[..width];
+            let sign = &mut scratch.sign[..width];
+            for b in 0..width {
+                min1[b] = f64::INFINITY;
+                min2[b] = f64::INFINITY;
+                argmin[b] = usize::MAX;
+                sign[b] = base_sign[b];
+            }
+            for j in 0..deg {
+                let row = &v2c[j * stride..j * stride + width];
+                for (b, &m) in row.iter().enumerate() {
+                    let mag = m.abs();
+                    if mag < min1[b] {
+                        min2[b] = min1[b];
+                        min1[b] = mag;
+                        argmin[b] = j;
+                    } else if mag < min2[b] {
+                        min2[b] = mag;
+                    }
+                    if m < 0.0 {
+                        sign[b] = -sign[b];
+                    }
+                }
+            }
+            for j in 0..deg {
+                let vrow = &v2c[j * stride..j * stride + width];
+                let crow = &mut c2v[j * stride..j * stride + width];
+                for (b, (out, &m)) in crow.iter_mut().zip(vrow).enumerate() {
+                    let mag = if j == argmin[b] { min2[b] } else { min1[b] };
+                    let own_sign = if m < 0.0 { -1.0 } else { 1.0 };
+                    *out = (sign[b] * own_sign * alpha * mag).clamp(-LLR_CLAMP, LLR_CLAMP);
+                }
+            }
+        }
+        BpAlgorithm::SumProduct => {
+            // Π tanh(|m|/2) with zero-factor bookkeeping so the exclusive
+            // product stays well defined.
+            let sign = &mut scratch.sign[..width];
+            let log_mag = &mut scratch.log_mag[..width];
+            let zeros = &mut scratch.zeros[..width];
+            let zero_edge = &mut scratch.zero_edge[..width];
+            for (b, s) in sign.iter_mut().enumerate() {
+                *s = base_sign[b];
+                log_mag[b] = 0.0;
+                zeros[b] = 0;
+                zero_edge[b] = usize::MAX;
+            }
+            for j in 0..deg {
+                let row = &v2c[j * stride..j * stride + width];
+                for (b, &m) in row.iter().enumerate() {
+                    if m < 0.0 {
+                        sign[b] = -sign[b];
+                    }
+                    let t = (m.abs() / 2.0).tanh();
+                    if t < 1e-300 {
+                        zeros[b] += 1;
+                        zero_edge[b] = j;
+                    } else {
+                        log_mag[b] += t.ln();
+                    }
+                }
+            }
+            for j in 0..deg {
+                let vrow = &v2c[j * stride..j * stride + width];
+                let crow = &mut c2v[j * stride..j * stride + width];
+                for (b, (out, &m)) in crow.iter_mut().zip(vrow).enumerate() {
+                    let own_sign = if m < 0.0 { -1.0 } else { 1.0 };
+                    let excl = if zeros[b] > 1 || (zeros[b] == 1 && j != zero_edge[b]) {
+                        0.0
+                    } else {
+                        let mut log_excl = log_mag[b];
+                        if zeros[b] == 0 {
+                            let t = (m.abs() / 2.0).tanh();
+                            log_excl -= t.ln();
+                        }
+                        log_excl.exp().min(1.0 - 1e-15)
+                    };
+                    let mag = 2.0 * excl.atanh();
+                    *out = (sign[b] * own_sign * alpha * mag).clamp(-LLR_CLAMP, LLR_CLAMP);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// With two interleaved lanes and lane 0 fed the scalar messages,
+    /// lane 0 must produce the same bits as a `stride == 1` call — and a
+    /// `width == 1` call on the two-lane slab must leave lane 1 alone.
+    #[test]
+    fn lanes_are_independent() {
+        for algorithm in [BpAlgorithm::MinSum, BpAlgorithm::SumProduct] {
+            let v2c_scalar = [0.7, -1.3, 0.2, 4.0];
+            let mut c2v_scalar = [0.0; 4];
+            let mut scratch = CheckScratch::new(1);
+            update_check_lanes(
+                algorithm,
+                &v2c_scalar,
+                &mut c2v_scalar,
+                1,
+                1,
+                &[-1.0],
+                0.8,
+                &mut scratch,
+            );
+
+            // Lane 0 mirrors the scalar input, lane 1 holds a decoy.
+            let mut v2c = [0.0; 8];
+            for j in 0..4 {
+                v2c[2 * j] = v2c_scalar[j];
+                v2c[2 * j + 1] = -0.5 * v2c_scalar[j] + 0.1;
+            }
+            let mut c2v = [7.0; 8];
+            let mut scratch2 = CheckScratch::new(2);
+            update_check_lanes(
+                algorithm,
+                &v2c,
+                &mut c2v,
+                2,
+                2,
+                &[-1.0, 1.0],
+                0.8,
+                &mut scratch2,
+            );
+            for j in 0..4 {
+                assert_eq!(
+                    c2v[2 * j].to_bits(),
+                    c2v_scalar[j].to_bits(),
+                    "{algorithm:?} edge {j} diverged across lane widths"
+                );
+            }
+
+            // width < stride: only the live prefix is written.
+            let mut c2v_narrow = [7.0; 8];
+            update_check_lanes(
+                algorithm,
+                &v2c,
+                &mut c2v_narrow,
+                2,
+                1,
+                &[-1.0],
+                0.8,
+                &mut scratch2,
+            );
+            for j in 0..4 {
+                assert_eq!(c2v_narrow[2 * j].to_bits(), c2v_scalar[j].to_bits());
+                assert_eq!(c2v_narrow[2 * j + 1], 7.0, "retired lane was touched");
+            }
+        }
+    }
+
+    #[test]
+    fn min_sum_excludes_own_message() {
+        // Degree-3 check, distinct magnitudes: each edge must see the
+        // minimum over the *other* edges.
+        let v2c = [1.0, 2.0, 3.0];
+        let mut c2v = [0.0; 3];
+        let mut scratch = CheckScratch::new(1);
+        update_check_lanes(
+            BpAlgorithm::MinSum,
+            &v2c,
+            &mut c2v,
+            1,
+            1,
+            &[1.0],
+            1.0,
+            &mut scratch,
+        );
+        assert_eq!(c2v, [2.0, 1.0, 1.0]);
+    }
+}

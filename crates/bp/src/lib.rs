@@ -10,7 +10,11 @@
 //! * **oscillation tracking**: per-bit flip counts of the hard decision
 //!   across iterations, the signal BP-SF mines for candidate bits,
 //! * per-iteration syndrome checks with early exit and exact iteration
-//!   accounting.
+//!   accounting,
+//! * a **shot-interleaved batch kernel** ([`BatchMinSumDecoder`]): `B`
+//!   syndromes decoded per call over structure-of-arrays message slabs,
+//!   walking the Tanner graph once per iteration for all shots —
+//!   bit-identical to per-shot decoding (the paper's throughput story).
 //!
 //! # Examples
 //!
@@ -34,9 +38,12 @@
 //! ```
 
 mod api;
+mod batch;
 mod decoder;
 mod graph;
+mod kernel;
 
+pub use batch::{BatchMinSumDecoder, DEFAULT_MAX_LANES};
 pub use decoder::{BpAlgorithm, BpConfig, BpResult, DampingSchedule, MinSumDecoder, Schedule};
 pub use graph::TannerGraph;
 pub use qldpc_decoder_api::{DecodeOutcome, SyndromeDecoder};

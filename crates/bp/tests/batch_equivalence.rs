@@ -1,0 +1,309 @@
+//! Property suite pinning the batched kernel to the scalar decoder.
+//!
+//! The contract: for any code, any syndromes, both schedules, both
+//! damping modes (and both check-node rules, with and without posterior
+//! memory), [`BatchMinSumDecoder`] output — posteriors, iteration counts,
+//! convergence flags, oscillation flip counts — is **bit-identical** to
+//! decoding each shot with the scalar [`MinSumDecoder`]. Posteriors are
+//! compared through `f64::to_bits`, so even a last-ulp reassociation in
+//! the batch kernel fails the suite.
+
+use proptest::prelude::*;
+use qldpc_bp::{
+    BatchMinSumDecoder, BpAlgorithm, BpConfig, BpResult, DampingSchedule, MinSumDecoder, Schedule,
+};
+use qldpc_gf2::{BitVec, SparseBitMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sparse_matrix() -> impl Strategy<Value = SparseBitMatrix> {
+    (2usize..10, 4usize..20).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            proptest::collection::btree_set(0..cols, 1..=cols.min(4)),
+            rows,
+        )
+        .prop_map(move |r| {
+            let lists: Vec<Vec<usize>> = r.into_iter().map(|s| s.into_iter().collect()).collect();
+            SparseBitMatrix::from_row_indices(lists.len(), cols, &lists)
+        })
+    })
+}
+
+/// A mixed batch: syndromes of random errors (mostly decodable) plus raw
+/// random syndromes (often inconsistent, exercising non-convergence).
+fn random_batch(h: &SparseBitMatrix, shots: usize, seed: u64) -> Vec<BitVec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..shots)
+        .map(|i| {
+            if i % 3 == 2 {
+                let mut s = BitVec::zeros(h.rows());
+                for c in 0..h.rows() {
+                    if rng.random_bool(0.5) {
+                        s.set(c, true);
+                    }
+                }
+                s
+            } else {
+                let mut e = BitVec::zeros(h.cols());
+                for v in 0..h.cols() {
+                    if rng.random_bool(0.2) {
+                        e.set(v, true);
+                    }
+                }
+                h.mul_vec(&e)
+            }
+        })
+        .collect()
+}
+
+fn assert_bit_identical(batch: &BpResult, scalar: &BpResult, ctx: &str) {
+    assert_eq!(batch.converged, scalar.converged, "{ctx}: converged");
+    assert_eq!(batch.iterations, scalar.iterations, "{ctx}: iterations");
+    assert_eq!(batch.error_hat, scalar.error_hat, "{ctx}: error_hat");
+    assert_eq!(batch.flip_counts, scalar.flip_counts, "{ctx}: flip_counts");
+    assert_eq!(batch.posteriors.len(), scalar.posteriors.len(), "{ctx}");
+    for (v, (b, s)) in batch.posteriors.iter().zip(&scalar.posteriors).enumerate() {
+        assert_eq!(
+            b.to_bits(),
+            s.to_bits(),
+            "{ctx}: posterior of variable {v} diverged ({b} vs {s})"
+        );
+    }
+}
+
+fn check_config(h: &SparseBitMatrix, syndromes: &[BitVec], config: BpConfig) {
+    let priors = vec![0.2; h.cols()];
+    let mut batch = BatchMinSumDecoder::new(h, &priors, config);
+    let mut scalar = MinSumDecoder::new(h, &priors, config);
+    let results = batch.decode_batch_results(syndromes);
+    assert_eq!(results.len(), syndromes.len());
+    for (i, (rb, s)) in results.iter().zip(syndromes).enumerate() {
+        let rs = scalar.decode(s);
+        assert_bit_identical(rb, &rs, &format!("shot {i} under {config:?}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Both schedules × both damping modes, oscillation tracking on.
+    #[test]
+    fn batch_is_bit_identical_to_scalar(
+        h in sparse_matrix(),
+        shots in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let syndromes = random_batch(&h, shots, seed);
+        for schedule in [Schedule::Flooding, Schedule::Layered] {
+            for damping in [DampingSchedule::Adaptive, DampingSchedule::Fixed(0.75)] {
+                check_config(&h, &syndromes, BpConfig {
+                    max_iters: 25,
+                    schedule,
+                    damping,
+                    track_oscillations: true,
+                    ..BpConfig::default()
+                });
+            }
+        }
+    }
+
+    /// The exact sum-product rule and the posterior-memory term go
+    /// through the same shared core and must stay bit-identical too.
+    #[test]
+    fn sum_product_and_memory_stay_bit_identical(
+        h in sparse_matrix(),
+        shots in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let syndromes = random_batch(&h, shots, seed);
+        for schedule in [Schedule::Flooding, Schedule::Layered] {
+            check_config(&h, &syndromes, BpConfig {
+                max_iters: 15,
+                schedule,
+                algorithm: BpAlgorithm::SumProduct,
+                track_oscillations: true,
+                ..BpConfig::default()
+            });
+        }
+        check_config(&h, &syndromes, BpConfig {
+            max_iters: 15,
+            memory_strength: 0.4,
+            track_oscillations: true,
+            ..BpConfig::default()
+        });
+    }
+
+    /// Tiling must be invisible: a narrow lane cap (forcing interior
+    /// tiles and a ragged tail) yields the same bits as one wide tile.
+    #[test]
+    fn lane_cap_does_not_change_results(
+        h in sparse_matrix(),
+        shots in 1usize..12,
+        seed in 0u64..1000,
+        cap in 1usize..5,
+    ) {
+        let syndromes = random_batch(&h, shots, seed);
+        let priors = vec![0.2; h.cols()];
+        let config = BpConfig { max_iters: 20, track_oscillations: true, ..BpConfig::default() };
+        let mut wide = BatchMinSumDecoder::new(&h, &priors, config);
+        let mut narrow = BatchMinSumDecoder::new(&h, &priors, config);
+        narrow.set_max_lanes(cap);
+        let rw = wide.decode_batch_results(&syndromes);
+        let rn = narrow.decode_batch_results(&syndromes);
+        for (i, (a, b)) in rw.iter().zip(&rn).enumerate() {
+            assert_bit_identical(b, a, &format!("shot {i} at lane cap {cap}"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batch-contract edge cases (deterministic unit tests).
+// ---------------------------------------------------------------------
+
+fn repetition_h(n: usize) -> SparseBitMatrix {
+    let rows: Vec<Vec<usize>> = (0..n - 1).map(|i| vec![i, i + 1]).collect();
+    SparseBitMatrix::from_row_indices(n - 1, n, &rows)
+}
+
+#[test]
+fn empty_batch_returns_empty() {
+    let h = repetition_h(7);
+    let mut dec = BatchMinSumDecoder::new(&h, &[0.05; 7], BpConfig::default());
+    assert!(dec.decode_batch_results(&[]).is_empty());
+}
+
+/// All-zero syndromes converge on the kernel's first pass (iteration 1 —
+/// the decoder's iteration counter is 1-based and the convergence check
+/// runs after the first message-passing sweep, matching the scalar
+/// decoder exactly) with the zero correction.
+#[test]
+fn all_zero_syndromes_converge_immediately() {
+    let h = repetition_h(9);
+    let mut dec = BatchMinSumDecoder::new(&h, &[0.05; 9], BpConfig::default());
+    let syndromes = vec![BitVec::zeros(8); 6];
+    for r in dec.decode_batch_results(&syndromes) {
+        assert!(r.converged);
+        assert_eq!(r.iterations, 1);
+        assert!(r.error_hat.is_zero());
+    }
+}
+
+/// A batch where every lane fails still reports per-lane iteration
+/// counts (each lane exhausts its own budget), and a convergent lane in
+/// the middle keeps its early-exit count.
+#[test]
+fn failing_lanes_report_per_lane_iterations() {
+    // Two identical checks over {0, 1}: the syndrome (1, 0) is
+    // inconsistent, so no hard decision can ever satisfy it.
+    let h = SparseBitMatrix::from_row_indices(2, 4, &[vec![0, 1], vec![0, 1]]);
+    let bad = BitVec::from_indices(2, &[0]);
+    let config = BpConfig {
+        max_iters: 13,
+        ..BpConfig::default()
+    };
+
+    let mut dec = BatchMinSumDecoder::new(&h, &[0.1; 4], config);
+    let all_bad = vec![bad.clone(); 5];
+    for r in dec.decode_batch_results(&all_bad) {
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 13);
+    }
+
+    // Mixed batch: the zero-syndrome lane converges at iteration 1 while
+    // its neighbors run to exhaustion.
+    let mixed = vec![bad.clone(), BitVec::zeros(2), bad];
+    let rs = dec.decode_batch_results(&mixed);
+    assert_eq!(
+        rs.iter().map(|r| r.iterations).collect::<Vec<_>>(),
+        vec![13, 1, 13]
+    );
+    assert_eq!(
+        rs.iter().map(|r| r.converged).collect::<Vec<_>>(),
+        vec![false, true, false]
+    );
+}
+
+/// The lane-isolation contract: the same syndrome decoded at lane 0 and
+/// at lane B−1 of one batch call must produce identical outcomes, no
+/// matter what the other lanes carry or when they converge.
+#[test]
+fn no_state_leaks_across_lanes() {
+    let h = repetition_h(9);
+    let config = BpConfig {
+        max_iters: 30,
+        track_oscillations: true,
+        ..BpConfig::default()
+    };
+    let mut dec = BatchMinSumDecoder::new(&h, &[0.05; 9], config);
+    let probe = h.mul_vec(&BitVec::from_indices(9, &[2, 6]));
+    let mut syndromes = vec![probe.clone()];
+    // Interior lanes: a zero syndrome (converges instantly), a hard
+    // two-bit error, and an inconsistent-looking random syndrome.
+    syndromes.push(BitVec::zeros(8));
+    syndromes.push(h.mul_vec(&BitVec::from_indices(9, &[3, 4])));
+    syndromes.push(BitVec::from_indices(8, &[0, 3, 5]));
+    syndromes.push(probe.clone());
+    let rs = dec.decode_batch_results(&syndromes);
+    let (first, last) = (&rs[0], &rs[rs.len() - 1]);
+    assert_eq!(first.converged, last.converged);
+    assert_eq!(first.iterations, last.iterations);
+    assert_eq!(first.error_hat, last.error_hat);
+    assert_eq!(first.flip_counts, last.flip_counts);
+    for (a, b) in first.posteriors.iter().zip(&last.posteriors) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+/// The cached engine behind the trait override must honor
+/// `config_mut`/`set_priors` changes made between batched calls.
+#[test]
+fn trait_decode_batch_tracks_config_and_prior_changes() {
+    use qldpc_bp::SyndromeDecoder;
+    let h = repetition_h(9);
+    let mut dec = MinSumDecoder::new(&h, &[0.05; 9], BpConfig::default());
+    let syndromes = random_batch(&h, 6, 17);
+    let _warm_up_cache = dec.decode_batch(&syndromes);
+
+    dec.config_mut().max_iters = 3;
+    dec.set_priors(&[0.2; 9]);
+    let fresh = MinSumDecoder::new(
+        &h,
+        &[0.2; 9],
+        BpConfig {
+            max_iters: 3,
+            ..BpConfig::default()
+        },
+    );
+    let batched = dec.decode_batch(&syndromes);
+    let mut looped = fresh;
+    for (i, (out, s)) in batched.iter().zip(&syndromes).enumerate() {
+        let l = looped.decode_syndrome(s);
+        assert_eq!(out.solved, l.solved, "shot {i}");
+        assert_eq!(out.error_hat, l.error_hat, "shot {i}");
+        assert_eq!(out.serial_iterations, l.serial_iterations, "shot {i}");
+    }
+}
+
+/// The `SyndromeDecoder::decode_batch` override on the scalar decoder
+/// routes through the interleaved kernel and must equal the default
+/// sequential loop it replaces.
+#[test]
+fn trait_decode_batch_matches_sequential_loop() {
+    use qldpc_bp::SyndromeDecoder;
+    let h = repetition_h(9);
+    let config = BpConfig {
+        max_iters: 30,
+        ..BpConfig::default()
+    };
+    let mut batched = MinSumDecoder::new(&h, &[0.05; 9], config);
+    let mut looped = MinSumDecoder::new(&h, &[0.05; 9], config);
+    let syndromes = random_batch(&h, 9, 41);
+    let b = batched.decode_batch(&syndromes);
+    for (i, (out, s)) in b.iter().zip(&syndromes).enumerate() {
+        let l = looped.decode_syndrome(s);
+        assert_eq!(out.solved, l.solved, "shot {i}");
+        assert_eq!(out.error_hat, l.error_hat, "shot {i}");
+        assert_eq!(out.serial_iterations, l.serial_iterations, "shot {i}");
+        assert_eq!(out.critical_iterations, l.critical_iterations, "shot {i}");
+    }
+}

@@ -22,6 +22,16 @@ impl SyndromeDecoder for BpSfDecoder {
         outcome_from(self.decode(syndrome))
     }
 
+    /// Overrides the default loop: the initial BP stage runs through the
+    /// shot-interleaved batch kernel, and only the failed shots pay for
+    /// post-processing (see [`BpSfDecoder::decode_batch_results`]).
+    fn decode_batch(&mut self, syndromes: &[BitVec]) -> Vec<DecodeOutcome> {
+        self.decode_batch_results(syndromes)
+            .into_iter()
+            .map(outcome_from)
+            .collect()
+    }
+
     /// `"BP-SF(BP{iters},w={w_max},|Φ|={candidates}[,ns={per_weight}])"`,
     /// with a `Layered-` prefix under the layered schedule (paper Fig. 8
     /// naming).
@@ -77,6 +87,56 @@ mod tests {
         assert_eq!(layered.label(), "Layered-BP-SF(BP40,w=2,|Φ|=8)");
         let pool = ParallelBpSf::new(hz, &priors, BpSfConfig::code_capacity(20, 4, 1), 2);
         assert_eq!(pool.label(), "BP-SF(P=2)");
+    }
+
+    /// The batched path (interleaved initial BP + serial post-processing)
+    /// must match the sequential decode loop shot for shot, including the
+    /// RNG-consuming sampled-trial configuration.
+    #[test]
+    fn batch_matches_loop_including_postprocessing() {
+        use qldpc_gf2::SparseBitMatrix;
+        use rand::{Rng, SeedableRng};
+        let code = qldpc_codes::coprime_bb::coprime154();
+        let hz: &SparseBitMatrix = code.hz();
+        let n = hz.cols();
+        let priors = vec![0.05; n];
+        for config in [
+            BpSfConfig::code_capacity(20, 8, 2),
+            BpSfConfig::circuit_level(20, 8, 2, 3),
+        ] {
+            let mut batched = BpSfDecoder::new(hz, &priors, config);
+            let mut looped = BpSfDecoder::new(hz, &priors, config);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+            let syndromes: Vec<BitVec> = (0..24)
+                .map(|_| {
+                    let mut e = BitVec::zeros(n);
+                    for i in 0..n {
+                        if rng.random_bool(0.05) {
+                            e.set(i, true);
+                        }
+                    }
+                    hz.mul_vec(&e)
+                })
+                .collect();
+            let b = batched.decode_batch(&syndromes);
+            let l: Vec<DecodeOutcome> = syndromes
+                .iter()
+                .map(|s| looped.decode_syndrome(s))
+                .collect();
+            assert_eq!(b.len(), l.len());
+            let mut postprocessed = 0;
+            for (i, (x, y)) in b.iter().zip(&l).enumerate() {
+                assert_eq!(x.solved, y.solved, "shot {i}");
+                assert_eq!(x.error_hat, y.error_hat, "shot {i}");
+                assert_eq!(x.serial_iterations, y.serial_iterations, "shot {i}");
+                assert_eq!(x.critical_iterations, y.critical_iterations, "shot {i}");
+                assert_eq!(x.postprocessed, y.postprocessed, "shot {i}");
+                postprocessed += usize::from(x.postprocessed);
+            }
+            // The workload must actually exercise the trial path, or this
+            // test only covers the initial stage.
+            assert!(postprocessed > 0, "expected some initial-BP failures");
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::candidates::{select_candidates_ranked, CandidateRanking};
 use crate::trials::TrialVectors;
-use qldpc_bp::{BpConfig, MinSumDecoder};
+use qldpc_bp::{BatchMinSumDecoder, BpConfig, BpResult, MinSumDecoder};
 use qldpc_gf2::{BitVec, SparseBitMatrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -174,6 +174,11 @@ pub struct BpSfResult {
 pub struct BpSfDecoder {
     h: SparseBitMatrix,
     initial: MinSumDecoder,
+    /// Shot-interleaved engine for the initial BP stage of
+    /// [`Self::decode_batch_results`]; built lazily on the first batched
+    /// call (the configuration and priors are fixed after construction,
+    /// so the cache can never go stale).
+    initial_batch: Option<BatchMinSumDecoder>,
     trial: MinSumDecoder,
     config: BpSfConfig,
     rng: StdRng,
@@ -204,6 +209,7 @@ impl BpSfDecoder {
         Self {
             h: h.clone(),
             initial: MinSumDecoder::new(h, priors, initial_cfg),
+            initial_batch: None,
             trial: MinSumDecoder::new(h, priors, trial_cfg),
             config,
             rng: StdRng::seed_from_u64(config.seed),
@@ -244,6 +250,39 @@ impl BpSfDecoder {
     /// Panics if the syndrome length differs from the number of checks.
     pub fn decode(&mut self, syndrome: &BitVec) -> BpSfResult {
         let initial = self.initial.decode(syndrome);
+        self.post_process(syndrome, initial)
+    }
+
+    /// Decodes a batch of syndromes, running the **initial BP stage
+    /// through the shot-interleaved batch kernel** and post-processing
+    /// the failed shots serially in input order.
+    ///
+    /// Because the batch kernel is bit-identical to the scalar initial
+    /// decoder (and the trial RNG is consumed in the same shot order as a
+    /// sequential loop — converged shots never touch it), the results
+    /// equal a per-shot [`Self::decode`] loop exactly.
+    pub fn decode_batch_results(&mut self, syndromes: &[BitVec]) -> Vec<BpSfResult> {
+        if syndromes.len() < 2 {
+            return syndromes.iter().map(|s| self.decode(s)).collect();
+        }
+        if self.initial_batch.is_none() {
+            self.initial_batch = Some(BatchMinSumDecoder::from_scalar(&self.initial));
+        }
+        let initials = self
+            .initial_batch
+            .as_mut()
+            .expect("engine built above")
+            .decode_batch_results(syndromes);
+        initials
+            .into_iter()
+            .zip(syndromes)
+            .map(|(initial, s)| self.post_process(s, initial))
+            .collect()
+    }
+
+    /// Algorithm 1 after the initial BP attempt: candidate selection,
+    /// trial generation, and the serial early-exit trial loop.
+    fn post_process(&mut self, syndrome: &BitVec, initial: BpResult) -> BpSfResult {
         if initial.converged {
             return BpSfResult {
                 success: true,
@@ -270,6 +309,10 @@ impl BpSfDecoder {
         let mut serial_iterations = initial.iterations;
         let mut best: Option<(usize, BitVec, usize)> = None; // (trial idx, ê⊕t, iters)
         let mut executed = 0usize;
+        // Trials stay on the scalar decoder: early exit usually stops
+        // after a handful of them, and a fixed interleaved tile would
+        // decode past the winner — measurably worse than the loop on the
+        // latency-sensitive post-processing path.
         for (idx, t) in trials.iter().enumerate() {
             // s′ = s ⊕ H·t  (flip the candidate bits in the syndrome domain).
             let mut flipped = self.h.mul_sparse_vec(t);

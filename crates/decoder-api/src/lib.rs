@@ -79,9 +79,29 @@ pub trait SyndromeDecoder {
     /// Decodes a batch of syndromes, in order.
     ///
     /// The default implementation loops over [`Self::decode_syndrome`];
-    /// decoders with a cheaper amortized path may override it, but must
-    /// return exactly the outcomes the loop would (same `solved`, same
-    /// `error_hat`, same iteration counts, in the same order).
+    /// decoders with a cheaper amortized path (shot-interleaved kernels,
+    /// persistent pools, shared setup) may override it under this
+    /// contract:
+    ///
+    /// * **Loop equivalence.** The outcomes must be exactly what the
+    ///   sequential loop would return — same `solved`, same `error_hat`,
+    ///   same iteration counts, one outcome per syndrome, in input order.
+    ///   `qldpc-sim`'s and `qldpc-bp`'s property tests enforce this for
+    ///   the in-tree decoders, bit-for-bit.
+    /// * **No lane leakage.** Batching must not couple shots that the
+    ///   sequential loop leaves independent: for a decoder whose
+    ///   `decode_syndrome` is a pure function of the syndrome, the
+    ///   outcome of lane `i` may depend only on `syndromes[i]` — the same
+    ///   syndrome placed at lane 0 and lane B−1 of one call must produce
+    ///   identical outcomes. (Decoders that legitimately thread state
+    ///   across shots — e.g. an RNG consumed by sampled trials — must
+    ///   consume it in loop order, which is the same guarantee in
+    ///   stateful form.)
+    /// * **Ragged tails.** Any batch length is valid, including `0`
+    ///   (returns an empty vector) and lengths that do not divide an
+    ///   implementation's internal tile/lane width; padding lanes, if
+    ///   any, are the implementation's private business and must not
+    ///   surface in the output.
     fn decode_batch(&mut self, syndromes: &[BitVec]) -> Vec<DecodeOutcome> {
         syndromes.iter().map(|s| self.decode_syndrome(s)).collect()
     }
@@ -130,6 +150,14 @@ mod tests {
             // Statefulness flows through the batch in order.
             assert_eq!(o.serial_iterations, i + 1);
         }
+    }
+
+    #[test]
+    fn empty_batch_returns_empty() {
+        let mut d = Echo { calls: 0 };
+        assert!(d.decode_batch(&[]).is_empty());
+        // And consumes no decoder state.
+        assert_eq!(d.calls, 0);
     }
 
     #[test]

@@ -3,8 +3,13 @@
 //! The throughput path for LER sweeps: shots fan out across threads (per
 //! the [`crate::engine`] policy — per-thread decoder instances, thread
 //! `t` seeded `seed + t`), and *within* each thread syndromes are decoded
-//! in groups via [`crate::SyndromeDecoder::decode_batch`], letting decoders with
-//! an amortized batch path (persistent pools, shared setup) exploit it.
+//! in groups of [`BatchConfig::batch_size`] via
+//! [`crate::SyndromeDecoder::decode_batch`]. The batch width is passed
+//! through verbatim, so decoders with a real batch engine get full-width
+//! calls: plain BP routes them to `qldpc_bp::BatchMinSumDecoder`'s
+//! shot-interleaved kernel, and BP-SF batches its initial BP stage the
+//! same way (post-processing only the failed shots). Decoders without an
+//! override (BP-OSD) fall back to the sequential loop.
 //!
 //! For *deterministic* decoders (plain BP, BP-OSD, serial BP-SF),
 //! failure statistics are **bit-identical** to the same-seed sequential

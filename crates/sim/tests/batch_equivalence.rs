@@ -67,4 +67,61 @@ proptest! {
         let syndromes = syndromes_for_seed(seed, count, 0.05);
         assert_batch_equals_loop(&decoders::bp_osd(25, 10), &syndromes);
     }
+
+    /// BP-SF (exhaustive trials): batch ≡ loop, covering the interleaved
+    /// initial stage + serial post-processing path.
+    #[test]
+    fn bp_sf_batch_equals_loop(seed in 0u64..10_000, count in 1usize..8) {
+        let syndromes = syndromes_for_seed(seed, count, 0.06);
+        let config = bpsf_core::BpSfConfig::code_capacity(20, 6, 2);
+        assert_batch_equals_loop(&decoders::bp_sf(config), &syndromes);
+    }
+}
+
+/// The lane-isolation half of the `decode_batch` contract (documented on
+/// `SyndromeDecoder::decode_batch`): per-call decoders must not leak
+/// state across batch lanes. The same syndrome decoded at lane 0 and at
+/// lane B−1 of one batch call must produce identical outcomes, for every
+/// deterministic in-tree decoder.
+#[test]
+fn no_state_leaks_across_batch_lanes() {
+    let code = qldpc_codes::bb::bb72();
+    let hz = code.hz();
+    let n = hz.cols();
+    let priors = vec![0.02; n];
+    let probe = hz.mul_vec(&BitVec::from_indices(n, &[5, 31, 60]));
+    // Interior lanes mix instantly-convergent, hard, and heavy shots so
+    // lanes converge at different iterations.
+    let mut syndromes = vec![probe.clone(), BitVec::zeros(hz.rows())];
+    syndromes.extend(syndromes_for_seed(77, 5, 0.08));
+    syndromes.push(probe.clone());
+
+    let factories: Vec<(&str, DecoderFactory)> = vec![
+        ("plain_bp", decoders::plain_bp(30)),
+        ("layered_bp", decoders::layered_bp(30)),
+        ("bp_osd", decoders::bp_osd(25, 10)),
+        (
+            "bp_sf",
+            decoders::bp_sf(bpsf_core::BpSfConfig::code_capacity(20, 6, 2)),
+        ),
+    ];
+    for (name, factory) in factories {
+        let mut dec = factory(hz, &priors);
+        let outs = dec.decode_batch(&syndromes);
+        let (first, last) = (&outs[0], &outs[outs.len() - 1]);
+        assert_eq!(first.solved, last.solved, "{name}: solved leaked");
+        assert_eq!(first.error_hat, last.error_hat, "{name}: error_hat leaked");
+        assert_eq!(
+            first.serial_iterations, last.serial_iterations,
+            "{name}: serial iterations leaked"
+        );
+        assert_eq!(
+            first.critical_iterations, last.critical_iterations,
+            "{name}: critical iterations leaked"
+        );
+        assert_eq!(
+            first.postprocessed, last.postprocessed,
+            "{name}: postprocessed flag leaked"
+        );
+    }
 }

