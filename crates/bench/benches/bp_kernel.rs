@@ -3,12 +3,13 @@
 //!
 //! Measures a fixed 20-iteration decode on the code-capacity check
 //! matrices of increasing size, flooding vs layered schedules; then
-//! sweeps `BatchMinSumDecoder` over B ∈ {1, 8, 32, 128} on the gross
-//! code against the scalar per-shot loop, writing the per-shot cost and
-//! speedup series to `BENCH_bp_batch.json` in the working directory.
+//! sweeps `BatchMinSumDecoder` over B ∈ {1, 8, 32, `DEFAULT_MAX_LANES`}
+//! on the gross code against the scalar per-shot loop, writing the
+//! per-shot cost and speedup series to `BENCH_bp_batch.json` in the
+//! working directory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qldpc_bp::{BatchMinSumDecoder, BpConfig, MinSumDecoder, Schedule};
+use qldpc_bp::{BatchMinSumDecoder, BpConfig, MinSumDecoder, Schedule, DEFAULT_MAX_LANES};
 use qldpc_gf2::BitVec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -111,7 +112,7 @@ fn bench_bp_batch(_c: &mut Criterion) {
     println!("bp_batch_sweep/scalar_loop: {scalar_ns} ns/shot");
 
     let mut series = Vec::new();
-    let mut widths = vec![1usize, 8, 32, 128];
+    let mut widths = vec![1usize, 8, 32, DEFAULT_MAX_LANES];
     widths.retain(|&w| w <= shots); // smoke mode caps the shot count
     for &width in &widths {
         let mut engine = BatchMinSumDecoder::new(hz, &priors, config);

@@ -41,6 +41,7 @@ mod api;
 mod candidates;
 mod decoder;
 mod parallel;
+pub mod stats;
 mod trials;
 
 pub use candidates::{

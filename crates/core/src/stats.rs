@@ -1,11 +1,13 @@
-//! Latency and iteration statistics.
+//! Latency and iteration statistics, shared by the Monte Carlo runners
+//! (`qldpc-sim`) and the decoding-service metrics (`qldpc-server`) so
+//! the two percentile implementations cannot drift.
 
 /// Summary statistics over a sample of latencies (or iteration counts).
 ///
 /// # Examples
 ///
 /// ```
-/// use qldpc_sim::LatencyStats;
+/// use bpsf_core::stats::LatencyStats;
 ///
 /// let s = LatencyStats::from_samples(vec![1.0, 2.0, 3.0, 10.0]);
 /// assert_eq!(s.min, 1.0);

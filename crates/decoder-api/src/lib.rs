@@ -113,6 +113,20 @@ pub trait SyndromeDecoder {
 pub type DecoderFactory =
     Box<dyn Fn(&SparseBitMatrix, &[f64]) -> Box<dyn SyndromeDecoder> + Send + Sync>;
 
+/// A reference-counted [`DecoderFactory`]: the form long-lived decoder
+/// *pools* hold, where one factory is shared by every worker shard and
+/// each worker thread calls it locally so the built instance (which need
+/// not be `Send`) never crosses a thread boundary. Convert with
+/// [`share_factory`].
+pub type SharedDecoderFactory =
+    std::sync::Arc<dyn Fn(&SparseBitMatrix, &[f64]) -> Box<dyn SyndromeDecoder> + Send + Sync>;
+
+/// Converts an owned [`DecoderFactory`] into the shareable form consumed
+/// by pooled runtimes such as `qldpc-server`.
+pub fn share_factory(factory: DecoderFactory) -> SharedDecoderFactory {
+    std::sync::Arc::from(factory)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,5 +180,26 @@ mod tests {
         let f: DecoderFactory =
             Box::new(|_h, _p| Box::new(Echo { calls: 0 }) as Box<dyn SyndromeDecoder>);
         assert_send_sync(&f);
+    }
+
+    #[test]
+    fn shared_factories_clone_and_build_on_other_threads() {
+        let f: DecoderFactory =
+            Box::new(|_h, _p| Box::new(Echo { calls: 0 }) as Box<dyn SyndromeDecoder>);
+        let shared = share_factory(f);
+        let h = SparseBitMatrix::from_row_indices(1, 2, &[vec![0, 1]]);
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let shared = std::sync::Arc::clone(&shared);
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    let mut d = shared(&h, &[0.1, 0.1]);
+                    d.decode_syndrome(&BitVec::from_indices(1, &[0])).solved
+                })
+            })
+            .collect();
+        for t in handles {
+            assert!(t.join().unwrap());
+        }
     }
 }

@@ -1,0 +1,92 @@
+//! Real-time decoding service runtime with dynamic micro-batching.
+//!
+//! The paper's throughput argument is a *service* argument: real
+//! hardware emits one syndrome per code per round, from many logical
+//! qubits at once, and the decoder must keep up with that aggregate
+//! cadence. The shot-interleaved kernel
+//! ([`qldpc_bp::BatchMinSumDecoder`]) only pays off when it is handed
+//! `B ≫ 1` syndromes per call — this crate is the piece that *produces*
+//! those batches from independent request streams.
+//!
+//! Everything is in-process and hermetic: no async runtime, just
+//! `std::thread` workers and the vendored `crossbeam` shim's bounded
+//! channels.
+//!
+//! # Architecture
+//!
+//! * **Clients** ([`Client`]) submit syndromes for a registered code and
+//!   get a [`ResponseHandle`] back — blocking `wait`, bounded
+//!   `wait_timeout`, and non-blocking `try_take`, plus per-request
+//!   dispatch deadlines.
+//! * **Shard queues** — each code runs `shards` workers, each owning a
+//!   decoder instance and a bounded FIFO queue (high-water mark ⇒
+//!   [`SubmitError::Overloaded`] backpressure). A client sticks to one
+//!   home shard, so its requests leave the queue in submission order
+//!   (completion order is additionally FIFO when the code runs a single
+//!   shard; concurrent shards may finish their batches out of order).
+//! * **Micro-batching scheduler** — a worker coalesces requests until
+//!   `max_batch` (default: the kernel lane width,
+//!   [`qldpc_bp::DEFAULT_MAX_LANES`]) or until the `max_wait` window
+//!   closes, then decodes them in one
+//!   [`decode_batch`](qldpc_decoder_api::SyndromeDecoder::decode_batch)
+//!   call. Batched and per-shot decoding are bit-identical (the PR-2
+//!   equivalence suites), so batching is invisible to clients except in
+//!   latency.
+//! * **Work stealing** — an idle worker pops the *head* of the deepest
+//!   sibling queue, preserving the order in which a client's requests
+//!   are pulled for decoding while keeping every shard busy under
+//!   skewed load.
+//! * **Metrics** ([`MetricsSnapshot`]) — throughput counters, dispatched
+//!   batch-size histogram, and p50/p95/p99 end-to-end latency via the
+//!   shared `bpsf_core::stats` percentile code.
+//! * **Shutdown drains** — closing the service gates out new
+//!   submissions, then workers drain every queue so each accepted
+//!   request still gets exactly one response.
+//!
+//! # Examples
+//!
+//! ```
+//! use qldpc_gf2::BitVec;
+//! use qldpc_server::{DecodeService, ServiceConfig};
+//! use std::time::Duration;
+//!
+//! // A 5-bit repetition code served by plain min-sum BP.
+//! let h = qldpc_gf2::SparseBitMatrix::from_row_indices(
+//!     4,
+//!     5,
+//!     &[vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4]],
+//! );
+//! let factory: qldpc_decoder_api::DecoderFactory = Box::new(|h, priors| {
+//!     Box::new(qldpc_bp::MinSumDecoder::new(h, priors, qldpc_bp::BpConfig::default()))
+//! });
+//! let mut builder = DecodeService::builder();
+//! let code = builder.register_code_with(
+//!     "rep5",
+//!     &h,
+//!     &[0.05; 5],
+//!     factory,
+//!     ServiceConfig { shards: 1, max_wait: Duration::from_micros(50), ..Default::default() },
+//! );
+//! let service = builder.start();
+//!
+//! let mut client = service.client();
+//! let error = BitVec::from_indices(5, &[2]);
+//! let handle = client.submit(code, h.mul_vec(&error)).unwrap();
+//! let response = handle.wait();
+//! let outcome = response.result.unwrap();
+//! assert!(outcome.solved);
+//! assert_eq!(outcome.error_hat, error);
+//!
+//! let metrics = service.shutdown().remove(0);
+//! assert_eq!(metrics.completed, 1);
+//! assert!(metrics.is_drained());
+//! ```
+
+mod metrics;
+mod request;
+mod service;
+mod shard;
+
+pub use metrics::{bucket_label, MetricsSnapshot, BATCH_HISTOGRAM_BUCKETS};
+pub use request::{DecodeError, DecodeResponse, ResponseHandle, SubmitError};
+pub use service::{Client, CodeId, DecodeService, ServiceBuilder, ServiceConfig};

@@ -1,0 +1,226 @@
+//! Per-code service metrics: request counters, dispatched-batch-size
+//! histogram, and end-to-end latency percentiles.
+//!
+//! The percentile math is `bpsf_core::stats` — the same module the
+//! Monte Carlo runners in `qldpc-sim` report with, so service and
+//! simulation latency numbers are computed identically.
+
+use bpsf_core::stats::LatencyStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of power-of-two batch-size buckets: `[1]`, `[2]`, `(2,4]`,
+/// `(4,8]`, … `(128,256]`, `>256`.
+pub const BATCH_HISTOGRAM_BUCKETS: usize = 10;
+
+/// Cap on retained latency samples; beyond it new samples are counted in
+/// [`MetricsSnapshot::latency_samples_dropped`] but not stored, bounding
+/// a long-running service's memory.
+const MAX_LATENCY_SAMPLES: usize = 1 << 18;
+
+/// Live, lock-light counters one registered code's shards share.
+#[derive(Debug, Default)]
+pub(crate) struct CodeMetrics {
+    pub submitted: AtomicU64,
+    pub rejected_overload: AtomicU64,
+    pub completed: AtomicU64,
+    pub expired: AtomicU64,
+    pub batches: AtomicU64,
+    /// Live (non-expired) requests summed over all dispatched batches.
+    pub batched_requests: AtomicU64,
+    /// Requests decoded by a shard other than their home shard.
+    pub stolen: AtomicU64,
+    batch_histogram: [AtomicU64; BATCH_HISTOGRAM_BUCKETS],
+    latency_ms: Mutex<Vec<f64>>,
+    latency_dropped: AtomicU64,
+}
+
+/// Bucket index for a dispatched batch of `size` live requests.
+fn bucket_index(size: usize) -> usize {
+    debug_assert!(size >= 1);
+    let idx = usize::BITS as usize - (size - 1).max(1).leading_zeros() as usize;
+    // size=1 → idx formula gives 1 for (size-1).max(1)=1; special-case it.
+    if size == 1 {
+        0
+    } else {
+        idx.min(BATCH_HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Human-readable label of histogram bucket `i`.
+pub fn bucket_label(i: usize) -> String {
+    match i {
+        0 => "1".into(),
+        1 => "2".into(),
+        _ if i < BATCH_HISTOGRAM_BUCKETS - 1 => format!("{}-{}", (1 << (i - 1)) + 1, 1 << i),
+        _ => format!(">{}", 1 << (BATCH_HISTOGRAM_BUCKETS - 2)),
+    }
+}
+
+impl CodeMetrics {
+    /// Records one dispatched batch of `live` decoded requests.
+    pub fn record_batch(&self, live: usize) {
+        if live == 0 {
+            return;
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(live as u64, Ordering::Relaxed);
+        self.batch_histogram[bucket_index(live)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one fulfilled response's end-to-end latency.
+    pub fn record_latency(&self, total: Duration) {
+        let mut samples = self.latency_ms.lock().expect("metrics mutex poisoned");
+        if samples.len() < MAX_LATENCY_SAMPLES {
+            samples.push(total.as_secs_f64() * 1e3);
+        } else {
+            self.latency_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Consistent point-in-time copy of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let latency = self
+            .latency_ms
+            .lock()
+            .expect("metrics mutex poisoned")
+            .clone();
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_requests.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            batches,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                batched as f64 / batches as f64
+            },
+            stolen: self.stolen.load(Ordering::Relaxed),
+            batch_histogram: std::array::from_fn(|i| {
+                self.batch_histogram[i].load(Ordering::Relaxed)
+            }),
+            latency_ms: LatencyStats::from_samples(latency),
+            latency_samples_dropped: self.latency_dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen view of one code's service metrics.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into a shard queue.
+    pub submitted: u64,
+    /// Submissions refused with `SubmitError::Overloaded`.
+    pub rejected_overload: u64,
+    /// Requests decoded and fulfilled.
+    pub completed: u64,
+    /// Requests fulfilled with `DecodeError::DeadlineExceeded`.
+    pub expired: u64,
+    /// Batches dispatched to `decode_batch`.
+    pub batches: u64,
+    /// Mean live requests per dispatched batch.
+    pub mean_batch_size: f64,
+    /// Requests decoded by a non-home shard (work stealing).
+    pub stolen: u64,
+    /// Dispatched-batch-size counts in power-of-two buckets
+    /// (see [`bucket_label`]).
+    pub batch_histogram: [u64; BATCH_HISTOGRAM_BUCKETS],
+    /// End-to-end (submit → fulfill) latency statistics in milliseconds;
+    /// `latency_ms.median`/`.p95`/`.p99` are the p50/p95/p99 figures.
+    pub latency_ms: LatencyStats,
+    /// Latency samples discarded after the retention cap.
+    pub latency_samples_dropped: u64,
+}
+
+impl MetricsSnapshot {
+    /// All accepted requests are accounted for:
+    /// `completed + expired == submitted` once the service has drained.
+    pub fn is_drained(&self) -> bool {
+        self.completed + self.expired == self.submitted
+    }
+
+    /// Multi-line human-readable rendering (bench/soak output).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "submitted={} completed={} expired={} rejected={} batches={} \
+             mean_batch={:.2} stolen={}\n  latency_ms: {}\n  batch sizes:\n",
+            self.submitted,
+            self.completed,
+            self.expired,
+            self.rejected_overload,
+            self.batches,
+            self.mean_batch_size,
+            self.stolen,
+            self.latency_ms.summary(),
+        );
+        for (i, &count) in self.batch_histogram.iter().enumerate() {
+            if count > 0 {
+                out.push_str(&format!("    {:>7}: {}\n", bucket_label(i), count));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indices_are_power_of_two_ranges() {
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(8), 3);
+        assert_eq!(bucket_index(128), 7);
+        assert_eq!(bucket_index(129), 8);
+        assert_eq!(bucket_index(256), 8);
+        assert_eq!(bucket_index(257), BATCH_HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_index(100_000), BATCH_HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_labels_cover_all_buckets() {
+        assert_eq!(bucket_label(0), "1");
+        assert_eq!(bucket_label(1), "2");
+        assert_eq!(bucket_label(2), "3-4");
+        assert_eq!(bucket_label(7), "65-128");
+        assert_eq!(bucket_label(BATCH_HISTOGRAM_BUCKETS - 1), ">256");
+    }
+
+    #[test]
+    fn snapshot_mean_and_histogram() {
+        let m = CodeMetrics::default();
+        m.record_batch(1);
+        m.record_batch(8);
+        m.record_batch(0); // ignored
+        m.record_latency(Duration::from_millis(2));
+        m.record_latency(Duration::from_millis(4));
+        let s = m.snapshot();
+        assert_eq!(s.batches, 2);
+        assert!((s.mean_batch_size - 4.5).abs() < 1e-12);
+        assert_eq!(s.batch_histogram[0], 1);
+        assert_eq!(s.batch_histogram[3], 1);
+        assert_eq!(s.latency_ms.count, 2);
+        assert!((s.latency_ms.mean - 3.0).abs() < 1e-9);
+        assert_eq!(s.latency_samples_dropped, 0);
+    }
+
+    #[test]
+    fn drained_accounting() {
+        let m = CodeMetrics::default();
+        m.submitted.store(5, Ordering::Relaxed);
+        m.completed.store(3, Ordering::Relaxed);
+        m.expired.store(1, Ordering::Relaxed);
+        assert!(!m.snapshot().is_drained());
+        m.expired.store(2, Ordering::Relaxed);
+        assert!(m.snapshot().is_drained());
+    }
+}

@@ -1,0 +1,359 @@
+//! Service assembly: code registration, client handles, submission
+//! gating, and drain-on-shutdown.
+
+use crate::metrics::{CodeMetrics, MetricsSnapshot};
+use crate::request::{Request, ResponseHandle, ResponseSlot, SubmitError};
+use crate::shard::ShardContext;
+use crossbeam::channel::{self, Sender, TrySendError};
+use qldpc_decoder_api::{share_factory, DecoderFactory, SharedDecoderFactory};
+use qldpc_gf2::{BitVec, SparseBitMatrix};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Per-code tuning of the scheduler and its shard pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker shards (threads, each owning a decoder instance).
+    pub shards: usize,
+    /// Dispatch a batch as soon as this many requests are in hand. The
+    /// default is the batch kernel's lane width,
+    /// [`qldpc_bp::DEFAULT_MAX_LANES`] — one full tile per dispatch.
+    pub max_batch: usize,
+    /// How long a worker holds the batch window open waiting for more
+    /// requests after the first one arrives.
+    pub max_wait: Duration,
+    /// Shard-queue high-water mark; submissions beyond it are rejected
+    /// with [`SubmitError::Overloaded`].
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            shards: 2,
+            max_batch: qldpc_bp::DEFAULT_MAX_LANES,
+            max_wait: Duration::from_micros(200),
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// Opaque handle naming a registered code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CodeId(pub(crate) usize);
+
+struct CodeSpec {
+    name: String,
+    h: SparseBitMatrix,
+    priors: Vec<f64>,
+    factory: SharedDecoderFactory,
+    config: ServiceConfig,
+}
+
+/// Staged registration; [`ServiceBuilder::start`] spawns the shard pools
+/// and returns the running service.
+#[derive(Default)]
+pub struct ServiceBuilder {
+    codes: Vec<CodeSpec>,
+}
+
+impl ServiceBuilder {
+    /// Registers a code under the default [`ServiceConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched `priors` length or a degenerate config (see
+    /// [`ServiceBuilder::register_code_with`]).
+    pub fn register_code(
+        &mut self,
+        name: impl Into<String>,
+        h: &SparseBitMatrix,
+        priors: &[f64],
+        factory: DecoderFactory,
+    ) -> CodeId {
+        self.register_code_with(name, h, priors, factory, ServiceConfig::default())
+    }
+
+    /// Registers a code with explicit scheduler tuning. Each of the
+    /// `config.shards` workers builds its own decoder instance from
+    /// `factory` on its own thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `priors.len() != h.cols()` or any of `shards`,
+    /// `max_batch`, `queue_capacity` is zero.
+    pub fn register_code_with(
+        &mut self,
+        name: impl Into<String>,
+        h: &SparseBitMatrix,
+        priors: &[f64],
+        factory: DecoderFactory,
+        config: ServiceConfig,
+    ) -> CodeId {
+        assert_eq!(priors.len(), h.cols(), "one prior per variable required");
+        assert!(config.shards > 0, "need at least one shard");
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        let id = CodeId(self.codes.len());
+        self.codes.push(CodeSpec {
+            name: name.into(),
+            h: h.clone(),
+            priors: priors.to_vec(),
+            factory: share_factory(factory),
+            config,
+        });
+        id
+    }
+
+    /// Spawns every shard worker and opens the service for submissions.
+    pub fn start(self) -> DecodeService {
+        let closed = Arc::new(AtomicBool::new(false));
+        let mut codes = Vec::with_capacity(self.codes.len());
+        let mut workers = Vec::new();
+        for spec in self.codes {
+            let metrics = Arc::new(CodeMetrics::default());
+            let completion_counter = Arc::new(AtomicU64::new(0));
+            let h = Arc::new(spec.h);
+            let priors = Arc::new(spec.priors);
+            let pairs: Vec<_> = (0..spec.config.shards)
+                .map(|_| channel::bounded::<Request>(spec.config.queue_capacity))
+                .collect();
+            let receivers: Vec<_> = pairs.iter().map(|(_, rx)| rx.clone()).collect();
+            let senders: Vec<Sender<Request>> = pairs.into_iter().map(|(tx, _)| tx).collect();
+            for shard_index in 0..spec.config.shards {
+                let ctx = ShardContext {
+                    shard_index,
+                    queues: receivers.clone(),
+                    h: Arc::clone(&h),
+                    priors: Arc::clone(&priors),
+                    factory: Arc::clone(&spec.factory),
+                    max_batch: spec.config.max_batch,
+                    max_wait: spec.config.max_wait,
+                    metrics: Arc::clone(&metrics),
+                    completion_counter: Arc::clone(&completion_counter),
+                    closed: Arc::clone(&closed),
+                };
+                let thread = std::thread::Builder::new()
+                    .name(format!("qldpc-server/{}/{shard_index}", spec.name))
+                    .spawn(move || ctx.run())
+                    .expect("failed to spawn shard worker");
+                workers.push(thread);
+            }
+            codes.push(CodeRuntime {
+                name: spec.name,
+                rows: h.rows(),
+                shards: spec.config.shards,
+                senders,
+                metrics,
+            });
+        }
+        DecodeService {
+            shared: Arc::new(Shared {
+                codes,
+                gate: RwLock::new(false),
+                closed,
+                next_request_id: AtomicU64::new(0),
+                next_client_id: AtomicU64::new(0),
+            }),
+            workers,
+        }
+    }
+}
+
+struct CodeRuntime {
+    name: String,
+    rows: usize,
+    shards: usize,
+    senders: Vec<Sender<Request>>,
+    metrics: Arc<CodeMetrics>,
+}
+
+struct Shared {
+    codes: Vec<CodeRuntime>,
+    /// `true` once shut down. Submissions hold the read side across
+    /// check-and-send; shutdown flips it under the write side, so no
+    /// send can race past the close — whatever a worker drains after
+    /// observing `closed` is the complete remaining load.
+    gate: RwLock<bool>,
+    /// Lock-free mirror of the gate for worker polling loops.
+    closed: Arc<AtomicBool>,
+    next_request_id: AtomicU64,
+    next_client_id: AtomicU64,
+}
+
+/// The running decode service. Dropping it (or calling
+/// [`DecodeService::shutdown`]) closes submissions, drains every shard
+/// queue — every accepted request still gets its response — and joins
+/// the worker threads.
+pub struct DecodeService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl DecodeService {
+    /// Starts assembling a service.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::default()
+    }
+
+    /// Creates a submission handle with a fresh client identity.
+    /// Requests from one client go to one *home shard*
+    /// (`client_id % shards`) in submission order, so they are pulled
+    /// out of that queue for decoding in submission order (every
+    /// consumer pops the head). Their *completion* order is also FIFO
+    /// when the code runs a single shard; with several shards,
+    /// concurrently decoded batches may finish out of order.
+    pub fn client(&self) -> Client {
+        Client {
+            shared: Arc::clone(&self.shared),
+            client_id: self.shared.next_client_id.fetch_add(1, Ordering::Relaxed),
+            next_seq: 0,
+        }
+    }
+
+    /// Display name a code was registered under.
+    pub fn code_name(&self, code: CodeId) -> Option<&str> {
+        self.shared.codes.get(code.0).map(|c| c.name.as_str())
+    }
+
+    /// Point-in-time metrics for one code.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown `code` id.
+    pub fn metrics(&self, code: CodeId) -> MetricsSnapshot {
+        self.shared.codes[code.0].metrics.snapshot()
+    }
+
+    fn shutdown_impl(&mut self) {
+        {
+            let mut gate = self.shared.gate.write().expect("service gate poisoned");
+            *gate = true;
+        }
+        self.shared.closed.store(true, Ordering::Release);
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Closes submissions, waits for every shard to drain its queue
+    /// (all outstanding handles resolve), joins the workers, and
+    /// returns the final per-code metrics in registration order.
+    pub fn shutdown(mut self) -> Vec<MetricsSnapshot> {
+        self.shutdown_impl();
+        self.shared
+            .codes
+            .iter()
+            .map(|c| c.metrics.snapshot())
+            .collect()
+    }
+}
+
+impl Drop for DecodeService {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// A submission handle. `Send` but deliberately not `Clone`: one client
+/// is one FIFO stream with a private sequence counter; concurrent
+/// producers should each take their own client from
+/// [`DecodeService::client`].
+pub struct Client {
+    shared: Arc<Shared>,
+    client_id: u64,
+    next_seq: u64,
+}
+
+impl Client {
+    /// This client's stable identity.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// Submits a syndrome with no deadline.
+    pub fn submit(
+        &mut self,
+        code: CodeId,
+        syndrome: BitVec,
+    ) -> Result<ResponseHandle, SubmitError> {
+        self.submit_inner(code, syndrome, None)
+    }
+
+    /// Submits a syndrome that must be *dispatched* within `deadline`
+    /// from now; if the scheduler pulls it later than that, it is
+    /// answered with `DecodeError::DeadlineExceeded` instead of being
+    /// decoded.
+    pub fn submit_with_deadline(
+        &mut self,
+        code: CodeId,
+        syndrome: BitVec,
+        deadline: Duration,
+    ) -> Result<ResponseHandle, SubmitError> {
+        self.submit_inner(code, syndrome, Some(Instant::now() + deadline))
+    }
+
+    fn submit_inner(
+        &mut self,
+        code: CodeId,
+        syndrome: BitVec,
+        deadline: Option<Instant>,
+    ) -> Result<ResponseHandle, SubmitError> {
+        let runtime = self
+            .shared
+            .codes
+            .get(code.0)
+            .ok_or(SubmitError::UnknownCode)?;
+        if syndrome.len() != runtime.rows {
+            return Err(SubmitError::SyndromeLength {
+                expected: runtime.rows,
+                got: syndrome.len(),
+            });
+        }
+        // Hold the gate's read side across check-and-send (see `Shared`).
+        let gate = self.shared.gate.read().expect("service gate poisoned");
+        if *gate {
+            return Err(SubmitError::Shutdown);
+        }
+        let home_shard = (self.client_id as usize) % runtime.shards;
+        let slot = Arc::new(ResponseSlot::default());
+        let request = Request {
+            id: self.shared.next_request_id.fetch_add(1, Ordering::Relaxed),
+            client_seq: self.next_seq,
+            syndrome,
+            deadline,
+            submitted_at: Instant::now(),
+            home_shard,
+            slot: Arc::clone(&slot),
+        };
+        let (id, seq) = (request.id, request.client_seq);
+        match runtime.senders[home_shard].try_send(request) {
+            Ok(()) => {
+                // Count while still holding the gate: shutdown's write
+                // lock then orders after this increment, so a final
+                // snapshot can never see `completed > submitted`.
+                runtime.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+                drop(gate);
+                self.next_seq += 1;
+                Ok(ResponseHandle {
+                    slot,
+                    request_id: id,
+                    client_seq: seq,
+                })
+            }
+            Err(TrySendError::Full(_)) => {
+                runtime
+                    .metrics
+                    .rejected_overload
+                    .fetch_add(1, Ordering::Relaxed);
+                drop(gate);
+                Err(SubmitError::Overloaded)
+            }
+            // Workers only exit after shutdown, so a gone receiver is a
+            // closed service.
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::Shutdown),
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Shard workers: the dynamic micro-batching scheduler and the
+//! work-stealing decode loop.
+//!
+//! Each registered code owns `shards` workers. A worker's loop is:
+//!
+//! 1. **Acquire** — pop the oldest request from its own queue; if that
+//!    is empty, steal the head of the deepest sibling queue; if every
+//!    queue is empty, park on its own queue (bounded naps, so the
+//!    shutdown flag is observed within [`PARK`]).
+//! 2. **Coalesce** — keep the batch window open for at most `max_wait`,
+//!    greedily draining its own queue (then stealing) until `max_batch`
+//!    requests are in hand. A full queue therefore dispatches immediately
+//!    at the kernel's lane width; a trickle dispatches after `max_wait`
+//!    with whatever arrived.
+//! 3. **Dispatch** — expire requests whose deadline has passed, decode
+//!    the rest in one [`decode_batch`] call, and fulfill every slot.
+//!
+//! All consumers (owner and thieves) pop from the queue *head*, so
+//! requests of one client — which a [`Client`](crate::Client) always
+//! sends to one home shard — are *pulled into batches* in submission
+//! order no matter who decodes them. Note this ordering covers queue
+//! departure, not completion: with several shards, two batches holding
+//! a client's consecutive requests may be decoded concurrently and
+//! finish out of order; completion-order FIFO per client is guaranteed
+//! only at `shards = 1` (what the soak tests assert).
+//!
+//! [`decode_batch`]: qldpc_decoder_api::SyndromeDecoder::decode_batch
+
+use crate::metrics::CodeMetrics;
+use crate::request::{DecodeError, DecodeResponse, Request};
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use qldpc_decoder_api::{SharedDecoderFactory, SyndromeDecoder};
+use qldpc_gf2::{BitVec, SparseBitMatrix};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Upper bound on any blocking nap in the worker loop; the shutdown flag
+/// is re-checked at least this often even when no traffic arrives.
+const PARK: Duration = Duration::from_millis(5);
+
+/// Everything one shard worker needs; moved into its thread at spawn.
+pub(crate) struct ShardContext {
+    /// This worker's shard index within its code.
+    pub shard_index: usize,
+    /// Receivers of *all* the code's shard queues, indexed by shard; the
+    /// worker owns index [`Self::shard_index`] and steals from the rest.
+    pub queues: Vec<Receiver<Request>>,
+    pub h: Arc<SparseBitMatrix>,
+    pub priors: Arc<Vec<f64>>,
+    pub factory: SharedDecoderFactory,
+    pub max_batch: usize,
+    pub max_wait: Duration,
+    pub metrics: Arc<CodeMetrics>,
+    /// Per-code monotone completion stamp shared by all its shards.
+    pub completion_counter: Arc<AtomicU64>,
+    /// Service-wide shutdown flag; once set, no submission can enter a
+    /// queue, and workers drain every queue before exiting.
+    pub closed: Arc<AtomicBool>,
+}
+
+impl ShardContext {
+    fn own(&self) -> &Receiver<Request> {
+        &self.queues[self.shard_index]
+    }
+
+    /// Steals the head of the deepest non-empty sibling queue.
+    fn steal(&self) -> Option<Request> {
+        let mut victim = None;
+        let mut depth = 0;
+        for (i, queue) in self.queues.iter().enumerate() {
+            if i == self.shard_index {
+                continue;
+            }
+            let len = queue.len();
+            if len > depth {
+                depth = len;
+                victim = Some(i);
+            }
+        }
+        self.queues[victim?].try_recv().ok()
+    }
+
+    /// Pops the next request without blocking: own queue first, then a
+    /// steal.
+    fn poll(&self) -> Option<Request> {
+        self.own().try_recv().ok().or_else(|| self.steal())
+    }
+
+    /// The worker thread body.
+    pub fn run(self) {
+        let mut decoder: Box<dyn SyndromeDecoder> = (self.factory)(&self.h, &self.priors);
+        loop {
+            let first = match self.poll() {
+                Some(request) => request,
+                None => {
+                    if self.closed.load(Ordering::Acquire) {
+                        // Closed and every queue empty: nothing can arrive
+                        // anymore (submissions are gated), we are done.
+                        match self.poll() {
+                            Some(request) => request,
+                            None => return,
+                        }
+                    } else {
+                        match self.own().recv_timeout(PARK) {
+                            Ok(request) => request,
+                            Err(RecvTimeoutError::Timeout) => continue,
+                            Err(RecvTimeoutError::Disconnected) => return,
+                        }
+                    }
+                }
+            };
+            let batch = self.coalesce(first);
+            self.dispatch(decoder.as_mut(), batch);
+        }
+    }
+
+    /// Grows a batch around `first` until `max_batch` requests are in
+    /// hand or the `max_wait` window closes (immediately, under
+    /// shutdown).
+    fn coalesce(&self, first: Request) -> Vec<Request> {
+        let mut batch = Vec::with_capacity(self.max_batch.min(64));
+        batch.push(first);
+        let window_end = Instant::now() + self.max_wait;
+        while batch.len() < self.max_batch {
+            if let Some(request) = self.poll() {
+                batch.push(request);
+                continue;
+            }
+            if self.closed.load(Ordering::Acquire) {
+                break; // drain fast; don't hold the window open
+            }
+            let Some(remaining) = window_end.checked_duration_since(Instant::now()) else {
+                break;
+            };
+            match self.own().recv_timeout(remaining.min(PARK)) {
+                Ok(request) => batch.push(request),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        batch
+    }
+
+    /// Expires overdue requests, decodes the rest in one batched call,
+    /// and fulfills every response slot in queue order.
+    fn dispatch(&self, decoder: &mut dyn SyndromeDecoder, batch: Vec<Request>) {
+        let dispatched_at = Instant::now();
+        let live: Vec<bool> = batch
+            .iter()
+            .map(|r| r.deadline.is_none_or(|d| d >= dispatched_at))
+            .collect();
+        let syndromes: Vec<BitVec> = batch
+            .iter()
+            .zip(&live)
+            .filter(|&(_, &l)| l)
+            .map(|(r, _)| r.syndrome.clone())
+            .collect();
+        let live_count = syndromes.len();
+        self.metrics.record_batch(live_count);
+        let mut outcomes = decoder.decode_batch(&syndromes).into_iter();
+
+        // One contiguous completion-seq range per batch, in queue order.
+        let seq_base = self
+            .completion_counter
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        for (offset, (request, is_live)) in batch.into_iter().zip(live).enumerate() {
+            let result = if is_live {
+                self.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                Ok(outcomes.next().expect("decode_batch returned short"))
+            } else {
+                self.metrics.expired.fetch_add(1, Ordering::Relaxed);
+                Err(DecodeError::DeadlineExceeded)
+            };
+            let stolen = request.home_shard != self.shard_index;
+            if stolen {
+                self.metrics.stolen.fetch_add(1, Ordering::Relaxed);
+            }
+            let total_time = request.submitted_at.elapsed();
+            if is_live {
+                self.metrics.record_latency(total_time);
+            }
+            request.slot.fulfill(DecodeResponse {
+                request_id: request.id,
+                client_seq: request.client_seq,
+                result,
+                batch_size: live_count,
+                completion_seq: seq_base + offset as u64,
+                queue_time: dispatched_at.saturating_duration_since(request.submitted_at),
+                total_time,
+                stolen,
+            });
+        }
+        debug_assert!(outcomes.next().is_none(), "decode_batch returned long");
+    }
+}

@@ -7,7 +7,7 @@
 //! records into estimated decode times under a given hardware profile.
 
 use crate::report::{RunReport, ShotRecord};
-use crate::stats::LatencyStats;
+use bpsf_core::stats::LatencyStats;
 
 /// A hardware latency profile for BP decoding.
 ///

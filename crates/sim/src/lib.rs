@@ -28,7 +28,6 @@ mod engine;
 mod latency;
 mod parallel_runner;
 mod report;
-mod stats;
 
 pub use batch::{run_circuit_level_batched, run_code_capacity_batched, BatchConfig};
 pub use circuit_level::{run_circuit_level, CircuitLevelConfig};
@@ -37,7 +36,10 @@ pub use decoders::{DecodeOutcome, DecoderFactory, SyndromeDecoder};
 pub use latency::HardwareLatencyModel;
 pub use parallel_runner::{run_circuit_level_parallel, run_code_capacity_parallel};
 pub use report::{RunReport, ShotRecord};
-pub use stats::{percentile, LatencyStats};
+// Percentile/latency statistics live in `bpsf_core::stats` (shared with
+// the `qldpc-server` metrics); re-exported here so sim's public API is
+// unchanged.
+pub use bpsf_core::stats::{percentile, LatencyStats};
 
 /// Converts an end-to-end logical error rate over `rounds` rounds into a
 /// per-round rate via the paper's Eq. 11: `1 − (1 − LER)^(1/d)`.

@@ -1,6 +1,6 @@
 //! Per-run reports and shot records.
 
-use crate::stats::LatencyStats;
+use bpsf_core::stats::LatencyStats;
 use std::fmt;
 
 /// One decoded shot's accounting.

@@ -14,6 +14,7 @@
 //! | Circuit noise | [`circuit`] | syndrome-extraction circuits, detector error models |
 //! | **BP-SF** | [`bpsf`] | the paper's oscillation-guided syndrome-flip decoder |
 //! | Monte Carlo | [`sim`] | LER estimation (sequential, parallel, batched), latency stats, hardware models |
+//! | Service | [`server`] | real-time decoding service: micro-batching scheduler, sharded decoder pools, backpressure, metrics |
 //!
 //! # Quickstart
 //!
@@ -40,6 +41,7 @@ pub use qldpc_codes as codes;
 pub use qldpc_decoder_api as decoder_api;
 pub use qldpc_gf2 as gf2;
 pub use qldpc_osd as osd;
+pub use qldpc_server as server;
 pub use qldpc_sim as sim;
 
 /// The most common imports for working with the stack.
@@ -53,6 +55,7 @@ pub mod prelude {
     pub use crate::decoder_api::{DecodeOutcome, DecoderFactory, SyndromeDecoder};
     pub use crate::gf2::{BitMatrix, BitVec, SparseBitMatrix};
     pub use crate::osd::{BpOsdDecoder, OsdConfig};
+    pub use crate::server::{DecodeService, ServiceConfig};
     pub use crate::sim::{
         decoders, run_circuit_level, run_circuit_level_batched, run_circuit_level_parallel,
         run_code_capacity, run_code_capacity_batched, run_code_capacity_parallel, BatchConfig,

@@ -1,9 +1,18 @@
-//! Unbounded MPMC channel with cloneable senders and receivers.
+//! Unbounded and bounded MPMC channels with cloneable senders and
+//! receivers.
+//!
+//! One `Inner` backs both flavors: a bounded channel simply carries a
+//! capacity and a second condvar (`not_full`) that blocked senders park
+//! on. `bounded(0)` (crossbeam's rendezvous channel) is **not**
+//! supported — the decoding-service scheduler has no use for it and the
+//! semantics would complicate the shim; the constructor panics instead of
+//! silently deadlocking.
 
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Error returned by [`Sender::send`] when every receiver is gone; the
 /// unsent message is handed back.
@@ -22,6 +31,35 @@ impl<T> fmt::Display for SendError<T> {
     }
 }
 
+/// Error returned by [`Sender::try_send`]: the channel is at capacity
+/// (`Full`) or every receiver is gone (`Disconnected`); the unsent
+/// message rides along either way.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded channel is at capacity.
+    Full(T),
+    /// Every receiver has been dropped.
+    Disconnected(T),
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "Full(..)"),
+            TrySendError::Disconnected(_) => write!(f, "Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
 /// Error returned by [`Receiver::recv`] once the channel is empty and
 /// every sender is gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,9 +71,54 @@ impl fmt::Display for RecvError {
     }
 }
 
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty (senders may still be alive).
+    Empty,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                write!(f, "receiving on an empty, disconnected channel")
+            }
+        }
+    }
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Nothing arrived within the timeout (senders may still be alive).
+    Timeout,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                write!(f, "receiving on an empty, disconnected channel")
+            }
+        }
+    }
+}
+
 struct Inner<T> {
     queue: Mutex<VecDeque<T>>,
     ready: Condvar,
+    /// Parked senders of a bounded channel; never waited on when
+    /// `capacity` is `None`.
+    not_full: Condvar,
+    /// `None` ⇒ unbounded.
+    capacity: Option<usize>,
     senders: AtomicUsize,
     receivers: AtomicUsize,
 }
@@ -51,11 +134,12 @@ pub struct Receiver<T> {
     inner: Arc<Inner<T>>,
 }
 
-/// Creates an unbounded channel.
-pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+fn new_pair<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let inner = Arc::new(Inner {
         queue: Mutex::new(VecDeque::new()),
         ready: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity,
         senders: AtomicUsize::new(1),
         receivers: AtomicUsize::new(1),
     });
@@ -67,19 +151,83 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     )
 }
 
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    new_pair(None)
+}
+
+/// Creates a bounded channel holding at most `cap` messages:
+/// [`Sender::send`] blocks and [`Sender::try_send`] returns
+/// [`TrySendError::Full`] while it is at capacity.
+///
+/// # Panics
+///
+/// Panics if `cap == 0` — the rendezvous channel is outside the shim's
+/// supported subset (see the module docs).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "bounded(0) rendezvous channels are not supported");
+    new_pair(Some(cap))
+}
+
 impl<T> Sender<T> {
-    /// Enqueues `msg`, waking one blocked receiver.
+    /// Enqueues `msg`, waking one blocked receiver; on a bounded channel
+    /// at capacity, blocks until a slot frees up (or every receiver is
+    /// dropped).
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
         if self.inner.receivers.load(Ordering::Acquire) == 0 {
             return Err(SendError(msg));
         }
+        let mut queue = self.inner.queue.lock().expect("channel mutex poisoned");
+        if let Some(cap) = self.inner.capacity {
+            while queue.len() >= cap {
+                if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                    return Err(SendError(msg));
+                }
+                queue = self
+                    .inner
+                    .not_full
+                    .wait(queue)
+                    .expect("channel mutex poisoned");
+            }
+        }
+        queue.push_back(msg);
+        drop(queue);
+        self.inner.ready.notify_one();
+        Ok(())
+    }
+
+    /// Non-blocking send: fails with [`TrySendError::Full`] when a bounded
+    /// channel is at capacity (the backpressure signal the decoding
+    /// service turns into `Overloaded`) and with
+    /// [`TrySendError::Disconnected`] when every receiver is gone.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        if self.inner.receivers.load(Ordering::Acquire) == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        let mut queue = self.inner.queue.lock().expect("channel mutex poisoned");
+        if let Some(cap) = self.inner.capacity {
+            if queue.len() >= cap {
+                return Err(TrySendError::Full(msg));
+            }
+        }
+        queue.push_back(msg);
+        drop(queue);
+        self.inner.ready.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
         self.inner
             .queue
             .lock()
             .expect("channel mutex poisoned")
-            .push_back(msg);
-        self.inner.ready.notify_one();
-        Ok(())
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -95,18 +243,31 @@ impl<T> Clone for Sender<T> {
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
         if self.inner.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
-            // Last sender: wake everyone so blocked receivers can error out.
+            // Last sender: wake everyone so blocked receivers can error
+            // out. Taking the queue mutex first is what makes the notify
+            // reliable: a receiver that has already checked `senders`
+            // (under the mutex) but not yet parked on the condvar would
+            // otherwise miss this wakeup and sleep forever.
+            let _guard = self.inner.queue.lock().expect("channel mutex poisoned");
             self.inner.ready.notify_all();
         }
     }
 }
 
 impl<T> Receiver<T> {
+    fn pop(queue: &mut VecDeque<T>, inner: &Inner<T>) -> Option<T> {
+        let msg = queue.pop_front();
+        if msg.is_some() && inner.capacity.is_some() {
+            inner.not_full.notify_one();
+        }
+        msg
+    }
+
     /// Blocks until a message arrives or every sender is dropped.
     pub fn recv(&self) -> Result<T, RecvError> {
         let mut queue = self.inner.queue.lock().expect("channel mutex poisoned");
         loop {
-            if let Some(msg) = queue.pop_front() {
+            if let Some(msg) = Self::pop(&mut queue, &self.inner) {
                 return Ok(msg);
             }
             if self.inner.senders.load(Ordering::Acquire) == 0 {
@@ -120,14 +281,66 @@ impl<T> Receiver<T> {
         }
     }
 
-    /// Non-blocking pop, `None` when currently empty (regardless of sender
-    /// liveness).
-    pub fn try_recv(&self) -> Option<T> {
+    /// Blocks until a message arrives, every sender is dropped, or
+    /// `timeout` elapses — the scheduler's batch-window wait (the shim's
+    /// stand-in for crossbeam's `select!`/`after` machinery).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.inner.queue.lock().expect("channel mutex poisoned");
+        loop {
+            if let Some(msg) = Self::pop(&mut queue, &self.inner) {
+                return Ok(msg);
+            }
+            if self.inner.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (q, wait) = self
+                .inner
+                .ready
+                .wait_timeout(queue, remaining)
+                .expect("channel mutex poisoned");
+            queue = q;
+            if wait.timed_out() {
+                // One final pop attempt below via the loop head; the next
+                // deadline check will return Timeout if still empty.
+                if queue.is_empty() && self.inner.senders.load(Ordering::Acquire) != 0 {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+    }
+
+    /// Non-blocking pop.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = self.inner.queue.lock().expect("channel mutex poisoned");
+        if let Some(msg) = Self::pop(&mut queue, &self.inner) {
+            return Ok(msg);
+        }
+        if self.inner.senders.load(Ordering::Acquire) == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
         self.inner
             .queue
             .lock()
             .expect("channel mutex poisoned")
-            .pop_front()
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -142,13 +355,21 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        self.inner.receivers.fetch_sub(1, Ordering::AcqRel);
+        if self.inner.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last receiver: wake parked senders so they can error out.
+            // The mutex is held for the same lost-wakeup reason as in
+            // `Sender::drop` — a sender between its `receivers` check and
+            // its park must not miss the only notification it will get.
+            let _guard = self.inner.queue.lock().expect("channel mutex poisoned");
+            self.inner.not_full.notify_all();
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn fifo_within_one_consumer() {
@@ -178,6 +399,16 @@ mod tests {
     }
 
     #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(4).unwrap();
+        assert_eq!(rx.try_recv(), Ok(4));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
     fn workers_drain_shared_queue() {
         let (tx, rx) = unbounded::<usize>();
         let (out_tx, out_rx) = unbounded::<usize>();
@@ -203,5 +434,78 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full_then_accepts_after_pop() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_slot_frees() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || {
+            // Blocks until the main thread pops.
+            tx.send(2).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_sender_unblocks_with_error_when_receivers_vanish() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(t.join().unwrap(), Err(SendError(2)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded::<u32>(4);
+        let start = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(10));
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_send_before_deadline() {
+        let (tx, rx) = unbounded::<u32>();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(15));
+            tx.send(5).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(5));
+        t.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "rendezvous")]
+    fn zero_capacity_is_rejected() {
+        let _ = bounded::<u32>(0);
     }
 }

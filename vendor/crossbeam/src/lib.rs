@@ -7,10 +7,23 @@
 //! * [`thread::scope`] — scoped spawning, a thin adapter over
 //!   [`std::thread::scope`] preserving crossbeam's `Result`-returning
 //!   signature and the `|scope| scope.spawn(|_| …)` closure shape.
-//! * [`channel`] — an unbounded MPMC channel (cloneable `Sender` **and**
-//!   `Receiver`) built from `Mutex<VecDeque>` + `Condvar`. Throughput is
-//!   adequate for the decoder worker pools here (hundreds of jobs per
-//!   decode), not for fine-grained message storms.
+//! * [`channel`] — MPMC channels (cloneable `Sender` **and** `Receiver`)
+//!   built from `Mutex<VecDeque>` + two `Condvar`s. The implemented API
+//!   subset is:
+//!   - [`channel::unbounded`] with `send` / `recv` / `try_recv`,
+//!   - [`channel::bounded`] (capacity ≥ 1; `bounded(0)` rendezvous
+//!     channels are rejected) adding blocking-at-capacity `send` and
+//!     non-blocking `try_send` → `TrySendError::Full`, the backpressure
+//!     primitive of `qldpc-server`'s shard queues,
+//!   - [`channel::Receiver::recv_timeout`] — the timed wait the
+//!     micro-batching scheduler uses for its `max_wait` window instead
+//!     of crossbeam's `select!`/`after` machinery (not implemented),
+//!   - `len` / `is_empty` on both halves (used for queue-depth metrics
+//!     and steal-victim selection).
+//!
+//! Channel throughput is adequate for the decoder worker pools and the
+//! decode-service scheduler here (a lock round-trip per message), not
+//! for fine-grained message storms.
 
 pub mod channel;
 pub mod thread;
