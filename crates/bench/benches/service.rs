@@ -83,6 +83,7 @@ fn run_soak(max_batch: usize, shards: usize, syndromes: &[Vec<BitVec>]) -> RunRe
         max_batch,
         max_wait: Duration::from_micros(500),
         queue_capacity: 4096,
+        ..ServiceConfig::default()
     };
     let code_id = builder.register_code_with("gross-z", hz, &priors, bp_factory(), config);
     let service = builder.start();

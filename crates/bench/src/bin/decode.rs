@@ -10,20 +10,22 @@
 //!
 //! Codes: `bb72`, `gross`, `bb288`, `coprime126`, `coprime154`, `gb254`,
 //! `shyps225`. Models: `capacity`, `circuit`. Decoders: `bp`, `layered-bp`,
-//! `bposd`, `bpsf`, `bpsf-parallel`.
+//! `bposd`, `bpsf`, `bpsf-parallel`. The plain-BP decoders also take
+//! `--precision f32` for the half-width message fast path.
 
 use bpsf_core::BpSfConfig;
 use qldpc_bench::build_dem;
 use qldpc_codes::CssCode;
 use qldpc_sim::{
-    decoders, run_circuit_level_parallel, run_code_capacity_parallel, CircuitLevelConfig,
-    CodeCapacityConfig, DecoderFactory,
+    decoders, decoders::Precision, run_circuit_level_parallel, run_code_capacity_parallel,
+    CircuitLevelConfig, CodeCapacityConfig, DecoderFactory,
 };
 
 struct Cli {
     code: String,
     model: String,
     decoder: String,
+    precision: Precision,
     p: f64,
     rounds: Option<usize>,
     shots: usize,
@@ -42,6 +44,7 @@ impl Cli {
             code: "gross".into(),
             model: "capacity".into(),
             decoder: "bpsf".into(),
+            precision: Precision::F64,
             p: 0.01,
             rounds: None,
             shots: 500,
@@ -60,6 +63,13 @@ impl Cli {
                 "--code" => cli.code = val(),
                 "--model" => cli.model = val(),
                 "--decoder" => cli.decoder = val(),
+                "--precision" => {
+                    cli.precision = match val().as_str() {
+                        "f64" => Precision::F64,
+                        "f32" => Precision::F32,
+                        other => panic!("unknown precision {other:?} (f64|f32)"),
+                    }
+                }
                 "--p" => cli.p = val().parse().expect("bad --p"),
                 "--rounds" => cli.rounds = Some(val().parse().expect("bad --rounds")),
                 "--shots" => cli.shots = val().parse().expect("bad --shots"),
@@ -73,7 +83,8 @@ impl Cli {
                 "--help" | "-h" => {
                     println!(
                         "usage: decode [--code NAME] [--model capacity|circuit] \
-                         [--decoder bp|layered-bp|bposd|bpsf|bpsf-parallel] [--p F] \
+                         [--decoder bp|layered-bp|bposd|bpsf|bpsf-parallel] \
+                         [--precision f64|f32 (bp/layered-bp only)] [--p F] \
                          [--rounds N] [--shots N] [--threads N] [--seed N] \
                          [--bp-iters N] [--osd-order N] [--candidates N] [--w-max N] [--ns N]"
                     );
@@ -99,9 +110,15 @@ impl Cli {
     }
 
     fn resolve_decoder(&self) -> DecoderFactory {
+        // Only plain BP has a reduced-precision implementation; reject
+        // the flag elsewhere rather than silently decoding at f64.
+        if self.precision != Precision::F64 && !matches!(self.decoder.as_str(), "bp" | "layered-bp")
+        {
+            panic!("--precision f32 is only supported by bp/layered-bp");
+        }
         match self.decoder.as_str() {
-            "bp" => decoders::plain_bp(self.bp_iters),
-            "layered-bp" => decoders::layered_bp(self.bp_iters),
+            "bp" => decoders::plain_bp_at(self.bp_iters, self.precision),
+            "layered-bp" => decoders::layered_bp_at(self.bp_iters, self.precision),
             "bposd" => decoders::bp_osd(self.bp_iters, self.osd_order),
             "bpsf" => {
                 let config = if self.model == "capacity" {

@@ -20,6 +20,16 @@
 //! the outputs are **bit-identical**, enforced by the property suite in
 //! `crates/bp/tests/batch_equivalence.rs`.
 //!
+//! # Precision
+//!
+//! The engine is generic over the [`Llr`] message scalar. At `f32`
+//! ([`BatchMinSumDecoderF32`](crate::BatchMinSumDecoderF32)) the slabs
+//! are half as wide, which doubles the effective SIMD lanes of the
+//! auto-vectorized inner loops and halves their memory traffic — the
+//! hardware-BP trade the source paper leans on. The bit-identity
+//! contract holds *per precision*: f32 batch ≡ f32 scalar, f64 batch ≡
+//! f64 scalar, each via `to_bits`.
+//!
 //! # Early termination: lane compaction
 //!
 //! Per-shot early exit is preserved via an active-lane prefix instead of
@@ -45,19 +55,24 @@
 //! ```
 
 use crate::graph::TannerGraph;
-use crate::kernel::{self, CheckScratch, LLR_CLAMP};
-use crate::{prior_llr, BpConfig, BpResult, MinSumDecoder};
+use crate::kernel::{self, CheckScratch};
+use crate::llr::Llr;
+use crate::{prior_llr, BpConfig, BpResult, MinSumDecoderOf};
 use qldpc_gf2::{BitVec, SparseBitMatrix};
 
 /// Default cap on the lane width of one interleaved tile.
 ///
-/// Bounds slab memory at `2 × num_edges × 128` doubles regardless of the
-/// caller's batch size; larger batches are processed as consecutive tiles
-/// (the ragged tail simply runs at a narrower width).
+/// Bounds slab memory at `2 × num_edges × 128` message scalars regardless
+/// of the caller's batch size; larger batches are processed as
+/// consecutive tiles (the ragged tail simply runs at a narrower width).
 pub const DEFAULT_MAX_LANES: usize = 128;
 
 /// A batched normalized min-sum decoder over shot-interleaved message
-/// slabs, bit-identical to per-shot [`MinSumDecoder`] decoding.
+/// slabs of scalar type `T`, bit-identical to per-shot
+/// [`MinSumDecoderOf`] decoding at the same precision.
+///
+/// Use through the precision aliases: [`BatchMinSumDecoder`] (`f64`) or
+/// [`BatchMinSumDecoderF32`](crate::BatchMinSumDecoderF32).
 ///
 /// Supports everything the scalar decoder does — flooding and layered
 /// schedules, adaptive and fixed damping, posterior memory, min-sum and
@@ -69,22 +84,22 @@ pub const DEFAULT_MAX_LANES: usize = 128;
 /// has seen; repeated batch decodes do not allocate (beyond the returned
 /// results). Clone it to decode on several threads concurrently.
 #[derive(Debug, Clone)]
-pub struct BatchMinSumDecoder {
+pub struct BatchMinSumDecoderOf<T: Llr> {
     graph: TannerGraph,
     h: SparseBitMatrix,
     config: BpConfig,
-    channel_llrs: Vec<f64>,
+    channel_llrs: Vec<T>,
     max_lanes: usize,
     // Shot-interleaved working slabs at the current tile's lane stride,
     // reused across decodes.
-    c2v: Vec<f64>,
-    v2c: Vec<f64>,
-    posterior: Vec<f64>,
+    c2v: Vec<T>,
+    v2c: Vec<T>,
+    posterior: Vec<T>,
     hard: Vec<bool>,
     hard_prev: Vec<bool>,
     flip_counts: Vec<u32>,
     /// `±1.0` per (check, lane): `-1.0` where the syndrome bit is set.
-    syndrome_sign: Vec<f64>,
+    syndrome_sign: Vec<T>,
     syndrome_bit: Vec<bool>,
     /// Original shot index occupying each physical lane (compaction swaps
     /// permute this alongside the slab columns).
@@ -93,11 +108,20 @@ pub struct BatchMinSumDecoder {
     converged: Vec<bool>,
     iterations: Vec<usize>,
     /// Per-lane accumulator for the variable phases.
-    lane_sum: Vec<f64>,
-    scratch: CheckScratch,
+    lane_sum: Vec<T>,
+    /// Per-lane syndrome-satisfaction verdicts (one slab pass per
+    /// iteration instead of a scalar walk per lane).
+    lane_ok: Vec<bool>,
+    /// Per-lane parity accumulator for the verdict pass.
+    lane_parity: Vec<bool>,
+    scratch: CheckScratch<T>,
 }
 
-impl BatchMinSumDecoder {
+/// The reference `f64` batch engine — every pre-existing call site
+/// resolves here unchanged.
+pub type BatchMinSumDecoder = BatchMinSumDecoderOf<f64>;
+
+impl<T: Llr> BatchMinSumDecoderOf<T> {
     /// Builds a batched decoder for check matrix `h` with per-variable
     /// error priors `priors`.
     ///
@@ -105,7 +129,7 @@ impl BatchMinSumDecoder {
     ///
     /// Panics if `priors.len() != h.cols()`, `max_iters == 0`, or the
     /// memory strength lies outside `[0, 1)` — the same contract as
-    /// [`MinSumDecoder::new`].
+    /// [`MinSumDecoderOf::new`].
     pub fn new(h: &SparseBitMatrix, priors: &[f64], config: BpConfig) -> Self {
         assert_eq!(priors.len(), h.cols(), "one prior per variable required");
         assert!(config.max_iters > 0, "max_iters must be positive");
@@ -113,14 +137,15 @@ impl BatchMinSumDecoder {
             (0.0..1.0).contains(&config.memory_strength),
             "memory strength must lie in [0, 1)"
         );
-        let channel_llrs = priors.iter().map(|&p| prior_llr(p)).collect();
+        let channel_llrs = priors.iter().map(|&p| T::from_f64(prior_llr(p))).collect();
         Self::from_parts(TannerGraph::new(h), h.clone(), config, channel_llrs)
     }
 
     /// Builds a batched engine with the same check matrix, priors and
-    /// configuration as an existing scalar decoder, so a scalar decoder
-    /// can hand batches to the interleaved kernel with identical results.
-    pub fn from_scalar(scalar: &MinSumDecoder) -> Self {
+    /// configuration as an existing scalar decoder (of the same
+    /// precision), so a scalar decoder can hand batches to the
+    /// interleaved kernel with identical results.
+    pub fn from_scalar(scalar: &MinSumDecoderOf<T>) -> Self {
         Self::from_parts(
             scalar.graph().clone(),
             scalar.check_matrix().clone(),
@@ -133,7 +158,7 @@ impl BatchMinSumDecoder {
         graph: TannerGraph,
         h: SparseBitMatrix,
         config: BpConfig,
-        channel_llrs: Vec<f64>,
+        channel_llrs: Vec<T>,
     ) -> Self {
         Self {
             graph,
@@ -153,6 +178,8 @@ impl BatchMinSumDecoder {
             converged: Vec::new(),
             iterations: Vec::new(),
             lane_sum: Vec::new(),
+            lane_ok: Vec::new(),
+            lane_parity: Vec::new(),
             scratch: CheckScratch::new(1),
         }
     }
@@ -191,7 +218,7 @@ impl BatchMinSumDecoder {
     /// Re-syncs configuration and channel LLRs from the owning scalar
     /// decoder (the cached engine behind `MinSumDecoder::decode_batch`
     /// must honor `config_mut`/`set_priors` changes between calls).
-    pub(crate) fn sync(&mut self, config: BpConfig, channel_llrs: &[f64]) {
+    pub(crate) fn sync(&mut self, config: BpConfig, channel_llrs: &[T]) {
         debug_assert_eq!(channel_llrs.len(), self.graph.num_vars());
         self.config = config;
         self.channel_llrs.clear();
@@ -209,7 +236,7 @@ impl BatchMinSumDecoder {
             self.graph.num_vars(),
             "one prior per variable required"
         );
-        self.channel_llrs = priors.iter().map(|&p| prior_llr(p)).collect();
+        self.channel_llrs = priors.iter().map(|&p| T::from_f64(prior_llr(p))).collect();
     }
 
     /// Decodes one syndrome (a batch of width 1).
@@ -217,7 +244,7 @@ impl BatchMinSumDecoder {
     /// # Panics
     ///
     /// Panics if `syndrome.len()` differs from the number of checks.
-    pub fn decode(&mut self, syndrome: &BitVec) -> BpResult {
+    pub fn decode(&mut self, syndrome: &BitVec) -> BpResult<T> {
         self.decode_batch_results(std::slice::from_ref(syndrome))
             .pop()
             .expect("one result per syndrome")
@@ -231,12 +258,12 @@ impl BatchMinSumDecoder {
     /// tail (`syndromes.len() % max_lanes != 0`) runs at a narrower lane
     /// width. Lanes are fully isolated: the result of shot `i` depends
     /// only on `syndromes[i]` and is bit-identical to
-    /// [`MinSumDecoder::decode`] of that syndrome.
+    /// [`MinSumDecoderOf::decode`] of that syndrome at this precision.
     ///
     /// # Panics
     ///
     /// Panics if any syndrome's length differs from the number of checks.
-    pub fn decode_batch_results(&mut self, syndromes: &[BitVec]) -> Vec<BpResult> {
+    pub fn decode_batch_results(&mut self, syndromes: &[BitVec]) -> Vec<BpResult<T>> {
         for s in syndromes {
             assert_eq!(
                 s.len(),
@@ -253,7 +280,7 @@ impl BatchMinSumDecoder {
     }
 
     /// Decodes one tile of up to `max_lanes` shots into `out`.
-    fn decode_tile(&mut self, tile: &[BitVec], out: &mut Vec<BpResult>) {
+    fn decode_tile(&mut self, tile: &[BitVec], out: &mut Vec<BpResult<T>>) {
         let lanes = tile.len();
         let vars = self.graph.num_vars();
         self.reset(tile);
@@ -268,7 +295,7 @@ impl BatchMinSumDecoder {
             for b in 0..width {
                 self.iterations[self.lane_shot[b]] = iter;
             }
-            let alpha = self.config.damping.factor(iter);
+            let alpha = T::from_f64(self.config.damping.factor(iter));
             match self.config.schedule {
                 crate::Schedule::Flooding => self.flooding_iteration(lanes, width, alpha),
                 crate::Schedule::Layered => self.layered_iteration(lanes, width, alpha),
@@ -277,7 +304,7 @@ impl BatchMinSumDecoder {
             for v in 0..vars {
                 let vb = v * lanes;
                 for b in 0..width {
-                    self.hard[vb + b] = self.posterior[vb + b] <= 0.0;
+                    self.hard[vb + b] = self.posterior[vb + b] <= T::ZERO;
                 }
             }
             if self.config.track_oscillations {
@@ -291,14 +318,21 @@ impl BatchMinSumDecoder {
                     }
                 }
             }
-            // Retire converged lanes by compacting the live prefix. When
-            // lane `b` retires, the occupant of `width - 1` moves into
-            // `b` and is examined next — no lane is skipped.
+            // Retire converged lanes by compacting the live prefix. The
+            // verdicts are precomputed for all live lanes in one
+            // vectorizable slab pass (they depend only on each lane's
+            // own frozen-by-now hard decision, so evaluating before the
+            // swaps is equivalent to the per-lane walk it replaces);
+            // when lane `b` retires, the occupant of `width - 1` — and
+            // its verdict — moves into `b` and is examined next, so no
+            // lane is skipped.
+            self.compute_lane_ok(lanes, width);
             let mut b = 0;
             while b < width {
-                if self.lane_satisfied(b, lanes) {
+                if self.lane_ok[b] {
                     self.converged[self.lane_shot[b]] = true;
                     self.swap_lanes(b, width - 1, lanes);
+                    self.lane_ok.swap(b, width - 1);
                     width -= 1;
                 } else {
                     b += 1;
@@ -341,10 +375,10 @@ impl BatchMinSumDecoder {
         let checks = self.graph.num_checks();
 
         self.c2v.clear();
-        self.c2v.resize(edges * lanes, 0.0);
+        self.c2v.resize(edges * lanes, T::ZERO);
         // v2c is fully rewritten before it is read each iteration (both
         // schedules), exactly like the scalar decoder's buffer.
-        self.v2c.resize(edges * lanes, 0.0);
+        self.v2c.resize(edges * lanes, T::ZERO);
 
         self.posterior.clear();
         self.posterior.reserve(vars * lanes);
@@ -369,7 +403,7 @@ impl BatchMinSumDecoder {
             for s in tile {
                 let bit = s.get(c);
                 self.syndrome_bit.push(bit);
-                self.syndrome_sign.push(if bit { -1.0 } else { 1.0 });
+                self.syndrome_sign.push(if bit { -T::ONE } else { T::ONE });
             }
         }
 
@@ -380,7 +414,11 @@ impl BatchMinSumDecoder {
         self.iterations.clear();
         self.iterations.resize(lanes, 0);
         self.lane_sum.clear();
-        self.lane_sum.resize(lanes, 0.0);
+        self.lane_sum.resize(lanes, T::ZERO);
+        self.lane_ok.clear();
+        self.lane_ok.resize(lanes, false);
+        self.lane_parity.clear();
+        self.lane_parity.resize(lanes, false);
         self.scratch.ensure(lanes);
     }
 
@@ -411,10 +449,10 @@ impl BatchMinSumDecoder {
 
     /// One flooding iteration over the live lanes: V2C, C2V, posteriors.
     ///
-    /// Mirrors [`MinSumDecoder`]'s flooding pass per lane: same edge
+    /// Mirrors the scalar decoder's flooding pass per lane: same edge
     /// order, same accumulation order, same clamps. `lanes` is the slab
     /// stride, `width` the live prefix.
-    fn flooding_iteration(&mut self, lanes: usize, width: usize, alpha: f64) {
+    fn flooding_iteration(&mut self, lanes: usize, width: usize, alpha: T) {
         let vars = self.graph.num_vars();
         let gamma = self.config.memory_strength;
         // V2C (paper Eq. 5): v2c[e] = lch[v] + Σ_{e'≠e} c2v[e'].
@@ -426,9 +464,10 @@ impl BatchMinSumDecoder {
             if gamma == 0.0 {
                 sums.fill(llr);
             } else {
+                let g = T::from_f64(gamma);
                 let vrow = &self.posterior[v * lanes..v * lanes + width];
                 for (s, &p) in sums.iter_mut().zip(vrow) {
-                    *s = (1.0 - gamma) * llr + gamma * p;
+                    *s = (T::ONE - g) * llr + g * p;
                 }
             }
             for &e in self.graph.var_edges(v) {
@@ -443,7 +482,7 @@ impl BatchMinSumDecoder {
                 let crow = &self.c2v[eb..eb + width];
                 let vrow = &mut self.v2c[eb..eb + width];
                 for ((out, &s), &m) in vrow.iter_mut().zip(sums.iter()).zip(crow) {
-                    *out = (s - m).clamp(-LLR_CLAMP, LLR_CLAMP);
+                    *out = (s - m).clamp_llr();
                 }
             }
         }
@@ -464,7 +503,7 @@ impl BatchMinSumDecoder {
             }
             let prow = &mut self.posterior[v * lanes..v * lanes + width];
             for (p, &s) in prow.iter_mut().zip(sums.iter()) {
-                *p = s.clamp(-LLR_CLAMP, LLR_CLAMP);
+                *p = s.clamp_llr();
             }
         }
     }
@@ -472,7 +511,7 @@ impl BatchMinSumDecoder {
     /// One layered iteration over the live lanes: checks processed
     /// sequentially, per-shot posteriors updated immediately after each
     /// check.
-    fn layered_iteration(&mut self, lanes: usize, width: usize, alpha: f64) {
+    fn layered_iteration(&mut self, lanes: usize, width: usize, alpha: T) {
         for c in 0..self.graph.num_checks() {
             let range = self.graph.check_edges(c);
             // Fresh V2C from the running posterior, removing this check's
@@ -484,7 +523,7 @@ impl BatchMinSumDecoder {
                 let crow = &self.c2v[eb..eb + width];
                 let vrow = &mut self.v2c[eb..eb + width];
                 for ((out, &p), &m) in vrow.iter_mut().zip(prow).zip(crow) {
-                    *out = (p - m).clamp(-LLR_CLAMP, LLR_CLAMP);
+                    *out = (p - m).clamp_llr();
                 }
             }
             self.update_check(c, lanes, width, alpha);
@@ -495,7 +534,7 @@ impl BatchMinSumDecoder {
                 let crow = &self.c2v[eb..eb + width];
                 let prow = &mut self.posterior[vb..vb + width];
                 for ((out, &a), &m) in prow.iter_mut().zip(vrow).zip(crow) {
-                    *out = (a + m).clamp(-LLR_CLAMP, LLR_CLAMP);
+                    *out = (a + m).clamp_llr();
                 }
             }
         }
@@ -503,7 +542,7 @@ impl BatchMinSumDecoder {
 
     /// Recomputes check `c`'s C2V messages for the live lanes via the
     /// shared check-update core.
-    fn update_check(&mut self, c: usize, lanes: usize, width: usize, alpha: f64) {
+    fn update_check(&mut self, c: usize, lanes: usize, width: usize, alpha: T) {
         let range = self.graph.check_edges(c);
         kernel::update_check_lanes(
             self.config.algorithm,
@@ -517,25 +556,58 @@ impl BatchMinSumDecoder {
         );
     }
 
-    /// Checks `H·ê = s` for physical lane `b` using its current hard
-    /// decision.
-    fn lane_satisfied(&self, b: usize, lanes: usize) -> bool {
-        for c in 0..self.graph.num_checks() {
-            let mut parity = false;
-            for &v in self.graph.check_vars(c) {
-                parity ^= self.hard[v as usize * lanes + b];
+    /// Checks `H·ê = s` for every live lane at once, filling
+    /// `lane_ok[..width]`: per check, one XOR-parity accumulation across
+    /// the check's variables and one comparison against the syndrome
+    /// bits — contiguous byte rows that vectorize over the lanes, unlike
+    /// the scalar per-lane walk this replaces.
+    fn compute_lane_ok(&mut self, lanes: usize, width: usize) {
+        let ok = &mut self.lane_ok[..width];
+        // Narrow live prefixes (late-stage compaction, tiny batches)
+        // are better served by the short-circuiting per-lane walk — the
+        // slab pass always reads every edge, the walk usually stops at
+        // the first unsatisfied check. Either path computes the same
+        // boolean verdicts, so the choice is invisible to results.
+        if width < 8 {
+            for (b, o) in ok.iter_mut().enumerate() {
+                *o = 'lane: {
+                    for c in 0..self.graph.num_checks() {
+                        let mut parity = false;
+                        for &v in self.graph.check_vars(c) {
+                            parity ^= self.hard[v as usize * lanes + b];
+                        }
+                        if parity != self.syndrome_bit[c * lanes + b] {
+                            break 'lane false;
+                        }
+                    }
+                    true
+                };
             }
-            if parity != self.syndrome_bit[c * lanes + b] {
-                return false;
+            return;
+        }
+        ok.fill(true);
+        let parity = &mut self.lane_parity[..width];
+        for c in 0..self.graph.num_checks() {
+            parity.fill(false);
+            for &v in self.graph.check_vars(c) {
+                let vb = v as usize * lanes;
+                let hrow = &self.hard[vb..vb + width];
+                for (p, &h) in parity.iter_mut().zip(hrow) {
+                    *p ^= h;
+                }
+            }
+            let srow = &self.syndrome_bit[c * lanes..c * lanes + width];
+            for (o, (&p, &s)) in ok.iter_mut().zip(parity.iter().zip(srow)) {
+                *o &= p == s;
             }
         }
-        true
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{BatchMinSumDecoderF32, MinSumDecoder, MinSumDecoderF32};
 
     fn repetition_h(n: usize) -> SparseBitMatrix {
         let rows: Vec<Vec<usize>> = (0..n - 1).map(|i| vec![i, i + 1]).collect();
@@ -572,6 +644,36 @@ mod tests {
         };
         let mut batch = BatchMinSumDecoder::new(&h, &[0.05; 9], config);
         let mut scalar = MinSumDecoder::new(&h, &[0.05; 9], config);
+        let syndromes: Vec<BitVec> = [vec![], vec![3], vec![1, 5], vec![0, 4, 8]]
+            .iter()
+            .map(|bits| h.mul_vec(&BitVec::from_indices(9, bits)))
+            .collect();
+        let rb = batch.decode_batch_results(&syndromes);
+        for (r, s) in rb.iter().zip(&syndromes) {
+            let rs = scalar.decode(s);
+            assert_eq!(r.converged, rs.converged);
+            assert_eq!(r.iterations, rs.iterations);
+            assert_eq!(r.error_hat, rs.error_hat);
+            assert_eq!(r.flip_counts, rs.flip_counts);
+            for (a, b) in r.posteriors.iter().zip(&rs.posteriors) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// The same contract at f32: the reduced-precision batch engine is
+    /// bit-identical to the reduced-precision scalar decoder (and both
+    /// genuinely run in f32 — their posteriors are f32 values).
+    #[test]
+    fn f32_batch_matches_f32_scalar_bitwise() {
+        let h = repetition_h(9);
+        let config = BpConfig {
+            max_iters: 30,
+            track_oscillations: true,
+            ..BpConfig::default()
+        };
+        let mut batch = BatchMinSumDecoderF32::new(&h, &[0.05; 9], config);
+        let mut scalar = MinSumDecoderF32::new(&h, &[0.05; 9], config);
         let syndromes: Vec<BitVec> = [vec![], vec![3], vec![1, 5], vec![0, 4, 8]]
             .iter()
             .map(|bits| h.mul_vec(&BitVec::from_indices(9, bits)))

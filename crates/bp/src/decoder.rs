@@ -1,8 +1,16 @@
 //! Normalized min-sum BP with flooding and layered schedules.
+//!
+//! The decoder is generic over the [`Llr`] message scalar: the reference
+//! instantiation is [`MinSumDecoder`] (`f64`), the reduced-precision one
+//! [`MinSumDecoderF32`](crate::MinSumDecoderF32). Configuration stays in
+//! `f64` regardless of precision; each quantity is rounded into the
+//! message scalar exactly once per use, so the `f64` instantiation
+//! executes the identical float stream the pre-generic decoder did.
 
-use crate::batch::BatchMinSumDecoder;
+use crate::batch::BatchMinSumDecoderOf;
 use crate::graph::TannerGraph;
-use crate::kernel::{self, CheckScratch, LLR_CLAMP};
+use crate::kernel::{self, CheckScratch};
+use crate::llr::Llr;
 use crate::prior_llr;
 use qldpc_gf2::{BitVec, SparseBitMatrix};
 
@@ -61,6 +69,10 @@ impl DampingSchedule {
 
 /// Configuration for [`MinSumDecoder`].
 ///
+/// All fields are precision-independent (`f64`); the message precision is
+/// chosen by the decoder *type* ([`MinSumDecoder`] vs
+/// [`MinSumDecoderF32`](crate::MinSumDecoderF32)), not the config.
+///
 /// # Examples
 ///
 /// ```
@@ -111,9 +123,10 @@ impl Default for BpConfig {
     }
 }
 
-/// Outcome of a BP decode.
+/// Outcome of a BP decode at message precision `T` (`f64` by default, so
+/// pre-existing `BpResult` mentions are unchanged).
 #[derive(Debug, Clone)]
-pub struct BpResult {
+pub struct BpResult<T: Llr = f64> {
     /// Whether the hard decision satisfied the syndrome within the
     /// iteration budget.
     pub converged: bool,
@@ -121,18 +134,45 @@ pub struct BpResult {
     pub error_hat: BitVec,
     /// Iterations actually executed (`<= max_iters`).
     pub iterations: usize,
-    /// Final marginal LLR per variable (paper Eq. 7).
-    pub posteriors: Vec<f64>,
+    /// Final marginal LLR per variable (paper Eq. 7), in the decoder's
+    /// message precision.
+    pub posteriors: Vec<T>,
     /// Per-bit hard-decision flip counts across iterations; empty unless
     /// [`BpConfig::track_oscillations`] was set.
     pub flip_counts: Vec<u32>,
 }
 
 /// A reusable normalized min-sum decoder bound to one check matrix and one
-/// prior vector.
+/// prior vector, with messages in scalar type `T`.
+///
+/// Use through the precision aliases: [`MinSumDecoder`] (`f64`, the
+/// reference) or [`MinSumDecoderF32`](crate::MinSumDecoderF32).
 ///
 /// The decoder owns all message buffers, so repeated decodes do not
 /// allocate. Clone it to decode on several threads concurrently.
+#[derive(Debug, Clone)]
+pub struct MinSumDecoderOf<T: Llr> {
+    graph: TannerGraph,
+    h: SparseBitMatrix,
+    config: BpConfig,
+    channel_llrs: Vec<T>,
+    // Working buffers, reused across decodes.
+    c2v: Vec<T>,
+    v2c: Vec<T>,
+    posterior: Vec<T>,
+    hard: Vec<bool>,
+    hard_prev: Vec<bool>,
+    flip_counts: Vec<u32>,
+    scratch: CheckScratch<T>,
+    /// Cached interleaved engine behind the `decode_batch` trait
+    /// override; built on the first batched call and re-synced to the
+    /// current config/priors on each one, so its slabs are reused across
+    /// batches.
+    batch: Option<Box<BatchMinSumDecoderOf<T>>>,
+}
+
+/// The reference `f64` min-sum decoder — every pre-existing call site
+/// resolves here unchanged.
 ///
 /// # Examples
 ///
@@ -147,28 +187,9 @@ pub struct BpResult {
 /// assert!(r.error_hat.is_zero());
 /// assert_eq!(r.iterations, 1);
 /// ```
-#[derive(Debug, Clone)]
-pub struct MinSumDecoder {
-    graph: TannerGraph,
-    h: SparseBitMatrix,
-    config: BpConfig,
-    channel_llrs: Vec<f64>,
-    // Working buffers, reused across decodes.
-    c2v: Vec<f64>,
-    v2c: Vec<f64>,
-    posterior: Vec<f64>,
-    hard: Vec<bool>,
-    hard_prev: Vec<bool>,
-    flip_counts: Vec<u32>,
-    scratch: CheckScratch,
-    /// Cached interleaved engine behind the `decode_batch` trait
-    /// override; built on the first batched call and re-synced to the
-    /// current config/priors on each one, so its slabs are reused across
-    /// batches.
-    batch: Option<Box<BatchMinSumDecoder>>,
-}
+pub type MinSumDecoder = MinSumDecoderOf<f64>;
 
-impl MinSumDecoder {
+impl<T: Llr> MinSumDecoderOf<T> {
     /// Builds a decoder for check matrix `h` with per-variable error
     /// priors `priors`.
     ///
@@ -189,10 +210,10 @@ impl MinSumDecoder {
             graph,
             h: h.clone(),
             config,
-            channel_llrs: priors.iter().map(|&p| prior_llr(p)).collect(),
-            c2v: vec![0.0; edges],
-            v2c: vec![0.0; edges],
-            posterior: vec![0.0; vars],
+            channel_llrs: priors.iter().map(|&p| T::from_f64(prior_llr(p))).collect(),
+            c2v: vec![T::ZERO; edges],
+            v2c: vec![T::ZERO; edges],
+            posterior: vec![T::ZERO; vars],
             hard: vec![false; vars],
             hard_prev: vec![false; vars],
             flip_counts: vec![0; vars],
@@ -210,9 +231,9 @@ impl MinSumDecoder {
     /// the decoder's current config and priors (which `config_mut` /
     /// `set_priors` may have changed since it was built — the sync is
     /// O(n) and allocation-free, so repeated batches reuse the slabs).
-    pub(crate) fn batch_engine(&mut self) -> &mut BatchMinSumDecoder {
+    pub(crate) fn batch_engine(&mut self) -> &mut BatchMinSumDecoderOf<T> {
         if self.batch.is_none() {
-            self.batch = Some(Box::new(BatchMinSumDecoder::from_scalar(self)));
+            self.batch = Some(Box::new(BatchMinSumDecoderOf::from_scalar(self)));
         } else if let Some(engine) = self.batch.as_deref_mut() {
             engine.sync(self.config, &self.channel_llrs);
         }
@@ -220,7 +241,7 @@ impl MinSumDecoder {
     }
 
     /// The channel LLRs derived from the priors.
-    pub(crate) fn channel_llrs(&self) -> &[f64] {
+    pub(crate) fn channel_llrs(&self) -> &[T] {
         &self.channel_llrs
     }
 
@@ -256,7 +277,7 @@ impl MinSumDecoder {
             self.graph.num_vars(),
             "one prior per variable required"
         );
-        self.channel_llrs = priors.iter().map(|&p| prior_llr(p)).collect();
+        self.channel_llrs = priors.iter().map(|&p| T::from_f64(prior_llr(p))).collect();
     }
 
     /// Runs BP on `syndrome` until convergence or the iteration budget is
@@ -265,7 +286,7 @@ impl MinSumDecoder {
     /// # Panics
     ///
     /// Panics if `syndrome.len()` differs from the number of checks.
-    pub fn decode(&mut self, syndrome: &BitVec) -> BpResult {
+    pub fn decode(&mut self, syndrome: &BitVec) -> BpResult<T> {
         assert_eq!(
             syndrome.len(),
             self.graph.num_checks(),
@@ -273,7 +294,7 @@ impl MinSumDecoder {
         );
         let vars = self.graph.num_vars();
         // Reset state.
-        self.c2v.iter_mut().for_each(|m| *m = 0.0);
+        self.c2v.iter_mut().for_each(|m| *m = T::ZERO);
         self.posterior.copy_from_slice(&self.channel_llrs);
         self.hard.iter_mut().for_each(|b| *b = false);
         self.hard_prev.iter_mut().for_each(|b| *b = false);
@@ -283,7 +304,7 @@ impl MinSumDecoder {
         let mut iterations = 0;
         for iter in 1..=self.config.max_iters {
             iterations = iter;
-            let alpha = self.config.damping.factor(iter);
+            let alpha = T::from_f64(self.config.damping.factor(iter));
             match self.config.schedule {
                 Schedule::Flooding => self.flooding_iteration(syndrome, alpha),
                 Schedule::Layered => self.layered_iteration(syndrome, alpha),
@@ -291,7 +312,7 @@ impl MinSumDecoder {
             // Hard decision (paper Eq. 8): error where the posterior says
             // "1 more likely", i.e. LLR <= 0.
             for v in 0..vars {
-                self.hard[v] = self.posterior[v] <= 0.0;
+                self.hard[v] = self.posterior[v] <= T::ZERO;
             }
             if self.config.track_oscillations {
                 for v in 0..vars {
@@ -329,18 +350,19 @@ impl MinSumDecoder {
     /// Effective channel term for variable `v`: plain `l_ch`, or blended
     /// with the previous posterior when memory is enabled.
     #[inline]
-    fn effective_channel(&self, v: usize) -> f64 {
+    fn effective_channel(&self, v: usize) -> T {
         let gamma = self.config.memory_strength;
         if gamma == 0.0 {
             self.channel_llrs[v]
         } else {
-            (1.0 - gamma) * self.channel_llrs[v] + gamma * self.posterior[v]
+            let g = T::from_f64(gamma);
+            (T::ONE - g) * self.channel_llrs[v] + g * self.posterior[v]
         }
     }
 
     /// One flooding iteration: all V2C messages, then all C2V messages,
     /// then the posteriors.
-    fn flooding_iteration(&mut self, syndrome: &BitVec, alpha: f64) {
+    fn flooding_iteration(&mut self, syndrome: &BitVec, alpha: T) {
         // V2C (paper Eq. 5): v2c[e] = lch[v] + Σ_{e'≠e} c2v[e'].
         for v in 0..self.graph.num_vars() {
             let mut sum = self.effective_channel(v);
@@ -348,7 +370,7 @@ impl MinSumDecoder {
                 sum += self.c2v[e as usize];
             }
             for &e in self.graph.var_edges(v) {
-                self.v2c[e as usize] = (sum - self.c2v[e as usize]).clamp(-LLR_CLAMP, LLR_CLAMP);
+                self.v2c[e as usize] = (sum - self.c2v[e as usize]).clamp_llr();
             }
         }
         // C2V (paper Eq. 6, or the exact tanh rule).
@@ -361,7 +383,7 @@ impl MinSumDecoder {
             for &e in self.graph.var_edges(v) {
                 sum += self.c2v[e as usize];
             }
-            self.posterior[v] = sum.clamp(-LLR_CLAMP, LLR_CLAMP);
+            self.posterior[v] = sum.clamp_llr();
         }
     }
 
@@ -370,9 +392,9 @@ impl MinSumDecoder {
     ///
     /// Delegates to the lane-generic core shared with
     /// [`BatchMinSumDecoder`](crate::BatchMinSumDecoder), at lane width 1.
-    fn update_check(&mut self, c: usize, syndrome_bit: bool, alpha: f64) {
+    fn update_check(&mut self, c: usize, syndrome_bit: bool, alpha: T) {
         let range = self.graph.check_edges(c);
-        let base_sign = [if syndrome_bit { -1.0 } else { 1.0 }];
+        let base_sign = [if syndrome_bit { -T::ONE } else { T::ONE }];
         kernel::update_check_lanes(
             self.config.algorithm,
             &self.v2c[range.clone()],
@@ -387,19 +409,19 @@ impl MinSumDecoder {
 
     /// One layered iteration: checks processed sequentially, posteriors
     /// updated immediately after each check.
-    fn layered_iteration(&mut self, syndrome: &BitVec, alpha: f64) {
+    fn layered_iteration(&mut self, syndrome: &BitVec, alpha: T) {
         for c in 0..self.graph.num_checks() {
             let range = self.graph.check_edges(c);
             // Fresh V2C from the running posterior, removing this check's
             // previous contribution.
             for e in range.clone() {
                 let v = self.graph.edge_var(e);
-                self.v2c[e] = (self.posterior[v] - self.c2v[e]).clamp(-LLR_CLAMP, LLR_CLAMP);
+                self.v2c[e] = (self.posterior[v] - self.c2v[e]).clamp_llr();
             }
             self.update_check(c, syndrome.get(c), alpha);
             for e in range {
                 let v = self.graph.edge_var(e);
-                self.posterior[v] = (self.v2c[e] + self.c2v[e]).clamp(-LLR_CLAMP, LLR_CLAMP);
+                self.posterior[v] = (self.v2c[e] + self.c2v[e]).clamp_llr();
             }
         }
     }
@@ -422,6 +444,7 @@ impl MinSumDecoder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::MinSumDecoderF32;
 
     fn repetition_h(n: usize) -> SparseBitMatrix {
         let rows: Vec<Vec<usize>> = (0..n - 1).map(|i| vec![i, i + 1]).collect();
@@ -448,6 +471,41 @@ mod tests {
             let r = dec.decode(&s);
             assert!(r.converged, "bit {bit} failed");
             assert_eq!(r.error_hat, e, "bit {bit} mis-decoded");
+        }
+    }
+
+    #[test]
+    fn f32_decoder_corrects_single_errors_too() {
+        let h = repetition_h(9);
+        let mut dec = MinSumDecoderF32::new(&h, &[0.05; 9], BpConfig::default());
+        for bit in 0..9 {
+            let e = BitVec::from_indices(9, &[bit]);
+            let s = h.mul_vec(&e);
+            let r = dec.decode(&s);
+            assert!(r.converged, "bit {bit} failed at f32");
+            assert_eq!(r.error_hat, e, "bit {bit} mis-decoded at f32");
+        }
+    }
+
+    #[test]
+    fn f32_posteriors_are_f32_rounded() {
+        // The f32 decoder's posteriors are genuine f32 values: widening
+        // and re-narrowing must be the identity, and on an easy decode
+        // they should be close to (but not bitwise equal with) f64's.
+        let h = repetition_h(9);
+        let e = BitVec::from_indices(9, &[4]);
+        let s = h.mul_vec(&e);
+        let mut d64 = MinSumDecoder::new(&h, &[0.05; 9], BpConfig::default());
+        let mut d32 = MinSumDecoderF32::new(&h, &[0.05; 9], BpConfig::default());
+        let r64 = d64.decode(&s);
+        let r32 = d32.decode(&s);
+        assert_eq!(r64.error_hat, r32.error_hat);
+        for (p64, p32) in r64.posteriors.iter().zip(&r32.posteriors) {
+            assert_eq!((f64::from(*p32) as f32), *p32);
+            assert!(
+                (p64 - f64::from(*p32)).abs() < 1e-3 * (1.0 + p64.abs()),
+                "f32 posterior drifted: {p64} vs {p32}"
+            );
         }
     }
 
@@ -566,6 +624,25 @@ mod tests {
             let r = dec.decode(&h.mul_vec(&e));
             assert!(r.converged, "bit {bit} failed under sum-product");
             assert_eq!(r.error_hat, e);
+        }
+    }
+
+    #[test]
+    fn sum_product_works_at_f32() {
+        let h = repetition_h(9);
+        for schedule in [Schedule::Flooding, Schedule::Layered] {
+            let config = BpConfig {
+                algorithm: BpAlgorithm::SumProduct,
+                schedule,
+                ..BpConfig::default()
+            };
+            let mut dec = MinSumDecoderF32::new(&h, &[0.05; 9], config);
+            for bit in 0..9 {
+                let e = BitVec::from_indices(9, &[bit]);
+                let r = dec.decode(&h.mul_vec(&e));
+                assert!(r.converged, "bit {bit} failed, {schedule:?} f32");
+                assert_eq!(r.error_hat, e);
+            }
         }
     }
 

@@ -9,6 +9,22 @@ use qldpc_gf2::SparseBitMatrix;
 /// check-major and variable-major traversals are precomputed since every
 /// BP iteration needs both directions.
 ///
+/// # The check-major edge-ordering invariant
+///
+/// Edge ids are assigned by walking the check matrix row by row, so the
+/// edges of check `c` occupy the **contiguous, ascending** id range
+/// returned by [`Self::check_edges`], and ranges of successive checks
+/// are adjacent (`check_edges(c).end == check_edges(c + 1).start`). The
+/// shared check-update kernel relies on this: it slices one check's
+/// `deg × stride` message sub-slab out of the edge-major slabs with a
+/// single range index (`range.start * stride..range.end * stride`), and
+/// the scalar and batch decoders iterate a check's edges in exactly this
+/// id order — part of the per-precision scalar≡batch bit-identity
+/// contract, since a different traversal order would reassociate the
+/// floating-point reductions. [`Self::check_vars`] is parallel to this
+/// range, and the variable-major view ([`Self::var_edges`]) lists each
+/// variable's edges in ascending id order for the same reason.
+///
 /// # Examples
 ///
 /// ```
@@ -91,23 +107,20 @@ impl TannerGraph {
         self.edge_var.len()
     }
 
-    /// The contiguous edge-id range of check `c`.
-    #[inline]
-    pub fn check_edge_range(&self, c: usize) -> std::ops::Range<usize> {
-        self.check_ptr[c] as usize..self.check_ptr[c + 1] as usize
-    }
-
-    /// Edge ids incident to check `c` (they are contiguous).
+    /// The contiguous, ascending edge-id range of check `c` (see the
+    /// check-major edge-ordering invariant in the type docs). This is
+    /// the single source of a check's edge range — the former
+    /// `check_edge_range` duplicate is gone.
     #[inline]
     pub fn check_edges(&self, c: usize) -> std::ops::Range<usize> {
-        self.check_edge_range(c)
+        self.check_ptr[c] as usize..self.check_ptr[c + 1] as usize
     }
 
     /// Variable endpoints of the edges of check `c`, parallel to
     /// [`Self::check_edges`].
     #[inline]
     pub fn check_vars(&self, c: usize) -> &[u32] {
-        &self.edge_var[self.check_edge_range(c)]
+        &self.edge_var[self.check_edges(c)]
     }
 
     /// Edge ids incident to variable `v`.
@@ -145,6 +158,29 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Pins the check-major edge-ordering invariant the kernel's slab
+    /// slicing depends on: per-check ranges are contiguous, ascending,
+    /// and adjacent across successive checks.
+    #[test]
+    fn check_edge_ranges_are_contiguous_and_adjacent() {
+        let h =
+            SparseBitMatrix::from_row_indices(3, 4, &[vec![0, 1, 2], vec![1, 3], vec![0, 2, 3]]);
+        let g = TannerGraph::new(&h);
+        let mut next_start = 0;
+        for c in 0..g.num_checks() {
+            let r = g.check_edges(c);
+            assert_eq!(r.start, next_start, "check {c} range is not adjacent");
+            assert_eq!(r.len(), g.check_vars(c).len());
+            next_start = r.end;
+        }
+        assert_eq!(next_start, g.num_edges());
+        // The variable-major view lists edge ids ascending per variable.
+        for v in 0..g.num_vars() {
+            let edges = g.var_edges(v);
+            assert!(edges.windows(2).all(|w| w[0] < w[1]), "variable {v}");
+        }
     }
 
     #[test]

@@ -14,7 +14,13 @@
 //! * a **shot-interleaved batch kernel** ([`BatchMinSumDecoder`]): `B`
 //!   syndromes decoded per call over structure-of-arrays message slabs,
 //!   walking the Tanner graph once per iteration for all shots —
-//!   bit-identical to per-shot decoding (the paper's throughput story).
+//!   bit-identical to per-shot decoding (the paper's throughput story),
+//! * **precision-generic messages** (the sealed [`Llr`] trait): every
+//!   decoder exists at `f64` (the reference — [`MinSumDecoder`],
+//!   [`BatchMinSumDecoder`]) and at `f32` ([`MinSumDecoderF32`],
+//!   [`BatchMinSumDecoderF32`]), where half-width slabs double the
+//!   batch kernel's effective SIMD lanes and halve its memory traffic.
+//!   The scalar≡batch bit-identity contract holds *per precision*.
 //!
 //! # Examples
 //!
@@ -42,11 +48,37 @@ mod batch;
 mod decoder;
 mod graph;
 mod kernel;
+mod llr;
 
-pub use batch::{BatchMinSumDecoder, DEFAULT_MAX_LANES};
-pub use decoder::{BpAlgorithm, BpConfig, BpResult, DampingSchedule, MinSumDecoder, Schedule};
+pub use batch::{BatchMinSumDecoder, BatchMinSumDecoderOf, DEFAULT_MAX_LANES};
+pub use decoder::{
+    BpAlgorithm, BpConfig, BpResult, DampingSchedule, MinSumDecoder, MinSumDecoderOf, Schedule,
+};
 pub use graph::TannerGraph;
-pub use qldpc_decoder_api::{DecodeOutcome, SyndromeDecoder};
+pub use llr::Llr;
+pub use qldpc_decoder_api::{DecodeOutcome, Precision, SyndromeDecoder};
+
+/// The reduced-precision (`f32`) scalar min-sum decoder: half the message
+/// width, same algorithm, bit-identical to [`BatchMinSumDecoderF32`] per
+/// shot.
+///
+/// # Examples
+///
+/// ```
+/// use qldpc_bp::{BpConfig, MinSumDecoderF32, SyndromeDecoder};
+/// use qldpc_gf2::{BitVec, SparseBitMatrix};
+///
+/// let h = SparseBitMatrix::from_row_indices(2, 3, &[vec![0, 1], vec![1, 2]]);
+/// let mut dec = MinSumDecoderF32::new(&h, &[0.1; 3], BpConfig::default());
+/// let r = dec.decode(&BitVec::zeros(2));
+/// assert!(r.converged);
+/// assert_eq!(dec.precision(), qldpc_bp::Precision::F32);
+/// ```
+pub type MinSumDecoderF32 = MinSumDecoderOf<f32>;
+
+/// The reduced-precision (`f32`) batch engine: half-width slabs, twice
+/// the effective SIMD lanes of [`BatchMinSumDecoder`].
+pub type BatchMinSumDecoderF32 = BatchMinSumDecoderOf<f32>;
 
 /// Converts a per-bit error probability into a channel log-likelihood
 /// ratio `ln((1−p)/p)` (paper Eq. 4).

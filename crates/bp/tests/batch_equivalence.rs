@@ -1,16 +1,21 @@
-//! Property suite pinning the batched kernel to the scalar decoder.
+//! Property suite pinning the batched kernel to the scalar decoder —
+//! at **both** message precisions.
 //!
 //! The contract: for any code, any syndromes, both schedules, both
 //! damping modes (and both check-node rules, with and without posterior
-//! memory), [`BatchMinSumDecoder`] output — posteriors, iteration counts,
+//! memory), the batch engine's output — posteriors, iteration counts,
 //! convergence flags, oscillation flip counts — is **bit-identical** to
-//! decoding each shot with the scalar [`MinSumDecoder`]. Posteriors are
-//! compared through `f64::to_bits`, so even a last-ulp reassociation in
-//! the batch kernel fails the suite.
+//! decoding each shot with the scalar decoder *of the same precision*.
+//! Every strategy below runs once with `f64` messages and once with
+//! `f32` messages; posteriors are compared through the exact bit
+//! patterns (`Llr::to_bits_u64`), so even a last-ulp reassociation in
+//! either precision's batch kernel fails the suite. There is **no**
+//! cross-precision assertion — f32 legitimately diverges from f64.
 
 use proptest::prelude::*;
 use qldpc_bp::{
-    BatchMinSumDecoder, BpAlgorithm, BpConfig, BpResult, DampingSchedule, MinSumDecoder, Schedule,
+    BatchMinSumDecoderOf, BpAlgorithm, BpConfig, BpResult, DampingSchedule, Llr, MinSumDecoder,
+    MinSumDecoderOf, Schedule,
 };
 use qldpc_gf2::{BitVec, SparseBitMatrix};
 use rand::rngs::StdRng;
@@ -56,7 +61,7 @@ fn random_batch(h: &SparseBitMatrix, shots: usize, seed: u64) -> Vec<BitVec> {
         .collect()
 }
 
-fn assert_bit_identical(batch: &BpResult, scalar: &BpResult, ctx: &str) {
+fn assert_bit_identical<T: Llr>(batch: &BpResult<T>, scalar: &BpResult<T>, ctx: &str) {
     assert_eq!(batch.converged, scalar.converged, "{ctx}: converged");
     assert_eq!(batch.iterations, scalar.iterations, "{ctx}: iterations");
     assert_eq!(batch.error_hat, scalar.error_hat, "{ctx}: error_hat");
@@ -64,29 +69,64 @@ fn assert_bit_identical(batch: &BpResult, scalar: &BpResult, ctx: &str) {
     assert_eq!(batch.posteriors.len(), scalar.posteriors.len(), "{ctx}");
     for (v, (b, s)) in batch.posteriors.iter().zip(&scalar.posteriors).enumerate() {
         assert_eq!(
-            b.to_bits(),
-            s.to_bits(),
-            "{ctx}: posterior of variable {v} diverged ({b} vs {s})"
+            b.to_bits_u64(),
+            s.to_bits_u64(),
+            "{ctx}: posterior of variable {v} diverged ({b:?} vs {s:?})"
         );
     }
 }
 
-fn check_config(h: &SparseBitMatrix, syndromes: &[BitVec], config: BpConfig) {
+fn check_config_at<T: Llr>(h: &SparseBitMatrix, syndromes: &[BitVec], config: BpConfig) {
     let priors = vec![0.2; h.cols()];
-    let mut batch = BatchMinSumDecoder::new(h, &priors, config);
-    let mut scalar = MinSumDecoder::new(h, &priors, config);
+    let mut batch = BatchMinSumDecoderOf::<T>::new(h, &priors, config);
+    let mut scalar = MinSumDecoderOf::<T>::new(h, &priors, config);
     let results = batch.decode_batch_results(syndromes);
     assert_eq!(results.len(), syndromes.len());
     for (i, (rb, s)) in results.iter().zip(syndromes).enumerate() {
         let rs = scalar.decode(s);
-        assert_bit_identical(rb, &rs, &format!("shot {i} under {config:?}"));
+        assert_bit_identical(
+            rb,
+            &rs,
+            &format!("shot {i} at {} under {config:?}", T::PRECISION),
+        );
+    }
+}
+
+/// Runs one configuration's batch≡scalar check at f64 *and* f32.
+fn check_config(h: &SparseBitMatrix, syndromes: &[BitVec], config: BpConfig) {
+    check_config_at::<f64>(h, syndromes, config);
+    check_config_at::<f32>(h, syndromes, config);
+}
+
+/// Tiling invisibility at one precision: a narrow lane cap (forcing
+/// interior tiles and a ragged tail) yields the same bits as one wide
+/// tile.
+fn check_lane_cap_at<T: Llr>(h: &SparseBitMatrix, syndromes: &[BitVec], cap: usize) {
+    let priors = vec![0.2; h.cols()];
+    let config = BpConfig {
+        max_iters: 20,
+        track_oscillations: true,
+        ..BpConfig::default()
+    };
+    let mut wide = BatchMinSumDecoderOf::<T>::new(h, &priors, config);
+    let mut narrow = BatchMinSumDecoderOf::<T>::new(h, &priors, config);
+    narrow.set_max_lanes(cap);
+    let rw = wide.decode_batch_results(syndromes);
+    let rn = narrow.decode_batch_results(syndromes);
+    for (i, (a, b)) in rw.iter().zip(&rn).enumerate() {
+        assert_bit_identical(
+            b,
+            a,
+            &format!("shot {i} at lane cap {cap} ({})", T::PRECISION),
+        );
     }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Both schedules × both damping modes, oscillation tracking on.
+    /// Both schedules × both damping modes × both precisions,
+    /// oscillation tracking on.
     #[test]
     fn batch_is_bit_identical_to_scalar(
         h in sparse_matrix(),
@@ -108,7 +148,9 @@ proptest! {
     }
 
     /// The exact sum-product rule and the posterior-memory term go
-    /// through the same shared core and must stay bit-identical too.
+    /// through the same shared core and must stay bit-identical too —
+    /// in both precisions (sum-product exercises the per-precision
+    /// tanh/atanh guard constants).
     #[test]
     fn sum_product_and_memory_stay_bit_identical(
         h in sparse_matrix(),
@@ -133,8 +175,7 @@ proptest! {
         });
     }
 
-    /// Tiling must be invisible: a narrow lane cap (forcing interior
-    /// tiles and a ragged tail) yields the same bits as one wide tile.
+    /// Tiling must be invisible at either precision.
     #[test]
     fn lane_cap_does_not_change_results(
         h in sparse_matrix(),
@@ -143,21 +184,13 @@ proptest! {
         cap in 1usize..5,
     ) {
         let syndromes = random_batch(&h, shots, seed);
-        let priors = vec![0.2; h.cols()];
-        let config = BpConfig { max_iters: 20, track_oscillations: true, ..BpConfig::default() };
-        let mut wide = BatchMinSumDecoder::new(&h, &priors, config);
-        let mut narrow = BatchMinSumDecoder::new(&h, &priors, config);
-        narrow.set_max_lanes(cap);
-        let rw = wide.decode_batch_results(&syndromes);
-        let rn = narrow.decode_batch_results(&syndromes);
-        for (i, (a, b)) in rw.iter().zip(&rn).enumerate() {
-            assert_bit_identical(b, a, &format!("shot {i} at lane cap {cap}"));
-        }
+        check_lane_cap_at::<f64>(&h, &syndromes, cap);
+        check_lane_cap_at::<f32>(&h, &syndromes, cap);
     }
 }
 
 // ---------------------------------------------------------------------
-// Batch-contract edge cases (deterministic unit tests).
+// Batch-contract edge cases (deterministic unit tests, both precisions).
 // ---------------------------------------------------------------------
 
 fn repetition_h(n: usize) -> SparseBitMatrix {
@@ -165,21 +198,25 @@ fn repetition_h(n: usize) -> SparseBitMatrix {
     SparseBitMatrix::from_row_indices(n - 1, n, &rows)
 }
 
+fn empty_batch_returns_empty_at<T: Llr>() {
+    let h = repetition_h(7);
+    let mut dec = BatchMinSumDecoderOf::<T>::new(&h, &[0.05; 7], BpConfig::default());
+    assert!(dec.decode_batch_results(&[]).is_empty());
+}
+
 #[test]
 fn empty_batch_returns_empty() {
-    let h = repetition_h(7);
-    let mut dec = BatchMinSumDecoder::new(&h, &[0.05; 7], BpConfig::default());
-    assert!(dec.decode_batch_results(&[]).is_empty());
+    empty_batch_returns_empty_at::<f64>();
+    empty_batch_returns_empty_at::<f32>();
 }
 
 /// All-zero syndromes converge on the kernel's first pass (iteration 1 —
 /// the decoder's iteration counter is 1-based and the convergence check
 /// runs after the first message-passing sweep, matching the scalar
 /// decoder exactly) with the zero correction.
-#[test]
-fn all_zero_syndromes_converge_immediately() {
+fn all_zero_syndromes_converge_immediately_at<T: Llr>() {
     let h = repetition_h(9);
-    let mut dec = BatchMinSumDecoder::new(&h, &[0.05; 9], BpConfig::default());
+    let mut dec = BatchMinSumDecoderOf::<T>::new(&h, &[0.05; 9], BpConfig::default());
     let syndromes = vec![BitVec::zeros(8); 6];
     for r in dec.decode_batch_results(&syndromes) {
         assert!(r.converged);
@@ -188,11 +225,16 @@ fn all_zero_syndromes_converge_immediately() {
     }
 }
 
+#[test]
+fn all_zero_syndromes_converge_immediately() {
+    all_zero_syndromes_converge_immediately_at::<f64>();
+    all_zero_syndromes_converge_immediately_at::<f32>();
+}
+
 /// A batch where every lane fails still reports per-lane iteration
 /// counts (each lane exhausts its own budget), and a convergent lane in
 /// the middle keeps its early-exit count.
-#[test]
-fn failing_lanes_report_per_lane_iterations() {
+fn failing_lanes_report_per_lane_iterations_at<T: Llr>() {
     // Two identical checks over {0, 1}: the syndrome (1, 0) is
     // inconsistent, so no hard decision can ever satisfy it.
     let h = SparseBitMatrix::from_row_indices(2, 4, &[vec![0, 1], vec![0, 1]]);
@@ -202,7 +244,7 @@ fn failing_lanes_report_per_lane_iterations() {
         ..BpConfig::default()
     };
 
-    let mut dec = BatchMinSumDecoder::new(&h, &[0.1; 4], config);
+    let mut dec = BatchMinSumDecoderOf::<T>::new(&h, &[0.1; 4], config);
     let all_bad = vec![bad.clone(); 5];
     for r in dec.decode_batch_results(&all_bad) {
         assert!(!r.converged);
@@ -223,18 +265,23 @@ fn failing_lanes_report_per_lane_iterations() {
     );
 }
 
+#[test]
+fn failing_lanes_report_per_lane_iterations() {
+    failing_lanes_report_per_lane_iterations_at::<f64>();
+    failing_lanes_report_per_lane_iterations_at::<f32>();
+}
+
 /// The lane-isolation contract: the same syndrome decoded at lane 0 and
 /// at lane B−1 of one batch call must produce identical outcomes, no
 /// matter what the other lanes carry or when they converge.
-#[test]
-fn no_state_leaks_across_lanes() {
+fn no_state_leaks_across_lanes_at<T: Llr>() {
     let h = repetition_h(9);
     let config = BpConfig {
         max_iters: 30,
         track_oscillations: true,
         ..BpConfig::default()
     };
-    let mut dec = BatchMinSumDecoder::new(&h, &[0.05; 9], config);
+    let mut dec = BatchMinSumDecoderOf::<T>::new(&h, &[0.05; 9], config);
     let probe = h.mul_vec(&BitVec::from_indices(9, &[2, 6]));
     let mut syndromes = vec![probe.clone()];
     // Interior lanes: a zero syndrome (converges instantly), a hard
@@ -250,23 +297,29 @@ fn no_state_leaks_across_lanes() {
     assert_eq!(first.error_hat, last.error_hat);
     assert_eq!(first.flip_counts, last.flip_counts);
     for (a, b) in first.posteriors.iter().zip(&last.posteriors) {
-        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(a.to_bits_u64(), b.to_bits_u64());
     }
 }
 
-/// The cached engine behind the trait override must honor
-/// `config_mut`/`set_priors` changes made between batched calls.
 #[test]
-fn trait_decode_batch_tracks_config_and_prior_changes() {
+fn no_state_leaks_across_lanes() {
+    no_state_leaks_across_lanes_at::<f64>();
+    no_state_leaks_across_lanes_at::<f32>();
+}
+
+/// The cached engine behind the trait override must honor
+/// `config_mut`/`set_priors` changes made between batched calls — at
+/// either precision.
+fn trait_decode_batch_tracks_changes_at<T: Llr>() {
     use qldpc_bp::SyndromeDecoder;
     let h = repetition_h(9);
-    let mut dec = MinSumDecoder::new(&h, &[0.05; 9], BpConfig::default());
+    let mut dec = MinSumDecoderOf::<T>::new(&h, &[0.05; 9], BpConfig::default());
     let syndromes = random_batch(&h, 6, 17);
     let _warm_up_cache = dec.decode_batch(&syndromes);
 
     dec.config_mut().max_iters = 3;
     dec.set_priors(&[0.2; 9]);
-    let fresh = MinSumDecoder::new(
+    let fresh = MinSumDecoderOf::<T>::new(
         &h,
         &[0.2; 9],
         BpConfig {
@@ -282,6 +335,12 @@ fn trait_decode_batch_tracks_config_and_prior_changes() {
         assert_eq!(out.error_hat, l.error_hat, "shot {i}");
         assert_eq!(out.serial_iterations, l.serial_iterations, "shot {i}");
     }
+}
+
+#[test]
+fn trait_decode_batch_tracks_config_and_prior_changes() {
+    trait_decode_batch_tracks_changes_at::<f64>();
+    trait_decode_batch_tracks_changes_at::<f32>();
 }
 
 /// The `SyndromeDecoder::decode_batch` override on the scalar decoder

@@ -48,6 +48,68 @@
 //!    build need not be.
 
 use qldpc_gf2::{BitVec, SparseBitMatrix};
+use std::fmt;
+
+/// Floating-point width of a decoder's message arithmetic.
+///
+/// The BP message slabs are the stack's hottest memory: halving the
+/// scalar width doubles the effective SIMD lanes of the batch kernel and
+/// halves its memory traffic, at the cost of ~7 decimal digits of LLR
+/// resolution — which min-sum BP tolerates at the paper's operating
+/// points (the messages only need to order magnitudes and carry signs).
+/// The default is [`Precision::F64`], so every pre-existing call site
+/// keeps bitwise-identical behavior; [`Precision::F32`] opts into the
+/// reduced-precision fast path.
+///
+/// Decoders report theirs via [`SyndromeDecoder::precision`]; the
+/// accuracy contract (scalar ≡ batch, bit-for-bit) holds *per precision*,
+/// not across precisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// IEEE-754 binary64 messages — the reference arithmetic.
+    #[default]
+    F64,
+    /// IEEE-754 binary32 messages — twice the SIMD lanes, half the
+    /// memory traffic, reduced LLR resolution.
+    F32,
+}
+
+impl Precision {
+    /// Both precisions, reference first — the sweep order benches and
+    /// parity tests use.
+    pub const ALL: [Precision; 2] = [Precision::F64, Precision::F32];
+
+    /// Canonical lowercase name (`"f64"` / `"f32"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+
+    /// Suffix appended to decoder labels: empty for the default
+    /// precision (so existing labels are unchanged), `"@f32"` otherwise.
+    pub fn label_suffix(self) -> &'static str {
+        match self {
+            Precision::F64 => "",
+            Precision::F32 => "@f32",
+        }
+    }
+
+    /// Bytes per BP message at this precision.
+    pub fn bytes_per_message(self) -> usize {
+        match self {
+            Precision::F64 => 8,
+            Precision::F32 => 4,
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// The result of a single syndrome decode, with latency accounting.
 #[derive(Debug, Clone)]
@@ -75,6 +137,16 @@ pub trait SyndromeDecoder {
 
     /// Short display name, e.g. `"BP1000-OSD10"`.
     fn label(&self) -> String;
+
+    /// The floating-point width of this decoder's message arithmetic.
+    ///
+    /// Defaults to [`Precision::F64`] — the reference arithmetic every
+    /// decoder used before precision became a first-class parameter.
+    /// Reduced-precision decoders override it so run reports and service
+    /// metrics can record which arithmetic produced their numbers.
+    fn precision(&self) -> Precision {
+        Precision::F64
+    }
 
     /// Decodes a batch of syndromes, in order.
     ///
@@ -172,6 +244,25 @@ mod tests {
         assert!(d.decode_batch(&[]).is_empty());
         // And consumes no decoder state.
         assert_eq!(d.calls, 0);
+    }
+
+    #[test]
+    fn precision_defaults_to_f64() {
+        let d = Echo { calls: 0 };
+        assert_eq!(d.precision(), Precision::F64);
+        assert_eq!(Precision::default(), Precision::F64);
+    }
+
+    #[test]
+    fn precision_names_and_suffixes() {
+        assert_eq!(Precision::F64.name(), "f64");
+        assert_eq!(Precision::F32.name(), "f32");
+        assert_eq!(Precision::F64.label_suffix(), "");
+        assert_eq!(Precision::F32.label_suffix(), "@f32");
+        assert_eq!(Precision::F64.bytes_per_message(), 8);
+        assert_eq!(Precision::F32.bytes_per_message(), 4);
+        assert_eq!(format!("{}", Precision::F32), "f32");
+        assert_eq!(Precision::ALL, [Precision::F64, Precision::F32]);
     }
 
     #[test]

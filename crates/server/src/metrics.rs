@@ -6,6 +6,7 @@
 //! simulation latency numbers are computed identically.
 
 use bpsf_core::stats::LatencyStats;
+use qldpc_decoder_api::Precision;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -80,8 +81,9 @@ impl CodeMetrics {
         }
     }
 
-    /// Consistent point-in-time copy of all counters.
-    pub fn snapshot(&self) -> MetricsSnapshot {
+    /// Consistent point-in-time copy of all counters, stamped with the
+    /// code's declared decoder precision.
+    pub fn snapshot(&self, precision: Precision) -> MetricsSnapshot {
         let latency = self
             .latency_ms
             .lock()
@@ -90,6 +92,7 @@ impl CodeMetrics {
         let batches = self.batches.load(Ordering::Relaxed);
         let batched = self.batched_requests.load(Ordering::Relaxed);
         MetricsSnapshot {
+            precision,
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -113,6 +116,9 @@ impl CodeMetrics {
 /// Frozen view of one code's service metrics.
 #[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
+    /// Declared message precision of this code's decoder pool
+    /// (`ServiceConfig::precision`).
+    pub precision: Precision,
     /// Requests accepted into a shard queue.
     pub submitted: u64,
     /// Submissions refused with `SubmitError::Overloaded`.
@@ -147,8 +153,9 @@ impl MetricsSnapshot {
     /// Multi-line human-readable rendering (bench/soak output).
     pub fn render(&self) -> String {
         let mut out = format!(
-            "submitted={} completed={} expired={} rejected={} batches={} \
+            "precision={} submitted={} completed={} expired={} rejected={} batches={} \
              mean_batch={:.2} stolen={}\n  latency_ms: {}\n  batch sizes:\n",
+            self.precision,
             self.submitted,
             self.completed,
             self.expired,
@@ -203,7 +210,7 @@ mod tests {
         m.record_batch(0); // ignored
         m.record_latency(Duration::from_millis(2));
         m.record_latency(Duration::from_millis(4));
-        let s = m.snapshot();
+        let s = m.snapshot(Precision::F64);
         assert_eq!(s.batches, 2);
         assert!((s.mean_batch_size - 4.5).abs() < 1e-12);
         assert_eq!(s.batch_histogram[0], 1);
@@ -219,8 +226,8 @@ mod tests {
         m.submitted.store(5, Ordering::Relaxed);
         m.completed.store(3, Ordering::Relaxed);
         m.expired.store(1, Ordering::Relaxed);
-        assert!(!m.snapshot().is_drained());
+        assert!(!m.snapshot(Precision::F64).is_drained());
         m.expired.store(2, Ordering::Relaxed);
-        assert!(m.snapshot().is_drained());
+        assert!(m.snapshot(Precision::F64).is_drained());
     }
 }

@@ -5,7 +5,7 @@ use crate::metrics::{CodeMetrics, MetricsSnapshot};
 use crate::request::{Request, ResponseHandle, ResponseSlot, SubmitError};
 use crate::shard::ShardContext;
 use crossbeam::channel::{self, Sender, TrySendError};
-use qldpc_decoder_api::{share_factory, DecoderFactory, SharedDecoderFactory};
+use qldpc_decoder_api::{share_factory, DecoderFactory, Precision, SharedDecoderFactory};
 use qldpc_gf2::{BitVec, SparseBitMatrix};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -27,6 +27,16 @@ pub struct ServiceConfig {
     /// Shard-queue high-water mark; submissions beyond it are rejected
     /// with [`SubmitError::Overloaded`].
     pub queue_capacity: usize,
+    /// Message precision of the decoders this code's factory builds.
+    ///
+    /// The service cannot see inside the factory closure, so this field
+    /// is the *declared* precision: set it to match the factory (e.g.
+    /// `Precision::F32` with an `MinSumDecoderF32` factory) and the
+    /// service surfaces it in [`MetricsSnapshot::precision`] so
+    /// dashboards can attribute throughput/latency to the arithmetic
+    /// that produced it. Defaults to [`Precision::F64`], matching every
+    /// factory that predates the precision parameter.
+    pub precision: Precision,
 }
 
 impl Default for ServiceConfig {
@@ -36,6 +46,7 @@ impl Default for ServiceConfig {
             max_batch: qldpc_bp::DEFAULT_MAX_LANES,
             max_wait: Duration::from_micros(200),
             queue_capacity: 1024,
+            precision: Precision::F64,
         }
     }
 }
@@ -145,6 +156,7 @@ impl ServiceBuilder {
                 name: spec.name,
                 rows: h.rows(),
                 shards: spec.config.shards,
+                precision: spec.config.precision,
                 senders,
                 metrics,
             });
@@ -166,6 +178,7 @@ struct CodeRuntime {
     name: String,
     rows: usize,
     shards: usize,
+    precision: Precision,
     senders: Vec<Sender<Request>>,
     metrics: Arc<CodeMetrics>,
 }
@@ -224,7 +237,8 @@ impl DecodeService {
     ///
     /// Panics on an unknown `code` id.
     pub fn metrics(&self, code: CodeId) -> MetricsSnapshot {
-        self.shared.codes[code.0].metrics.snapshot()
+        let runtime = &self.shared.codes[code.0];
+        runtime.metrics.snapshot(runtime.precision)
     }
 
     fn shutdown_impl(&mut self) {
@@ -246,7 +260,7 @@ impl DecodeService {
         self.shared
             .codes
             .iter()
-            .map(|c| c.metrics.snapshot())
+            .map(|c| c.metrics.snapshot(c.precision))
             .collect()
     }
 }

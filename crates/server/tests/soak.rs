@@ -217,6 +217,7 @@ fn per_client_fifo_dispatch_single_shard() {
             max_batch: 8,
             max_wait: Duration::from_micros(200),
             queue_capacity: 64,
+            ..ServiceConfig::default()
         };
         let code = builder.register_code_with("rep5", &h, &priors, bp_factory(20), config);
         let service = builder.start();
@@ -307,6 +308,7 @@ fn bounded_queues_reject_when_overloaded() {
             max_batch: 1,
             max_wait: Duration::ZERO,
             queue_capacity: 2,
+            ..ServiceConfig::default()
         };
         let code = builder.register_code_with(
             "tiny",
@@ -392,6 +394,7 @@ fn shutdown_drains_pending_and_gates_new_submissions() {
             max_batch: 4,
             max_wait: Duration::ZERO,
             queue_capacity: 64,
+            ..ServiceConfig::default()
         };
         let code = builder.register_code_with(
             "tiny",
@@ -466,6 +469,7 @@ fn work_stealing_engages_under_skewed_load() {
             max_batch: 4,
             max_wait: Duration::ZERO,
             queue_capacity: 256,
+            ..ServiceConfig::default()
         };
         let code = builder.register_code_with(
             "tiny",
@@ -499,5 +503,64 @@ fn work_stealing_engages_under_skewed_load() {
             stolen > 0,
             "idle sibling shard never stole from the hot shard"
         );
+    });
+}
+
+/// A code registered with an f32 factory and a declared `Precision::F32`:
+/// responses are bit-identical to scalar *f32* decoding and the metrics
+/// snapshot carries the precision tag.
+#[test]
+fn f32_precision_code_decodes_and_reports_precision() {
+    with_timeout(Duration::from_secs(60), || {
+        use qldpc_bp::MinSumDecoderF32;
+        use qldpc_decoder_api::Precision;
+
+        let code = qldpc_codes::bb::bb72();
+        let hz = code.hz().clone();
+        let priors = vec![0.03; hz.cols()];
+        let bp_config = BpConfig {
+            max_iters: 40,
+            ..BpConfig::default()
+        };
+        let factory: DecoderFactory =
+            Box::new(move |h, priors| Box::new(MinSumDecoderF32::new(h, priors, bp_config)));
+        let mut builder = DecodeService::builder();
+        let config = ServiceConfig {
+            shards: 1,
+            max_batch: 16,
+            max_wait: Duration::from_micros(200),
+            queue_capacity: 256,
+            precision: Precision::F32,
+        };
+        let code_id = builder.register_code_with("bb72-z@f32", &hz, &priors, factory, config);
+        let service = builder.start();
+
+        let mut client = service.client();
+        let mut rng = StdRng::seed_from_u64(77);
+        let syndromes: Vec<BitVec> = (0..60)
+            .map(|_| random_syndrome(&hz, 0.03, &mut rng))
+            .collect();
+        let handles: Vec<ResponseHandle> = syndromes
+            .iter()
+            .map(|s| submit_retrying(&mut client, code_id, s.clone(), None))
+            .collect();
+
+        let mut reference = MinSumDecoderF32::new(&hz, &priors, bp_config);
+        for (syndrome, handle) in syndromes.iter().zip(handles) {
+            let response = handle.wait();
+            let outcome = response.result.expect("no deadline set");
+            let expected = reference.decode_syndrome(syndrome);
+            assert_eq!(outcome.solved, expected.solved);
+            assert_eq!(outcome.error_hat, expected.error_hat);
+            assert_eq!(outcome.serial_iterations, expected.serial_iterations);
+        }
+
+        let live = service.metrics(code_id);
+        assert_eq!(live.precision, Precision::F32);
+        assert!(live.render().contains("precision=f32"));
+        let final_snapshot = service.shutdown().remove(0);
+        assert_eq!(final_snapshot.precision, Precision::F32);
+        assert_eq!(final_snapshot.completed, 60);
+        assert!(final_snapshot.is_drained());
     });
 }

@@ -175,6 +175,7 @@ fn code_capacity_chunk(
 
     RunReport {
         decoder: dec_x.label(),
+        precision: dec_x.precision(),
         workload: format!("{} code-capacity p={}", code.name(), config.p),
         shots: config.shots,
         failures,
@@ -260,6 +261,7 @@ fn circuit_level_chunk(
 
     RunReport {
         decoder: decoder.label(),
+        precision: decoder.precision(),
         workload: workload.to_string(),
         shots: config.shots,
         failures,

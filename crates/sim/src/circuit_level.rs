@@ -68,6 +68,7 @@ pub fn run_circuit_level(
 
     RunReport {
         decoder: decoder.label(),
+        precision: decoder.precision(),
         workload: workload.to_string(),
         shots: config.shots,
         failures,

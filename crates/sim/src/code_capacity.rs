@@ -99,6 +99,7 @@ pub fn run_code_capacity(
 
     RunReport {
         decoder: dec_x.label(),
+        precision: dec_x.precision(),
         workload: format!("{} code-capacity p={}", code.name(), config.p),
         shots: config.shots,
         failures,
@@ -188,6 +189,27 @@ mod tests {
         assert_eq!(report.failures, 0);
         assert_eq!(report.unsolved, 0);
         assert_eq!(report.ler(), 0.0);
+    }
+
+    #[test]
+    fn reports_record_decoder_precision() {
+        use qldpc_decoder_api::Precision;
+        let config = CodeCapacityConfig {
+            p: 0.01,
+            shots: 5,
+            seed: 3,
+        };
+        let f32_report = run_code_capacity(
+            &bb::bb72(),
+            &config,
+            &decoders::plain_bp_at(20, Precision::F32),
+        );
+        assert_eq!(f32_report.precision, Precision::F32);
+        assert!(f32_report.decoder.ends_with("@f32"));
+        assert!(f32_report.tsv_row(None).contains("\tf32\t"));
+        let f64_report = run_code_capacity(&bb::bb72(), &config, &decoders::plain_bp(20));
+        assert_eq!(f64_report.precision, Precision::F64);
+        assert!(f64_report.tsv_row(None).contains("\tf64\t"));
     }
 
     #[test]

@@ -10,34 +10,59 @@
 //! one instance per basis (X/Z) and per worker thread.
 
 use bpsf_core::{BpSfConfig, BpSfDecoder, ParallelBpSf};
-use qldpc_bp::{BpConfig, MinSumDecoder, Schedule};
+use qldpc_bp::{BpConfig, MinSumDecoder, MinSumDecoderF32, Schedule};
 use qldpc_osd::{BpOsdDecoder, OsdConfig};
 
-pub use qldpc_decoder_api::{DecodeOutcome, DecoderFactory, SyndromeDecoder};
+pub use qldpc_decoder_api::{DecodeOutcome, DecoderFactory, Precision, SyndromeDecoder};
+
+/// Builds a BP factory for an explicit config at the requested message
+/// precision — the one place the `Precision` runtime value is turned
+/// into a decoder *type*, shared by every BP factory below.
+fn bp_factory(config: BpConfig, precision: Precision) -> DecoderFactory {
+    match precision {
+        Precision::F64 => {
+            Box::new(move |h, priors| Box::new(MinSumDecoder::new(h, priors, config)))
+        }
+        Precision::F32 => {
+            Box::new(move |h, priors| Box::new(MinSumDecoderF32::new(h, priors, config)))
+        }
+    }
+}
 
 /// Factory for plain flooding min-sum BP with `max_iters` iterations
 /// (the paper's `BP{max_iters}` baseline).
 pub fn plain_bp(max_iters: usize) -> DecoderFactory {
-    Box::new(move |h, priors| {
-        let config = BpConfig {
+    plain_bp_at(max_iters, Precision::F64)
+}
+
+/// [`plain_bp`] at an explicit message precision; `Precision::F32` runs
+/// the half-width fast path (labels gain an `@f32` suffix).
+pub fn plain_bp_at(max_iters: usize, precision: Precision) -> DecoderFactory {
+    bp_factory(
+        BpConfig {
             max_iters,
             ..BpConfig::default()
-        };
-        Box::new(MinSumDecoder::new(h, priors, config))
-    })
+        },
+        precision,
+    )
 }
 
 /// Factory for plain layered min-sum BP (used for `[[288,12,18]]`,
 /// Fig. 8).
 pub fn layered_bp(max_iters: usize) -> DecoderFactory {
-    Box::new(move |h, priors| {
-        let config = BpConfig {
+    layered_bp_at(max_iters, Precision::F64)
+}
+
+/// [`layered_bp`] at an explicit message precision.
+pub fn layered_bp_at(max_iters: usize, precision: Precision) -> DecoderFactory {
+    bp_factory(
+        BpConfig {
             max_iters,
             schedule: Schedule::Layered,
             ..BpConfig::default()
-        };
-        Box::new(MinSumDecoder::new(h, priors, config))
-    })
+        },
+        precision,
+    )
 }
 
 /// Factory for the `BP{bp_iters}-OSD{order}` baseline (flooding BP).
@@ -112,6 +137,13 @@ mod tests {
             assert_eq!(got, want);
         }
         let sf = bp_sf(BpSfConfig::code_capacity(50, 8, 1))(hz, &priors);
+        let f32_bp = plain_bp_at(100, Precision::F32)(hz, &priors);
+        assert_eq!(f32_bp.label(), "BP100@f32");
+        assert_eq!(f32_bp.precision(), Precision::F32);
+        let f32_layered = layered_bp_at(50, Precision::F32)(hz, &priors);
+        assert_eq!(f32_layered.label(), "LayeredBP50@f32");
+        // The default-precision factories still build f64 decoders.
+        assert_eq!(plain_bp(100)(hz, &priors).precision(), Precision::F64);
         assert!(sf.label().contains("BP-SF"));
         let lsf = layered_bp_sf(BpSfConfig::code_capacity(50, 8, 1))(hz, &priors);
         assert!(lsf.label().starts_with("Layered-BP-SF"));
@@ -128,6 +160,8 @@ mod tests {
         let factories: Vec<DecoderFactory> = vec![
             plain_bp(50),
             layered_bp(50),
+            plain_bp_at(50, Precision::F32),
+            layered_bp_at(50, Precision::F32),
             bp_osd(50, 10),
             bp_sf(BpSfConfig::code_capacity(50, 4, 1)),
             parallel_bp_sf(BpSfConfig::code_capacity(50, 4, 1), 2),

@@ -96,6 +96,7 @@ mod tests {
     fn report(workload: &str, shots: usize, failures: usize) -> RunReport {
         RunReport {
             decoder: "D".into(),
+            precision: qldpc_decoder_api::Precision::F64,
             workload: workload.into(),
             shots,
             failures,

@@ -1,6 +1,7 @@
 //! Per-run reports and shot records.
 
 use bpsf_core::stats::LatencyStats;
+use qldpc_decoder_api::Precision;
 use std::fmt;
 
 /// One decoded shot's accounting.
@@ -23,6 +24,10 @@ pub struct ShotRecord {
 pub struct RunReport {
     /// Decoder label.
     pub decoder: String,
+    /// Message precision of the decoder that produced this run, as
+    /// reported by `SyndromeDecoder::precision` — recorded so precision
+    /// sweeps stay attributable even where labels are post-processed.
+    pub precision: Precision,
     /// Workload label (code, noise model, parameters).
     pub workload: String,
     /// Shots simulated.
@@ -119,8 +124,9 @@ impl RunReport {
         let ler = self.ler();
         let lpr = rounds.map(|r| crate::ler_per_round(ler, r));
         format!(
-            "{}\t{}\t{}\t{}\t{:.3e}\t{}\t{:.4}\t{:.4}\t{:.4}",
+            "{}\t{}\t{}\t{}\t{}\t{:.3e}\t{}\t{:.4}\t{:.4}\t{:.4}",
             self.decoder,
+            self.precision,
             self.workload,
             self.shots,
             self.failures,
@@ -134,7 +140,7 @@ impl RunReport {
 
     /// TSV header matching [`Self::tsv_row`].
     pub fn tsv_header() -> &'static str {
-        "decoder\tworkload\tshots\tfailures\tler\tler_per_round\tavg_ms\tmax_ms\tpostproc_rate"
+        "decoder\tprecision\tworkload\tshots\tfailures\tler\tler_per_round\tavg_ms\tmax_ms\tpostproc_rate"
     }
 }
 
@@ -172,6 +178,7 @@ mod tests {
     fn report() -> RunReport {
         RunReport {
             decoder: "BP-SF".into(),
+            precision: Precision::F64,
             workload: "test".into(),
             shots: 4,
             failures: 1,

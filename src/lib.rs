@@ -9,7 +9,7 @@
 //! | GF(2) algebra | [`gf2`] | bit-packed vectors/matrices, Gaussian elimination |
 //! | Codes | [`codes`] | BB, coprime-BB, GB, HGP, SHYPS constructions |
 //! | Decoder API | [`decoder_api`] | the one [`SyndromeDecoder`](decoder_api::SyndromeDecoder) trait every decoder implements |
-//! | BP | [`bp`] | normalized min-sum (flooding + layered), oscillation tracking, shot-interleaved batch kernel |
+//! | BP | [`bp`] | normalized min-sum (flooding + layered), oscillation tracking, shot-interleaved batch kernel, precision-generic (f64/f32) messages |
 //! | OSD baseline | [`osd`] | OSD-0 / OSD-CS post-processing |
 //! | Circuit noise | [`circuit`] | syndrome-extraction circuits, detector error models |
 //! | **BP-SF** | [`bpsf`] | the paper's oscillation-guided syndrome-flip decoder |
@@ -46,13 +46,16 @@ pub use qldpc_sim as sim;
 
 /// The most common imports for working with the stack.
 pub mod prelude {
-    pub use crate::bp::{BatchMinSumDecoder, BpConfig, DampingSchedule, MinSumDecoder, Schedule};
+    pub use crate::bp::{
+        BatchMinSumDecoder, BatchMinSumDecoderF32, BpConfig, DampingSchedule, Llr, MinSumDecoder,
+        MinSumDecoderF32, Schedule,
+    };
     pub use crate::bpsf::{
         BpSfConfig, BpSfDecoder, BpSfResult, ParallelBpSf, TrialSampling, TrialSelection,
     };
     pub use crate::circuit::{DemSampler, DetectorErrorModel, MemoryExperiment, NoiseModel};
     pub use crate::codes::{bb, coprime_bb, gb, hgp, shp, CssCode};
-    pub use crate::decoder_api::{DecodeOutcome, DecoderFactory, SyndromeDecoder};
+    pub use crate::decoder_api::{DecodeOutcome, DecoderFactory, Precision, SyndromeDecoder};
     pub use crate::gf2::{BitMatrix, BitVec, SparseBitMatrix};
     pub use crate::osd::{BpOsdDecoder, OsdConfig};
     pub use crate::server::{DecodeService, ServiceConfig};

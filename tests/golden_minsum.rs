@@ -1,13 +1,20 @@
 //! Fixed-seed golden regression: pins the scalar min-sum reference on the
-//! gross code, so kernel refactors cannot silently drift the baseline the
-//! batch kernel is checked against.
+//! gross code — at **both** message precisions — so kernel refactors
+//! cannot silently drift the baselines the batch kernel is checked
+//! against.
 //!
-//! The pinned values capture the *exact f64 stream* of the decoder
-//! (posteriors are fingerprinted via `f64::to_bits`), on the platform the
-//! goldens were generated on (x86-64 Linux/glibc — `ln` is the only libm
-//! call on the min-sum path, used once per prior). If a deliberate
-//! numerical change or a libm update moves the reference, run this test
-//! with `-- --nocapture` and re-pin from the printed actual rows.
+//! The pinned values capture the *exact float stream* of each decoder
+//! (posteriors are fingerprinted via their raw bit patterns), on the
+//! platform the goldens were generated on (x86-64 Linux/glibc — `ln` is
+//! the only libm call on the min-sum path, used once per prior). The
+//! `f64` rows predate the precision-generic refactor and must never move
+//! without a deliberate numerical change; the `f32` rows pin the
+//! reduced-precision stream separately — the two precisions' posterior
+//! fingerprints differ (as expected), while these three seeds happen to
+//! keep the same convergence, iteration and weight outcomes. If a
+//! deliberate change or a libm update moves a reference, run
+//! `scout_seeds` with `-- --ignored --nocapture` and re-pin from the
+//! printed rows for **each** precision.
 
 use bpsf::prelude::*;
 use gf2::BitVec;
@@ -22,7 +29,10 @@ struct Golden {
     posterior_fingerprint: u64,
 }
 
-const GOLDENS: &[Golden] = &[
+/// The `f64` reference rows — unchanged since the pre-generic decoder
+/// (PR 2): the precision-generic core reproduces its float stream
+/// bit-for-bit.
+const GOLDENS_F64: &[Golden] = &[
     Golden {
         seed: 0,
         converged: true,
@@ -47,18 +57,48 @@ const GOLDENS: &[Golden] = &[
     },
 ];
 
+/// The `f32` rows: same seeds, same syndromes, the reduced-precision
+/// float stream.
+const GOLDENS_F32: &[Golden] = &[
+    Golden {
+        seed: 0,
+        converged: true,
+        iterations: 6,
+        error_weight: 10,
+        posterior_fingerprint: 0xf69a046c3bea1c23,
+    },
+    Golden {
+        seed: 3,
+        converged: true,
+        iterations: 4,
+        error_weight: 9,
+        posterior_fingerprint: 0x43002df0491f49c2,
+    },
+    // Still non-convergent at f32: the reduced precision does not
+    // change this trapping set's fate, only the exact posterior stream.
+    Golden {
+        seed: 6,
+        converged: false,
+        iterations: 40,
+        error_weight: 9,
+        posterior_fingerprint: 0x9eab5f5977736203,
+    },
+];
+
 use bpsf::gf2;
 
-/// Order-sensitive fold of the exact posterior bit patterns.
-fn fingerprint(posteriors: &[f64]) -> u64 {
+/// Order-sensitive fold of the exact posterior bit patterns (works for
+/// either precision through `Llr::to_bits_u64`).
+fn fingerprint<T: Llr>(posteriors: &[T]) -> u64 {
     posteriors
         .iter()
-        .fold(0u64, |acc, p| acc.rotate_left(7) ^ p.to_bits())
+        .fold(0u64, |acc, p| acc.rotate_left(7) ^ p.to_bits_u64())
 }
 
-/// The pinned workload: gross-code Z checks, i.i.d. 3% errors from a
-/// seeded xoshiro stream, BP40 flooding with adaptive damping.
-fn decode_for_seed(seed: u64) -> (BitVec, bpsf::bp::BpResult) {
+/// The pinned workload's syndrome: gross-code Z checks, i.i.d. errors
+/// from a seeded stream (identical for both precisions — only the
+/// decoder arithmetic differs).
+fn syndrome_for_seed(seed: u64) -> BitVec {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     let code = bb::gross_code();
@@ -71,24 +111,34 @@ fn decode_for_seed(seed: u64) -> (BitVec, bpsf::bp::BpResult) {
             e.set(i, true);
         }
     }
-    let s = hz.mul_vec(&e);
+    hz.mul_vec(&e)
+}
+
+/// The pinned decode at precision `T`: BP40 flooding with adaptive
+/// damping and oscillation tracking on the gross code.
+fn decode_for_seed<T: Llr>(seed: u64) -> (BitVec, bpsf::bp::BpResult<T>) {
+    let code = bb::gross_code();
+    let hz = code.hz();
+    let n = hz.cols();
+    let s = syndrome_for_seed(seed);
     let config = BpConfig {
         max_iters: 40,
         track_oscillations: true,
         ..BpConfig::default()
     };
-    let mut dec = MinSumDecoder::new(hz, &vec![0.02; n], config);
+    let mut dec = bpsf::bp::MinSumDecoderOf::<T>::new(hz, &vec![0.02; n], config);
     let r = dec.decode(&s);
     (s, r)
 }
 
-#[test]
-#[ignore = "golden scouting helper"]
-fn scout_seeds() {
+/// Golden scouting helper, per precision: prints re-pinnable rows for
+/// every candidate seed at the requested precision.
+fn scout<T: Llr>() {
     for seed in 0..12u64 {
-        let (_, r) = decode_for_seed(seed);
+        let (_, r) = decode_for_seed::<T>(seed);
         println!(
-            "seed {}: converged={} iterations={} error_weight={} fingerprint=0x{:016x}",
+            "[{}] seed {}: converged={} iterations={} error_weight={} fingerprint=0x{:016x}",
+            T::PRECISION,
             seed,
             r.converged,
             r.iterations,
@@ -99,39 +149,60 @@ fn scout_seeds() {
 }
 
 #[test]
-fn scalar_minsum_matches_pinned_goldens() {
-    for g in GOLDENS {
-        let (_, r) = decode_for_seed(g.seed);
+#[ignore = "golden scouting helper"]
+fn scout_seeds() {
+    scout::<f64>();
+    scout::<f32>();
+}
+
+fn check_scalar_goldens<T: Llr>(goldens: &[Golden]) {
+    for g in goldens {
+        let (_, r) = decode_for_seed::<T>(g.seed);
         println!(
-            "seed {}: converged={} iterations={} error_weight={} fingerprint=0x{:016x}",
+            "[{}] seed {}: converged={} iterations={} error_weight={} fingerprint=0x{:016x}",
+            T::PRECISION,
             g.seed,
             r.converged,
             r.iterations,
             r.error_hat.weight(),
             fingerprint(&r.posteriors)
         );
-        assert_eq!(r.converged, g.converged, "seed {}: converged", g.seed);
-        assert_eq!(r.iterations, g.iterations, "seed {}: iterations", g.seed);
+        let p = T::PRECISION;
+        assert_eq!(r.converged, g.converged, "seed {} ({p}): converged", g.seed);
+        assert_eq!(
+            r.iterations, g.iterations,
+            "seed {} ({p}): iterations",
+            g.seed
+        );
         assert_eq!(
             r.error_hat.weight(),
             g.error_weight,
-            "seed {}: error weight",
+            "seed {} ({p}): error weight",
             g.seed
         );
         assert_eq!(
             fingerprint(&r.posteriors),
             g.posterior_fingerprint,
-            "seed {}: posterior fingerprint",
+            "seed {} ({p}): posterior fingerprint",
             g.seed
         );
     }
 }
 
-/// The batch kernel must reproduce the same pinned reference: decoding
-/// the three golden syndromes as one batch gives the same bits as the
-/// three scalar decodes.
 #[test]
-fn batch_kernel_matches_pinned_goldens() {
+fn scalar_minsum_matches_pinned_goldens() {
+    check_scalar_goldens::<f64>(GOLDENS_F64);
+}
+
+#[test]
+fn scalar_minsum_f32_matches_pinned_goldens() {
+    check_scalar_goldens::<f32>(GOLDENS_F32);
+}
+
+/// The batch kernel must reproduce the same pinned reference *at each
+/// precision*: decoding the three golden syndromes as one batch gives
+/// the same bits as the three scalar decodes of that precision.
+fn check_batch_goldens<T: Llr>(goldens: &[Golden]) {
     let code = bb::gross_code();
     let hz = code.hz();
     let n = hz.cols();
@@ -140,23 +211,38 @@ fn batch_kernel_matches_pinned_goldens() {
         track_oscillations: true,
         ..BpConfig::default()
     };
-    let mut batch = bpsf::bp::BatchMinSumDecoder::new(hz, &vec![0.02; n], config);
-    let syndromes: Vec<BitVec> = GOLDENS.iter().map(|g| decode_for_seed(g.seed).0).collect();
+    let mut batch = bpsf::bp::BatchMinSumDecoderOf::<T>::new(hz, &vec![0.02; n], config);
+    let syndromes: Vec<BitVec> = goldens.iter().map(|g| syndrome_for_seed(g.seed)).collect();
     let results = batch.decode_batch_results(&syndromes);
-    for (g, r) in GOLDENS.iter().zip(&results) {
-        assert_eq!(r.converged, g.converged, "seed {}: converged", g.seed);
-        assert_eq!(r.iterations, g.iterations, "seed {}: iterations", g.seed);
+    let p = T::PRECISION;
+    for (g, r) in goldens.iter().zip(&results) {
+        assert_eq!(r.converged, g.converged, "seed {} ({p}): converged", g.seed);
+        assert_eq!(
+            r.iterations, g.iterations,
+            "seed {} ({p}): iterations",
+            g.seed
+        );
         assert_eq!(
             r.error_hat.weight(),
             g.error_weight,
-            "seed {}: error weight",
+            "seed {} ({p}): error weight",
             g.seed
         );
         assert_eq!(
             fingerprint(&r.posteriors),
             g.posterior_fingerprint,
-            "seed {}: posterior fingerprint",
+            "seed {} ({p}): posterior fingerprint",
             g.seed
         );
     }
+}
+
+#[test]
+fn batch_kernel_matches_pinned_goldens() {
+    check_batch_goldens::<f64>(GOLDENS_F64);
+}
+
+#[test]
+fn batch_kernel_f32_matches_pinned_goldens() {
+    check_batch_goldens::<f32>(GOLDENS_F32);
 }
