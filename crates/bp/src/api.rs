@@ -9,7 +9,7 @@
 
 use crate::llr::Llr;
 use crate::{BatchMinSumDecoderOf, BpResult, MinSumDecoderOf, Schedule};
-use qldpc_decoder_api::{DecodeOutcome, Precision, SyndromeDecoder};
+use qldpc_decoder_api::{DecodeOutcome, DecoderFamily, Precision, SyndromeDecoder};
 use qldpc_gf2::BitVec;
 
 fn outcome_from<T: Llr>(r: BpResult<T>) -> DecodeOutcome {
@@ -41,6 +41,10 @@ impl<T: Llr> SyndromeDecoder for MinSumDecoderOf<T> {
 
     fn precision(&self) -> Precision {
         T::PRECISION
+    }
+
+    fn family(&self) -> DecoderFamily {
+        DecoderFamily::Bp
     }
 
     /// Overrides the default per-shot loop with the shot-interleaved
@@ -84,6 +88,10 @@ impl<T: Llr> SyndromeDecoder for BatchMinSumDecoderOf<T> {
 
     fn precision(&self) -> Precision {
         T::PRECISION
+    }
+
+    fn family(&self) -> DecoderFamily {
+        DecoderFamily::Bp
     }
 
     fn decode_batch(&mut self, syndromes: &[BitVec]) -> Vec<DecodeOutcome> {

@@ -62,9 +62,12 @@ use qldpc_gf2::{BitVec, SparseBitMatrix};
 
 /// Default cap on the lane width of one interleaved tile.
 ///
-/// Bounds slab memory at `2 × num_edges × 128` message scalars regardless
-/// of the caller's batch size; larger batches are processed as
-/// consecutive tiles (the ragged tail simply runs at a narrower width).
+/// Bounds slab memory at `2 × num_edges × DEFAULT_MAX_LANES` message
+/// scalars regardless of the caller's batch size; larger batches are
+/// processed as consecutive tiles (the ragged tail simply runs at a
+/// narrower width). Use this constant — not its current literal value —
+/// anywhere a batch width should mean "one full kernel tile" (the
+/// service's `max_batch` default does exactly that).
 pub const DEFAULT_MAX_LANES: usize = 128;
 
 /// A batched normalized min-sum decoder over shot-interleaved message

@@ -20,9 +20,56 @@
 //!   [`BatchMinSumDecoder`]) and at `f32` ([`MinSumDecoderF32`],
 //!   [`BatchMinSumDecoderF32`]), where half-width slabs double the
 //!   batch kernel's effective SIMD lanes and halve its memory traffic.
-//!   The scalar≡batch bit-identity contract holds *per precision*.
+//!
+//! # The scalar ≡ batch bit-identity contract
+//!
+//! Batched decoding is **bit-identical** to per-shot decoding at the
+//! same precision: for every lane, [`BatchMinSumDecoder`] produces the
+//! same posteriors (to the last ulp), iteration counts, convergence
+//! flags and oscillation sets as a scalar [`MinSumDecoder`] decode of
+//! that lane's syndrome. This is structural, not coincidental — both
+//! paths run the one width-generic check-update core in
+//! `crates/bp/src/kernel.rs` (the scalar decoder calls it with
+//! `stride = width = 1`) — and it is pinned per precision by the
+//! property suite in `crates/bp/tests/batch_equivalence.rs`.
+//!
+//! Per-shot early exit inside a batch uses **lane compaction**: when a
+//! lane's hard decision satisfies its syndrome, its column is swapped
+//! past the live prefix of every slab (a pure permutation — no
+//! surviving lane's arithmetic changes) and the live width shrinks.
+//! Total work is proportional to the *sum of per-shot iteration
+//! counts*, exactly like a scalar loop, while the live prefix keeps
+//! full vector width. Batches wider than [`DEFAULT_MAX_LANES`] run as
+//! consecutive tiles; the ragged tail just runs narrower.
 //!
 //! # Examples
+//!
+//! Decoding through the unified stack API ([`SyndromeDecoder`]), the
+//! way the Monte Carlo runners and the decoding service drive every
+//! decoder:
+//!
+//! ```
+//! use qldpc_bp::{BpConfig, MinSumDecoder, SyndromeDecoder};
+//! use qldpc_gf2::{BitVec, SparseBitMatrix};
+//!
+//! let h = SparseBitMatrix::from_row_indices(
+//!     4,
+//!     5,
+//!     &[vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4]],
+//! );
+//! let mut decoder = MinSumDecoder::new(&h, &[0.05; 5], BpConfig::default());
+//! let error = BitVec::from_indices(5, &[2]);
+//! let out = decoder.decode_syndrome(&h.mul_vec(&error));
+//! assert!(out.solved);
+//! assert_eq!(out.error_hat, error);
+//! // Plain BP never post-processes: both iteration accountings agree.
+//! assert_eq!(out.serial_iterations, out.critical_iterations);
+//! // And a batch containing the same syndrome decodes bit-identically.
+//! let batch = decoder.decode_batch(&[h.mul_vec(&error), BitVec::zeros(4)]);
+//! assert_eq!(batch[0].error_hat, out.error_hat);
+//! ```
+//!
+//! Decoding directly through the inherent API:
 //!
 //! ```
 //! use qldpc_bp::{BpConfig, MinSumDecoder};

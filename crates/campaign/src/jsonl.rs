@@ -1,0 +1,422 @@
+//! Minimal JSON-lines support for the campaign result logs.
+//!
+//! The workspace is hermetic (no serde), and the log schema is a flat
+//! object of strings, numbers, booleans and `null` — so this module
+//! hand-rolls exactly that subset: a writer that emits fields in a
+//! fixed order with deterministic number formatting (Rust's shortest
+//! round-trip `Display` for `f64`), and a parser for one flat object
+//! per line. Determinism matters: re-running a campaign with the same
+//! spec and seed must reproduce byte-identical rows, which is pinned by
+//! `tests/determinism.rs`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed flat JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A string (unescaped).
+    Str(String),
+    /// A number, kept as its literal text so integer fields round-trip
+    /// exactly (no detour through `f64`).
+    Num(String),
+    /// A boolean.
+    Bool(bool),
+    /// JSON `null`.
+    Null,
+}
+
+impl JsonValue {
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value parsed as a `u64`, if it is a number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) => n.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value parsed as a `usize`, if it is a number.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            JsonValue::Num(n) => n.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value parsed as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => n.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes `s` as the contents of a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds one flat JSON object, preserving field insertion order.
+#[derive(Debug, Default)]
+pub struct ObjectWriter {
+    buf: String,
+}
+
+impl ObjectWriter {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn sep(&mut self) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+    }
+
+    /// Appends a string field.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":\"{}\"", escape(key), escape(value));
+        self
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn uint(&mut self, key: &str, value: u64) -> &mut Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":{}", escape(key), value);
+        self
+    }
+
+    /// Appends a float field using Rust's shortest round-trip `Display`
+    /// (deterministic, and parses back to the identical `f64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite values — the log schema has no use for them
+    /// and JSON cannot represent them.
+    pub fn float(&mut self, key: &str, value: f64) -> &mut Self {
+        assert!(value.is_finite(), "JSON numbers must be finite: {key}");
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":{}", escape(key), value);
+        self
+    }
+
+    /// Appends an optional unsigned integer as a number or `null`.
+    pub fn opt_uint(&mut self, key: &str, value: Option<u64>) -> &mut Self {
+        self.sep();
+        match value {
+            Some(v) => {
+                let _ = write!(self.buf, "\"{}\":{}", escape(key), v);
+            }
+            None => {
+                let _ = write!(self.buf, "\"{}\":null", escape(key));
+            }
+        }
+        self
+    }
+
+    /// Finishes the object into one line (no trailing newline).
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// An error from [`parse_object`], with enough context to point at the
+/// offending log line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the line.
+    pub at: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            at: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return self.err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return self.err("truncated \\u escape");
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(code) = hex.and_then(char::from_u32) else {
+                                return self.err("invalid \\u escape");
+                            };
+                            out.push(code);
+                            self.pos += 4;
+                        }
+                        other => {
+                            return self.err(format!("unknown escape '\\{}'", other as char));
+                        }
+                    }
+                }
+                b => {
+                    // Collect the full UTF-8 sequence starting at `b`.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        _ if b < 0x80 => 1,
+                        _ if b >> 5 == 0b110 => 2,
+                        _ if b >> 4 == 0b1110 => 3,
+                        _ => 4,
+                    };
+                    if start + len > self.bytes.len() {
+                        return self.err("truncated UTF-8 sequence");
+                    }
+                    let Ok(s) = std::str::from_utf8(&self.bytes[start..start + len]) else {
+                        return self.err("invalid UTF-8 in string");
+                    };
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", JsonValue::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => {
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                if text.parse::<f64>().is_err() {
+                    return self.err(format!("malformed number '{text}'"));
+                }
+                Ok(JsonValue::Num(text.to_string()))
+            }
+            _ => self.err("expected a value"),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected '{word}'"))
+        }
+    }
+}
+
+/// Parses one line holding a flat JSON object (string/number/bool/null
+/// values only — the full log schema).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input, including nested
+/// objects/arrays, which the log schema never contains.
+///
+/// # Examples
+///
+/// ```
+/// use qldpc_campaign::jsonl::{parse_object, JsonValue};
+///
+/// let obj = parse_object(r#"{"kind":"cell","shots":400,"ler":0.0075}"#).unwrap();
+/// assert_eq!(obj["kind"], JsonValue::Str("cell".into()));
+/// assert_eq!(obj["shots"].as_usize(), Some(400));
+/// assert_eq!(obj["ler"].as_f64(), Some(0.0075));
+/// ```
+pub fn parse_object(line: &str) -> Result<BTreeMap<String, JsonValue>, ParseError> {
+    let mut c = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    c.skip_ws();
+    c.expect(b'{')?;
+    let mut map = BTreeMap::new();
+    c.skip_ws();
+    if c.peek() == Some(b'}') {
+        c.pos += 1;
+    } else {
+        loop {
+            c.skip_ws();
+            let key = c.parse_string()?;
+            c.skip_ws();
+            c.expect(b':')?;
+            let value = c.parse_value()?;
+            if map.insert(key.clone(), value).is_some() {
+                return c.err(format!("duplicate key '{key}'"));
+            }
+            c.skip_ws();
+            match c.peek() {
+                Some(b',') => c.pos += 1,
+                Some(b'}') => {
+                    c.pos += 1;
+                    break;
+                }
+                _ => return c.err("expected ',' or '}'"),
+            }
+        }
+    }
+    c.skip_ws();
+    if c.pos != c.bytes.len() {
+        return c.err("trailing content after object");
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_round_trips_through_the_parser() {
+        let mut w = ObjectWriter::new();
+        w.str("kind", "cell")
+            .uint("shots", 400)
+            .float("ler", 0.007_5)
+            .float("p", 0.001)
+            .opt_uint("d", Some(12))
+            .opt_uint("d_unknown", None)
+            .str("weird", "a\"b\\c\nd\tΦ");
+        let line = w.finish();
+        let obj = parse_object(&line).unwrap();
+        assert_eq!(obj["kind"].as_str(), Some("cell"));
+        assert_eq!(obj["shots"].as_usize(), Some(400));
+        assert_eq!(obj["ler"].as_f64(), Some(0.0075));
+        assert_eq!(obj["p"].as_f64(), Some(0.001));
+        assert_eq!(obj["d"].as_u64(), Some(12));
+        assert_eq!(obj["d_unknown"], JsonValue::Null);
+        assert_eq!(obj["weird"].as_str(), Some("a\"b\\c\nd\tΦ"));
+    }
+
+    #[test]
+    fn float_formatting_is_shortest_round_trip() {
+        let mut w = ObjectWriter::new();
+        w.float("a", 0.1).float("b", 1e-9).float("c", 2026.0);
+        assert_eq!(w.finish(), r#"{"a":0.1,"b":0.000000001,"c":2026}"#);
+    }
+
+    #[test]
+    fn integer_fields_round_trip_exactly_even_above_2_53() {
+        let big = u64::MAX - 7;
+        let mut w = ObjectWriter::new();
+        w.uint("seed", big);
+        let obj = parse_object(&w.finish()).unwrap();
+        assert_eq!(obj["seed"].as_u64(), Some(big));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "{}extra",
+            r#"{"a":}"#,
+            r#"{"a":1,}"#,
+            r#"{"a":[1]}"#,
+            r#"{"a":1 "b":2}"#,
+            r#"{"a":1,"a":2}"#,
+            r#"{"a":1e}"#,
+        ] {
+            assert!(parse_object(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert!(parse_object("{}").unwrap().is_empty());
+        assert!(parse_object("  { }  ").unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_floats_are_rejected_at_write_time() {
+        ObjectWriter::new().float("x", f64::NAN);
+    }
+}

@@ -1,0 +1,469 @@
+//! Generates `REPRO.md` and `results.tsv` from final cell rows.
+//!
+//! The rendering is a pure, deterministic function of the rows: rows
+//! are grouped by campaign, then by (code, noise, rounds) section, and
+//! sorted inside each table by (p, family, decoder, precision). A
+//! committed golden test (`tests/golden_report.rs`) pins the exact
+//! output format — change it deliberately, together with the golden.
+
+use crate::row::{CellRow, LogRecord, RowError};
+use qldpc_decoder_api::DecoderFamily;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Reads the final cell rows out of one or more JSONL logs (chunk rows
+/// are skipped), preserving file order.
+///
+/// # Errors
+///
+/// Fails on unreadable files or malformed rows, naming the file.
+pub fn read_cell_rows(paths: &[impl AsRef<Path>]) -> Result<Vec<CellRow>, RowError> {
+    let mut rows = Vec::new();
+    for path in paths {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| RowError(format!("cannot read {}: {e}", path.display())))?;
+        for record in crate::row::parse_log(&text)
+            .map_err(|e| RowError(format!("{}: {}", path.display(), e.0)))?
+        {
+            if let LogRecord::Cell(cell) = record {
+                rows.push(*cell);
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Checks that a merged row set is coherent before rendering: within
+/// one campaign every row must carry the same spec fingerprint (mixing
+/// generations of an edited spec is exactly what `campaign run` refuses)
+/// and every cell id must appear once (stale shard files from a previous
+/// grid would otherwise duplicate or contradict rows silently).
+///
+/// # Errors
+///
+/// Names the campaign and the offending fingerprints/cell on failure.
+pub fn check_consistency(rows: &[CellRow]) -> Result<(), RowError> {
+    let mut fingerprints: std::collections::BTreeMap<&str, &str> =
+        std::collections::BTreeMap::new();
+    let mut seen_cells: std::collections::BTreeSet<(&str, &str)> =
+        std::collections::BTreeSet::new();
+    for row in rows {
+        if let Some(&first) = fingerprints.get(row.campaign.as_str()) {
+            if first != row.spec {
+                return Err(RowError(format!(
+                    "campaign '{}' mixes spec fingerprints {first} and {} — these logs come \
+                     from different grids (an edited spec or stale shard files); report each \
+                     generation separately",
+                    row.campaign, row.spec
+                )));
+            }
+        } else {
+            fingerprints.insert(&row.campaign, &row.spec);
+        }
+        if !seen_cells.insert((&row.campaign, &row.cell)) {
+            return Err(RowError(format!(
+                "campaign '{}' holds two final rows for cell '{}' — likely overlapping or \
+                 stale shard logs; report a single consistent set",
+                row.campaign, row.cell
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn family_rank(family: &str) -> usize {
+    match DecoderFamily::from_name(family) {
+        Some(DecoderFamily::Bp) => 0,
+        Some(DecoderFamily::BpSf) => 1,
+        Some(DecoderFamily::BpOsd) => 2,
+        _ => 3,
+    }
+}
+
+/// Deterministic row order within a section table.
+fn row_order(a: &CellRow, b: &CellRow) -> std::cmp::Ordering {
+    a.p.total_cmp(&b.p)
+        .then_with(|| family_rank(&a.family).cmp(&family_rank(&b.family)))
+        .then_with(|| a.decoder.cmp(&b.decoder))
+        .then_with(|| b.precision.cmp(&a.precision)) // "f64" before "f32"
+}
+
+fn section_key(row: &CellRow) -> (String, String, usize) {
+    (row.code.clone(), row.noise.clone(), row.rounds)
+}
+
+fn fmt_ler(x: f64) -> String {
+    format!("{x:.3e}")
+}
+
+/// Escapes `|` so labels like `BP-SF(BP100,w=2,|Φ|=8)` cannot break a
+/// Markdown table cell.
+fn md_cell(s: &str) -> String {
+    s.replace('|', "\\|")
+}
+
+/// Renders a confidence level as a percentage without float artifacts
+/// (`0.683 * 100.0` displays as `68.30000000000001`; rounding through
+/// an integral micro-percent grid gives `68.3`).
+pub fn fmt_pct(confidence: f64) -> String {
+    format!("{}", (confidence * 1e8).round() / 1e6)
+}
+
+fn fmt_ci(row: &CellRow) -> String {
+    format!(
+        "[{:.2e}, {:.2e}] @{}%",
+        row.ci_lo,
+        row.ci_hi,
+        fmt_pct(row.confidence)
+    )
+}
+
+fn section_heading(row: &CellRow) -> String {
+    let noise = if row.noise == "code-capacity" {
+        "code-capacity noise".to_string()
+    } else {
+        format!("circuit-level noise, {} rounds", row.rounds)
+    };
+    format!("{} — {noise}", row.code_name)
+}
+
+fn code_stamp(row: &CellRow) -> String {
+    match row.d {
+        Some(d) => format!("n={}, k={}, d={}", row.n, row.k, d),
+        None => format!("n={}, k={}, d unknown", row.n, row.k),
+    }
+}
+
+/// Renders the Markdown report (`REPRO.md`).
+///
+/// Every LER row is stamped with shots, failures, the Wilson confidence
+/// interval, the stopping reason, the base seed, and the git revision
+/// that produced it; each section with both a BP/BP-SF side and a
+/// BP-OSD side gains the paper's crossover comparison.
+pub fn render_markdown(rows: &[CellRow]) -> String {
+    let mut out = String::new();
+    out.push_str("# REPRO — generated paper-reproduction results\n\n");
+    out.push_str(
+        "<!-- Machine-generated by the campaign engine from JSONL result logs.\n     \
+         Do not edit by hand; regenerate with\n     \
+         `cargo run --release -p qldpc-bench --bin campaign -- report --out REPRO.md <results.jsonl>…` -->\n\n",
+    );
+    if rows.is_empty() {
+        out.push_str("No finished cells yet.\n");
+        return out;
+    }
+
+    let mut campaigns: Vec<String> = rows.iter().map(|r| r.campaign.clone()).collect();
+    campaigns.sort();
+    campaigns.dedup();
+    let _ = writeln!(
+        out,
+        "{} finished cell(s) across {} campaign(s).\n",
+        rows.len(),
+        campaigns.len()
+    );
+
+    for campaign in &campaigns {
+        let campaign_rows: Vec<&CellRow> =
+            rows.iter().filter(|r| &r.campaign == campaign).collect();
+        let _ = writeln!(out, "## Campaign `{campaign}`\n");
+        let _ = writeln!(
+            out,
+            "Adaptive stopping: each cell's shots grow in chunks until the Wilson\n\
+             interval half-width reaches the spec's target at the row's confidence\n\
+             level (`stop = half-width`) or the shot cap fires (`stop = shot-cap`).\n"
+        );
+
+        let mut sections: Vec<(String, String, usize)> =
+            campaign_rows.iter().map(|r| section_key(r)).collect();
+        sections.sort();
+        sections.dedup();
+
+        for key in &sections {
+            let mut section_rows: Vec<&CellRow> = campaign_rows
+                .iter()
+                .copied()
+                .filter(|r| &section_key(r) == key)
+                .collect();
+            section_rows.sort_by(|a, b| row_order(a, b));
+            let head = section_rows[0];
+            let _ = writeln!(out, "### {}\n", section_heading(head));
+            let _ = writeln!(out, "({})\n", code_stamp(head));
+            out.push_str(
+                "| p | decoder | precision | shots | failures | LER | CI | stop | seed | git |\n\
+                 |--:|---|---|--:|--:|--:|---|---|--:|---|\n",
+            );
+            for row in &section_rows {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+                    row.p,
+                    md_cell(&row.decoder),
+                    row.precision,
+                    row.shots,
+                    row.failures,
+                    fmt_ler(row.ler),
+                    fmt_ci(row),
+                    row.stop,
+                    row.seed,
+                    row.git_rev
+                );
+            }
+            out.push('\n');
+            render_crossover(&mut out, &section_rows);
+        }
+    }
+    out
+}
+
+/// The BP-vs-BP-OSD crossover table for one section, comparing the best
+/// fully-parallel row (families BP and BP-SF — the paper's O(1)-depth
+/// side) against the best BP-OSD row at each p.
+fn render_crossover(out: &mut String, section_rows: &[&CellRow]) {
+    let parallel_side = |r: &CellRow| matches!(family_rank(&r.family), 0 | 1);
+    let osd_side = |r: &CellRow| family_rank(&r.family) == 2;
+    if !section_rows.iter().any(|r| parallel_side(r)) || !section_rows.iter().any(|r| osd_side(r)) {
+        return;
+    }
+    out.push_str("#### BP(-SF) vs BP-OSD crossover\n\n");
+    out.push_str(
+        "Best fully-parallel row (families BP, BP-SF) vs best BP-OSD row per p;\n\
+         a side wins outright only when the confidence intervals are disjoint.\n\n",
+    );
+    out.push_str(
+        "| p | parallel best | LER | BP-OSD best | LER | verdict |\n\
+         |--:|---|--:|---|--:|---|\n",
+    );
+    let mut ps: Vec<f64> = section_rows.iter().map(|r| r.p).collect();
+    ps.sort_by(f64::total_cmp);
+    ps.dedup();
+    let mut first_parallel_win: Option<f64> = None;
+    for &p in &ps {
+        let best = |pred: &dyn Fn(&CellRow) -> bool| -> Option<&CellRow> {
+            section_rows
+                .iter()
+                .copied()
+                .filter(|r| r.p == p && pred(r))
+                .min_by(|a, b| {
+                    a.ler
+                        .total_cmp(&b.ler)
+                        .then_with(|| a.decoder.cmp(&b.decoder))
+                })
+        };
+        let (Some(par), Some(osd)) = (best(&parallel_side), best(&osd_side)) else {
+            continue;
+        };
+        let verdict = if par.ci_hi < osd.ci_lo {
+            "**parallel side** (CIs disjoint)"
+        } else if osd.ci_hi < par.ci_lo {
+            "**BP-OSD** (CIs disjoint)"
+        } else if par.ler <= osd.ler {
+            "tie (CIs overlap; parallel ≤ at point estimate)"
+        } else {
+            "tie (CIs overlap; BP-OSD ≤ at point estimate)"
+        };
+        if par.ler <= osd.ler && first_parallel_win.is_none() {
+            first_parallel_win = Some(p);
+        }
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} |",
+            p,
+            md_cell(&par.decoder),
+            fmt_ler(par.ler),
+            md_cell(&osd.decoder),
+            fmt_ler(osd.ler),
+            verdict
+        );
+    }
+    out.push('\n');
+    match first_parallel_win {
+        Some(p) => {
+            let _ = writeln!(
+                out,
+                "Point-estimate crossover: the parallel side first matches or beats\n\
+                 BP-OSD at p = {p}.\n"
+            );
+        }
+        None => {
+            out.push_str("Point-estimate crossover: BP-OSD leads at every swept p.\n\n");
+        }
+    }
+}
+
+/// Renders all rows as TSV (header + one line per cell, every schema
+/// field, floats in shortest round-trip form).
+pub fn render_tsv(rows: &[CellRow]) -> String {
+    let mut out = String::from(
+        "campaign\tspec\tcell\tcode\tcode_name\tn\tk\td\tnoise\tp\trounds\tdecoder\tfamily\t\
+         precision\tshots\tfailures\tunsolved\tler\tci_lo\tci_hi\tconfidence\t\
+         target_half_width\tstop\tchunks\tseed\tthreads\tbatch_size\tgit_rev\n",
+    );
+    let mut sorted: Vec<&CellRow> = rows.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.campaign
+            .cmp(&b.campaign)
+            .then_with(|| section_key(a).cmp(&section_key(b)))
+            .then_with(|| row_order(a, b))
+    });
+    for r in sorted {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            r.campaign,
+            r.spec,
+            r.cell,
+            r.code,
+            r.code_name,
+            r.n,
+            r.k,
+            r.d.map_or_else(|| "-".to_string(), |d| d.to_string()),
+            r.noise,
+            r.p,
+            r.rounds,
+            r.decoder,
+            r.family,
+            r.precision,
+            r.shots,
+            r.failures,
+            r.unsolved,
+            r.ler,
+            r.ci_lo,
+            r.ci_hi,
+            r.confidence,
+            r.target_half_width,
+            r.stop,
+            r.chunks,
+            r.seed,
+            r.threads,
+            r.batch_size,
+            r.git_rev
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(p: f64, decoder: &str, family: &str, precision: &str, ler: f64) -> CellRow {
+        let (lo, hi) = (ler * 0.5, (ler * 1.5).max(1e-4));
+        CellRow {
+            campaign: "t".into(),
+            spec: "f".into(),
+            cell: format!("gross|cc|p={p}|{decoder}"),
+            code: "gross".into(),
+            code_name: "BB [[144,12,12]]".into(),
+            n: 144,
+            k: 12,
+            d: Some(12),
+            noise: "code-capacity".into(),
+            p,
+            rounds: 0,
+            decoder: decoder.into(),
+            family: family.into(),
+            precision: precision.into(),
+            shots: 1000,
+            failures: (ler * 1000.0) as usize,
+            unsolved: 0,
+            ler,
+            ci_lo: lo,
+            ci_hi: hi,
+            confidence: 0.95,
+            target_half_width: 0.01,
+            stop: "half-width".into(),
+            chunks: 4,
+            seed: 2026,
+            threads: 2,
+            batch_size: 32,
+            git_rev: "0123456789ab".into(),
+        }
+    }
+
+    #[test]
+    fn empty_report_renders_placeholder() {
+        let md = render_markdown(&[]);
+        assert!(md.contains("No finished cells yet."));
+    }
+
+    #[test]
+    fn sections_tables_and_crossover_render() {
+        let rows = vec![
+            row(0.04, "BP40", "BP", "f64", 0.08),
+            row(0.04, "BP40@f32", "BP", "f32", 0.081),
+            row(0.04, "BP40-OSD10", "BP-OSD", "f64", 0.02),
+            row(0.02, "BP40", "BP", "f64", 0.004),
+            row(0.02, "BP40-OSD10", "BP-OSD", "f64", 0.005),
+        ];
+        let md = render_markdown(&rows);
+        assert!(md.contains("## Campaign `t`"));
+        assert!(md.contains("### BB [[144,12,12]] — code-capacity noise"));
+        assert!(md.contains("(n=144, k=12, d=12)"));
+        assert!(md.contains("#### BP(-SF) vs BP-OSD crossover"));
+        // p = 0.02 ties with parallel ahead at the point estimate.
+        assert!(md.contains("Point-estimate crossover: the parallel side first matches or beats"));
+        // Table rows are p-sorted: 0.02 section lines precede 0.04 ones.
+        let i02 = md.find("| 0.02 | BP40 |").unwrap();
+        let i04 = md.find("| 0.04 | BP40 |").unwrap();
+        assert!(i02 < i04);
+        // f64 sorts before f32 at the same p/decoder prefix.
+        let if64 = md.find("| 0.04 | BP40 | f64").unwrap();
+        let if32 = md.find("| 0.04 | BP40@f32 | f32").unwrap();
+        assert!(if64 < if32);
+    }
+
+    #[test]
+    fn crossover_is_omitted_without_both_sides() {
+        let rows = vec![row(0.02, "BP40", "BP", "f64", 0.004)];
+        let md = render_markdown(&rows);
+        assert!(!md.contains("crossover"));
+    }
+
+    #[test]
+    fn percent_rendering_has_no_float_artifacts() {
+        assert_eq!(fmt_pct(0.95), "95");
+        assert_eq!(fmt_pct(0.99), "99");
+        assert_eq!(fmt_pct(0.683), "68.3"); // 0.683 * 100.0 displays as 68.30000000000001
+        assert_eq!(fmt_pct(0.513), "51.3");
+        assert_eq!(fmt_pct(0.9995), "99.95");
+    }
+
+    #[test]
+    fn consistency_check_catches_mixed_and_duplicated_logs() {
+        let a = row(0.02, "BP40", "BP", "f64", 0.004);
+        let mut b = row(0.04, "BP40", "BP", "f64", 0.08);
+        assert!(check_consistency(&[a.clone(), b.clone()]).is_ok());
+        // Same campaign, different spec fingerprints: an edited grid.
+        b.spec = "other".into();
+        let err = check_consistency(&[a.clone(), b]).unwrap_err();
+        assert!(err.0.contains("mixes spec fingerprints"), "{err}");
+        // Duplicate cell id: overlapping shard logs.
+        let err = check_consistency(&[a.clone(), a.clone()]).unwrap_err();
+        assert!(err.0.contains("two final rows"), "{err}");
+        // Two *different* campaigns may coexist in one report.
+        let mut c = row(0.02, "BP40", "BP", "f64", 0.004);
+        c.campaign = "u".into();
+        c.spec = "other".into();
+        assert!(check_consistency(&[a, c]).is_ok());
+    }
+
+    #[test]
+    fn tsv_has_one_line_per_row_plus_header() {
+        let rows = vec![
+            row(0.04, "BP40", "BP", "f64", 0.08),
+            row(0.02, "BP40", "BP", "f64", 0.004),
+        ];
+        let tsv = render_tsv(&rows);
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let cols = lines[0].split('\t').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split('\t').count(), cols);
+        }
+        // Sorted by p.
+        assert!(lines[1].contains("\t0.02\t"));
+        assert!(lines[2].contains("\t0.04\t"));
+    }
+}

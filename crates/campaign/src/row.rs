@@ -1,0 +1,404 @@
+//! The JSONL log schema: per-chunk progress rows and final cell rows.
+//!
+//! Logs are **append-only**: the engine appends a [`ChunkRow`] after
+//! every adaptive chunk and one [`CellRow`] when a cell's stopping rule
+//! fires. Resume replays the log instead of the shots — finished cells
+//! are skipped and half-finished cells continue from their recorded
+//! cumulative counts. Every field is deterministic for a fixed spec at
+//! a fixed git revision (wall-clock time is deliberately *not* recorded
+//! here), which is what makes same-seed re-runs byte-identical.
+
+use crate::jsonl::{parse_object, JsonValue, ObjectWriter};
+use std::collections::BTreeMap;
+
+/// Schema tag stamped into every row; bump on breaking layout changes.
+pub const SCHEMA: &str = "bpsf-campaign/1";
+
+/// Progress record for one adaptive chunk of one cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkRow {
+    /// Campaign name.
+    pub campaign: String,
+    /// Spec fingerprint (`CampaignSpec::fingerprint`).
+    pub spec: String,
+    /// Cell identifier (`Cell::id`).
+    pub cell: String,
+    /// Chunk index within the cell, from 0.
+    pub chunk: usize,
+    /// The derived seed this chunk ran with.
+    pub chunk_seed: u64,
+    /// The *resolved* worker thread count this chunk ran with. Results
+    /// depend on it (the batched runner splits the seed per thread), and
+    /// a spec with `threads = 0` resolves it per machine — recording it
+    /// here (and in every final row) lets resume refuse a run whose
+    /// resolution differs instead of silently mixing streams.
+    pub threads: usize,
+    /// Shots in this chunk.
+    pub shots: usize,
+    /// Logical failures in this chunk.
+    pub failures: usize,
+    /// Unsolved shots in this chunk.
+    pub unsolved: usize,
+    /// Cumulative shots for the cell, including this chunk.
+    pub cum_shots: usize,
+    /// Cumulative failures for the cell, including this chunk.
+    pub cum_failures: usize,
+    /// Cumulative unsolved shots for the cell, including this chunk.
+    pub cum_unsolved: usize,
+}
+
+/// Final record of one finished cell — the unit the report generator
+/// consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRow {
+    /// Campaign name.
+    pub campaign: String,
+    /// Spec fingerprint (`CampaignSpec::fingerprint`).
+    pub spec: String,
+    /// Cell identifier (`Cell::id`).
+    pub cell: String,
+    /// Code slug (registry key).
+    pub code: String,
+    /// Human-readable code name, e.g. `"BB [[144,12,12]]"`.
+    pub code_name: String,
+    /// Physical qubits.
+    pub n: usize,
+    /// Logical qubits.
+    pub k: usize,
+    /// Declared distance, when known.
+    pub d: Option<usize>,
+    /// `"code-capacity"` or `"circuit-level"`.
+    pub noise: String,
+    /// Physical error rate.
+    pub p: f64,
+    /// Syndrome-extraction rounds (`0` for code-capacity noise).
+    pub rounds: usize,
+    /// Decoder display label (from `SyndromeDecoder::descriptor`).
+    pub decoder: String,
+    /// Decoder family name (`"BP"`, `"BP-OSD"`, `"BP-SF"`).
+    pub family: String,
+    /// Message precision name (`"f64"` / `"f32"`).
+    pub precision: String,
+    /// Total shots decoded.
+    pub shots: usize,
+    /// Total logical failures.
+    pub failures: usize,
+    /// Total unsolved shots.
+    pub unsolved: usize,
+    /// Point estimate `failures / shots`.
+    pub ler: f64,
+    /// Wilson interval lower bound.
+    pub ci_lo: f64,
+    /// Wilson interval upper bound.
+    pub ci_hi: f64,
+    /// Confidence level of the interval.
+    pub confidence: f64,
+    /// The spec's target half-width.
+    pub target_half_width: f64,
+    /// Why the cell stopped: `"half-width"` or `"shot-cap"`.
+    pub stop: String,
+    /// Adaptive chunks run.
+    pub chunks: usize,
+    /// The spec's base seed.
+    pub seed: u64,
+    /// Worker threads used per chunk.
+    pub threads: usize,
+    /// Batch size used within each thread.
+    pub batch_size: usize,
+    /// `git rev-parse --short=12 HEAD` at run time (`"unknown"` outside
+    /// a git checkout).
+    pub git_rev: String,
+}
+
+impl ChunkRow {
+    /// Serializes the row as one JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.str("schema", SCHEMA)
+            .str("kind", "chunk")
+            .str("campaign", &self.campaign)
+            .str("spec", &self.spec)
+            .str("cell", &self.cell)
+            .uint("chunk", self.chunk as u64)
+            .uint("chunk_seed", self.chunk_seed)
+            .uint("threads", self.threads as u64)
+            .uint("shots", self.shots as u64)
+            .uint("failures", self.failures as u64)
+            .uint("unsolved", self.unsolved as u64)
+            .uint("cum_shots", self.cum_shots as u64)
+            .uint("cum_failures", self.cum_failures as u64)
+            .uint("cum_unsolved", self.cum_unsolved as u64);
+        w.finish()
+    }
+}
+
+impl CellRow {
+    /// Serializes the row as one JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.str("schema", SCHEMA)
+            .str("kind", "cell")
+            .str("campaign", &self.campaign)
+            .str("spec", &self.spec)
+            .str("cell", &self.cell)
+            .str("code", &self.code)
+            .str("code_name", &self.code_name)
+            .uint("n", self.n as u64)
+            .uint("k", self.k as u64)
+            .opt_uint("d", self.d.map(|d| d as u64))
+            .str("noise", &self.noise)
+            .float("p", self.p)
+            .uint("rounds", self.rounds as u64)
+            .str("decoder", &self.decoder)
+            .str("family", &self.family)
+            .str("precision", &self.precision)
+            .uint("shots", self.shots as u64)
+            .uint("failures", self.failures as u64)
+            .uint("unsolved", self.unsolved as u64)
+            .float("ler", self.ler)
+            .float("ci_lo", self.ci_lo)
+            .float("ci_hi", self.ci_hi)
+            .float("confidence", self.confidence)
+            .float("target_half_width", self.target_half_width)
+            .str("stop", &self.stop)
+            .uint("chunks", self.chunks as u64)
+            .uint("seed", self.seed)
+            .uint("threads", self.threads as u64)
+            .uint("batch_size", self.batch_size as u64)
+            .str("git_rev", &self.git_rev);
+        w.finish()
+    }
+}
+
+/// A parsed log line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    /// A per-chunk progress row.
+    Chunk(ChunkRow),
+    /// A final cell row.
+    Cell(Box<CellRow>),
+}
+
+/// An error from [`parse_record`] / [`parse_log`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowError(pub String);
+
+impl std::fmt::Display for RowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "log row error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RowError {}
+
+fn get<'a>(obj: &'a BTreeMap<String, JsonValue>, key: &str) -> Result<&'a JsonValue, RowError> {
+    obj.get(key)
+        .ok_or_else(|| RowError(format!("missing field '{key}'")))
+}
+
+fn get_str(obj: &BTreeMap<String, JsonValue>, key: &str) -> Result<String, RowError> {
+    get(obj, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| RowError(format!("field '{key}' is not a string")))
+}
+
+fn get_usize(obj: &BTreeMap<String, JsonValue>, key: &str) -> Result<usize, RowError> {
+    get(obj, key)?
+        .as_usize()
+        .ok_or_else(|| RowError(format!("field '{key}' is not a count")))
+}
+
+fn get_u64(obj: &BTreeMap<String, JsonValue>, key: &str) -> Result<u64, RowError> {
+    get(obj, key)?
+        .as_u64()
+        .ok_or_else(|| RowError(format!("field '{key}' is not a u64")))
+}
+
+fn get_f64(obj: &BTreeMap<String, JsonValue>, key: &str) -> Result<f64, RowError> {
+    get(obj, key)?
+        .as_f64()
+        .ok_or_else(|| RowError(format!("field '{key}' is not a number")))
+}
+
+/// Parses one JSONL line into a [`LogRecord`].
+///
+/// # Errors
+///
+/// Fails on malformed JSON, an unknown `schema`/`kind`, or missing or
+/// mistyped fields.
+pub fn parse_record(line: &str) -> Result<LogRecord, RowError> {
+    let obj = parse_object(line).map_err(|e| RowError(e.to_string()))?;
+    let schema = get_str(&obj, "schema")?;
+    if schema != SCHEMA {
+        return Err(RowError(format!(
+            "unsupported schema '{schema}' (this build reads {SCHEMA})"
+        )));
+    }
+    match get_str(&obj, "kind")?.as_str() {
+        "chunk" => Ok(LogRecord::Chunk(ChunkRow {
+            campaign: get_str(&obj, "campaign")?,
+            spec: get_str(&obj, "spec")?,
+            cell: get_str(&obj, "cell")?,
+            chunk: get_usize(&obj, "chunk")?,
+            chunk_seed: get_u64(&obj, "chunk_seed")?,
+            threads: get_usize(&obj, "threads")?,
+            shots: get_usize(&obj, "shots")?,
+            failures: get_usize(&obj, "failures")?,
+            unsolved: get_usize(&obj, "unsolved")?,
+            cum_shots: get_usize(&obj, "cum_shots")?,
+            cum_failures: get_usize(&obj, "cum_failures")?,
+            cum_unsolved: get_usize(&obj, "cum_unsolved")?,
+        })),
+        "cell" => Ok(LogRecord::Cell(Box::new(CellRow {
+            campaign: get_str(&obj, "campaign")?,
+            spec: get_str(&obj, "spec")?,
+            cell: get_str(&obj, "cell")?,
+            code: get_str(&obj, "code")?,
+            code_name: get_str(&obj, "code_name")?,
+            n: get_usize(&obj, "n")?,
+            k: get_usize(&obj, "k")?,
+            d: match get(&obj, "d")? {
+                JsonValue::Null => None,
+                v => Some(
+                    v.as_usize()
+                        .ok_or_else(|| RowError("field 'd' is not a count or null".into()))?,
+                ),
+            },
+            noise: get_str(&obj, "noise")?,
+            p: get_f64(&obj, "p")?,
+            rounds: get_usize(&obj, "rounds")?,
+            decoder: get_str(&obj, "decoder")?,
+            family: get_str(&obj, "family")?,
+            precision: get_str(&obj, "precision")?,
+            shots: get_usize(&obj, "shots")?,
+            failures: get_usize(&obj, "failures")?,
+            unsolved: get_usize(&obj, "unsolved")?,
+            ler: get_f64(&obj, "ler")?,
+            ci_lo: get_f64(&obj, "ci_lo")?,
+            ci_hi: get_f64(&obj, "ci_hi")?,
+            confidence: get_f64(&obj, "confidence")?,
+            target_half_width: get_f64(&obj, "target_half_width")?,
+            stop: get_str(&obj, "stop")?,
+            chunks: get_usize(&obj, "chunks")?,
+            seed: get_u64(&obj, "seed")?,
+            threads: get_usize(&obj, "threads")?,
+            batch_size: get_usize(&obj, "batch_size")?,
+            git_rev: get_str(&obj, "git_rev")?,
+        }))),
+        other => Err(RowError(format!("unknown row kind '{other}'"))),
+    }
+}
+
+/// Parses a whole log (one record per non-empty line).
+///
+/// # Errors
+///
+/// Reports the first bad line with its 1-based line number.
+pub fn parse_log(text: &str) -> Result<Vec<LogRecord>, RowError> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| parse_record(l).map_err(|e| RowError(format!("line {}: {}", i + 1, e.0))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell_row() -> CellRow {
+        CellRow {
+            campaign: "smoke".into(),
+            spec: "deadbeefdeadbeef".into(),
+            cell: "gross|cc|p=0.02|bp:40".into(),
+            code: "gross".into(),
+            code_name: "BB [[144,12,12]]".into(),
+            n: 144,
+            k: 12,
+            d: Some(12),
+            noise: "code-capacity".into(),
+            p: 0.02,
+            rounds: 0,
+            decoder: "BP40".into(),
+            family: "BP".into(),
+            precision: "f64".into(),
+            shots: 400,
+            failures: 3,
+            unsolved: 1,
+            ler: 0.0075,
+            ci_lo: 0.002_562,
+            ci_hi: 0.021_86,
+            confidence: 0.95,
+            target_half_width: 0.03,
+            stop: "half-width".into(),
+            chunks: 4,
+            seed: 2026,
+            threads: 2,
+            batch_size: 32,
+            git_rev: "0123456789ab".into(),
+        }
+    }
+
+    #[test]
+    fn cell_rows_round_trip() {
+        let row = cell_row();
+        let parsed = parse_record(&row.to_json()).unwrap();
+        assert_eq!(parsed, LogRecord::Cell(Box::new(row)));
+    }
+
+    #[test]
+    fn unknown_distance_serializes_as_null() {
+        let mut row = cell_row();
+        row.d = None;
+        let json = row.to_json();
+        assert!(json.contains("\"d\":null"));
+        let LogRecord::Cell(back) = parse_record(&json).unwrap() else {
+            panic!("wrong kind");
+        };
+        assert_eq!(back.d, None);
+    }
+
+    #[test]
+    fn chunk_rows_round_trip() {
+        let row = ChunkRow {
+            campaign: "smoke".into(),
+            spec: "deadbeefdeadbeef".into(),
+            cell: "gross|cc|p=0.02|bp:40".into(),
+            chunk: 2,
+            chunk_seed: 18_446_744_073_709_551_008,
+            threads: 2,
+            shots: 100,
+            failures: 1,
+            unsolved: 0,
+            cum_shots: 300,
+            cum_failures: 2,
+            cum_unsolved: 0,
+        };
+        let parsed = parse_record(&row.to_json()).unwrap();
+        assert_eq!(parsed, LogRecord::Chunk(row));
+    }
+
+    #[test]
+    fn schema_and_kind_are_enforced() {
+        let row = cell_row()
+            .to_json()
+            .replace("bpsf-campaign/1", "bpsf-campaign/999");
+        assert!(parse_record(&row).unwrap_err().0.contains("schema"));
+        let row = cell_row()
+            .to_json()
+            .replace("\"kind\":\"cell\"", "\"kind\":\"mystery\"");
+        assert!(parse_record(&row).unwrap_err().0.contains("kind"));
+        let row = cell_row().to_json().replace("\"shots\":400,", "");
+        assert!(parse_record(&row).unwrap_err().0.contains("shots"));
+    }
+
+    #[test]
+    fn parse_log_reports_line_numbers() {
+        let good = cell_row().to_json();
+        let text = format!("{good}\n\nnot json\n");
+        let err = parse_log(&text).unwrap_err();
+        assert!(err.0.contains("line 3"), "{err}");
+        assert_eq!(parse_log(&good).unwrap().len(), 1);
+    }
+}

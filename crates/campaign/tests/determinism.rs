@@ -1,0 +1,270 @@
+//! Determinism, resume and sharding contracts of the campaign engine.
+//!
+//! The engine's seeding rule makes every decoded shot a pure function
+//! of the spec (including its pinned thread count), so:
+//!
+//! * re-running a spec from scratch reproduces **byte-identical** JSONL
+//!   logs and reports,
+//! * resuming after an interruption converges on exactly the log an
+//!   uninterrupted run would have written,
+//! * sharded execution covers the same cells with the same rows as the
+//!   unsharded run.
+
+use qldpc_campaign::{run_campaign, CampaignSpec, RunOptions};
+use std::path::{Path, PathBuf};
+
+/// A small mixed spec: BP at both precisions plus a BP-OSD baseline,
+/// two p-points, thread count pinned. The tight half-width target
+/// forces every cell to the shot cap (2 chunks), so interruption can be
+/// simulated mid-cell; the loose-target behavior is covered separately.
+const SPEC: &str = "\
+name = determinism
+seed = 99
+codes = bb72
+noise = code-capacity
+p = 0.05, 0.08
+decoders = bp:20, bp-osd:20:5
+precisions = f64, f32
+target_half_width = 0.001
+confidence = 0.95
+chunk_shots = 30
+max_shots = 60
+threads = 2
+batch_size = 16
+";
+
+fn out_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quiet(dir: &Path) -> RunOptions {
+    RunOptions {
+        quiet: true,
+        ..RunOptions::new(dir)
+    }
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap()
+}
+
+#[test]
+fn same_spec_reproduces_identical_jsonl_and_reports() {
+    let spec = CampaignSpec::parse(SPEC).unwrap();
+    let (a, b) = (out_dir("det-a"), out_dir("det-b"));
+    let out_a = run_campaign(&spec, &quiet(&a)).unwrap();
+    let out_b = run_campaign(&spec, &quiet(&b)).unwrap();
+    assert_eq!(out_a.cells_run, 6); // 2 p × (bp@f64 + bp@f32 + bp-osd)
+    assert_eq!(
+        read(&out_a.results_path),
+        read(&out_b.results_path),
+        "same-seed runs must produce byte-identical JSONL logs"
+    );
+    assert_eq!(
+        read(&a.join("REPRO.md")),
+        read(&b.join("REPRO.md")),
+        "generated reports must be byte-identical too"
+    );
+    assert_eq!(read(&a.join("results.tsv")), read(&b.join("results.tsv")));
+    // Every cell hit the shot cap under the unreachable target.
+    for row in &out_a.rows {
+        assert_eq!(row.stop, "shot-cap");
+        assert_eq!(row.shots, 60);
+        assert_eq!(row.chunks, 2);
+        assert_eq!(row.threads, 2);
+    }
+}
+
+#[test]
+fn rerunning_a_finished_campaign_appends_nothing() {
+    let spec = CampaignSpec::parse(SPEC).unwrap();
+    let dir = out_dir("det-rerun");
+    let first = run_campaign(&spec, &quiet(&dir)).unwrap();
+    let log_after_first = read(&first.results_path);
+    let second = run_campaign(&spec, &quiet(&dir)).unwrap();
+    assert_eq!(second.cells_run, 0);
+    assert_eq!(second.cells_skipped, first.cells_total);
+    assert_eq!(
+        read(&second.results_path),
+        log_after_first,
+        "a no-op resume must not append rows"
+    );
+    // The resumed outcome exposes the same final rows.
+    assert_eq!(second.rows, first.rows);
+}
+
+#[test]
+fn resuming_an_interrupted_run_converges_on_the_uninterrupted_log() {
+    let spec = CampaignSpec::parse(SPEC).unwrap();
+    let full_dir = out_dir("det-full");
+    let full = run_campaign(&spec, &quiet(&full_dir)).unwrap();
+    let full_log = read(&full.results_path);
+
+    // Simulate a kill at every possible row boundary: replay a prefix of
+    // the log into a fresh directory, resume, and demand byte equality.
+    let lines: Vec<&str> = full_log.lines().collect();
+    for cut in [1usize, 2, 4, 7, lines.len() - 1] {
+        let dir = out_dir(&format!("det-cut{cut}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix: String = lines[..cut].iter().map(|l| format!("{l}\n")).collect();
+        std::fs::write(dir.join("results.jsonl"), &prefix).unwrap();
+        let resumed = run_campaign(&spec, &quiet(&dir)).unwrap();
+        assert_eq!(
+            read(&resumed.results_path),
+            full_log,
+            "resume from a {cut}-line prefix diverged from the uninterrupted log"
+        );
+        assert_eq!(resumed.rows, full.rows);
+    }
+}
+
+#[test]
+fn resume_repairs_a_torn_trailing_write() {
+    let spec = CampaignSpec::parse(SPEC).unwrap();
+    let full_dir = out_dir("det-torn-full");
+    let full = run_campaign(&spec, &quiet(&full_dir)).unwrap();
+    let full_log = read(&full.results_path);
+    let lines: Vec<&str> = full_log.lines().collect();
+
+    // Case 1: killed between the row text and its newline — the last
+    // line is a complete row with no terminator.
+    let dir = out_dir("det-torn-no-newline");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("results.jsonl"),
+        format!("{}\n{}", lines[0], lines[1]), // no trailing '\n'
+    )
+    .unwrap();
+    let resumed = run_campaign(&spec, &quiet(&dir)).unwrap();
+    assert_eq!(
+        read(&resumed.results_path),
+        full_log,
+        "resume after a missing-newline tear diverged"
+    );
+
+    // Case 2: killed mid-row — the trailing fragment is unparseable and
+    // must be dropped, then re-decoded identically.
+    let dir = out_dir("det-torn-half-row");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("results.jsonl"),
+        format!("{}\n{}", lines[0], &lines[1][..lines[1].len() / 2]),
+    )
+    .unwrap();
+    let resumed = run_campaign(&spec, &quiet(&dir)).unwrap();
+    assert_eq!(
+        read(&resumed.results_path),
+        full_log,
+        "resume after a mid-row tear diverged"
+    );
+}
+
+#[test]
+fn sharded_runs_cover_the_grid_with_identical_rows() {
+    let spec = CampaignSpec::parse(SPEC).unwrap();
+    let full_dir = out_dir("det-shard-full");
+    let full = run_campaign(&spec, &quiet(&full_dir)).unwrap();
+
+    let dir = out_dir("det-shards");
+    let mut shard_paths = Vec::new();
+    for i in 0..2 {
+        let opts = RunOptions {
+            shard: Some((i, 2)),
+            ..quiet(&dir)
+        };
+        let outcome = run_campaign(&spec, &opts).unwrap();
+        assert!(
+            outcome.report_path.is_none(),
+            "shards must not write REPRO.md"
+        );
+        shard_paths.push(outcome.results_path);
+    }
+    assert_ne!(shard_paths[0], shard_paths[1]);
+    let mut merged = qldpc_campaign::read_cell_rows(&shard_paths).unwrap();
+    merged.sort_by(|a, b| a.cell.cmp(&b.cell));
+    let mut expected = full.rows.clone();
+    expected.sort_by(|a, b| a.cell.cmp(&b.cell));
+    assert_eq!(
+        merged, expected,
+        "shard union must equal the unsharded rows"
+    );
+    // And the merged report equals the unsharded one (rendering sorts
+    // internally, so row order does not matter).
+    assert_eq!(
+        qldpc_campaign::render_markdown(&merged),
+        read(&full_dir.join("REPRO.md"))
+    );
+}
+
+#[test]
+fn resume_with_an_edited_spec_is_rejected() {
+    let spec = CampaignSpec::parse(SPEC).unwrap();
+    let dir = out_dir("det-edited");
+    run_campaign(&spec, &quiet(&dir)).unwrap();
+    let mut edited = spec.clone();
+    edited.seed += 1;
+    let err = run_campaign(&edited, &quiet(&dir)).unwrap_err();
+    assert!(
+        err.to_string().contains("fresh --out"),
+        "expected a spec-mismatch error, got: {err}"
+    );
+}
+
+#[test]
+fn resuming_a_partial_cell_under_a_different_thread_count_is_rejected() {
+    let spec = CampaignSpec::parse(SPEC).unwrap();
+    let full_dir = out_dir("det-threads-full");
+    let full = run_campaign(&spec, &quiet(&full_dir)).unwrap();
+    // Leave only the first chunk row, rewritten as if it had run with a
+    // different resolved thread count (e.g. `threads = 0` resolved on a
+    // bigger machine).
+    let first_line = read(&full.results_path).lines().next().unwrap().to_string();
+    assert!(first_line.contains("\"threads\":2"));
+    let dir = out_dir("det-threads-mixed");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("results.jsonl"),
+        format!("{}\n", first_line.replace("\"threads\":2", "\"threads\":4")),
+    )
+    .unwrap();
+    let err = run_campaign(&spec, &quiet(&dir)).unwrap_err();
+    assert!(
+        err.to_string().contains("thread"),
+        "expected a thread-count mismatch error, got: {err}"
+    );
+
+    // Finished cells are covered by the same rule: a log whose *final*
+    // rows ran under a different resolution must also be refused (a
+    // threads = 0 campaign moved across machines would otherwise mix
+    // per-thread streams cell by cell).
+    let full_log = read(&full.results_path);
+    let dir = out_dir("det-threads-finished");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("results.jsonl"),
+        full_log.replace("\"threads\":2", "\"threads\":4"),
+    )
+    .unwrap();
+    let err = run_campaign(&spec, &quiet(&dir)).unwrap_err();
+    assert!(
+        err.to_string().contains("thread"),
+        "expected a thread-count mismatch error for finished cells, got: {err}"
+    );
+}
+
+#[test]
+fn a_loose_target_stops_before_the_cap() {
+    let spec =
+        CampaignSpec::parse(&SPEC.replace("target_half_width = 0.001", "target_half_width = 0.2"))
+            .unwrap();
+    let dir = out_dir("det-loose");
+    let outcome = run_campaign(&spec, &quiet(&dir)).unwrap();
+    for row in &outcome.rows {
+        assert_eq!(row.stop, "half-width", "cell {}", row.cell);
+        assert!(row.shots < 60, "cell {} ran to the cap anyway", row.cell);
+        // The recorded interval indeed satisfies the target.
+        assert!((row.ci_hi - row.ci_lo) / 2.0 <= 0.2);
+    }
+}

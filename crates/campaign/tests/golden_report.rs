@@ -1,0 +1,218 @@
+//! Golden-file tests pinning the report formats.
+//!
+//! `tests/fixtures/fixture.jsonl` is a fixed, committed log; the
+//! rendered Markdown and TSV must match the committed goldens byte for
+//! byte, and re-serializing the parsed rows must reproduce the fixture
+//! itself (pinning the JSONL row format too). To change a format
+//! deliberately, run the ignored `regenerate_goldens` test and review
+//! the diff:
+//!
+//! ```sh
+//! cargo test -p qldpc-campaign --test golden_report -- --ignored regenerate_goldens
+//! ```
+
+use qldpc_campaign::{render_markdown, render_tsv, CellRow, LogRecord};
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn fixture_rows() -> Vec<CellRow> {
+    let text = std::fs::read_to_string(fixture_path("fixture.jsonl")).unwrap();
+    qldpc_campaign::row::parse_log(&text)
+        .unwrap()
+        .into_iter()
+        .map(|r| match r {
+            LogRecord::Cell(c) => *c,
+            LogRecord::Chunk(c) => panic!("fixture holds a chunk row: {c:?}"),
+        })
+        .collect()
+}
+
+#[test]
+fn fixture_round_trips_through_row_serialization() {
+    let text = std::fs::read_to_string(fixture_path("fixture.jsonl")).unwrap();
+    let reserialized: String = fixture_rows()
+        .iter()
+        .map(|r| format!("{}\n", r.to_json()))
+        .collect();
+    assert_eq!(
+        text, reserialized,
+        "CellRow::to_json no longer reproduces the committed fixture — \
+         the JSONL row format changed"
+    );
+}
+
+#[test]
+fn markdown_matches_golden() {
+    let golden = std::fs::read_to_string(fixture_path("REPRO.golden.md")).unwrap();
+    let rendered = render_markdown(&fixture_rows());
+    assert_eq!(
+        rendered, golden,
+        "REPRO.md format drifted from tests/fixtures/REPRO.golden.md; \
+         regenerate the golden if the change is intentional"
+    );
+}
+
+#[test]
+fn tsv_matches_golden() {
+    let golden = std::fs::read_to_string(fixture_path("results.golden.tsv")).unwrap();
+    let rendered = render_tsv(&fixture_rows());
+    assert_eq!(
+        rendered, golden,
+        "TSV format drifted from tests/fixtures/results.golden.tsv; \
+         regenerate the golden if the change is intentional"
+    );
+}
+
+/// The golden rows: a two-section campaign exercising every rendering
+/// path — all three families, both precisions, an unknown distance,
+/// disjoint-CI verdicts in both directions, overlap ties, and both stop
+/// reasons.
+fn golden_source_rows() -> Vec<CellRow> {
+    let base = CellRow {
+        campaign: "fixture".into(),
+        spec: "00c0ffee00c0ffee".into(),
+        cell: String::new(),
+        code: "gross".into(),
+        code_name: "BB [[144,12,12]]".into(),
+        n: 144,
+        k: 12,
+        d: Some(12),
+        noise: "code-capacity".into(),
+        p: 0.0,
+        rounds: 0,
+        decoder: String::new(),
+        family: String::new(),
+        precision: "f64".into(),
+        shots: 0,
+        failures: 0,
+        unsolved: 0,
+        ler: 0.0,
+        ci_lo: 0.0,
+        ci_hi: 0.0,
+        confidence: 0.95,
+        target_half_width: 0.01,
+        stop: "half-width".into(),
+        chunks: 1,
+        seed: 2026,
+        threads: 2,
+        batch_size: 32,
+        git_rev: "0123456789ab".into(),
+    };
+    let row = |p: f64,
+               decoder: &str,
+               family: &str,
+               precision: &str,
+               shots: usize,
+               failures: usize,
+               stop: &str| {
+        let ler = failures as f64 / shots as f64;
+        let ci = bpsf_core::stats::wilson_interval(failures, shots, 0.95);
+        CellRow {
+            cell: format!("gross|cc|p={p}|{decoder}"),
+            p,
+            decoder: decoder.into(),
+            family: family.into(),
+            precision: precision.into(),
+            shots,
+            failures,
+            unsolved: 0,
+            ler,
+            ci_lo: ci.lo,
+            ci_hi: ci.hi,
+            stop: stop.into(),
+            chunks: shots.div_ceil(2000),
+            ..base.clone()
+        }
+    };
+    let mut rows = vec![
+        // p = 0.04: parallel side wins with disjoint CIs (BP-SF below OSD).
+        row(
+            0.04,
+            "BP-SF(BP100,w=2,|Φ|=8)",
+            "BP-SF",
+            "f64",
+            8000,
+            8,
+            "half-width",
+        ),
+        row(0.04, "BP100", "BP", "f64", 8000, 120, "half-width"),
+        row(0.04, "BP100@f32", "BP", "f32", 8000, 123, "half-width"),
+        row(
+            0.04,
+            "BP1000-OSD10",
+            "BP-OSD",
+            "f64",
+            8000,
+            60,
+            "half-width",
+        ),
+        // p = 0.08: BP-OSD wins with disjoint CIs.
+        row(
+            0.08,
+            "BP-SF(BP100,w=2,|Φ|=8)",
+            "BP-SF",
+            "f64",
+            4000,
+            400,
+            "shot-cap",
+        ),
+        row(0.08, "BP100", "BP", "f64", 4000, 700, "shot-cap"),
+        row(
+            0.08,
+            "BP1000-OSD10",
+            "BP-OSD",
+            "f64",
+            4000,
+            160,
+            "half-width",
+        ),
+        // p = 0.02: a tie (CIs overlap), parallel ahead at the estimate.
+        row(0.02, "BP100", "BP", "f64", 2000, 2, "half-width"),
+        row(0.02, "BP1000-OSD10", "BP-OSD", "f64", 2000, 3, "half-width"),
+    ];
+    // A second section: circuit-level rows on a code with unknown d and
+    // no BP-OSD side (no crossover table must render).
+    let cl = |p: f64, decoder: &str, family: &str, shots: usize, failures: usize| {
+        let mut r = row(p, decoder, family, "f64", shots, failures, "shot-cap");
+        r.cell = format!("gb254|cl:r4|p={p}|{decoder}");
+        r.code = "gb254".into();
+        r.code_name = "GB [[254,28]]".into();
+        r.n = 254;
+        r.k = 28;
+        r.d = None;
+        r.noise = "circuit-level".into();
+        r.rounds = 4;
+        r
+    };
+    rows.push(cl(0.003, "BP100", "BP", 1000, 41));
+    rows.push(cl(0.001, "BP100", "BP", 1000, 3));
+    rows
+}
+
+#[test]
+fn fixture_matches_its_source_definition() {
+    // The committed fixture must stay in sync with `golden_source_rows`
+    // (which documents *why* each row exists).
+    let expected: String = golden_source_rows()
+        .iter()
+        .map(|r| format!("{}\n", r.to_json()))
+        .collect();
+    let actual = std::fs::read_to_string(fixture_path("fixture.jsonl")).unwrap();
+    assert_eq!(actual, expected);
+}
+
+#[test]
+#[ignore = "rewrites the committed fixtures; run after deliberate format changes"]
+fn regenerate_goldens() {
+    let rows = golden_source_rows();
+    let jsonl: String = rows.iter().map(|r| format!("{}\n", r.to_json())).collect();
+    std::fs::create_dir_all(fixture_path("")).unwrap();
+    std::fs::write(fixture_path("fixture.jsonl"), jsonl).unwrap();
+    std::fs::write(fixture_path("REPRO.golden.md"), render_markdown(&rows)).unwrap();
+    std::fs::write(fixture_path("results.golden.tsv"), render_tsv(&rows)).unwrap();
+}

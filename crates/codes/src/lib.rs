@@ -46,13 +46,55 @@ pub use css::{CodeError, CssCode, LogicalOps};
 /// Returns every named code used in the paper's evaluation, for sweep-style
 /// benchmarks: BB 72/144/288, coprime-BB 126/154, GB 254, SHYPS 225.
 pub fn paper_codes() -> Vec<CssCode> {
-    vec![
-        bb::bb72(),
-        bb::gross_code(),
-        bb::bb288(),
-        coprime_bb::coprime126(),
-        coprime_bb::coprime154(),
-        gb::gb254(),
-        shp::shyps225(),
-    ]
+    PAPER_CODE_SLUGS
+        .iter()
+        .map(|s| build_paper_code(s))
+        .collect()
+}
+
+/// Stable short names ("slugs") of the paper's evaluation codes, in
+/// [`paper_codes`] order — the identifiers campaign specs and report
+/// rows use to refer to a construction.
+pub const PAPER_CODE_SLUGS: [&str; 7] = [
+    "bb72",
+    "gross",
+    "bb288",
+    "coprime126",
+    "coprime154",
+    "gb254",
+    "shyps225",
+];
+
+fn build_paper_code(slug: &str) -> CssCode {
+    match slug {
+        "bb72" => bb::bb72(),
+        "gross" => bb::gross_code(),
+        "bb288" => bb::bb288(),
+        "coprime126" => coprime_bb::coprime126(),
+        "coprime154" => coprime_bb::coprime154(),
+        "gb254" => gb::gb254(),
+        "shyps225" => shp::shyps225(),
+        _ => unreachable!("slug list and builder match arms must agree"),
+    }
+}
+
+/// Builds the paper code registered under `slug` (see
+/// [`PAPER_CODE_SLUGS`]), or `None` for an unknown slug.
+///
+/// The returned [`CssCode`] carries the report metadata — `name()`,
+/// `n()`, `k()`, `d()` — that generated tables stamp next to each LER
+/// row.
+///
+/// # Examples
+///
+/// ```
+/// let gross = qldpc_codes::paper_code("gross").unwrap();
+/// assert_eq!((gross.n(), gross.k(), gross.d()), (144, 12, Some(12)));
+/// assert!(qldpc_codes::paper_code("steane").is_none());
+/// ```
+pub fn paper_code(slug: &str) -> Option<CssCode> {
+    PAPER_CODE_SLUGS
+        .iter()
+        .find(|s| **s == slug)
+        .map(|s| build_paper_code(s))
 }

@@ -4,7 +4,7 @@
 use crate::decoder::{BpSfDecoder, BpSfResult, TrialSampling};
 use crate::parallel::ParallelBpSf;
 use qldpc_bp::Schedule;
-use qldpc_decoder_api::{DecodeOutcome, SyndromeDecoder};
+use qldpc_decoder_api::{DecodeOutcome, DecoderFamily, SyndromeDecoder};
 use qldpc_gf2::BitVec;
 
 fn outcome_from(r: BpSfResult) -> DecodeOutcome {
@@ -52,6 +52,10 @@ impl SyndromeDecoder for BpSfDecoder {
             ),
         }
     }
+
+    fn family(&self) -> DecoderFamily {
+        DecoderFamily::BpSf
+    }
 }
 
 impl SyndromeDecoder for ParallelBpSf {
@@ -63,6 +67,10 @@ impl SyndromeDecoder for ParallelBpSf {
     /// `"BP-SF(P={workers})"` — the paper's "BP-SF (CPU, P=N)" series.
     fn label(&self) -> String {
         format!("BP-SF(P={})", self.num_workers())
+    }
+
+    fn family(&self) -> DecoderFamily {
+        DecoderFamily::BpSf
     }
 }
 

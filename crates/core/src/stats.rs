@@ -1,6 +1,7 @@
-//! Latency and iteration statistics, shared by the Monte Carlo runners
-//! (`qldpc-sim`) and the decoding-service metrics (`qldpc-server`) so
-//! the two percentile implementations cannot drift.
+//! Latency, iteration and estimator statistics, shared by the Monte
+//! Carlo runners (`qldpc-sim`), the decoding-service metrics
+//! (`qldpc-server`) and the campaign engine (`qldpc-campaign`) so the
+//! percentile and confidence-interval implementations cannot drift.
 
 /// Summary statistics over a sample of latencies (or iteration counts).
 ///
@@ -103,6 +104,156 @@ impl LatencyStats {
     }
 }
 
+/// A two-sided confidence interval on a binomial proportion (e.g. a
+/// logical error rate estimated from `failures / shots`).
+///
+/// Produced by [`wilson_interval`]; consumed by the campaign engine's
+/// adaptive stopping rule and stamped into every generated report row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinomialCi {
+    /// Lower bound (clamped to `[0, 1]`).
+    pub lo: f64,
+    /// Upper bound (clamped to `[0, 1]`).
+    pub hi: f64,
+    /// The confidence level the bounds were computed at, e.g. `0.95`.
+    pub confidence: f64,
+}
+
+impl BinomialCi {
+    /// Half the interval width — the campaign stopping rule's target
+    /// quantity.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// Whether `p` lies inside the interval (inclusive).
+    pub fn contains(&self, p: f64) -> bool {
+        (self.lo..=self.hi).contains(&p)
+    }
+}
+
+/// Wilson score interval for a binomial proportion at the given
+/// confidence level.
+///
+/// Unlike the normal-approximation ("Wald") interval, the Wilson
+/// interval stays inside `[0, 1]` and behaves sensibly at the edges the
+/// campaign engine actually visits: zero observed failures yield
+/// `lo == 0` with a strictly positive `hi`, and all-failures yield
+/// `hi == 1` with `lo < 1`. Zero shots yield the vacuous `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `failures > shots` or `confidence` is outside `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use bpsf_core::stats::wilson_interval;
+///
+/// let ci = wilson_interval(8, 400, 0.95);
+/// assert!(ci.contains(8.0 / 400.0));
+/// assert!(ci.lo > 0.0 && ci.hi < 1.0);
+/// // No failures observed: the lower bound is exactly zero.
+/// assert_eq!(wilson_interval(0, 100, 0.95).lo, 0.0);
+/// ```
+pub fn wilson_interval(failures: usize, shots: usize, confidence: f64) -> BinomialCi {
+    assert!(
+        failures <= shots,
+        "failures ({failures}) must not exceed shots ({shots})"
+    );
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    if shots == 0 {
+        return BinomialCi {
+            lo: 0.0,
+            hi: 1.0,
+            confidence,
+        };
+    }
+    // For confidence within one ulp of 1, `0.5 + confidence / 2` can
+    // round to exactly 1.0 (ties-to-even), which probit rejects — clamp
+    // to the largest double below 1 instead of panicking mid-campaign.
+    let z = probit((0.5 + confidence / 2.0).min(1.0 - f64::EPSILON / 2.0));
+    let n = shots as f64;
+    let p_hat = failures as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p_hat + z2 / (2.0 * n)) / denom;
+    let half = z / denom * (p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n)).sqrt();
+    // At the binomial edges the bound is exactly 0 (no failures) or
+    // exactly 1 (all failures) algebraically; snap them so floating-point
+    // rounding cannot leave the bound an ulp off the edge.
+    let lo = if failures == 0 {
+        0.0
+    } else {
+        (center - half).max(0.0)
+    };
+    let hi = if failures == shots {
+        1.0
+    } else {
+        (center + half).min(1.0)
+    };
+    BinomialCi { lo, hi, confidence }
+}
+
+/// Inverse of the standard normal CDF (the probit function), via
+/// Acklam's rational approximation (absolute error < 1.2e-9 — far below
+/// anything a Monte Carlo confidence interval can resolve).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1)`.
+pub fn probit(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probit argument must be in (0, 1)");
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        // Lower tail.
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        // Central region.
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        // Upper tail, by symmetry.
+        -probit(1.0 - p)
+    }
+}
+
 /// Percentile with midpoint interpolation over a **sorted** sample.
 ///
 /// # Panics
@@ -164,5 +315,83 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn percentile_empty_panics() {
         percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn probit_matches_reference_values() {
+        // Reference values from standard normal tables.
+        assert!((probit(0.5)).abs() < 1e-9);
+        assert!((probit(0.975) - 1.959_963_985).abs() < 1e-6);
+        assert!((probit(0.995) - 2.575_829_304).abs() < 1e-6);
+        // Symmetry, including through the tail branches.
+        for p in [1e-6, 0.01, 0.2, 0.4] {
+            assert!((probit(p) + probit(1.0 - p)).abs() < 1e-8, "p={p}");
+        }
+        // Monotone across the branch boundaries at 0.02425.
+        assert!(probit(0.024) < probit(0.025));
+    }
+
+    #[test]
+    fn wilson_interval_brackets_the_point_estimate() {
+        let ci = wilson_interval(13, 250, 0.95);
+        let p_hat = 13.0 / 250.0;
+        assert!(ci.lo < p_hat && p_hat < ci.hi);
+        assert!(ci.contains(p_hat));
+        assert!(ci.half_width() > 0.0);
+        // Higher confidence ⇒ wider interval.
+        let wider = wilson_interval(13, 250, 0.99);
+        assert!(wider.half_width() > ci.half_width());
+        // More shots at the same rate ⇒ narrower interval.
+        let narrower = wilson_interval(130, 2500, 0.95);
+        assert!(narrower.half_width() < ci.half_width());
+    }
+
+    #[test]
+    fn wilson_edge_zero_failures() {
+        let ci = wilson_interval(0, 100, 0.95);
+        assert_eq!(ci.lo, 0.0);
+        assert!(ci.hi > 0.0 && ci.hi < 0.05);
+    }
+
+    #[test]
+    fn wilson_edge_all_failures() {
+        let ci = wilson_interval(100, 100, 0.95);
+        assert_eq!(ci.hi, 1.0);
+        assert!(ci.lo < 1.0 && ci.lo > 0.95);
+        // Mirror image of the zero-failure case.
+        let zero = wilson_interval(0, 100, 0.95);
+        assert!((ci.lo - (1.0 - zero.hi)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_edge_tiny_samples() {
+        // One shot: the interval is wide but proper either way.
+        let fail = wilson_interval(1, 1, 0.95);
+        assert_eq!(fail.hi, 1.0);
+        assert!(fail.lo > 0.0 && fail.lo < 0.5);
+        let ok = wilson_interval(0, 1, 0.95);
+        assert_eq!(ok.lo, 0.0);
+        assert!(ok.hi > 0.5 && ok.hi < 1.0);
+        // Zero shots: vacuous [0, 1].
+        let none = wilson_interval(0, 0, 0.95);
+        assert_eq!((none.lo, none.hi), (0.0, 1.0));
+        assert!((none.half_width() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn wilson_rejects_impossible_counts() {
+        wilson_interval(2, 1, 0.95);
+    }
+
+    #[test]
+    fn wilson_survives_confidence_one_ulp_below_one() {
+        // `0.5 + c/2` rounds to exactly 1.0 for these, which would trip
+        // probit's domain assert without the clamp.
+        for confidence in [1.0 - f64::EPSILON / 2.0, 1.0 - f64::EPSILON] {
+            assert!(confidence < 1.0);
+            let ci = wilson_interval(1, 2, confidence);
+            assert!(ci.lo >= 0.0 && ci.hi <= 1.0 && ci.lo < ci.hi);
+        }
     }
 }

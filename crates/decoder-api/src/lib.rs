@@ -46,6 +46,11 @@
 //!    so the Monte Carlo runners can build per-basis and per-thread
 //!    instances; factories must be `Send + Sync`, the instances they
 //!    build need not be.
+//! 4. Override [`SyndromeDecoder::family`] if the decoder belongs to one
+//!    of the named algorithm families — report generators (the campaign
+//!    engine's crossover tables) group rows by the
+//!    [`DecoderDescriptor`] your decoder returns, instead of parsing
+//!    labels.
 
 use qldpc_gf2::{BitVec, SparseBitMatrix};
 use std::fmt;
@@ -64,6 +69,26 @@ use std::fmt;
 /// Decoders report theirs via [`SyndromeDecoder::precision`]; the
 /// accuracy contract (scalar ≡ batch, bit-for-bit) holds *per precision*,
 /// not across precisions.
+///
+/// # Examples
+///
+/// Selecting a precision at runtime (e.g. from a sweep spec) and
+/// inspecting what the choice costs:
+///
+/// ```
+/// use qldpc_decoder_api::Precision;
+///
+/// let requested = "f32";
+/// let precision = Precision::ALL
+///     .into_iter()
+///     .find(|p| p.name() == requested)
+///     .expect("unknown precision");
+/// assert_eq!(precision, Precision::F32);
+/// // Half the message width of the f64 reference…
+/// assert_eq!(precision.bytes_per_message(), Precision::F64.bytes_per_message() / 2);
+/// // …and labels carry the non-default suffix so reports stay attributable.
+/// assert_eq!(format!("BP100{}", precision.label_suffix()), "BP100@f32");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Precision {
     /// IEEE-754 binary64 messages — the reference arithmetic.
@@ -111,6 +136,68 @@ impl fmt::Display for Precision {
     }
 }
 
+/// The algorithm family a decoder belongs to.
+///
+/// Reports and campaign tables group decoders by family — e.g. the
+/// BP-vs-BP-OSD crossover comparison needs to know which rows are "pure
+/// BP" and which carry OSD post-processing — without parsing labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecoderFamily {
+    /// Plain belief propagation (any schedule, any precision).
+    Bp,
+    /// BP with ordered-statistics post-processing.
+    BpOsd,
+    /// BP with stabilizer-inactivation/trial post-processing (BP-SF).
+    BpSf,
+    /// Anything else (test doubles, external decoders).
+    Other,
+}
+
+impl DecoderFamily {
+    /// Canonical short name (`"BP"`, `"BP-OSD"`, `"BP-SF"`, `"other"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            DecoderFamily::Bp => "BP",
+            DecoderFamily::BpOsd => "BP-OSD",
+            DecoderFamily::BpSf => "BP-SF",
+            DecoderFamily::Other => "other",
+        }
+    }
+
+    /// Parses the canonical [`Self::name`] form back into a family.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "BP" => Some(DecoderFamily::Bp),
+            "BP-OSD" => Some(DecoderFamily::BpOsd),
+            "BP-SF" => Some(DecoderFamily::BpSf),
+            "other" => Some(DecoderFamily::Other),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DecoderFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything a report needs to attribute a result row to a decoder:
+/// display label, algorithm family, and message precision.
+///
+/// Obtained from a live decoder via [`SyndromeDecoder::descriptor`] so
+/// generated tables (campaign REPRO rows, service metrics) can never
+/// drift from what the decoder actually reports about itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecoderDescriptor {
+    /// The decoder's display label, e.g. `"BP1000-OSD10"`.
+    pub label: String,
+    /// Algorithm family, for family-level grouping.
+    pub family: DecoderFamily,
+    /// Message arithmetic width.
+    pub precision: Precision,
+}
+
 /// The result of a single syndrome decode, with latency accounting.
 #[derive(Debug, Clone)]
 pub struct DecodeOutcome {
@@ -146,6 +233,26 @@ pub trait SyndromeDecoder {
     /// metrics can record which arithmetic produced their numbers.
     fn precision(&self) -> Precision {
         Precision::F64
+    }
+
+    /// The algorithm family this decoder belongs to.
+    ///
+    /// Defaults to [`DecoderFamily::Other`]; the in-tree decoders
+    /// override it so report generators can group rows (e.g. the
+    /// campaign engine's BP-vs-BP-OSD crossover tables) without parsing
+    /// labels.
+    fn family(&self) -> DecoderFamily {
+        DecoderFamily::Other
+    }
+
+    /// The report-facing descriptor: label + family + precision in one
+    /// value, consistent by construction with the individual accessors.
+    fn descriptor(&self) -> DecoderDescriptor {
+        DecoderDescriptor {
+            label: self.label(),
+            family: self.family(),
+            precision: self.precision(),
+        }
     }
 
     /// Decodes a batch of syndromes, in order.
@@ -263,6 +370,29 @@ mod tests {
         assert_eq!(Precision::F32.bytes_per_message(), 4);
         assert_eq!(format!("{}", Precision::F32), "f32");
         assert_eq!(Precision::ALL, [Precision::F64, Precision::F32]);
+    }
+
+    #[test]
+    fn descriptor_mirrors_the_individual_accessors() {
+        let d = Echo { calls: 0 };
+        let desc = d.descriptor();
+        assert_eq!(desc.label, "Echo");
+        assert_eq!(desc.family, DecoderFamily::Other);
+        assert_eq!(desc.precision, Precision::F64);
+    }
+
+    #[test]
+    fn family_names_round_trip() {
+        for family in [
+            DecoderFamily::Bp,
+            DecoderFamily::BpOsd,
+            DecoderFamily::BpSf,
+            DecoderFamily::Other,
+        ] {
+            assert_eq!(DecoderFamily::from_name(family.name()), Some(family));
+            assert_eq!(format!("{family}"), family.name());
+        }
+        assert_eq!(DecoderFamily::from_name("BP-XYZ"), None);
     }
 
     #[test]

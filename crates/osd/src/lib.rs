@@ -265,6 +265,10 @@ impl SyndromeDecoder for BpOsdDecoder {
         };
         format!("{prefix}BP{}-OSD{}", bp.max_iters, self.config.order)
     }
+
+    fn family(&self) -> qldpc_decoder_api::DecoderFamily {
+        qldpc_decoder_api::DecoderFamily::BpOsd
+    }
 }
 
 #[cfg(test)]

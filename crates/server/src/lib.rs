@@ -42,6 +42,12 @@
 //! * **Shutdown drains** — closing the service gates out new
 //!   submissions, then workers drain every queue so each accepted
 //!   request still gets exactly one response.
+//! * **Precision** — [`ServiceConfig::precision`] *declares* the
+//!   message arithmetic of the decoders a code's factory builds (the
+//!   service cannot look inside a factory) and surfaces it in
+//!   [`MetricsSnapshot::precision`], so dashboards can attribute
+//!   latency numbers to the arithmetic that produced them. Register
+//!   `f32` factories under `f32` configs.
 //!
 //! # Examples
 //!

@@ -145,6 +145,15 @@ mod tests {
         // The default-precision factories still build f64 decoders.
         assert_eq!(plain_bp(100)(hz, &priors).precision(), Precision::F64);
         assert!(sf.label().contains("BP-SF"));
+        // Families flow through the factories for report grouping.
+        use qldpc_decoder_api::DecoderFamily;
+        assert_eq!(plain_bp(100)(hz, &priors).family(), DecoderFamily::Bp);
+        assert_eq!(f32_bp.family(), DecoderFamily::Bp);
+        assert_eq!(bp_osd(50, 10)(hz, &priors).family(), DecoderFamily::BpOsd);
+        assert_eq!(sf.family(), DecoderFamily::BpSf);
+        let sf_desc = sf.descriptor();
+        assert_eq!(sf_desc.label, sf.label());
+        assert_eq!(sf_desc.family, DecoderFamily::BpSf);
         let lsf = layered_bp_sf(BpSfConfig::code_capacity(50, 8, 1))(hz, &priors);
         assert!(lsf.label().starts_with("Layered-BP-SF"));
         let psf = parallel_bp_sf(BpSfConfig::code_capacity(50, 4, 1), 2)(hz, &priors);

@@ -50,6 +50,14 @@ impl RunReport {
         }
     }
 
+    /// Wilson score interval on the LER at the given confidence level
+    /// (e.g. `0.95`) — the interval the campaign engine's adaptive
+    /// stopping rule watches. See `bpsf_core::stats::wilson_interval`
+    /// for the edge-case behavior (zero shots, zero/all failures).
+    pub fn ler_ci(&self, confidence: f64) -> bpsf_core::stats::BinomialCi {
+        bpsf_core::stats::wilson_interval(self.failures, self.shots, confidence)
+    }
+
     /// Standard error of the LER estimate (binomial).
     pub fn ler_std_err(&self) -> f64 {
         if self.shots == 0 {
@@ -198,6 +206,9 @@ mod tests {
         assert!((r.ler() - 0.25).abs() < 1e-12);
         assert!((r.postprocessing_rate() - 0.5).abs() < 1e-12);
         assert!(r.ler_std_err() > 0.0);
+        let ci = r.ler_ci(0.95);
+        assert!(ci.contains(r.ler()));
+        assert!(ci.lo > 0.0 && ci.hi < 1.0);
     }
 
     #[test]

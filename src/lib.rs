@@ -14,6 +14,7 @@
 //! | Circuit noise | [`circuit`] | syndrome-extraction circuits, detector error models |
 //! | **BP-SF** | [`bpsf`] | the paper's oscillation-guided syndrome-flip decoder |
 //! | Monte Carlo | [`sim`] | LER estimation (sequential, parallel, batched), latency stats, hardware models |
+//! | Campaigns | [`campaign`] | declarative sweep specs, adaptive shot allocation, resumable JSONL logs, generated `REPRO.md` |
 //! | Service | [`server`] | real-time decoding service: micro-batching scheduler, sharded decoder pools, backpressure, metrics |
 //!
 //! # Quickstart
@@ -36,6 +37,7 @@
 
 pub use bpsf_core as bpsf;
 pub use qldpc_bp as bp;
+pub use qldpc_campaign as campaign;
 pub use qldpc_circuit as circuit;
 pub use qldpc_codes as codes;
 pub use qldpc_decoder_api as decoder_api;

@@ -2,7 +2,8 @@
 //! crate.
 //!
 //! Implements the subset the workspace's property tests use: the
-//! [`proptest!`] macro (with `#![proptest_config(…)]`), the [`Strategy`]
+//! [`proptest!`] macro (with `#![proptest_config(…)]`), the
+//! [`Strategy`](strategy::Strategy)
 //! trait with `prop_map` / `prop_flat_map` / `prop_filter`, integer and
 //! float range strategies, tuple strategies, [`collection::vec`] /
 //! [`collection::btree_set`], and [`bool::ANY`] / [`bool::weighted`].
