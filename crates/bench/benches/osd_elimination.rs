@@ -1,16 +1,24 @@
 //! Criterion bench: cost of the OSD Gaussian-elimination stage — the
-//! O(N³) expense that BP-SF eliminates.
+//! O(N³) expense that BP-SF eliminates — plus the fast-path-vs-reference
+//! comparison for the word-parallel elimination rework.
 //!
-//! Runs the full OSD-CS(10) post-processing step on check matrices of
-//! increasing size, including a circuit-level DEM, with uninformative
-//! posteriors (worst case for the reliability sort).
+//! `bench_osd` runs the (now word-parallel) OSD-CS(10) post-processing
+//! step on check matrices of increasing size, including a circuit-level
+//! DEM, with uninformative posteriors (worst case for the reliability
+//! sort). `bench_osd_artifact` then measures the retained per-bit
+//! reference (`osd_postprocess_reference`, the pre-rework
+//! implementation) against the workspace-reusing fast path — both the
+//! elimination stage alone and the full OSD-CS(10) sweep — and writes
+//! the per-workload means and speedups to `BENCH_osd_elimination.json`
+//! at the workspace root.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qldpc_circuit::{MemoryExperiment, NoiseModel};
-use qldpc_gf2::{BitMatrix, BitVec};
-use qldpc_osd::{osd_postprocess, OsdConfig};
+use qldpc_gf2::{BitMatrix, BitVec, OrderedEliminator};
+use qldpc_osd::{osd_postprocess, osd_postprocess_reference, osd_postprocess_with, OsdConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
 fn random_syndrome(h: &BitMatrix, rng: &mut StdRng) -> BitVec {
     let n = h.cols();
@@ -74,5 +82,190 @@ fn bench_osd(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_osd);
+/// Median-of-samples wall time for `f` over the whole shot set, in
+/// nanoseconds per shot.
+fn ns_per_shot(shots: usize, samples: usize, mut f: impl FnMut()) -> u64 {
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2] / shots as u64
+}
+
+/// The same ascending stable reliability argsort the decoder uses.
+fn reliability_order(posteriors: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..posteriors.len()).collect();
+    order.sort_by(|&a, &b| {
+        posteriors[a]
+            .partial_cmp(&posteriors[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order
+}
+
+/// One measured workload row of `BENCH_osd_elimination.json`.
+struct Workload {
+    name: &'static str,
+    h: BitMatrix,
+    priors: Vec<f64>,
+    shots: usize,
+}
+
+/// Reference-vs-fast-path comparison: elimination stage alone and the
+/// full OSD-CS(10) sweep, per workload. Emits
+/// `BENCH_osd_elimination.json` with mean ns per shot and speedups.
+fn bench_osd_artifact(_c: &mut Criterion) {
+    // `cargo bench` invokes bench binaries with `--bench`; anything else
+    // (`cargo test --benches` runs them with NO marker argument, and in
+    // the dev profile at that) gets a fast smoke pass that must not
+    // overwrite the measurement artifact.
+    let smoke = !std::env::args().any(|a| a == "--bench");
+    let samples = if smoke { 1 } else { 5 };
+
+    let mut workloads = vec![Workload {
+        name: "bb72",
+        h: qldpc_codes::bb::bb72().hz().to_dense(),
+        priors: vec![0.02; qldpc_codes::bb::bb72().n()],
+        shots: if smoke { 2 } else { 16 },
+    }];
+    if !smoke {
+        for (name, code, shots) in [
+            ("gross", qldpc_codes::bb::gross_code(), 8),
+            ("bb288", qldpc_codes::bb::bb288(), 4),
+        ] {
+            workloads.push(Workload {
+                name,
+                priors: vec![0.02; code.n()],
+                h: code.hz().to_dense(),
+                shots,
+            });
+        }
+        let dem = MemoryExperiment::memory_z(
+            &qldpc_codes::bb::bb72(),
+            4,
+            &NoiseModel::uniform_depolarizing(3e-3),
+        )
+        .detector_error_model();
+        workloads.push(Workload {
+            name: "bb72-r4-circuit",
+            h: dem.check_matrix().to_dense(),
+            priors: dem.priors().to_vec(),
+            shots: 2,
+        });
+    }
+
+    let config = OsdConfig::default();
+    let mut rows = Vec::new();
+    for w in &workloads {
+        let (h, shots) = (&w.h, w.shots);
+        let mut rng = StdRng::seed_from_u64(3);
+        let syndromes: Vec<BitVec> = (0..shots).map(|_| random_syndrome(h, &mut rng)).collect();
+        let posteriors: Vec<f64> = (0..h.cols()).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let order = reliability_order(&posteriors);
+        // Same soft costs `BpOsdDecoder` precomputes at construction.
+        let cost: Vec<f64> = w
+            .priors
+            .iter()
+            .map(|&p| {
+                let p = p.clamp(1e-12, 1.0 - 1e-12);
+                ((1.0 - p) / p).ln().max(1e-9)
+            })
+            .collect();
+
+        // Elimination stage alone: per-bit `OrderedEchelon` (clones `h`
+        // per call, as the decoder used to) vs the reusable workspace.
+        let ref_elim_ns = ns_per_shot(shots, samples, || {
+            for s in &syndromes {
+                std::hint::black_box(h.ordered_echelon(s, &order));
+            }
+        });
+        // `eliminate_without_deltas` is the production hot path
+        // (`osd_postprocess_with` scores candidates from the RREF
+        // columns directly) and, like the reference, stops at the
+        // reduced system — the apples-to-apples elimination cost.
+        let mut elim = OrderedEliminator::new(h);
+        let fast_elim_ns = ns_per_shot(shots, samples, || {
+            for s in &syndromes {
+                elim.eliminate_without_deltas(s, &order);
+                std::hint::black_box(elim.rank());
+            }
+        });
+
+        // Full OSD-CS(10) post-process.
+        let ref_pp_ns = ns_per_shot(shots, samples, || {
+            for s in &syndromes {
+                std::hint::black_box(osd_postprocess_reference(
+                    h,
+                    s,
+                    &posteriors,
+                    &w.priors,
+                    config,
+                ));
+            }
+        });
+        let fast_pp_ns = ns_per_shot(shots, samples, || {
+            for s in &syndromes {
+                std::hint::black_box(osd_postprocess_with(
+                    &mut elim,
+                    s,
+                    &posteriors,
+                    &cost,
+                    config,
+                ));
+            }
+        });
+
+        let elim_speedup = ref_elim_ns as f64 / fast_elim_ns.max(1) as f64;
+        let pp_speedup = ref_pp_ns as f64 / fast_pp_ns.max(1) as f64;
+        println!(
+            "osd_elimination/{}: elim {} -> {} ns/shot ({:.1}x), OSD-CS(10) {} -> {} ns/shot ({:.1}x)",
+            w.name, ref_elim_ns, fast_elim_ns, elim_speedup, ref_pp_ns, fast_pp_ns, pp_speedup
+        );
+        rows.push(format!(
+            "    {{\"workload\": \"{}\", \"checks\": {}, \"columns\": {}, \"shots\": {}, \
+             \"reference_elim_ns_per_shot\": {}, \"fast_elim_ns_per_shot\": {}, \
+             \"elim_speedup\": {:.3}, \"reference_osd_cs10_ns_per_shot\": {}, \
+             \"fast_osd_cs10_ns_per_shot\": {}, \"osd_cs10_speedup\": {:.3}}}",
+            w.name,
+            h.rows(),
+            h.cols(),
+            shots,
+            ref_elim_ns,
+            fast_elim_ns,
+            elim_speedup,
+            ref_pp_ns,
+            fast_pp_ns,
+            pp_speedup
+        ));
+    }
+
+    if smoke {
+        // `cargo test` runs bench targets with `--test`: keep the smoke
+        // pass from clobbering a real measurement artifact.
+        println!("osd_elimination: smoke mode, not writing BENCH_osd_elimination.json");
+        return;
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"osd_elimination\",\n  \"osd_order\": {},\n  \
+         \"error_rate\": 0.02,\n  \"rows\": [\n{}\n  ]\n}}\n",
+        config.order,
+        rows.join(",\n")
+    );
+    // Bench binaries run with cwd = crates/bench; emit at the workspace
+    // root where the other BENCH artifacts live.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_osd_elimination.json"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("osd_elimination: wrote {path}"),
+        Err(e) => eprintln!("osd_elimination: could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_osd, bench_osd_artifact);
 criterion_main!(benches);

@@ -365,6 +365,42 @@ impl<'a> DemSampler<'a> {
             obs_flips,
         }
     }
+
+    /// Draws `count` shots, computing all syndromes and observable
+    /// flips through the bit-sliced batch kernel
+    /// (`SparseBitMatrix::mul_batch`) — 64 shots per word-XOR pass —
+    /// instead of sweeping the mechanism lists once per shot.
+    ///
+    /// Consumes the RNG in exactly the same order as `count` calls to
+    /// [`Self::sample`] (one draw per mechanism per shot, fault
+    /// sampling is untouched), and `check · fault` / `obs · fault`
+    /// equal the per-shot detector sweeps bit for bit, so the returned
+    /// shots are identical to a sequential sampling loop.
+    pub fn sample_batch<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<Shot> {
+        let dem = self.dem;
+        let faults: Vec<BitVec> = (0..count)
+            .map(|_| {
+                let mut fault = BitVec::zeros(dem.num_mechanisms());
+                for (m, &p) in dem.priors.iter().enumerate() {
+                    if rng.random::<f64>() < p {
+                        fault.set(m, true);
+                    }
+                }
+                fault
+            })
+            .collect();
+        let syndromes = dem.check_matrix().mul_batch(&faults);
+        let obs = dem.observable_matrix().mul_batch(&faults);
+        faults
+            .into_iter()
+            .zip(syndromes.into_iter().zip(obs))
+            .map(|(fault, (syndrome, obs_flips))| Shot {
+                fault,
+                syndrome,
+                obs_flips,
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -388,6 +424,25 @@ mod tests {
         let dem = small_dem();
         assert_eq!(dem.num_undetectable(), 0);
         assert!(dem.num_mechanisms() > 500);
+    }
+
+    #[test]
+    fn sample_batch_matches_sequential_sampling() {
+        let dem = small_dem();
+        let sampler = DemSampler::new(&dem);
+        let mut rng_batch = StdRng::seed_from_u64(9);
+        let mut rng_seq = StdRng::seed_from_u64(9);
+        for count in [1usize, 3, 7] {
+            for shot in sampler.sample_batch(&mut rng_batch, count) {
+                let seq = sampler.sample(&mut rng_seq);
+                assert_eq!(shot.fault, seq.fault);
+                assert_eq!(shot.syndrome, seq.syndrome);
+                assert_eq!(shot.obs_flips, seq.obs_flips);
+            }
+        }
+        // Both consumed the RNG stream to the same position.
+        use rand::Rng;
+        assert_eq!(rng_batch.random::<u64>(), rng_seq.random::<u64>());
     }
 
     #[test]

@@ -226,6 +226,19 @@ impl BitVec {
         &mut self.words
     }
 
+    /// Overwrites `self` with the contents of `other` without
+    /// reallocating — the hot-loop alternative to `clone()` when a
+    /// scratch vector is reused across iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[inline]
+    pub fn copy_from(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "copy_from of unequal lengths");
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// XORs `other` into `self` in place.
     ///
     /// # Panics

@@ -167,6 +167,21 @@ impl BitMatrix {
         &mut self.data[row * self.words_per_row..(row + 1) * self.words_per_row]
     }
 
+    /// Words per row of the packed storage.
+    #[inline]
+    pub(crate) fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The whole packed storage, row-major with
+    /// [`Self::words_per_row`] words per row — the elimination
+    /// workspace's hot loops index it directly to keep row operations
+    /// free of per-access offset arithmetic.
+    #[inline]
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.data
+    }
+
     /// Copies row `row` into an owned [`BitVec`].
     pub fn row(&self, row: usize) -> BitVec {
         let mut v = BitVec::zeros(self.cols);
@@ -188,6 +203,29 @@ impl BitMatrix {
     /// Iterates over owned copies of the rows.
     pub fn iter_rows(&self) -> impl Iterator<Item = BitVec> + '_ {
         (0..self.rows).map(move |r| self.row(r))
+    }
+
+    /// XORs row `src` of `other` into row `dst` of `self`
+    /// (`self[dst] ^= other[src]`) — the word-parallel accumulate used
+    /// by the bit-sliced batch syndrome kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ or either row index is out of
+    /// bounds.
+    #[inline]
+    pub fn xor_row_from(&mut self, other: &Self, src: usize, dst: usize) {
+        assert_eq!(self.cols, other.cols, "xor_row_from column count mismatch");
+        assert!(
+            src < other.rows && dst < self.rows,
+            "row index out of bounds"
+        );
+        let wpr = self.words_per_row;
+        let s = &other.data[src * wpr..(src + 1) * wpr];
+        let d = &mut self.data[dst * wpr..(dst + 1) * wpr];
+        for (d, s) in d.iter_mut().zip(s) {
+            *d ^= s;
+        }
     }
 
     /// XORs row `src` into row `dst` (`dst ^= src`).
@@ -242,16 +280,51 @@ impl BitMatrix {
     }
 
     /// Matrix transpose.
+    ///
+    /// Runs the word-parallel 64×64 block-transpose kernel — the same
+    /// primitive the bit-sliced batch syndrome check and the OSD
+    /// elimination workspace are built on.
     pub fn transpose(&self) -> Self {
         let mut t = Self::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            let mut v = BitVec::zeros(self.cols);
-            v.as_words_mut().copy_from_slice(self.row_words(r));
-            for c in v.iter_ones() {
-                t.set(c, r, true);
+        self.transpose_into(&mut t);
+        t
+    }
+
+    /// Transposes into a preallocated `cols × rows` matrix, overwriting
+    /// its contents. Lets hot loops reuse the destination's storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not shaped `self.cols() × self.rows()`.
+    pub fn transpose_into(&self, out: &mut Self) {
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, self.rows),
+            "transpose destination must be {}×{}",
+            self.cols,
+            self.rows
+        );
+        out.data.fill(0);
+        let mut block = [0u64; WORD_BITS];
+        for rb in 0..self.rows.div_ceil(WORD_BITS) {
+            let r0 = rb * WORD_BITS;
+            let rmax = (self.rows - r0).min(WORD_BITS);
+            for cb in 0..self.words_per_row {
+                for (i, b) in block.iter_mut().enumerate().take(rmax) {
+                    *b = self.data[(r0 + i) * self.words_per_row + cb];
+                }
+                if block[..rmax].iter().all(|&w| w == 0) {
+                    continue; // destination is already zero
+                }
+                block[rmax..].fill(0);
+                transpose64(&mut block);
+                let out_r0 = cb * WORD_BITS;
+                let out_rmax = (out.rows - out_r0).min(WORD_BITS);
+                for (i, &b) in block.iter().enumerate().take(out_rmax) {
+                    out.data[(out_r0 + i) * out.words_per_row + rb] = b;
+                }
             }
         }
-        t
     }
 
     /// Matrix product over GF(2).
@@ -469,6 +542,28 @@ impl BitMatrix {
     }
 }
 
+/// Transposes a 64×64 bit block held as one `u64` per row, in place.
+///
+/// Hacker's Delight §7-3, adapted to this crate's LSB-first column
+/// numbering (bit `c` of word `r` is entry `(r, c)`): at each step the
+/// upper-right and lower-left `j×j` quadrants of every `2j×2j` sub-block
+/// are swapped with three XORs per word pair.
+fn transpose64(a: &mut [u64; WORD_BITS]) {
+    let mut j = WORD_BITS / 2;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k = 0;
+        while k < WORD_BITS {
+            let t = ((a[k] >> j) ^ a[k + j]) & m;
+            a[k] ^= t << j;
+            a[k + j] ^= t;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
 impl fmt::Debug for BitMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "BitMatrix({}×{})", self.rows, self.cols)?;
@@ -519,6 +614,37 @@ mod tests {
     fn transpose_involution() {
         let m = BitMatrix::from_dense(&[&[1, 0, 1, 1], &[0, 1, 1, 0], &[1, 1, 0, 0]]);
         assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_matches_per_bit_across_block_boundaries() {
+        // 70×130 spans multiple 64×64 blocks in both directions with
+        // ragged edges; fill deterministically and check every entry.
+        let (rows, cols) = (70, 130);
+        let mut m = BitMatrix::zeros(rows, cols);
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for r in 0..rows {
+            for c in 0..cols {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                if state & 1 == 1 {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        let t = m.transpose();
+        assert_eq!((t.rows(), t.cols()), (cols, rows));
+        for r in 0..rows {
+            for c in 0..cols {
+                assert_eq!(t.get(c, r), m.get(r, c), "mismatch at ({r},{c})");
+            }
+        }
+        assert_eq!(t.transpose(), m);
+        // The reusable variant overwrites stale destination contents.
+        let mut out = BitMatrix::identity(cols).select_columns(&(0..rows).collect::<Vec<_>>());
+        m.transpose_into(&mut out);
+        assert_eq!(out, t);
     }
 
     #[test]

@@ -179,6 +179,50 @@ impl SparseBitMatrix {
         out
     }
 
+    /// Bit-sliced batched product: `self · v` for every `v` in `vecs`.
+    ///
+    /// The batch is transposed into 64-shot *bit-planes* (one `BitVec`
+    /// of batch-width bits per variable), each check row XORs the planes
+    /// of its support — computing 64 shots' worth of that check per word
+    /// operation — and the result is transposed back into per-shot
+    /// syndromes. Cost is `O(nnz · B/64)` word-XORs plus two block
+    /// transposes, versus `O(nnz)` bit probes *per shot* for a
+    /// [`Self::mul_vec`] loop. Results are bit-identical to calling
+    /// `mul_vec` on each vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector's length differs from `self.cols()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qldpc_gf2::{BitVec, SparseBitMatrix};
+    ///
+    /// let h = SparseBitMatrix::from_row_indices(2, 3, &[vec![0, 1], vec![1, 2]]);
+    /// let batch = vec![BitVec::from_indices(3, &[1]), BitVec::from_indices(3, &[0, 2])];
+    /// let syndromes = h.mul_batch(&batch);
+    /// assert_eq!(syndromes[0], h.mul_vec(&batch[0]));
+    /// assert_eq!(syndromes[1], h.mul_vec(&batch[1]));
+    /// ```
+    pub fn mul_batch(&self, vecs: &[BitVec]) -> Vec<BitVec> {
+        for v in vecs {
+            assert_eq!(v.len(), self.cols, "matrix–vector dimension mismatch");
+        }
+        if vecs.is_empty() {
+            return Vec::new();
+        }
+        let planes = BitMatrix::from_rows(vecs).transpose(); // cols × B
+        let mut out_planes = BitMatrix::zeros(self.rows, vecs.len());
+        for r in 0..self.rows {
+            for &c in self.row_support(r) {
+                out_planes.xor_row_from(&planes, c as usize, r);
+            }
+        }
+        let out = out_planes.transpose(); // B × rows
+        (0..vecs.len()).map(|i| out.row(i)).collect()
+    }
+
     /// Sparse product with a *sparse* vector given as sorted one-indices:
     /// returns the syndrome `self · t` where `t` has ones at `support`.
     ///
@@ -293,6 +337,34 @@ mod tests {
                 (mask & 8) != 0,
             ]);
             assert_eq!(h.mul_vec(&v), d.mul_vec(&v));
+        }
+    }
+
+    #[test]
+    fn mul_batch_matches_per_shot_mul_vec() {
+        // Use a matrix wide enough to exercise multiple words and ragged
+        // batch sizes straddling the 64-shot plane width.
+        let cols = 150;
+        let rows = 70;
+        let row_cols: Vec<Vec<usize>> = (0..rows)
+            .map(|r| (0..cols).filter(|c| (r * 31 + c * 17) % 7 == 0).collect())
+            .collect();
+        let h = SparseBitMatrix::from_row_indices(rows, cols, &row_cols);
+        for b in [0usize, 1, 63, 64, 65, 128] {
+            let batch: Vec<BitVec> = (0..b)
+                .map(|i| {
+                    BitVec::from_bools(
+                        &(0..cols)
+                            .map(|c| (i * 13 + c * 5) % 3 == 0)
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            let got = h.mul_batch(&batch);
+            assert_eq!(got.len(), b);
+            for (g, v) in got.iter().zip(&batch) {
+                assert_eq!(g, &h.mul_vec(v), "batch size {b} diverges");
+            }
         }
     }
 

@@ -1,7 +1,7 @@
 //! Property tests for the GF(2) algebra laws.
 
 use proptest::prelude::*;
-use qldpc_gf2::{BitMatrix, BitVec};
+use qldpc_gf2::{BitMatrix, BitVec, OrderedEliminator, SparseBitMatrix};
 
 fn bit_matrix(
     rows: std::ops::Range<usize>,
@@ -26,6 +26,18 @@ fn bit_matrix(
 
 fn bit_vec(len: usize) -> impl Strategy<Value = BitVec> {
     proptest::collection::vec(proptest::bool::ANY, len).prop_map(|b| BitVec::from_bools(&b))
+}
+
+/// A seed-determined permutation of `0..cols` (Fisher–Yates).
+fn shuffled_order(cols: usize, seed: u64) -> Vec<usize> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..cols).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    order
 }
 
 proptest! {
@@ -126,6 +138,107 @@ proptest! {
         prop_assert!(ech.is_consistent());
         let sol = ech.solve_for_pattern(&[]);
         prop_assert_eq!(m.mul_vec(&sol), s);
+    }
+
+    #[test]
+    fn block_transpose_matches_per_bit_transpose(m in bit_matrix(1..100, 1..100)) {
+        let t = m.transpose();
+        let mut naive = BitMatrix::zeros(m.cols(), m.rows());
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                if m.get(r, c) {
+                    naive.set(c, r, true);
+                }
+            }
+        }
+        prop_assert_eq!(&t, &naive);
+        prop_assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn eliminator_matches_naive_ordered_echelon(
+        inputs in bit_matrix(1..20, 1..70).prop_flat_map(|m| {
+            let r = m.rows();
+            (Just(m), 0u64..1_000_000, bit_vec(r))
+        })
+    ) {
+        let (m, order_seed, rhs) = inputs;
+        let order = shuffled_order(m.cols(), order_seed);
+        let naive = m.ordered_echelon(&rhs, &order);
+        let mut elim = OrderedEliminator::new(&m);
+        elim.eliminate(&rhs, &order);
+        prop_assert_eq!(elim.rank(), naive.rank());
+        prop_assert_eq!(elim.pivot_cols(), naive.pivot_cols());
+        prop_assert_eq!(elim.residual_cols(), naive.residual_cols());
+        prop_assert_eq!(elim.is_consistent(), naive.is_consistent());
+        if elim.is_consistent() {
+            // OSD-0, every weight-1 pattern, and a weight-2 prefix —
+            // exactly the patterns the OSD-CS sweep enumerates.
+            let t = elim.residual_cols().len();
+            let mut patterns: Vec<Vec<usize>> = vec![vec![]];
+            patterns.extend((0..t).map(|j| vec![j]));
+            let lambda = t.min(6);
+            for a in 0..lambda {
+                for b in (a + 1)..lambda {
+                    patterns.push(vec![a, b]);
+                }
+            }
+            for p in &patterns {
+                prop_assert_eq!(elim.solve_for_pattern(p), naive.solve_for_pattern(p));
+            }
+        }
+    }
+
+    #[test]
+    fn eliminator_deltas_match_solve_for_pattern(
+        inputs in bit_matrix(2..15, 2..50).prop_flat_map(|m| {
+            let c = m.cols();
+            (
+                Just(m),
+                0u64..1_000_000,
+                proptest::collection::vec(proptest::bool::ANY, c),
+            )
+        })
+    ) {
+        let (m, order_seed, e_bits) = inputs;
+        let order = shuffled_order(m.cols(), order_seed);
+        // A syndrome in the image keeps the system consistent, so every
+        // residual pattern has a solution to cross-check.
+        let e = BitVec::from_bools(&e_bits);
+        let rhs = m.mul_vec(&e);
+        let mut elim = OrderedEliminator::new(&m);
+        elim.eliminate(&rhs, &order);
+        prop_assert!(elim.is_consistent());
+        let base = elim.base_solution().clone();
+        prop_assert_eq!(m.mul_vec(&base), rhs.clone());
+        for j in 0..elim.residual_cols().len() {
+            // delta_j = solve({j}) ⊕ solve({}) — and it lies in ker(H).
+            let mut via_delta = base.clone();
+            via_delta.xor_assign(elim.delta(j));
+            prop_assert_eq!(&via_delta, &elim.solve_for_pattern(&[j]));
+            prop_assert!(m.mul_vec(elim.delta(j)).is_zero());
+        }
+    }
+
+    #[test]
+    fn mul_batch_matches_per_shot_mul_vec(
+        inputs in bit_matrix(1..20, 1..80).prop_flat_map(|m| {
+            let c = m.cols();
+            // Batch widths below, at, and straddling the 64-bit plane.
+            let batches = (0usize..5).prop_flat_map(move |i| {
+                let n = [1usize, 63, 64, 65, 128][i];
+                proptest::collection::vec(bit_vec(c), n)
+            });
+            (Just(m), batches)
+        })
+    ) {
+        let (m, batch) = inputs;
+        let h = SparseBitMatrix::from_dense(&m);
+        let outs = h.mul_batch(&batch);
+        prop_assert_eq!(outs.len(), batch.len());
+        for (out, v) in outs.iter().zip(&batch) {
+            prop_assert_eq!(out, &h.mul_vec(v));
+        }
     }
 
     #[test]

@@ -11,7 +11,15 @@
 //!   least reliable residual positions, keeping the best-scoring solution.
 //!
 //! The Gaussian elimination step costs `O(N³)` in the worst case — the
-//! expense BP-SF eliminates (see the `osd_elimination` Criterion bench).
+//! expense BP-SF eliminates (see the `osd_elimination` bench, which
+//! writes `BENCH_osd_elimination.json`). The hot path here runs on the
+//! word-parallel [`OrderedEliminator`] workspace: the reliability
+//! permutation is applied once up front, the syndrome rides along as an
+//! appended column, and every sweep candidate is assembled incrementally
+//! as `base ⊕ delta_a ⊕ delta_b`. The pre-workspace per-bit
+//! implementation is retained as [`osd_postprocess_reference`]; the two
+//! are bit-identical (same solutions, same candidate counts, same
+//! tie-breaking), pinned by the equivalence property suite.
 //!
 //! # Examples
 //!
@@ -27,9 +35,9 @@
 //! assert_eq!(r.error_hat, e);
 //! ```
 
-use qldpc_bp::{BpConfig, MinSumDecoder, Schedule};
+use qldpc_bp::{BatchMinSumDecoder, BpConfig, BpResult, MinSumDecoder, Schedule};
 pub use qldpc_decoder_api::{DecodeOutcome, SyndromeDecoder};
-use qldpc_gf2::{BitMatrix, BitVec, SparseBitMatrix};
+use qldpc_gf2::{BitMatrix, BitVec, OrderedEliminator, SparseBitMatrix};
 
 /// How OSD scores candidate solutions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -82,13 +90,18 @@ pub struct OsdResult {
 
 /// BP decoding with OSD fallback (the paper's "BPxxxx-OSDyy" baseline).
 ///
-/// Owns a [`MinSumDecoder`] and a dense copy of the check matrix for
-/// elimination. Clone to use from several threads.
+/// Owns a [`MinSumDecoder`] and a persistent [`OrderedEliminator`]
+/// workspace, so failed shots re-use the same elimination scratch
+/// instead of cloning the check matrix; the per-column soft cost is
+/// precomputed once at construction. Clone to use from several threads.
 #[derive(Debug, Clone)]
 pub struct BpOsdDecoder {
     bp: MinSumDecoder,
-    h_dense: BitMatrix,
-    priors: Vec<f64>,
+    /// Batch engine for [`SyndromeDecoder::decode_batch`], built lazily
+    /// from the scalar decoder on the first batched call.
+    bp_batch: Option<BatchMinSumDecoder>,
+    elim: OrderedEliminator,
+    cost: Vec<f64>,
     config: OsdConfig,
 }
 
@@ -102,8 +115,9 @@ impl BpOsdDecoder {
         assert_eq!(priors.len(), h.cols(), "one prior per variable required");
         Self {
             bp: MinSumDecoder::new(h, priors, bp),
-            h_dense: h.to_dense(),
-            priors: priors.to_vec(),
+            bp_batch: None,
+            elim: OrderedEliminator::new(&h.to_dense()),
+            cost: soft_costs(priors),
             config,
         }
     }
@@ -125,6 +139,13 @@ impl BpOsdDecoder {
     /// Panics if the syndrome length differs from the number of checks.
     pub fn decode(&mut self, syndrome: &BitVec) -> OsdResult {
         let bp_result = self.bp.decode(syndrome);
+        self.finish(syndrome, bp_result)
+    }
+
+    /// The post-BP half of [`Self::decode`], shared with the batched
+    /// path: returns the BP answer on convergence, otherwise runs the
+    /// OSD stage on the persistent workspace.
+    fn finish(&mut self, syndrome: &BitVec, bp_result: BpResult) -> OsdResult {
         if bp_result.converged {
             return OsdResult {
                 error_hat: bp_result.error_hat,
@@ -134,11 +155,11 @@ impl BpOsdDecoder {
                 osd_candidates: 0,
             };
         }
-        let (error_hat, solved, candidates) = osd_postprocess(
-            &self.h_dense,
+        let (error_hat, solved, candidates) = osd_postprocess_with(
+            &mut self.elim,
             syndrome,
             &bp_result.posteriors,
-            &self.priors,
+            &self.cost,
             self.config,
         );
         OsdResult {
@@ -151,20 +172,307 @@ impl BpOsdDecoder {
     }
 }
 
+/// The per-column soft cost `ln((1−p)/p)` (floored at a tiny positive
+/// value so zero-cost columns cannot make every solution free) used by
+/// [`OsdSelection::SoftWeight`] scoring.
+fn soft_costs(priors: &[f64]) -> Vec<f64> {
+    priors
+        .iter()
+        .map(|&p| {
+            let p = p.clamp(1e-12, 1.0 - 1e-12);
+            ((1.0 - p) / p).ln().max(1e-9)
+        })
+        .collect()
+}
+
+/// The reliability permutation: columns by *descending probability of
+/// error*, i.e. ascending posterior LLR, so the most suspicious bits
+/// land in the information set (pivots).
+fn reliability_order(posteriors: &[f64]) -> Vec<usize> {
+    // Monotone total-order key for finite floats; the index tiebreak
+    // reproduces exactly the permutation a stable ascending float sort
+    // yields, at integer-sort speed (this runs once per failed shot).
+    fn key(f: f64) -> u64 {
+        let b = f.to_bits();
+        if b >> 63 == 1 {
+            !b
+        } else {
+            b ^ (1u64 << 63)
+        }
+    }
+    let mut order: Vec<usize> = (0..posteriors.len()).collect();
+    order.sort_unstable_by_key(|&i| (key(posteriors[i]), i));
+    order
+}
+
+/// Scores a candidate given as a word stream under non-uniform soft
+/// costs, bit-identically to scoring the materialized vector: folds
+/// `cost` over the set bits in the same ascending order (and from the
+/// same `0.0`) as `iter_ones().map(..).sum()`.
+#[inline]
+fn soft_score_stream(cost: &[f64], words: impl Iterator<Item = u64>) -> f64 {
+    let mut acc = 0.0f64;
+    for (wi, word) in words.enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            acc += cost[wi * 64 + bits.trailing_zeros() as usize];
+            bits &= bits - 1;
+        }
+    }
+    acc
+}
+
+/// XOR-popcount over two or three equal-length word slices — the weight
+/// of `base ⊕ delta_a (⊕ delta_b)` restricted to the pivot rows, per
+/// the [`OrderedEliminator::residual_column`] identity.
+#[inline]
+fn xor_weight(a: &[u64], b: &[u64], c: Option<&[u64]>) -> usize {
+    match c {
+        None => a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| (x ^ y).count_ones() as usize)
+            .sum(),
+        Some(c) => a
+            .iter()
+            .zip(b)
+            .zip(c)
+            .map(|((&x, &y), &z)| (x ^ y ^ z).count_ones() as usize)
+            .sum(),
+    }
+}
+
 /// Runs the OSD stage alone, given BP soft output.
 ///
 /// Returns `(error, solved, candidates_scored)`. `solved` is false only
 /// when the linear system `H·e = s` is inconsistent, which cannot happen
 /// for syndromes generated by actual errors.
 ///
-/// Columns are ordered by *descending probability of error*, i.e.
-/// ascending posterior LLR, so the most suspicious bits land in the
-/// information set (pivots).
+/// Builds a fresh [`OrderedEliminator`] workspace per call and runs the
+/// fast path ([`osd_postprocess_with`]); [`BpOsdDecoder`] keeps a
+/// persistent workspace instead.
 ///
 /// # Panics
 ///
 /// Panics if dimensions disagree.
 pub fn osd_postprocess(
+    h: &BitMatrix,
+    syndrome: &BitVec,
+    posteriors: &[f64],
+    priors: &[f64],
+    config: OsdConfig,
+) -> (BitVec, bool, usize) {
+    assert_eq!(priors.len(), h.cols(), "one prior per column required");
+    let mut elim = OrderedEliminator::new(h);
+    osd_postprocess_with(&mut elim, syndrome, posteriors, &soft_costs(priors), config)
+}
+
+/// The OSD stage on a reusable [`OrderedEliminator`] workspace — the
+/// decode hot path.
+///
+/// One ordered elimination of the augmented system, then a combination
+/// sweep in which no candidate is ever materialized: when the score
+/// depends only on solution weight (`MinWeight`, or `SoftWeight` with
+/// uniform costs) candidates are scored by rank-bit column popcounts,
+/// and otherwise each is streamed as `base ⊕ delta_a ⊕ delta_b` word by
+/// word. Candidate enumeration order, scoring arithmetic and
+/// tie-breaking are identical to [`osd_postprocess_reference`], so
+/// decode outcomes are bit-equal.
+///
+/// `cost` is the precomputed per-column soft cost (see
+/// [`OsdSelection::SoftWeight`]); it is ignored under
+/// [`OsdSelection::MinWeight`].
+///
+/// # Panics
+///
+/// Panics if `syndrome`, `posteriors` or `cost` disagree with the
+/// workspace dimensions.
+pub fn osd_postprocess_with(
+    elim: &mut OrderedEliminator,
+    syndrome: &BitVec,
+    posteriors: &[f64],
+    cost: &[f64],
+    config: OsdConfig,
+) -> (BitVec, bool, usize) {
+    let n = elim.cols();
+    assert_eq!(posteriors.len(), n, "one posterior per column required");
+    assert_eq!(cost.len(), n, "one cost per column required");
+
+    // When the score depends only on the candidate's *weight* —
+    // `MinWeight` always, `SoftWeight` whenever every cost is bit-equal
+    // (uniform priors: every code-capacity experiment) — the sweep
+    // never needs candidate bits at all: by the
+    // [`OrderedEliminator::residual_column`] identity,
+    // `weight(base ⊕ delta_a ⊕ delta_b)` is a popcount over rank-bit
+    // RREF columns plus the pattern size. Delta materialization is
+    // skipped entirely and only the winner is assembled. For uniform
+    // soft costs `sum_table[k]` holds the exact serial k-term fold, so
+    // scores stay bit-identical to summing the materialized vector.
+    let sum_table = match config.selection {
+        OsdSelection::MinWeight => None,
+        OsdSelection::SoftWeight if cost.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()) => {
+            let c = cost.first().copied().unwrap_or(0.0);
+            let mut table = Vec::with_capacity(n + 1);
+            let mut acc = 0.0f64;
+            table.push(acc);
+            for _ in 0..n {
+                acc += c;
+                table.push(acc);
+            }
+            Some(table)
+        }
+        _ => return osd_softweight_stream(elim, syndrome, posteriors, cost, config),
+    };
+    let score_of = |k: usize| match &sum_table {
+        None => k as f64,
+        Some(table) => table[k],
+    };
+
+    let order = reliability_order(posteriors);
+    elim.eliminate_without_deltas(syndrome, &order);
+    if !elim.is_consistent() {
+        return (BitVec::zeros(n), false, 0);
+    }
+
+    // OSD-0 candidate: the base solution scatters the rhs column's
+    // bits, so its weight is that column's popcount.
+    let bm = elim.rhs_column();
+    let mut best = Pattern::Base;
+    let mut best_score = score_of(bm.iter().map(|&w| w.count_ones() as usize).sum());
+    let mut candidates = 1usize;
+
+    if config.order > 0 {
+        let t = elim.residual_cols().len();
+        // All weight-1 residual patterns.
+        for j in 0..t {
+            let sc = score_of(xor_weight(bm, elim.residual_column(j), None) + 1);
+            candidates += 1;
+            if sc < best_score {
+                best_score = sc;
+                best = Pattern::One(j);
+            }
+        }
+        // Weight-2 patterns within the first λ residual positions (the
+        // least reliable ones, since `residual_cols` preserves the
+        // reliability order).
+        let lambda = config.order.min(t);
+        for a in 0..lambda {
+            let ca = elim.residual_column(a);
+            for b in (a + 1)..lambda {
+                let sc = score_of(xor_weight(bm, ca, Some(elim.residual_column(b))) + 2);
+                candidates += 1;
+                if sc < best_score {
+                    best_score = sc;
+                    best = Pattern::Two(a, b);
+                }
+            }
+        }
+    }
+
+    let mut e = elim.base_solution().clone();
+    match best {
+        Pattern::Base => {}
+        Pattern::One(j) => elim.xor_delta_into(j, &mut e),
+        Pattern::Two(a, b) => {
+            elim.xor_delta_into(a, &mut e);
+            elim.xor_delta_into(b, &mut e);
+        }
+    }
+    (e, true, candidates)
+}
+
+/// Winning residual pattern of a combination sweep.
+#[derive(Clone, Copy)]
+enum Pattern {
+    Base,
+    One(usize),
+    Two(usize, usize),
+}
+
+/// The soft-weight sweep under *non-uniform* costs, where scores are
+/// order-sensitive f64 folds and candidates must be scored bit by bit:
+/// each is streamed as `base ⊕ delta_a ⊕ delta_b` word by word (the
+/// same ascending bit order and serial `0.0 + …` fold the naive
+/// `iter_ones().sum()` performs, so scores are bit-identical), and only
+/// the winning pattern is assembled at the end.
+fn osd_softweight_stream(
+    elim: &mut OrderedEliminator,
+    syndrome: &BitVec,
+    posteriors: &[f64],
+    cost: &[f64],
+    config: OsdConfig,
+) -> (BitVec, bool, usize) {
+    let n = elim.cols();
+    let order = reliability_order(posteriors);
+    elim.eliminate(syndrome, &order);
+    if !elim.is_consistent() {
+        return (BitVec::zeros(n), false, 0);
+    }
+
+    // OSD-0 candidate.
+    let base = elim.base_solution().as_words();
+    let mut best = Pattern::Base;
+    let mut best_score = soft_score_stream(cost, base.iter().copied());
+    let mut candidates = 1usize;
+
+    if config.order > 0 {
+        let t = elim.residual_cols().len();
+        // All weight-1 residual patterns.
+        for j in 0..t {
+            let d = elim.delta(j).as_words();
+            let words = base.iter().zip(d).map(|(&x, &y)| x ^ y);
+            let sc = soft_score_stream(cost, words);
+            candidates += 1;
+            if sc < best_score {
+                best_score = sc;
+                best = Pattern::One(j);
+            }
+        }
+        // Weight-2 patterns within the first λ residual positions (the
+        // least reliable ones, since `residual_cols` preserves the
+        // reliability order).
+        let lambda = config.order.min(t);
+        for a in 0..lambda {
+            let da = elim.delta(a).as_words();
+            for b in (a + 1)..lambda {
+                let db = elim.delta(b).as_words();
+                let words = base.iter().zip(da).zip(db).map(|((&x, &y), &z)| x ^ y ^ z);
+                let sc = soft_score_stream(cost, words);
+                candidates += 1;
+                if sc < best_score {
+                    best_score = sc;
+                    best = Pattern::Two(a, b);
+                }
+            }
+        }
+    }
+
+    let mut e = elim.base_solution().clone();
+    match best {
+        Pattern::Base => {}
+        Pattern::One(j) => e.xor_assign(elim.delta(j)),
+        Pattern::Two(a, b) => {
+            e.xor_assign(elim.delta(a));
+            e.xor_assign(elim.delta(b));
+        }
+    }
+    (e, true, candidates)
+}
+
+/// The pre-workspace OSD stage: per-bit [`OrderedEchelon`] elimination
+/// (cloning `h`) and a from-scratch solve per sweep candidate.
+///
+/// [`OrderedEchelon`]: qldpc_gf2::OrderedEchelon
+///
+/// Retained verbatim as the correctness reference for the fast path —
+/// the equivalence property suite pins `osd_postprocess` against this
+/// function bit for bit, and the `osd_elimination` bench reports the
+/// speedup between the two.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+pub fn osd_postprocess_reference(
     h: &BitMatrix,
     syndrome: &BitVec,
     posteriors: &[f64],
@@ -179,27 +487,13 @@ pub fn osd_postprocess(
     assert_eq!(priors.len(), h.cols(), "one prior per column required");
     let n = h.cols();
 
-    // Reliability order: most-likely-in-error first.
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        posteriors[a]
-            .partial_cmp(&posteriors[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-
+    let order = reliability_order(posteriors);
     let ech = h.ordered_echelon(syndrome, &order);
     if !ech.is_consistent() {
         return (BitVec::zeros(n), false, 0);
     }
 
-    // Per-column soft cost for candidate scoring.
-    let cost: Vec<f64> = priors
-        .iter()
-        .map(|&p| {
-            let p = p.clamp(1e-12, 1.0 - 1e-12);
-            ((1.0 - p) / p).ln().max(1e-9)
-        })
-        .collect();
+    let cost = soft_costs(priors);
     let score = |e: &BitVec| -> f64 {
         match config.selection {
             OsdSelection::MinWeight => e.weight() as f64,
@@ -224,9 +518,7 @@ pub fn osd_postprocess(
                 best = e;
             }
         }
-        // Weight-2 patterns within the first λ residual positions (the
-        // least reliable ones, since `residual_cols` preserves the
-        // reliability order).
+        // Weight-2 patterns within the first λ residual positions.
         let lambda = config.order.min(t);
         for a in 0..lambda {
             for b in (a + 1)..lambda {
@@ -243,16 +535,45 @@ pub fn osd_postprocess(
     (best, true, candidates)
 }
 
+/// Maps the OSD result onto the decoder-API outcome — shared by the
+/// scalar and batched entry points so they cannot drift apart.
+fn outcome_from(r: OsdResult) -> DecodeOutcome {
+    DecodeOutcome {
+        error_hat: r.error_hat,
+        solved: r.solved,
+        serial_iterations: r.bp_iterations,
+        critical_iterations: r.bp_iterations,
+        postprocessed: !r.bp_converged,
+    }
+}
+
 impl SyndromeDecoder for BpOsdDecoder {
     fn decode_syndrome(&mut self, syndrome: &BitVec) -> DecodeOutcome {
-        let r = self.decode(syndrome);
-        DecodeOutcome {
-            error_hat: r.error_hat,
-            solved: r.solved,
-            serial_iterations: r.bp_iterations,
-            critical_iterations: r.bp_iterations,
-            postprocessed: !r.bp_converged,
+        outcome_from(self.decode(syndrome))
+    }
+
+    /// Overrides the default per-shot loop: the BP stage runs through
+    /// the shot-interleaved batch kernel (bit-identical per lane to the
+    /// scalar decoder), and only the shots BP failed on reach the serial
+    /// OSD stage, in input order. Outcomes equal a sequential
+    /// [`BpOsdDecoder::decode`] loop exactly.
+    fn decode_batch(&mut self, syndromes: &[BitVec]) -> Vec<DecodeOutcome> {
+        if syndromes.len() < 2 {
+            return syndromes.iter().map(|s| self.decode_syndrome(s)).collect();
         }
+        if self.bp_batch.is_none() {
+            self.bp_batch = Some(BatchMinSumDecoder::from_scalar(&self.bp));
+        }
+        let bp_results = self
+            .bp_batch
+            .as_mut()
+            .expect("engine built above")
+            .decode_batch_results(syndromes);
+        bp_results
+            .into_iter()
+            .zip(syndromes)
+            .map(|(bp_result, s)| outcome_from(self.finish(s, bp_result)))
+            .collect()
     }
 
     /// `"BP{bp_iters}-OSD{order}"` (with a `Layered` prefix under the

@@ -1,0 +1,82 @@
+//! Pins the word-parallel OSD fast path to the retained naive
+//! reference, bit for bit.
+//!
+//! [`qldpc_osd::osd_postprocess`] runs the incremental
+//! `OrderedEliminator` sweep; [`qldpc_osd::osd_postprocess_reference`]
+//! is the pre-optimization per-bit implementation kept for exactly this
+//! cross-check. Both the returned correction and the candidate count
+//! must agree on every input — the fast path is an implementation
+//! change, not a behavioural one.
+
+use proptest::prelude::*;
+use qldpc_gf2::{BitMatrix, BitVec};
+use qldpc_osd::{osd_postprocess, osd_postprocess_reference, OsdConfig, OsdSelection};
+
+fn bit_matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = BitMatrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(proptest::collection::vec(proptest::bool::ANY, c), r).prop_map(
+            move |data| {
+                let mut m = BitMatrix::zeros(data.len(), c);
+                for (i, row) in data.iter().enumerate() {
+                    for (j, &b) in row.iter().enumerate() {
+                        if b {
+                            m.set(i, j, true);
+                        }
+                    }
+                }
+                m
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fast_postprocess_matches_reference(
+        inputs in
+            bit_matrix(2..12, 2..40).prop_flat_map(|m| {
+                let c = m.cols();
+                (
+                    Just(m),
+                    proptest::collection::vec(proptest::bool::ANY, c),
+                    (
+                        proptest::collection::vec(0.0f64..1.0, c),
+                        proptest::collection::vec(1e-4f64..0.4, c),
+                    ),
+                    (0usize..12, proptest::bool::ANY, proptest::bool::ANY),
+                )
+            })
+    ) {
+        let (m, e_bits, (posteriors, mut priors), (order, min_weight, uniform)) = inputs;
+        if uniform {
+            // Uniform priors take the fast path's popcount scoring table.
+            let p0 = priors[0];
+            priors.fill(p0);
+        }
+        // Syndromes in the image exercise the full candidate sweep;
+        // flipping one check bit on top exercises the inconsistent and
+        // rank-deficient branches too.
+        let e = BitVec::from_bools(&e_bits);
+        let mut syndrome = m.mul_vec(&e);
+        if order % 2 == 1 {
+            let flip = order % syndrome.len();
+            syndrome.set(flip, !syndrome.get(flip));
+        }
+        let config = OsdConfig {
+            order,
+            selection: if min_weight {
+                OsdSelection::MinWeight
+            } else {
+                OsdSelection::SoftWeight
+            },
+        };
+        let fast = osd_postprocess(&m, &syndrome, &posteriors, &priors, config);
+        let reference = osd_postprocess_reference(&m, &syndrome, &posteriors, &priors, config);
+        prop_assert_eq!(fast, reference);
+    }
+}

@@ -7,9 +7,11 @@
 //! [`crate::SyndromeDecoder::decode_batch`]. The batch width is passed
 //! through verbatim, so decoders with a real batch engine get full-width
 //! calls: plain BP routes them to `qldpc_bp::BatchMinSumDecoder`'s
-//! shot-interleaved kernel, and BP-SF batches its initial BP stage the
-//! same way (post-processing only the failed shots). Decoders without an
-//! override (BP-OSD) fall back to the sequential loop.
+//! shot-interleaved kernel, and BP-SF and BP-OSD batch their initial BP
+//! stage the same way (post-processing only the failed shots serially).
+//! Syndrome *generation* is batched too: each sampled group's syndromes
+//! come from the bit-sliced `SparseBitMatrix::mul_batch` kernel — 64
+//! shots per word-XOR pass — rather than a per-shot Tanner-graph walk.
 //!
 //! For *deterministic* decoders (plain BP, BP-OSD, serial BP-SF),
 //! failure statistics are **bit-identical** to the same-seed sequential
@@ -136,15 +138,15 @@ fn code_capacity_chunk(
 
         let mut exs = Vec::with_capacity(this_batch);
         let mut ezs = Vec::with_capacity(this_batch);
-        let mut sxs = Vec::with_capacity(this_batch);
-        let mut szs = Vec::with_capacity(this_batch);
         for _ in 0..this_batch {
             let (ex, ez) = sample_depolarizing(n, config.p, &mut rng);
-            sxs.push(code.hz().mul_vec(&ex));
-            szs.push(code.hx().mul_vec(&ez));
             exs.push(ex);
             ezs.push(ez);
         }
+        // Bit-sliced batch syndrome check: identical to per-shot
+        // `mul_vec`, 64 shots per word-XOR pass.
+        let sxs = code.hz().mul_batch(&exs);
+        let szs = code.hx().mul_batch(&ezs);
 
         let start = Instant::now();
         let outs_x = dec_x.decode_batch(&sxs);
@@ -237,7 +239,9 @@ fn circuit_level_chunk(
         let this_batch = remaining.min(batch_size);
         remaining -= this_batch;
 
-        let shots: Vec<_> = (0..this_batch).map(|_| sampler.sample(&mut rng)).collect();
+        // Same RNG stream as a per-shot `sample` loop; syndromes and
+        // observables come from the bit-sliced batch kernel.
+        let shots = sampler.sample_batch(&mut rng, this_batch);
         let syndromes: Vec<BitVec> = shots.iter().map(|s| s.syndrome.clone()).collect();
 
         let start = Instant::now();
