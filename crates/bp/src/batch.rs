@@ -95,6 +95,10 @@ pub struct BatchMinSumDecoderOf<T: Llr> {
     max_lanes: usize,
     // Shot-interleaved working slabs at the current tile's lane stride,
     // reused across decodes.
+    /// Per-(variable, lane) channel LLRs: the decoder's `channel_llrs`
+    /// broadcast across the tile, with per-lane prior overrides (carried
+    /// window beliefs) applied where a shot supplies them.
+    lane_channel: Vec<T>,
     c2v: Vec<T>,
     v2c: Vec<T>,
     posterior: Vec<T>,
@@ -169,6 +173,7 @@ impl<T: Llr> BatchMinSumDecoderOf<T> {
             config,
             channel_llrs,
             max_lanes: DEFAULT_MAX_LANES,
+            lane_channel: Vec::new(),
             c2v: Vec::new(),
             v2c: Vec::new(),
             posterior: Vec::new(),
@@ -267,6 +272,36 @@ impl<T: Llr> BatchMinSumDecoderOf<T> {
     ///
     /// Panics if any syndrome's length differs from the number of checks.
     pub fn decode_batch_results(&mut self, syndromes: &[BitVec]) -> Vec<BpResult<T>> {
+        self.decode_batch_with_priors(syndromes, &[])
+    }
+
+    /// Decodes a batch of syndromes with optional *per-shot* channel
+    /// priors, returning one [`BpResult`] per syndrome in input order.
+    ///
+    /// `priors` is either empty (no overrides — identical to
+    /// [`Self::decode_batch_results`]) or one entry per syndrome:
+    /// `Some(p)` decodes that shot with channel priors `p` (one error
+    /// probability per variable, converted exactly like
+    /// [`Self::set_priors`]), `None` uses the decoder's own priors. This
+    /// is the streaming hook: sliding-window sessions carry boundary
+    /// posteriors forward as the next window's priors, and shots from
+    /// many sessions — each with its own carried beliefs — still batch
+    /// into one interleaved tile.
+    ///
+    /// Shot `i` is bit-identical to `set_priors(p)` followed by a scalar
+    /// decode of `syndromes[i]` at this precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any syndrome's length differs from the number of
+    /// checks, if `priors` is non-empty with `priors.len() !=
+    /// syndromes.len()`, or if any override's length differs from the
+    /// number of variables.
+    pub fn decode_batch_with_priors(
+        &mut self,
+        syndromes: &[BitVec],
+        priors: &[Option<&[f64]>],
+    ) -> Vec<BpResult<T>> {
         for s in syndromes {
             assert_eq!(
                 s.len(),
@@ -274,19 +309,40 @@ impl<T: Llr> BatchMinSumDecoderOf<T> {
                 "syndrome length must equal the number of checks"
             );
         }
+        assert!(
+            priors.is_empty() || priors.len() == syndromes.len(),
+            "per-shot priors must be empty or one entry per syndrome"
+        );
+        for p in priors.iter().flatten() {
+            assert_eq!(
+                p.len(),
+                self.graph.num_vars(),
+                "one prior per variable required"
+            );
+        }
         let mut out = Vec::with_capacity(syndromes.len());
         let max_lanes = self.max_lanes;
-        for tile in syndromes.chunks(max_lanes) {
-            self.decode_tile(tile, &mut out);
+        for (i, tile) in syndromes.chunks(max_lanes).enumerate() {
+            let tile_priors = if priors.is_empty() {
+                &[]
+            } else {
+                &priors[i * max_lanes..i * max_lanes + tile.len()]
+            };
+            self.decode_tile(tile, tile_priors, &mut out);
         }
         out
     }
 
     /// Decodes one tile of up to `max_lanes` shots into `out`.
-    fn decode_tile(&mut self, tile: &[BitVec], out: &mut Vec<BpResult<T>>) {
+    fn decode_tile(
+        &mut self,
+        tile: &[BitVec],
+        tile_priors: &[Option<&[f64]>],
+        out: &mut Vec<BpResult<T>>,
+    ) {
         let lanes = tile.len();
         let vars = self.graph.num_vars();
-        self.reset(tile);
+        self.reset(tile, tile_priors);
 
         // `width` is the live-lane prefix; converged lanes are swapped
         // past it and frozen.
@@ -371,7 +427,7 @@ impl<T: Llr> BatchMinSumDecoderOf<T> {
     }
 
     /// Sizes the slabs for `tile.len()` lanes and loads the tile's state.
-    fn reset(&mut self, tile: &[BitVec]) {
+    fn reset(&mut self, tile: &[BitVec], tile_priors: &[Option<&[f64]>]) {
         let lanes = tile.len();
         let edges = self.graph.num_edges();
         let vars = self.graph.num_vars();
@@ -383,14 +439,24 @@ impl<T: Llr> BatchMinSumDecoderOf<T> {
         // schedules), exactly like the scalar decoder's buffer.
         self.v2c.resize(edges * lanes, T::ZERO);
 
-        self.posterior.clear();
-        self.posterior.reserve(vars * lanes);
+        // Channel LLRs per (variable, lane): the shared priors broadcast
+        // across the tile, overridden lane-wise where a shot carries its
+        // own (converted exactly like `set_priors`, so an overridden
+        // lane is bit-identical to a scalar decode after `set_priors`).
+        self.lane_channel.clear();
+        self.lane_channel.reserve(vars * lanes);
         for v in 0..vars {
             let llr = self.channel_llrs[v];
-            for _ in 0..lanes {
-                self.posterior.push(llr);
+            for b in 0..lanes {
+                match tile_priors.get(b).copied().flatten() {
+                    Some(p) => self.lane_channel.push(T::from_f64(prior_llr(p[v]))),
+                    None => self.lane_channel.push(llr),
+                }
             }
         }
+
+        self.posterior.clear();
+        self.posterior.extend_from_slice(&self.lane_channel);
         self.hard.clear();
         self.hard.resize(vars * lanes, false);
         self.hard_prev.clear();
@@ -437,6 +503,7 @@ impl<T: Llr> BatchMinSumDecoderOf<T> {
         }
         for v in 0..self.graph.num_vars() {
             let vb = v * lanes;
+            self.lane_channel.swap(vb + a, vb + b);
             self.posterior.swap(vb + a, vb + b);
             self.hard.swap(vb + a, vb + b);
             self.hard_prev.swap(vb + a, vb + b);
@@ -462,14 +529,14 @@ impl<T: Llr> BatchMinSumDecoderOf<T> {
         // Width-sliced rows hoist the bounds checks out of the per-lane
         // loops so they vectorize over the batch dimension.
         for v in 0..vars {
-            let llr = self.channel_llrs[v];
+            let lch = &self.lane_channel[v * lanes..v * lanes + width];
             let sums = &mut self.lane_sum[..width];
             if gamma == 0.0 {
-                sums.fill(llr);
+                sums.copy_from_slice(lch);
             } else {
                 let g = T::from_f64(gamma);
                 let vrow = &self.posterior[v * lanes..v * lanes + width];
-                for (s, &p) in sums.iter_mut().zip(vrow) {
+                for ((s, &llr), &p) in sums.iter_mut().zip(lch).zip(vrow) {
                     *s = (T::ONE - g) * llr + g * p;
                 }
             }
@@ -496,7 +563,7 @@ impl<T: Llr> BatchMinSumDecoderOf<T> {
         // Posteriors (paper Eq. 7).
         for v in 0..vars {
             let sums = &mut self.lane_sum[..width];
-            sums.fill(self.channel_llrs[v]);
+            sums.copy_from_slice(&self.lane_channel[v * lanes..v * lanes + width]);
             for &e in self.graph.var_edges(v) {
                 let eb = e as usize * lanes;
                 let crow = &self.c2v[eb..eb + width];
@@ -738,5 +805,99 @@ mod tests {
         let h = repetition_h(5);
         let mut dec = BatchMinSumDecoder::new(&h, &[0.05; 5], BpConfig::default());
         dec.decode_batch_results(&[BitVec::zeros(4), BitVec::zeros(5)]);
+    }
+
+    /// A lane decoded with per-shot prior overrides is bit-identical to
+    /// `set_priors` + scalar decode, and the non-overridden lanes of the
+    /// same tile are bit-identical to the base batch path.
+    #[test]
+    fn per_lane_priors_match_scalar_set_priors() {
+        let h = repetition_h(9);
+        let config = BpConfig {
+            max_iters: 30,
+            track_oscillations: true,
+            ..BpConfig::default()
+        };
+        let base = [0.05; 9];
+        let alt: Vec<f64> = (0..9).map(|i| 0.01 + 0.03 * i as f64).collect();
+        let syndromes: Vec<BitVec> = [vec![1], vec![3, 6], vec![0, 4, 8]]
+            .iter()
+            .map(|bits| h.mul_vec(&BitVec::from_indices(9, bits)))
+            .collect();
+
+        let mut batch = BatchMinSumDecoder::new(&h, &base, config);
+        let rb = batch.decode_batch_with_priors(&syndromes, &[None, Some(&alt), None]);
+
+        let mut scalar = MinSumDecoder::new(&h, &base, config);
+        let rs0 = scalar.decode(&syndromes[0]);
+        let rs2 = scalar.decode(&syndromes[2]);
+        scalar.set_priors(&alt);
+        let rs1 = scalar.decode(&syndromes[1]);
+
+        for (r, rs) in [(&rb[0], &rs0), (&rb[1], &rs1), (&rb[2], &rs2)] {
+            assert_eq!(r.converged, rs.converged);
+            assert_eq!(r.iterations, rs.iterations);
+            assert_eq!(r.error_hat, rs.error_hat);
+            assert_eq!(r.flip_counts, rs.flip_counts);
+            for (a, b) in r.posteriors.iter().zip(&rs.posteriors) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// Overrides survive lane compaction and tiling: every lane keeps
+    /// *its own* channel row when converged lanes swap to the tail.
+    #[test]
+    fn per_lane_priors_survive_compaction_and_tiling() {
+        let h = repetition_h(9);
+        let config = BpConfig {
+            max_iters: 30,
+            ..BpConfig::default()
+        };
+        let alt: Vec<f64> = (0..9).map(|i| 0.002 + 0.05 * (i % 3) as f64).collect();
+        let syndromes: Vec<BitVec> = (0..10)
+            .map(|i| h.mul_vec(&BitVec::from_indices(9, &[i % 9])))
+            .collect();
+        let priors: Vec<Option<&[f64]>> = (0..10)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Some(alt.as_slice())
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let mut wide = BatchMinSumDecoder::new(&h, &[0.05; 9], config);
+        let mut narrow = BatchMinSumDecoder::new(&h, &[0.05; 9], config);
+        narrow.set_max_lanes(3);
+        let rw = wide.decode_batch_with_priors(&syndromes, &priors);
+        let rn = narrow.decode_batch_with_priors(&syndromes, &priors);
+        let mut scalar = MinSumDecoder::new(&h, &[0.05; 9], config);
+        let mut scalar_alt = MinSumDecoder::new(&h, &[0.05; 9], config);
+        scalar_alt.set_priors(&alt);
+        for (i, (a, b)) in rw.iter().zip(&rn).enumerate() {
+            let rs = if i % 2 == 0 {
+                scalar_alt.decode(&syndromes[i])
+            } else {
+                scalar.decode(&syndromes[i])
+            };
+            for r in [a, b] {
+                assert_eq!(r.converged, rs.converged, "shot {i}");
+                assert_eq!(r.iterations, rs.iterations, "shot {i}");
+                assert_eq!(r.error_hat, rs.error_hat, "shot {i}");
+                for (x, y) in r.posteriors.iter().zip(&rs.posteriors) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "shot {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one prior per variable")]
+    fn wrong_override_length_panics() {
+        let h = repetition_h(5);
+        let mut dec = BatchMinSumDecoder::new(&h, &[0.05; 5], BpConfig::default());
+        let short = [0.1; 4];
+        dec.decode_batch_with_priors(&[BitVec::zeros(4)], &[Some(&short)]);
     }
 }

@@ -96,6 +96,7 @@ mod decoder;
 mod graph;
 mod kernel;
 mod llr;
+mod window;
 
 pub use batch::{BatchMinSumDecoder, BatchMinSumDecoderOf, DEFAULT_MAX_LANES};
 pub use decoder::{
@@ -104,6 +105,7 @@ pub use decoder::{
 pub use graph::TannerGraph;
 pub use llr::Llr;
 pub use qldpc_decoder_api::{DecodeOutcome, Precision, SyndromeDecoder};
+pub use window::{BpWindowDecoder, BpWindowDecoderF32, BpWindowDecoderOf};
 
 /// The reduced-precision (`f32`) scalar min-sum decoder: half the message
 /// width, same algorithm, bit-identical to [`BatchMinSumDecoderF32`] per

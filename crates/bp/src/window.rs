@@ -1,0 +1,202 @@
+//! Batched sliding-window BP: a [`WindowDecoder`] over the
+//! shot-interleaved min-sum engine.
+//!
+//! One [`BatchMinSumDecoderOf`] engine is built per window of the plan
+//! (each window is its own check matrix), and `decode_windows` groups
+//! incoming tasks by window index so that concurrent streams at the same
+//! stream position share an interleaved tile. Carried beliefs ride in as
+//! per-shot prior overrides
+//! ([`decode_batch_with_priors`](BatchMinSumDecoderOf::decode_batch_with_priors)),
+//! so a shot with carried priors is bit-identical to `set_priors` + a
+//! scalar decode — the streaming path inherits the batch engine's
+//! scalar-equivalence contract unchanged.
+
+use crate::llr::Llr;
+use crate::{BatchMinSumDecoderOf, BpConfig};
+use qldpc_decoder_api::{Precision, WindowDecoder, WindowOutcome, WindowPlan, WindowTask};
+use std::sync::Arc;
+
+/// Converts a posterior LLR `λ = ln(P(0)/P(1))` to the error
+/// probability `P(1)` carried into the next window's priors.
+fn posterior_prob(llr: f64) -> f64 {
+    1.0 / (1.0 + llr.exp())
+}
+
+/// A batched min-sum BP window decoder of scalar type `T`: one
+/// interleaved engine per window of a shared [`WindowPlan`].
+///
+/// Use through the precision aliases [`BpWindowDecoder`] (`f64`) and
+/// [`BpWindowDecoderF32`] (`f32`).
+#[derive(Debug, Clone)]
+pub struct BpWindowDecoderOf<T: Llr> {
+    plan: Arc<WindowPlan>,
+    config: BpConfig,
+    engines: Vec<BatchMinSumDecoderOf<T>>,
+}
+
+/// The `f64` window decoder.
+pub type BpWindowDecoder = BpWindowDecoderOf<f64>;
+/// The `f32` window decoder (half-width message slabs).
+pub type BpWindowDecoderF32 = BpWindowDecoderOf<f32>;
+
+impl<T: Llr> BpWindowDecoderOf<T> {
+    /// Builds one batched engine per window of `plan` with BP
+    /// configuration `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan has no windows, or on the same configuration
+    /// errors as [`BatchMinSumDecoderOf::new`].
+    pub fn new(plan: Arc<WindowPlan>, config: BpConfig) -> Self {
+        assert!(
+            !plan.windows.is_empty(),
+            "plan must have at least one window"
+        );
+        let engines = plan
+            .windows
+            .iter()
+            .map(|spec| BatchMinSumDecoderOf::new(&spec.h, &spec.priors, config))
+            .collect();
+        Self {
+            plan,
+            config,
+            engines,
+        }
+    }
+
+    /// The BP configuration shared by every window engine.
+    pub fn config(&self) -> &BpConfig {
+        &self.config
+    }
+}
+
+impl<T: Llr> WindowDecoder for BpWindowDecoderOf<T> {
+    fn plan(&self) -> &WindowPlan {
+        &self.plan
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "WindowBP{}(W={},C={}){}",
+            self.config.max_iters,
+            self.plan.window_rounds,
+            self.plan.commit_rounds,
+            T::PRECISION.label_suffix()
+        )
+    }
+
+    fn precision(&self) -> Precision {
+        T::PRECISION
+    }
+
+    fn decode_windows(&mut self, tasks: &[WindowTask]) -> Vec<WindowOutcome> {
+        let mut by_window: Vec<Vec<usize>> = vec![Vec::new(); self.engines.len()];
+        for (i, task) in tasks.iter().enumerate() {
+            assert!(
+                task.window_index < self.engines.len(),
+                "window index {} out of range ({} windows)",
+                task.window_index,
+                self.engines.len()
+            );
+            by_window[task.window_index].push(i);
+        }
+        let mut out: Vec<Option<WindowOutcome>> = tasks.iter().map(|_| None).collect();
+        for (w, idxs) in by_window.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let syndromes: Vec<_> = idxs.iter().map(|&i| tasks[i].syndrome.clone()).collect();
+            let no_overrides = idxs.iter().all(|&i| tasks[i].priors.is_none());
+            let priors: Vec<Option<&[f64]>> = if no_overrides {
+                Vec::new()
+            } else {
+                idxs.iter().map(|&i| tasks[i].priors).collect()
+            };
+            let results = self.engines[w].decode_batch_with_priors(&syndromes, &priors);
+            for (&i, r) in idxs.iter().zip(results) {
+                out[i] = Some(WindowOutcome {
+                    error_hat: r.error_hat,
+                    posteriors: r
+                        .posteriors
+                        .iter()
+                        .map(|llr| posterior_prob(llr.to_f64()))
+                        .collect(),
+                    solved: r.converged,
+                    iterations: r.iterations,
+                });
+            }
+        }
+        out.into_iter()
+            .map(|o| o.expect("every task decoded"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qldpc_decoder_api::WindowSpec;
+    use qldpc_gf2::{BitVec, SparseBitMatrix};
+
+    /// A one-window plan over a 5-bit repetition code (4 checks in one
+    /// round block of 4 detectors... round structure is irrelevant to
+    /// the engine, it just decodes `h`).
+    fn rep_plan() -> Arc<WindowPlan> {
+        let rows: Vec<Vec<usize>> = (0..4).map(|i| vec![i, i + 1]).collect();
+        let h = SparseBitMatrix::from_row_indices(4, 5, &rows);
+        Arc::new(WindowPlan {
+            windows: vec![WindowSpec {
+                index: 0,
+                start_round: 0,
+                end_round: 1,
+                commit_end_round: 1,
+                mechanisms: (0..5).collect(),
+                commit_cols: 5,
+                h,
+                priors: vec![0.05; 5],
+                spill: vec![Vec::new(); 5],
+                carry: Vec::new(),
+            }],
+            num_detectors: 4,
+            num_mechanisms: 5,
+            dets_per_round: 4,
+            num_round_blocks: 1,
+            window_rounds: 1,
+            commit_rounds: 1,
+        })
+    }
+
+    #[test]
+    fn decodes_tasks_in_input_order() {
+        let plan = rep_plan();
+        let h = plan.windows[0].h.clone();
+        let mut dec = BpWindowDecoder::new(plan, BpConfig::default());
+        assert!(dec.label().starts_with("WindowBP"));
+        let errors: Vec<BitVec> = (0..5).map(|b| BitVec::from_indices(5, &[b])).collect();
+        let tasks: Vec<WindowTask> = errors
+            .iter()
+            .map(|e| WindowTask {
+                window_index: 0,
+                syndrome: h.mul_vec(e),
+                priors: None,
+            })
+            .collect();
+        let out = dec.decode_windows(&tasks);
+        assert_eq!(out.len(), 5);
+        for (o, e) in out.iter().zip(&errors) {
+            assert!(o.solved);
+            assert_eq!(&o.error_hat, e);
+            assert_eq!(o.posteriors.len(), 5);
+            for &p in &o.posteriors {
+                assert!((0.0..=1.0).contains(&p) && p.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn posterior_prob_is_a_probability() {
+        assert!(posterior_prob(f64::INFINITY).abs() < 1e-12);
+        assert!((posterior_prob(0.0) - 0.5).abs() < 1e-12);
+        assert!(posterior_prob(-30.0) > 0.999);
+    }
+}

@@ -1,0 +1,348 @@
+//! Slicing a [`DetectorErrorModel`] into a sliding-window
+//! [`WindowPlan`] for streaming decoding.
+//!
+//! A memory experiment's detectors come in `rounds + 1` equal blocks of
+//! `dets_per_round` (one block per syndrome-extraction round plus the
+//! final data-measurement boundary), and every error mechanism touches
+//! a short, contiguous span of those blocks. That locality is what
+//! makes sliding-window decoding work: a window of `W` consecutive
+//! round blocks sees the *entire* detector support of any mechanism
+//! whose earliest detector is comfortably inside it, so committing the
+//! oldest `C` rounds of each window loses (almost) nothing relative to
+//! decoding the whole history at once.
+//!
+//! [`window_plan`] implements the slicing:
+//!
+//! * Window `w` covers round blocks `[w·C, min(w·C + W, R))` where `R`
+//!   is the total number of round blocks. The plan has the smallest
+//!   number of windows whose committed ranges cover all `R` blocks.
+//! * Each mechanism is *owned* by (appears as a column in) every window
+//!   whose span contains its earliest round, and is *committed* by
+//!   exactly one of them: the window whose committed range
+//!   `[w·C, w·C + C)` contains that earliest round (the last window
+//!   commits everything left).
+//! * A window's check matrix truncates detector support beyond its
+//!   span; the truncated detectors of *committed* columns are recorded
+//!   as spill (the session XORs them out of its residual syndrome when
+//!   the mechanism is committed as flipped), and non-committed columns
+//!   carry into the next window with their posterior beliefs as priors.
+//!
+//! With `W >= R` the plan degenerates to a single window whose problem
+//! is exactly the offline one (columns permuted earliest-round-first).
+
+use crate::DetectorErrorModel;
+use qldpc_decoder_api::{CarryLink, WindowPlan, WindowSpec};
+use qldpc_gf2::SparseBitMatrix;
+
+/// Builds the sliding-window plan for `dem` with window span
+/// `window_rounds` (`W`) and commit stride `commit_rounds` (`C`), both
+/// in round blocks of `dets_per_round` detectors.
+///
+/// # Panics
+///
+/// Panics when `dem.num_detectors()` is not a multiple of
+/// `dets_per_round`, when `commit_rounds` is zero or exceeds
+/// `window_rounds`, or when the model has undetectable mechanisms
+/// (they belong to no window).
+pub fn window_plan(
+    dem: &DetectorErrorModel,
+    dets_per_round: usize,
+    window_rounds: usize,
+    commit_rounds: usize,
+) -> WindowPlan {
+    let k = dets_per_round;
+    assert!(k > 0, "dets_per_round must be positive");
+    assert!(
+        dem.num_detectors().is_multiple_of(k),
+        "num_detectors ({}) is not a multiple of dets_per_round ({k})",
+        dem.num_detectors()
+    );
+    assert!(commit_rounds > 0, "commit_rounds must be positive");
+    assert!(
+        commit_rounds <= window_rounds,
+        "commit stride C={commit_rounds} must not exceed window span W={window_rounds}"
+    );
+    assert_eq!(
+        dem.num_undetectable(),
+        0,
+        "undetectable mechanisms belong to no window"
+    );
+
+    let num_rounds = dem.num_detectors() / k;
+    let (w_span, c_stride) = (window_rounds, commit_rounds);
+    // Smallest window count whose last window reaches round R: the last
+    // window starts at (n-1)·C and must satisfy (n-1)·C + W >= R.
+    let num_windows = if w_span >= num_rounds {
+        1
+    } else {
+        1 + (num_rounds - w_span).div_ceil(c_stride)
+    };
+
+    // Earliest detector round of each mechanism (detector lists are
+    // sorted ascending, so the first entry decides ownership).
+    let earliest: Vec<usize> = (0..dem.num_mechanisms())
+        .map(|m| {
+            let dets = dem.mechanism_detectors(m);
+            debug_assert!(!dets.is_empty());
+            dets[0] as usize / k
+        })
+        .collect();
+
+    // Mechanism m is a column of every window whose span contains its
+    // earliest round, i.e. w·C <= e < w·C + W, and is committed by the
+    // window whose *commit* range contains it (capped at the last).
+    let commit_window = |e: usize| (e / c_stride).min(num_windows - 1);
+    let first_window = |e: usize| {
+        if e + 1 > w_span {
+            (e + 1 - w_span).div_ceil(c_stride)
+        } else {
+            0
+        }
+    };
+
+    let mut committed: Vec<Vec<u32>> = vec![Vec::new(); num_windows];
+    let mut carried: Vec<Vec<u32>> = vec![Vec::new(); num_windows];
+    for (m, &e) in earliest.iter().enumerate() {
+        let cw = commit_window(e);
+        committed[cw].push(m as u32);
+        for carry in carried.iter_mut().take(cw).skip(first_window(e).min(cw)) {
+            carry.push(m as u32);
+        }
+    }
+
+    let mut windows = Vec::with_capacity(num_windows);
+    for w in 0..num_windows {
+        let start_round = w * c_stride;
+        let end_round = (start_round + w_span).min(num_rounds);
+        let commit_end_round = if w + 1 == num_windows {
+            end_round
+        } else {
+            start_round + c_stride
+        };
+
+        // Committed columns first, then carried; ascending global id
+        // within each group (push order above already guarantees it).
+        let mut mechanisms = committed[w].clone();
+        let commit_cols = mechanisms.len();
+        mechanisms.extend_from_slice(&carried[w]);
+
+        let local_rows = (end_round - start_round) * k;
+        let mut col_rows: Vec<Vec<usize>> = Vec::with_capacity(mechanisms.len());
+        let mut spill: Vec<Vec<u32>> = Vec::with_capacity(commit_cols);
+        for (j, &m) in mechanisms.iter().enumerate() {
+            let dets = dem.mechanism_detectors(m as usize);
+            let mut rows = Vec::with_capacity(dets.len());
+            for &d in dets {
+                let d = d as usize;
+                debug_assert!(d >= start_round * k);
+                if d < end_round * k {
+                    rows.push(d - start_round * k);
+                }
+            }
+            col_rows.push(rows);
+            if j < commit_cols {
+                spill.push(
+                    dets.iter()
+                        .copied()
+                        .filter(|&d| d as usize >= commit_end_round * k)
+                        .collect(),
+                );
+            }
+        }
+        // from_row_indices wants rows; transpose the per-column support.
+        let mut row_cols: Vec<Vec<usize>> = vec![Vec::new(); local_rows];
+        for (j, rows) in col_rows.iter().enumerate() {
+            for &r in rows {
+                row_cols[r].push(j);
+            }
+        }
+        let h = SparseBitMatrix::from_row_indices(local_rows, mechanisms.len(), &row_cols);
+        let priors: Vec<f64> = mechanisms
+            .iter()
+            .map(|&m| dem.priors()[m as usize])
+            .collect();
+
+        windows.push(WindowSpec {
+            index: w,
+            start_round,
+            end_round,
+            commit_end_round,
+            mechanisms,
+            commit_cols,
+            h,
+            priors,
+            spill,
+            carry: Vec::new(),
+        });
+    }
+
+    // Carry links: every non-committed column of window w reappears in
+    // window w+1 (its commit window is later, and window spans overlap
+    // by at least W - C rounds, so containment is contiguous).
+    for w in 0..num_windows.saturating_sub(1) {
+        let next_cols: std::collections::HashMap<u32, u32> = windows[w + 1]
+            .mechanisms
+            .iter()
+            .enumerate()
+            .map(|(j, &m)| (m, j as u32))
+            .collect();
+        let spec = &windows[w];
+        let carry: Vec<CarryLink> = (spec.commit_cols..spec.mechanisms.len())
+            .map(|j| CarryLink {
+                from_col: j as u32,
+                to_col: *next_cols
+                    .get(&spec.mechanisms[j])
+                    .expect("carried mechanism must be a column of the next window"),
+            })
+            .collect();
+        windows[w].carry = carry;
+    }
+
+    WindowPlan {
+        windows,
+        num_detectors: dem.num_detectors(),
+        num_mechanisms: dem.num_mechanisms(),
+        dets_per_round: k,
+        num_round_blocks: num_rounds,
+        window_rounds: w_span,
+        commit_rounds: c_stride,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemoryExperiment, NoiseModel};
+    use qldpc_codes::bb;
+
+    fn bb72_dem(rounds: usize) -> (DetectorErrorModel, usize) {
+        let code = bb::bb72();
+        let noise = NoiseModel::uniform_depolarizing(1e-3);
+        let exp = MemoryExperiment::memory_z(&code, rounds, &noise);
+        let dem = exp.detector_error_model();
+        let k = dem.num_detectors() / (rounds + 1);
+        (dem, k)
+    }
+
+    #[test]
+    fn every_mechanism_committed_exactly_once() {
+        let (dem, k) = bb72_dem(4);
+        for (w_span, c) in [(2, 1), (3, 1), (3, 2), (4, 2), (5, 5)] {
+            let plan = window_plan(&dem, k, w_span, c);
+            let mut commits = vec![0usize; dem.num_mechanisms()];
+            for spec in &plan.windows {
+                assert_eq!(spec.spill.len(), spec.commit_cols);
+                for &m in &spec.mechanisms[..spec.commit_cols] {
+                    commits[m as usize] += 1;
+                }
+            }
+            assert!(
+                commits.iter().all(|&c| c == 1),
+                "W={w_span} C={c}: every mechanism must be committed exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn window_columns_cover_full_detector_support() {
+        // Every detector hit of every mechanism lands either inside a
+        // window that owns the mechanism (as a matrix row) or in the
+        // spill of its commit window — nothing is silently dropped.
+        // Detectors in the overlap `[commit_end_round, end_round)`
+        // appear in *both*: the commit window used them for inference,
+        // and the next window must still have them XORed out of its
+        // residual syndrome.
+        let (dem, k) = bb72_dem(4);
+        let plan = window_plan(&dem, k, 3, 1);
+        for spec in &plan.windows {
+            for (j, &m) in spec.mechanisms.iter().enumerate() {
+                let dets = dem.mechanism_detectors(m as usize);
+                let in_window = dets
+                    .iter()
+                    .filter(|&&d| (d as usize) < spec.end_round * k)
+                    .count();
+                let col_deg = spec.h.col_degree(j);
+                assert_eq!(col_deg, in_window, "window {} col {j}", spec.index);
+                if j < spec.commit_cols {
+                    let expect_spill: Vec<u32> = dets
+                        .iter()
+                        .copied()
+                        .filter(|&d| d as usize >= spec.commit_end_round * k)
+                        .collect();
+                    assert_eq!(
+                        spec.spill[j], expect_spill,
+                        "spill must hold exactly the post-commit detectors"
+                    );
+                    // Union of in-window and spill covers every detector.
+                    assert!(dets.iter().all(|&d| {
+                        (d as usize) < spec.end_round * k
+                            || (d as usize) >= spec.commit_end_round * k
+                    }));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_window_degenerates_to_offline_problem() {
+        let (dem, k) = bb72_dem(3);
+        let plan = window_plan(&dem, k, 10, 2);
+        assert_eq!(plan.num_windows(), 1);
+        let spec = &plan.windows[0];
+        assert_eq!(spec.commit_cols, dem.num_mechanisms());
+        assert_eq!(spec.h.rows(), dem.num_detectors());
+        assert!(spec.carry.is_empty());
+        assert!(spec.spill.iter().all(|s| s.is_empty()));
+        // Same columns as the offline check matrix, permuted
+        // earliest-round-first: compare per-mechanism support.
+        for (j, &m) in spec.mechanisms.iter().enumerate() {
+            let expect: Vec<u32> = dem.mechanism_detectors(m as usize).to_vec();
+            assert_eq!(spec.h.col_support(j), &expect[..]);
+            assert_eq!(spec.priors[j], dem.priors()[m as usize]);
+        }
+    }
+
+    #[test]
+    fn carry_links_are_consistent() {
+        let (dem, k) = bb72_dem(4);
+        let plan = window_plan(&dem, k, 3, 1);
+        assert!(plan.num_windows() > 1);
+        for w in 0..plan.num_windows() - 1 {
+            let spec = &plan.windows[w];
+            let next = &plan.windows[w + 1];
+            assert_eq!(spec.carry.len(), spec.carry_cols());
+            for link in &spec.carry {
+                assert!(link.from_col as usize >= spec.commit_cols);
+                assert_eq!(
+                    spec.mechanisms[link.from_col as usize], next.mechanisms[link.to_col as usize],
+                    "carry link must join the same global mechanism"
+                );
+            }
+        }
+        // The last window carries nothing.
+        assert!(plan.windows[plan.num_windows() - 1].carry.is_empty());
+    }
+
+    #[test]
+    fn committed_ranges_tile_the_rounds() {
+        let (dem, k) = bb72_dem(4);
+        for (w_span, c) in [(2, 1), (3, 2), (4, 3)] {
+            let plan = window_plan(&dem, k, w_span, c);
+            let mut round = 0;
+            for spec in &plan.windows {
+                assert_eq!(spec.start_round, spec.index * c);
+                assert_eq!(
+                    spec.commit_end_round,
+                    if spec.index + 1 == plan.num_windows() {
+                        spec.end_round
+                    } else {
+                        spec.start_round + c
+                    }
+                );
+                assert!(spec.start_round <= round);
+                round = spec.commit_end_round;
+            }
+            assert_eq!(round, plan.num_round_blocks);
+        }
+    }
+}

@@ -72,19 +72,24 @@ impl LatencyStats {
 
     /// Renders a text histogram on a log scale (the Fig. 15/16 "violin"
     /// substitute): `bins` buckets between min and max.
+    ///
+    /// Non-finite samples (NaN, ±∞) are excluded from the buckets — a
+    /// NaN would otherwise land silently in bucket 0 via the saturating
+    /// float→int cast — and reported on a trailing line when present.
     pub fn log_histogram(&self, samples: &[f64], bins: usize) -> String {
         if samples.is_empty() || bins == 0 {
             return String::from("(no samples)");
         }
-        let lo = samples
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min)
-            .max(1e-9);
-        let hi = samples.iter().copied().fold(0.0, f64::max).max(lo * 1.0001);
+        let non_finite = samples.iter().filter(|s| !s.is_finite()).count();
+        let finite = || samples.iter().copied().filter(|s| s.is_finite());
+        if non_finite == samples.len() {
+            return format!("(no finite samples; {non_finite} non-finite excluded)\n");
+        }
+        let lo = finite().fold(f64::INFINITY, f64::min).max(1e-9);
+        let hi = finite().fold(0.0, f64::max).max(lo * 1.0001);
         let (llo, lhi) = (lo.ln(), hi.ln());
         let mut counts = vec![0usize; bins];
-        for &s in samples {
+        for s in finite() {
             let t = ((s.max(lo).ln() - llo) / (lhi - llo) * bins as f64) as usize;
             counts[t.min(bins - 1)] += 1;
         }
@@ -99,6 +104,9 @@ impl LatencyStats {
                 "#".repeat(if c > 0 { bar_len.max(1) } else { 0 }),
                 c
             ));
+        }
+        if non_finite > 0 {
+            out.push_str(&format!("({non_finite} non-finite samples excluded)\n"));
         }
         out
     }
@@ -256,14 +264,27 @@ pub fn probit(p: f64) -> f64 {
 
 /// Percentile with midpoint interpolation over a **sorted** sample.
 ///
+/// The sortedness precondition is enforced in debug builds: an unsorted
+/// sample would silently interpolate between the wrong ranks. The sweep
+/// uses `!(a > b)` rather than `a <= b` so samples sorted with a
+/// NaN-tolerant comparator (as [`LatencyStats::from_samples`] does) pass
+/// even when NaNs are present.
+///
 /// # Panics
 ///
-/// Panics if `samples` is empty or `pct` is outside `[0, 100]`.
+/// Panics if `samples` is empty or `pct` is outside `[0, 100]`; in
+/// debug builds, also panics if `samples` is out of order.
 pub fn percentile(samples: &[f64], pct: f64) -> f64 {
     assert!(!samples.is_empty(), "percentile of empty sample");
     assert!(
         (0.0..=100.0).contains(&pct),
         "percentile must be in [0,100]"
+    );
+    debug_assert!(
+        samples
+            .windows(2)
+            .all(|w| w[0].partial_cmp(&w[1]) != Some(std::cmp::Ordering::Greater)),
+        "percentile requires a sorted sample"
     );
     let n = samples.len();
     if n == 1 {
@@ -315,6 +336,51 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn percentile_empty_panics() {
         percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn histogram_excludes_non_finite_samples() {
+        let samples = vec![0.1, f64::NAN, 0.2, f64::INFINITY, 5.0, f64::NEG_INFINITY];
+        let s = LatencyStats::from_samples(vec![0.1, 0.2, 5.0]);
+        let h = s.log_histogram(&samples, 8);
+        // 8 bucket lines plus the exclusion note.
+        assert_eq!(h.lines().count(), 9);
+        assert!(h.contains("3 non-finite samples excluded"));
+        // Bucket counts must sum to the finite samples only (a NaN used
+        // to land silently in bucket 0 via the saturating cast).
+        let total: usize = h
+            .lines()
+            .take(8)
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<usize>().unwrap())
+            .sum();
+        assert_eq!(total, 3);
+        // Finite-only input renders without the note.
+        let clean = s.log_histogram(&[0.1, 0.2, 5.0], 8);
+        assert_eq!(clean.lines().count(), 8);
+        assert!(!clean.contains("excluded"));
+        // All-non-finite input degrades gracefully.
+        let empty = s.log_histogram(&[f64::NAN, f64::INFINITY], 4);
+        assert!(empty.contains("no finite samples"));
+        assert!(empty.contains("2 non-finite"));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "sorted sample")]
+    fn percentile_rejects_unsorted_input_in_debug() {
+        percentile(&[3.0, 1.0, 2.0], 50.0);
+    }
+
+    #[test]
+    fn percentile_sortedness_sweep_tolerates_nan_sorted_input() {
+        // `from_samples` sorts with a NaN-tolerant comparator; the
+        // debug-mode sortedness sweep must accept its output.
+        let s = LatencyStats::from_samples(vec![2.0, f64::NAN, 1.0, 3.0]);
+        assert!(s.count == 4);
+        // And a directly ordered sample with a trailing NaN also passes.
+        let v = [1.0, 2.0, 3.0, f64::NAN];
+        let p = percentile(&v, 0.0);
+        assert_eq!(p, 1.0);
     }
 
     #[test]

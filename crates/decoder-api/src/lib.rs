@@ -55,6 +55,13 @@
 use qldpc_gf2::{BitVec, SparseBitMatrix};
 use std::fmt;
 
+mod window;
+
+pub use window::{
+    share_window_factory, CarryLink, SharedWindowDecoderFactory, WindowDecoder,
+    WindowDecoderFactory, WindowOutcome, WindowPlan, WindowSpec, WindowTask,
+};
+
 /// Floating-point width of a decoder's message arithmetic.
 ///
 /// The BP message slabs are the stack's hottest memory: halving the

@@ -1,0 +1,308 @@
+//! The windowed (streaming) decoding surface: sliced decoding problems,
+//! the [`WindowDecoder`] trait, and its factory types.
+//!
+//! Offline decoding hands the decoder the whole rounds-deep detector
+//! error model at once; real fault-tolerant traffic is an unbounded
+//! stream of syndrome rounds per logical qubit. Sliding-window decoding
+//! bridges the two (the parallel/localized-window line of Hillmann et
+//! al.): slice the detector history into overlapping `W`-round windows,
+//! decode each window as an ordinary syndrome-decoding problem, *commit*
+//! the correction for the oldest `C` rounds (whose mechanisms have seen
+//! their full detector support), and carry the posterior beliefs of the
+//! still-ambiguous boundary mechanisms forward as priors for the next
+//! window.
+//!
+//! The data model mirrors the offline one on purpose:
+//!
+//! * A [`WindowPlan`] is the windowed analogue of a check matrix — a
+//!   static slicing of one detector error model, built once (by
+//!   `qldpc-circuit`'s plan builder) and shared by every stream that
+//!   decodes that experiment.
+//! * A [`WindowSpec`] is one window's decoding problem: a
+//!   detector × mechanism sub-matrix `h`, per-mechanism priors, and the
+//!   bookkeeping that stitches windows together — which columns are
+//!   committed, where committed corrections *spill* into future
+//!   detectors, and how carried columns map into the next window.
+//! * A [`WindowDecoder`] is the windowed analogue of
+//!   [`SyndromeDecoder`](crate::SyndromeDecoder): it decodes batches of
+//!   [`WindowTask`]s (possibly from many concurrent streams, possibly
+//!   for different window indices) and returns one [`WindowOutcome`]
+//!   per task.
+//!
+//! Sessions (who owns the rolling syndrome state, applies spill, and
+//! threads carried priors from one window into the next) live with the
+//! consumers — `qldpc-server`'s streaming sessions and `qldpc-sim`'s
+//! streaming runner — so a `WindowDecoder` implementation stays a pure,
+//! stateless-per-call kernel that batches well.
+
+use crate::Precision;
+use qldpc_gf2::{BitVec, SparseBitMatrix};
+use std::sync::Arc;
+
+/// A carried column: window-local column `from_col` of one window is the
+/// same global mechanism as column `to_col` of the *next* window. The
+/// session copies the mechanism's posterior probability from the earlier
+/// window's outcome into the later window's prior vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CarryLink {
+    /// Column index in the earlier window (always `>= commit_cols`).
+    pub from_col: u32,
+    /// Column index of the same mechanism in the next window.
+    pub to_col: u32,
+}
+
+/// One window's decoding problem plus the bookkeeping that stitches it
+/// to its neighbours.
+///
+/// Columns are ordered **committed-first**: the first
+/// [`commit_cols`](Self::commit_cols) entries of
+/// [`mechanisms`](Self::mechanisms) (and of any outcome's `error_hat`)
+/// are the mechanisms this window decides finally; the rest are
+/// boundary mechanisms re-decoded by the next window.
+#[derive(Debug, Clone)]
+pub struct WindowSpec {
+    /// Position of this window in the plan (0-based).
+    pub index: usize,
+    /// First detector-round block covered (inclusive).
+    pub start_round: usize,
+    /// One past the last detector-round block covered.
+    pub end_round: usize,
+    /// One past the last *committed* round: mechanisms whose earliest
+    /// detector lies in `[start_round, commit_end_round)` are decided
+    /// finally by this window. The last window commits everything
+    /// (`commit_end_round == end_round`).
+    pub commit_end_round: usize,
+    /// Global mechanism (column) ids of this window's columns,
+    /// committed-first.
+    pub mechanisms: Vec<u32>,
+    /// How many leading columns are committed by this window.
+    pub commit_cols: usize,
+    /// The window check matrix: `(end_round - start_round) ×
+    /// dets_per_round` rows over `mechanisms.len()` columns. Row `i` is
+    /// global detector `start_round * dets_per_round + i`; detector
+    /// support beyond `end_round` is truncated (those rows belong to
+    /// future windows and are handled by spill/carry).
+    pub h: SparseBitMatrix,
+    /// Per-column prior probabilities (the detector error model's
+    /// mechanism priors, in window column order).
+    pub priors: Vec<f64>,
+    /// Per *committed* column: the global detector ids of that
+    /// mechanism at rounds `>= commit_end_round`. When the session
+    /// commits the mechanism with value 1, it XORs these detectors out
+    /// of its residual syndrome so future windows decode only what
+    /// remains unexplained.
+    pub spill: Vec<Vec<u32>>,
+    /// Column correspondence into the next window for every
+    /// non-committed column (empty for the last window).
+    pub carry: Vec<CarryLink>,
+}
+
+impl WindowSpec {
+    /// Detector-round blocks this window spans.
+    pub fn num_rounds(&self) -> usize {
+        self.end_round - self.start_round
+    }
+
+    /// Columns carried into the next window.
+    pub fn carry_cols(&self) -> usize {
+        self.mechanisms.len() - self.commit_cols
+    }
+}
+
+/// A static slicing of one detector error model into overlapping
+/// decode-commit windows. Built once per experiment; shared (behind an
+/// [`Arc`]) by every decoder instance and streaming session.
+#[derive(Debug, Clone)]
+pub struct WindowPlan {
+    /// The windows, in round order. Every mechanism of the underlying
+    /// model is committed by exactly one window.
+    pub windows: Vec<WindowSpec>,
+    /// Total detectors of the underlying model.
+    pub num_detectors: usize,
+    /// Total mechanisms (columns) of the underlying model.
+    pub num_mechanisms: usize,
+    /// Detectors per round block.
+    pub dets_per_round: usize,
+    /// Total round blocks (`num_detectors / dets_per_round`; for a
+    /// memory experiment this is `rounds + 1`, the final block being the
+    /// data-measurement boundary).
+    pub num_round_blocks: usize,
+    /// Window span `W` in round blocks.
+    pub window_rounds: usize,
+    /// Commit stride `C` in round blocks (`C <= W`).
+    pub commit_rounds: usize,
+}
+
+impl WindowPlan {
+    /// Number of windows a full stream submits.
+    pub fn num_windows(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Syndrome length (detector rows) window `w` expects.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range window index.
+    pub fn window_syndrome_len(&self, w: usize) -> usize {
+        self.windows[w].num_rounds() * self.dets_per_round
+    }
+}
+
+/// One window decode request, as handed to a [`WindowDecoder`]. Many
+/// tasks — from many concurrent streams, for any mix of window indices —
+/// may arrive in one `decode_windows` call.
+#[derive(Debug, Clone)]
+pub struct WindowTask<'a> {
+    /// Which [`WindowSpec`] of the plan this task decodes.
+    pub window_index: usize,
+    /// The window-local residual syndrome
+    /// ([`WindowPlan::window_syndrome_len`] bits: the stream's detector
+    /// bits for the covered rounds, minus already-committed spill).
+    pub syndrome: BitVec,
+    /// Per-column prior probabilities overriding the spec's priors
+    /// (carried beliefs from the previous window); `None` decodes from
+    /// the spec priors (a stream's first window).
+    pub priors: Option<&'a [f64]>,
+}
+
+/// The decode result of one [`WindowTask`].
+#[derive(Debug, Clone)]
+pub struct WindowOutcome {
+    /// Estimated error over the window's columns (committed-first order,
+    /// like [`WindowSpec::mechanisms`]).
+    pub error_hat: BitVec,
+    /// Posterior probability of each window column — what the session
+    /// carries into the next window's priors for the non-committed
+    /// columns.
+    pub posteriors: Vec<f64>,
+    /// Whether the window's correction satisfies its residual syndrome.
+    pub solved: bool,
+    /// BP iterations (or the implementation's analogue) spent.
+    pub iterations: usize,
+}
+
+/// Anything that decodes windows of a fixed [`WindowPlan`]. The windowed
+/// analogue of [`SyndromeDecoder`](crate::SyndromeDecoder).
+///
+/// Implementations must treat tasks independently (no cross-task
+/// coupling beyond batching) and return outcomes in task order, exactly
+/// like `decode_batch`'s loop-equivalence contract.
+pub trait WindowDecoder {
+    /// The plan this decoder was built for.
+    fn plan(&self) -> &WindowPlan;
+
+    /// Short display name, e.g. `"WindowBP40(W=3,C=1)"`.
+    fn label(&self) -> String;
+
+    /// Message precision of the underlying kernel.
+    fn precision(&self) -> Precision {
+        Precision::F64
+    }
+
+    /// Decodes a batch of window tasks, one [`WindowOutcome`] per task,
+    /// in task order. Tasks for the same window index should be decoded
+    /// together (that is the batching win); tasks for different windows
+    /// are independent sub-batches.
+    fn decode_windows(&mut self, tasks: &[WindowTask]) -> Vec<WindowOutcome>;
+}
+
+/// Builds a [`WindowDecoder`] for a plan — the windowed analogue of
+/// [`DecoderFactory`](crate::DecoderFactory), consumed by pooled
+/// runtimes that build one instance per worker thread.
+pub type WindowDecoderFactory =
+    Box<dyn Fn(Arc<WindowPlan>) -> Box<dyn WindowDecoder> + Send + Sync>;
+
+/// A reference-counted [`WindowDecoderFactory`] for long-lived worker
+/// pools; convert with [`share_window_factory`].
+pub type SharedWindowDecoderFactory =
+    Arc<dyn Fn(Arc<WindowPlan>) -> Box<dyn WindowDecoder> + Send + Sync>;
+
+/// Converts an owned [`WindowDecoderFactory`] into the shareable form.
+pub fn share_window_factory(factory: WindowDecoderFactory) -> SharedWindowDecoderFactory {
+    Arc::from(factory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_plan() -> WindowPlan {
+        // Two round blocks of 1 detector, two mechanisms, one window
+        // covering everything.
+        let h = SparseBitMatrix::from_row_indices(2, 2, &[vec![0], vec![1]]);
+        WindowPlan {
+            windows: vec![WindowSpec {
+                index: 0,
+                start_round: 0,
+                end_round: 2,
+                commit_end_round: 2,
+                mechanisms: vec![0, 1],
+                commit_cols: 2,
+                h,
+                priors: vec![0.01, 0.02],
+                spill: vec![Vec::new(), Vec::new()],
+                carry: Vec::new(),
+            }],
+            num_detectors: 2,
+            num_mechanisms: 2,
+            dets_per_round: 1,
+            num_round_blocks: 2,
+            window_rounds: 2,
+            commit_rounds: 2,
+        }
+    }
+
+    struct EchoWindow {
+        plan: Arc<WindowPlan>,
+    }
+
+    impl WindowDecoder for EchoWindow {
+        fn plan(&self) -> &WindowPlan {
+            &self.plan
+        }
+        fn label(&self) -> String {
+            "EchoWindow".into()
+        }
+        fn decode_windows(&mut self, tasks: &[WindowTask]) -> Vec<WindowOutcome> {
+            tasks
+                .iter()
+                .map(|t| WindowOutcome {
+                    error_hat: t.syndrome.clone(),
+                    posteriors: vec![0.5; t.syndrome.len()],
+                    solved: true,
+                    iterations: 1,
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn plan_accessors() {
+        let plan = tiny_plan();
+        assert_eq!(plan.num_windows(), 1);
+        assert_eq!(plan.window_syndrome_len(0), 2);
+        assert_eq!(plan.windows[0].num_rounds(), 2);
+        assert_eq!(plan.windows[0].carry_cols(), 0);
+    }
+
+    #[test]
+    fn factories_are_send_sync_and_shareable() {
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        let f: WindowDecoderFactory =
+            Box::new(|plan| Box::new(EchoWindow { plan }) as Box<dyn WindowDecoder>);
+        assert_send_sync(&f);
+        let shared = share_window_factory(f);
+        let mut d = shared(Arc::new(tiny_plan()));
+        assert_eq!(d.label(), "EchoWindow");
+        assert_eq!(d.precision(), Precision::F64);
+        let tasks = vec![WindowTask {
+            window_index: 0,
+            syndrome: BitVec::from_indices(2, &[1]),
+            priors: None,
+        }];
+        let out = d.decode_windows(&tasks);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].error_hat.get(1));
+    }
+}

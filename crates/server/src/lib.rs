@@ -39,9 +39,22 @@
 //! * **Metrics** ([`MetricsSnapshot`]) — throughput counters, dispatched
 //!   batch-size histogram, and p50/p95/p99 end-to-end latency via the
 //!   shared `bpsf_core::stats` percentile code.
+//! * **Streaming sessions** ([`StreamSession`]) — codes registered with
+//!   [`ServiceBuilder::register_streaming_code`] decode *windows* of a
+//!   sliding-window plan instead of whole syndromes. A session owns one
+//!   logical qubit's rolling state (residual syndrome, carried boundary
+//!   priors, committed corrections): push detector rounds as they are
+//!   measured, collect [`CommitEvent`]s as windows resolve. Windows of
+//!   one session are sequential; windows of *concurrent* sessions
+//!   micro-batch together through the same shard/steal/batch core.
 //! * **Shutdown drains** — closing the service gates out new
 //!   submissions, then workers drain every queue so each accepted
 //!   request still gets exactly one response.
+//! * **Worker-death liveness** — a panicking decoder cannot strand its
+//!   waiters: drop guards answer the in-flight batch, and the last
+//!   panicking worker of a code drains that code's queues, with
+//!   [`DecodeError::WorkerLost`]; later submissions are refused with
+//!   [`SubmitError::Shutdown`].
 //! * **Precision** — [`ServiceConfig::precision`] *declares* the
 //!   message arithmetic of the decoders a code's factory builds (the
 //!   service cannot look inside a factory) and surfaces it in
@@ -91,8 +104,10 @@
 mod metrics;
 mod request;
 mod service;
+mod session;
 mod shard;
 
 pub use metrics::{bucket_label, MetricsSnapshot, BATCH_HISTOGRAM_BUCKETS};
 pub use request::{DecodeError, DecodeResponse, ResponseHandle, SubmitError};
 pub use service::{Client, CodeId, DecodeService, ServiceBuilder, ServiceConfig};
+pub use session::{CommitEvent, StreamError, StreamResult, StreamSession};

@@ -27,6 +27,9 @@ pub(crate) struct CodeMetrics {
     pub rejected_overload: AtomicU64,
     pub completed: AtomicU64,
     pub expired: AtomicU64,
+    /// Requests answered `DecodeError::WorkerLost` because their worker
+    /// died before decoding them.
+    pub lost: AtomicU64,
     pub batches: AtomicU64,
     /// Live (non-expired) requests summed over all dispatched batches.
     pub batched_requests: AtomicU64,
@@ -97,6 +100,7 @@ impl CodeMetrics {
             rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
+            lost: self.lost.load(Ordering::Relaxed),
             batches,
             mean_batch_size: if batches == 0 {
                 0.0
@@ -127,6 +131,9 @@ pub struct MetricsSnapshot {
     pub completed: u64,
     /// Requests fulfilled with `DecodeError::DeadlineExceeded`.
     pub expired: u64,
+    /// Requests fulfilled with `DecodeError::WorkerLost` (their worker
+    /// died before producing an outcome).
+    pub lost: u64,
     /// Batches dispatched to `decode_batch`.
     pub batches: u64,
     /// Mean live requests per dispatched batch.
@@ -145,20 +152,22 @@ pub struct MetricsSnapshot {
 
 impl MetricsSnapshot {
     /// All accepted requests are accounted for:
-    /// `completed + expired == submitted` once the service has drained.
+    /// `completed + expired + lost == submitted` once the service has
+    /// drained (lost covers requests answered for a dead worker).
     pub fn is_drained(&self) -> bool {
-        self.completed + self.expired == self.submitted
+        self.completed + self.expired + self.lost == self.submitted
     }
 
     /// Multi-line human-readable rendering (bench/soak output).
     pub fn render(&self) -> String {
         let mut out = format!(
-            "precision={} submitted={} completed={} expired={} rejected={} batches={} \
+            "precision={} submitted={} completed={} expired={} lost={} rejected={} batches={} \
              mean_batch={:.2} stolen={}\n  latency_ms: {}\n  batch sizes:\n",
             self.precision,
             self.submitted,
             self.completed,
             self.expired,
+            self.lost,
             self.rejected_overload,
             self.batches,
             self.mean_batch_size,
@@ -227,7 +236,10 @@ mod tests {
         m.completed.store(3, Ordering::Relaxed);
         m.expired.store(1, Ordering::Relaxed);
         assert!(!m.snapshot(Precision::F64).is_drained());
-        m.expired.store(2, Ordering::Relaxed);
+        // A request answered for a dead worker still counts as drained.
+        m.lost.store(1, Ordering::Relaxed);
         assert!(m.snapshot(Precision::F64).is_drained());
+        m.expired.store(2, Ordering::Relaxed);
+        assert!(!m.snapshot(Precision::F64).is_drained());
     }
 }

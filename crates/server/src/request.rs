@@ -2,7 +2,7 @@
 //! errors, per-request outcomes, and the blocking/polling response
 //! handle a client holds while its syndrome is in flight.
 
-use qldpc_decoder_api::DecodeOutcome;
+use qldpc_decoder_api::{DecodeOutcome, WindowOutcome};
 use qldpc_gf2::BitVec;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
@@ -15,10 +15,15 @@ pub enum SubmitError {
     /// The target shard queue is at its high-water mark — backpressure.
     /// Retry later or shed load upstream.
     Overloaded,
-    /// The service has been shut down.
+    /// The service has been shut down (or every worker of the code has
+    /// died — see [`DecodeError::WorkerLost`]).
     Shutdown,
     /// No code with this id is registered.
     UnknownCode,
+    /// The operation does not match the code's registration kind:
+    /// single-shot `submit` against a streaming code, or
+    /// `stream_session` against a single-shot code.
+    WrongCodeKind,
     /// The syndrome length does not match the registered check matrix's
     /// row count.
     SyndromeLength {
@@ -35,6 +40,9 @@ impl fmt::Display for SubmitError {
             SubmitError::Overloaded => write!(f, "shard queue at high-water mark"),
             SubmitError::Shutdown => write!(f, "service is shut down"),
             SubmitError::UnknownCode => write!(f, "unknown code id"),
+            SubmitError::WrongCodeKind => {
+                write!(f, "operation does not match the code's registration kind")
+            }
             SubmitError::SyndromeLength { expected, got } => {
                 write!(f, "syndrome length {got}, check matrix has {expected} rows")
             }
@@ -50,12 +58,18 @@ pub enum DecodeError {
     /// The per-request deadline had already passed when the scheduler
     /// pulled the request into a batch; it was not decoded.
     DeadlineExceeded,
+    /// The shard worker owning the request died (panicked) before
+    /// producing an outcome. The request was not decoded, but the
+    /// "exactly one response per accepted request" invariant holds:
+    /// nothing waits forever on a dead worker.
+    WorkerLost,
 }
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::DeadlineExceeded => write!(f, "deadline exceeded before dispatch"),
+            DecodeError::WorkerLost => write!(f, "shard worker lost before decoding"),
         }
     }
 }
@@ -73,7 +87,8 @@ pub struct DecodeResponse {
     pub result: Result<DecodeOutcome, DecodeError>,
     /// Number of live requests in the batch this one was dispatched with
     /// (1 ⇒ it rode alone; expired requests report the batch they were
-    /// pulled out of).
+    /// pulled out of; worker-lost requests that never reached a batch
+    /// report 0).
     pub batch_size: usize,
     /// Monotone per-code completion stamp: batches get a contiguous
     /// range in dispatch order, requests within a batch keep their
@@ -89,34 +104,73 @@ pub struct DecodeResponse {
     pub stolen: bool,
 }
 
-/// One-shot slot a worker fulfills and a [`ResponseHandle`] waits on.
-#[derive(Debug, Default)]
-pub(crate) struct ResponseSlot {
-    state: Mutex<Option<DecodeResponse>>,
+/// The service's answer to one streamed window submission (internal —
+/// sessions fold it into [`CommitEvent`](crate::CommitEvent)s).
+#[derive(Debug, Clone)]
+pub(crate) struct WindowResponse {
+    #[allow(dead_code)]
+    pub request_id: u64,
+    pub result: Result<WindowOutcome, DecodeError>,
+}
+
+/// One-shot slot a worker fulfills and a waiter blocks on.
+#[derive(Debug)]
+pub(crate) struct ResponseSlot<R> {
+    state: Mutex<Option<R>>,
     ready: Condvar,
 }
 
-impl ResponseSlot {
-    pub(crate) fn fulfill(&self, response: DecodeResponse) {
-        let mut state = self.state.lock().expect("response slot poisoned");
+impl<R> Default for ResponseSlot<R> {
+    fn default() -> Self {
+        Self {
+            state: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+impl<R> ResponseSlot<R> {
+    /// Stores the response and wakes every waiter. Robust against
+    /// mutex poisoning: a drop-guard fulfilling slots *during a worker
+    /// panic* must never double-panic (that would abort the process).
+    pub(crate) fn fulfill(&self, response: R) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         debug_assert!(state.is_none(), "response slot fulfilled twice");
         *state = Some(response);
         drop(state);
         self.ready.notify_all();
+    }
+
+    /// Blocks until the response arrives and takes it.
+    pub(crate) fn wait_take(&self) -> R {
+        let mut state = self.state.lock().expect("response slot poisoned");
+        loop {
+            if let Some(response) = state.take() {
+                return response;
+            }
+            state = self.ready.wait(state).expect("response slot poisoned");
+        }
+    }
+
+    /// Takes the response if it has arrived.
+    pub(crate) fn poll_take(&self) -> Option<R> {
+        self.state.lock().expect("response slot poisoned").take()
     }
 }
 
 /// A claim on one in-flight request. Exactly one of [`wait`],
 /// [`wait_timeout`] or [`try_take`] eventually yields the
 /// [`DecodeResponse`]; the service fulfills every accepted request, even
-/// through shutdown (the shards drain their queues before exiting).
+/// through shutdown (the shards drain their queues before exiting) and
+/// through worker death (a lost worker's requests are answered with
+/// [`DecodeError::WorkerLost`]).
 ///
 /// [`wait`]: ResponseHandle::wait
 /// [`wait_timeout`]: ResponseHandle::wait_timeout
 /// [`try_take`]: ResponseHandle::try_take
 #[derive(Debug)]
 pub struct ResponseHandle {
-    pub(crate) slot: Arc<ResponseSlot>,
+    pub(crate) slot: Arc<ResponseSlot<DecodeResponse>>,
     pub(crate) request_id: u64,
     pub(crate) client_seq: u64,
 }
@@ -145,17 +199,13 @@ impl ResponseHandle {
 
     /// Blocks until the response arrives.
     pub fn wait(self) -> DecodeResponse {
-        let mut state = self.slot.state.lock().expect("response slot poisoned");
-        loop {
-            if let Some(response) = state.take() {
-                return response;
-            }
-            state = self.slot.ready.wait(state).expect("response slot poisoned");
-        }
+        self.slot.wait_take()
     }
 
     /// Blocks up to `timeout`; on expiry the handle is returned so the
-    /// caller can keep waiting later (the request stays in flight).
+    /// caller can keep waiting later (the request stays in flight). A
+    /// zero timeout degenerates to [`Self::try_take`]: an
+    /// already-fulfilled response is returned without blocking.
     pub fn wait_timeout(self, timeout: Duration) -> Result<DecodeResponse, ResponseHandle> {
         let deadline = Instant::now() + timeout;
         let mut state = self.slot.state.lock().expect("response slot poisoned");
@@ -183,28 +233,67 @@ impl ResponseHandle {
     /// Non-blocking poll; on a not-yet-ready response the handle is
     /// returned for a later retry.
     pub fn try_take(self) -> Result<DecodeResponse, ResponseHandle> {
-        let taken = self
-            .slot
-            .state
-            .lock()
-            .expect("response slot poisoned")
-            .take();
-        match taken {
+        match self.slot.poll_take() {
             Some(response) => Ok(response),
             None => Err(self),
         }
     }
 }
 
+/// What a queued request carries and where its answer goes. Each
+/// registered code's queues are homogeneous — single-shot codes carry
+/// only `Decode`, streaming codes only `Window` — so one dispatched
+/// batch is always of one kind.
+pub(crate) enum Payload {
+    /// A single-shot syndrome decode (the [`Client`](crate::Client)
+    /// surface).
+    Decode {
+        syndrome: BitVec,
+        slot: Arc<ResponseSlot<DecodeResponse>>,
+    },
+    /// One window of a streaming session.
+    Window {
+        window_index: usize,
+        syndrome: BitVec,
+        /// Carried priors from the session's previous window.
+        priors: Option<Vec<f64>>,
+        slot: Arc<ResponseSlot<WindowResponse>>,
+    },
+}
+
 /// Internal queued form of a request, owned by the shard queues.
 pub(crate) struct Request {
     pub id: u64,
     pub client_seq: u64,
-    pub syndrome: BitVec,
     pub deadline: Option<Instant>,
     pub submitted_at: Instant,
     pub home_shard: usize,
-    pub slot: Arc<ResponseSlot>,
+    pub payload: Payload,
+}
+
+impl Request {
+    /// Answers the request with `error` — the path for requests that
+    /// never produce an outcome (dispatch-deadline expiry on streaming
+    /// payloads, and every request a dying worker owns).
+    pub(crate) fn fail(self, error: DecodeError, batch_size: usize, completion_seq: u64) {
+        let total_time = self.submitted_at.elapsed();
+        match self.payload {
+            Payload::Decode { slot, .. } => slot.fulfill(DecodeResponse {
+                request_id: self.id,
+                client_seq: self.client_seq,
+                result: Err(error),
+                batch_size,
+                completion_seq,
+                queue_time: total_time,
+                total_time,
+                stolen: false,
+            }),
+            Payload::Window { slot, .. } => slot.fulfill(WindowResponse {
+                request_id: self.id,
+                result: Err(error),
+            }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -225,7 +314,7 @@ mod tests {
         }
     }
 
-    fn handle(slot: &Arc<ResponseSlot>) -> ResponseHandle {
+    fn handle(slot: &Arc<ResponseSlot<DecodeResponse>>) -> ResponseHandle {
         ResponseHandle {
             slot: Arc::clone(slot),
             request_id: 7,
@@ -265,5 +354,82 @@ mod tests {
         slot.fulfill(dummy_response(7));
         let r = h.wait_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(r.request_id, 7);
+    }
+
+    #[test]
+    fn wait_timeout_zero_duration() {
+        let slot = Arc::new(ResponseSlot::default());
+        let h = handle(&slot);
+        // Not ready yet: a zero timeout must return the handle
+        // immediately instead of blocking.
+        let h = h.wait_timeout(Duration::ZERO).unwrap_err();
+        slot.fulfill(dummy_response(7));
+        // Already fulfilled: a zero timeout must still return the
+        // response (the pre-deadline state check runs before any wait).
+        let r = h.wait_timeout(Duration::ZERO).unwrap();
+        assert_eq!(r.request_id, 7);
+    }
+
+    #[test]
+    fn wait_timeout_survives_spurious_wakeups() {
+        let slot = Arc::new(ResponseSlot::default());
+        let h = handle(&slot);
+        // Ring the condvar repeatedly *without* fulfilling: each wakeup
+        // is indistinguishable from a spurious one, and the waiter must
+        // keep waiting rather than time out early or return garbage.
+        let notifier = {
+            let slot = Arc::clone(&slot);
+            thread::spawn(move || {
+                for _ in 0..20 {
+                    slot.ready.notify_all();
+                    thread::sleep(Duration::from_millis(1));
+                }
+                slot.fulfill(dummy_response(7));
+            })
+        };
+        let r = h
+            .wait_timeout(Duration::from_secs(30))
+            .expect("fulfilled response must resolve despite empty wakeups");
+        assert_eq!(r.request_id, 7);
+        notifier.join().unwrap();
+    }
+
+    #[test]
+    fn fail_answers_both_payload_kinds() {
+        let slot = Arc::new(ResponseSlot::default());
+        let request = Request {
+            id: 9,
+            client_seq: 1,
+            deadline: None,
+            submitted_at: Instant::now(),
+            home_shard: 0,
+            payload: Payload::Decode {
+                syndrome: BitVec::zeros(4),
+                slot: Arc::clone(&slot),
+            },
+        };
+        request.fail(DecodeError::WorkerLost, 0, 42);
+        let r = handle(&slot).wait();
+        assert_eq!(r.result.unwrap_err(), DecodeError::WorkerLost);
+        assert_eq!(r.request_id, 9);
+        assert_eq!(r.completion_seq, 42);
+
+        let wslot: Arc<ResponseSlot<WindowResponse>> = Arc::new(ResponseSlot::default());
+        let request = Request {
+            id: 10,
+            client_seq: 2,
+            deadline: None,
+            submitted_at: Instant::now(),
+            home_shard: 0,
+            payload: Payload::Window {
+                window_index: 0,
+                syndrome: BitVec::zeros(4),
+                priors: None,
+                slot: Arc::clone(&wslot),
+            },
+        };
+        request.fail(DecodeError::WorkerLost, 0, 43);
+        let r = wslot.poll_take().expect("window slot fulfilled");
+        assert_eq!(r.result.unwrap_err(), DecodeError::WorkerLost);
     }
 }

@@ -2,12 +2,16 @@
 //! gating, and drain-on-shutdown.
 
 use crate::metrics::{CodeMetrics, MetricsSnapshot};
-use crate::request::{Request, ResponseHandle, ResponseSlot, SubmitError};
-use crate::shard::ShardContext;
+use crate::request::{Payload, Request, ResponseHandle, ResponseSlot, SubmitError, WindowResponse};
+use crate::session::StreamSession;
+use crate::shard::{CodeKind, ShardContext};
 use crossbeam::channel::{self, Sender, TrySendError};
-use qldpc_decoder_api::{share_factory, DecoderFactory, Precision, SharedDecoderFactory};
+use qldpc_decoder_api::{
+    share_factory, share_window_factory, DecoderFactory, Precision, WindowDecoderFactory,
+    WindowPlan,
+};
 use qldpc_gf2::{BitVec, SparseBitMatrix};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -57,9 +61,7 @@ pub struct CodeId(pub(crate) usize);
 
 struct CodeSpec {
     name: String,
-    h: SparseBitMatrix,
-    priors: Vec<f64>,
-    factory: SharedDecoderFactory,
+    kind: CodeKind,
     config: ServiceConfig,
 }
 
@@ -104,30 +106,84 @@ impl ServiceBuilder {
         config: ServiceConfig,
     ) -> CodeId {
         assert_eq!(priors.len(), h.cols(), "one prior per variable required");
+        self.push(
+            name.into(),
+            CodeKind::Single {
+                h: Arc::new(h.clone()),
+                priors: Arc::new(priors.to_vec()),
+                factory: share_factory(factory),
+            },
+            config,
+        )
+    }
+
+    /// Registers a *streaming* code — a windowed slicing of one detector
+    /// error model — under the default [`ServiceConfig`]. Decode it
+    /// through [`DecodeService::stream_session`], not
+    /// [`Client::submit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty plan or a degenerate config (see
+    /// [`ServiceBuilder::register_streaming_code_with`]).
+    pub fn register_streaming_code(
+        &mut self,
+        name: impl Into<String>,
+        plan: Arc<WindowPlan>,
+        factory: WindowDecoderFactory,
+    ) -> CodeId {
+        self.register_streaming_code_with(name, plan, factory, ServiceConfig::default())
+    }
+
+    /// Registers a streaming code with explicit scheduler tuning. Each
+    /// of the `config.shards` workers builds its own [`WindowDecoder`]
+    /// instance from `factory` on its own thread; window submissions
+    /// from all live sessions micro-batch through the same
+    /// coalesce/steal scheduler as single-shot requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has no windows or any of `shards`,
+    /// `max_batch`, `queue_capacity` is zero.
+    ///
+    /// [`WindowDecoder`]: qldpc_decoder_api::WindowDecoder
+    pub fn register_streaming_code_with(
+        &mut self,
+        name: impl Into<String>,
+        plan: Arc<WindowPlan>,
+        factory: WindowDecoderFactory,
+        config: ServiceConfig,
+    ) -> CodeId {
+        assert!(plan.num_windows() > 0, "plan must have at least one window");
+        self.push(
+            name.into(),
+            CodeKind::Streaming {
+                plan,
+                factory: share_window_factory(factory),
+            },
+            config,
+        )
+    }
+
+    fn push(&mut self, name: String, kind: CodeKind, config: ServiceConfig) -> CodeId {
         assert!(config.shards > 0, "need at least one shard");
         assert!(config.max_batch > 0, "max_batch must be positive");
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
         let id = CodeId(self.codes.len());
-        self.codes.push(CodeSpec {
-            name: name.into(),
-            h: h.clone(),
-            priors: priors.to_vec(),
-            factory: share_factory(factory),
-            config,
-        });
+        self.codes.push(CodeSpec { name, kind, config });
         id
     }
 
     /// Spawns every shard worker and opens the service for submissions.
     pub fn start(self) -> DecodeService {
         let closed = Arc::new(AtomicBool::new(false));
+        let gate = Arc::new(RwLock::new(false));
         let mut codes = Vec::with_capacity(self.codes.len());
         let mut workers = Vec::new();
         for spec in self.codes {
             let metrics = Arc::new(CodeMetrics::default());
             let completion_counter = Arc::new(AtomicU64::new(0));
-            let h = Arc::new(spec.h);
-            let priors = Arc::new(spec.priors);
+            let alive = Arc::new(AtomicUsize::new(spec.config.shards));
             let pairs: Vec<_> = (0..spec.config.shards)
                 .map(|_| channel::bounded::<Request>(spec.config.queue_capacity))
                 .collect();
@@ -137,14 +193,14 @@ impl ServiceBuilder {
                 let ctx = ShardContext {
                     shard_index,
                     queues: receivers.clone(),
-                    h: Arc::clone(&h),
-                    priors: Arc::clone(&priors),
-                    factory: Arc::clone(&spec.factory),
+                    kind: spec.kind.clone(),
                     max_batch: spec.config.max_batch,
                     max_wait: spec.config.max_wait,
                     metrics: Arc::clone(&metrics),
                     completion_counter: Arc::clone(&completion_counter),
                     closed: Arc::clone(&closed),
+                    alive: Arc::clone(&alive),
+                    gate: Arc::clone(&gate),
                 };
                 let thread = std::thread::Builder::new()
                     .name(format!("qldpc-server/{}/{shard_index}", spec.name))
@@ -152,19 +208,26 @@ impl ServiceBuilder {
                     .expect("failed to spawn shard worker");
                 workers.push(thread);
             }
+            let shape = match &spec.kind {
+                CodeKind::Single { h, .. } => CodeShape::Single { rows: h.rows() },
+                CodeKind::Streaming { plan, .. } => CodeShape::Streaming {
+                    plan: Arc::clone(plan),
+                },
+            };
             codes.push(CodeRuntime {
                 name: spec.name,
-                rows: h.rows(),
+                shape,
                 shards: spec.config.shards,
                 precision: spec.config.precision,
                 senders,
                 metrics,
+                alive,
             });
         }
         DecodeService {
             shared: Arc::new(Shared {
                 codes,
-                gate: RwLock::new(false),
+                gate,
                 closed,
                 next_request_id: AtomicU64::new(0),
                 next_client_id: AtomicU64::new(0),
@@ -174,26 +237,89 @@ impl ServiceBuilder {
     }
 }
 
-struct CodeRuntime {
+/// What shape of request a registered code accepts.
+enum CodeShape {
+    Single { rows: usize },
+    Streaming { plan: Arc<WindowPlan> },
+}
+
+pub(crate) struct CodeRuntime {
     name: String,
-    rows: usize,
+    shape: CodeShape,
     shards: usize,
     precision: Precision,
     senders: Vec<Sender<Request>>,
     metrics: Arc<CodeMetrics>,
+    /// Still-running workers; zero means every decoder of this code has
+    /// died (see `shard::WorkerGuard`) and submissions must refuse.
+    alive: Arc<AtomicUsize>,
 }
 
-struct Shared {
+pub(crate) struct Shared {
     codes: Vec<CodeRuntime>,
     /// `true` once shut down. Submissions hold the read side across
     /// check-and-send; shutdown flips it under the write side, so no
     /// send can race past the close — whatever a worker drains after
-    /// observing `closed` is the complete remaining load.
-    gate: RwLock<bool>,
+    /// observing `closed` is the complete remaining load. The last
+    /// panicking worker of a code also drains under the write side
+    /// (`shard::WorkerGuard`), for the same no-race reason.
+    gate: Arc<RwLock<bool>>,
     /// Lock-free mirror of the gate for worker polling loops.
     closed: Arc<AtomicBool>,
     next_request_id: AtomicU64,
     next_client_id: AtomicU64,
+}
+
+impl Shared {
+    /// Submits one window of a streaming session to its home shard.
+    /// Shares the single-shot path's gate discipline: the read side is
+    /// held across check-and-send, and a code whose workers are all
+    /// dead refuses with [`SubmitError::Shutdown`].
+    pub(crate) fn submit_window(
+        &self,
+        code: usize,
+        home_shard: usize,
+        client_seq: u64,
+        window_index: usize,
+        syndrome: BitVec,
+        priors: Option<Vec<f64>>,
+    ) -> Result<Arc<ResponseSlot<WindowResponse>>, SubmitError> {
+        let runtime = self.codes.get(code).ok_or(SubmitError::UnknownCode)?;
+        let gate = self.gate.read().expect("service gate poisoned");
+        if *gate || runtime.alive.load(Ordering::Acquire) == 0 {
+            return Err(SubmitError::Shutdown);
+        }
+        let slot = Arc::new(ResponseSlot::default());
+        let request = Request {
+            id: self.next_request_id.fetch_add(1, Ordering::Relaxed),
+            client_seq,
+            deadline: None,
+            submitted_at: Instant::now(),
+            home_shard,
+            payload: Payload::Window {
+                window_index,
+                syndrome,
+                priors,
+                slot: Arc::clone(&slot),
+            },
+        };
+        match runtime.senders[home_shard].try_send(request) {
+            Ok(()) => {
+                runtime.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+                drop(gate);
+                Ok(slot)
+            }
+            Err(TrySendError::Full(_)) => {
+                runtime
+                    .metrics
+                    .rejected_overload
+                    .fetch_add(1, Ordering::Relaxed);
+                drop(gate);
+                Err(SubmitError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::Shutdown),
+        }
+    }
 }
 
 /// The running decode service. Dropping it (or calling
@@ -224,6 +350,36 @@ impl DecodeService {
             client_id: self.shared.next_client_id.fetch_add(1, Ordering::Relaxed),
             next_seq: 0,
         }
+    }
+
+    /// Opens a stateful streaming session against a code registered with
+    /// [`ServiceBuilder::register_streaming_code`]. The session owns the
+    /// rolling residual syndrome of one logical qubit: push detector
+    /// rounds as they are measured, collect committed corrections as
+    /// they resolve.
+    ///
+    /// Each session is its own client identity (own home shard, own
+    /// FIFO submission stream); concurrent sessions micro-batch
+    /// together inside the workers.
+    pub fn stream_session(&self, code: CodeId) -> Result<StreamSession, SubmitError> {
+        let runtime = self
+            .shared
+            .codes
+            .get(code.0)
+            .ok_or(SubmitError::UnknownCode)?;
+        let CodeShape::Streaming { plan } = &runtime.shape else {
+            return Err(SubmitError::WrongCodeKind);
+        };
+        if *self.shared.gate.read().expect("service gate poisoned") {
+            return Err(SubmitError::Shutdown);
+        }
+        let client_id = self.shared.next_client_id.fetch_add(1, Ordering::Relaxed);
+        Ok(StreamSession::new(
+            Arc::clone(&self.shared),
+            code.0,
+            Arc::clone(plan),
+            (client_id as usize) % runtime.shards,
+        ))
     }
 
     /// Display name a code was registered under.
@@ -320,15 +476,21 @@ impl Client {
             .codes
             .get(code.0)
             .ok_or(SubmitError::UnknownCode)?;
-        if syndrome.len() != runtime.rows {
+        let rows = match &runtime.shape {
+            CodeShape::Single { rows } => *rows,
+            // Streaming codes take whole windows through sessions, not
+            // bare syndromes.
+            CodeShape::Streaming { .. } => return Err(SubmitError::WrongCodeKind),
+        };
+        if syndrome.len() != rows {
             return Err(SubmitError::SyndromeLength {
-                expected: runtime.rows,
+                expected: rows,
                 got: syndrome.len(),
             });
         }
         // Hold the gate's read side across check-and-send (see `Shared`).
         let gate = self.shared.gate.read().expect("service gate poisoned");
-        if *gate {
+        if *gate || runtime.alive.load(Ordering::Acquire) == 0 {
             return Err(SubmitError::Shutdown);
         }
         let home_shard = (self.client_id as usize) % runtime.shards;
@@ -336,11 +498,13 @@ impl Client {
         let request = Request {
             id: self.shared.next_request_id.fetch_add(1, Ordering::Relaxed),
             client_seq: self.next_seq,
-            syndrome,
             deadline,
             submitted_at: Instant::now(),
             home_shard,
-            slot: Arc::clone(&slot),
+            payload: Payload::Decode {
+                syndrome,
+                slot: Arc::clone(&slot),
+            },
         };
         let (id, seq) = (request.id, request.client_seq);
         match runtime.senders[home_shard].try_send(request) {

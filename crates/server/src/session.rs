@@ -1,0 +1,332 @@
+//! Stateful streaming sessions: one logical qubit's rolling decode.
+//!
+//! A [`StreamSession`] owns everything window decoding needs *between*
+//! windows — state the batched [`WindowDecoder`] kernels deliberately do
+//! not hold:
+//!
+//! * the **residual syndrome**: measured detector rounds XOR the spill
+//!   of already-committed corrections,
+//! * the **carried priors**: posterior beliefs of the previous window's
+//!   boundary mechanisms, overriding the next window's channel priors,
+//! * the accumulated global **error estimate** and the per-window
+//!   [`CommitEvent`] log.
+//!
+//! The session submits each window to the service as soon as its rounds
+//! are buffered and the previous window has resolved (windows of one
+//! stream are sequential by construction — window `w+1`'s priors depend
+//! on window `w`'s posteriors). Throughput comes from *across* sessions:
+//! many concurrent streams submit windows into the same shard queues,
+//! and the workers micro-batch them into interleaved kernel tiles.
+//!
+//! [`WindowDecoder`]: qldpc_decoder_api::WindowDecoder
+
+use crate::request::{DecodeError, ResponseSlot, SubmitError, WindowResponse};
+use crate::service::Shared;
+use qldpc_decoder_api::{WindowOutcome, WindowPlan};
+use qldpc_gf2::BitVec;
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a streaming session failed. A failed session is *poisoned*: every
+/// later call returns the same error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// A window submission was refused (service shut down mid-stream,
+    /// for example). `Overloaded` is retried internally and never
+    /// surfaces here.
+    Submit(SubmitError),
+    /// A submitted window was answered without an outcome (its worker
+    /// died, for example).
+    Decode(DecodeError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Submit(e) => write!(f, "window submission failed: {e}"),
+            StreamError::Decode(e) => write!(f, "window decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<SubmitError> for StreamError {
+    fn from(e: SubmitError) -> Self {
+        StreamError::Submit(e)
+    }
+}
+
+impl From<DecodeError> for StreamError {
+    fn from(e: DecodeError) -> Self {
+        StreamError::Decode(e)
+    }
+}
+
+/// One window's committed correction, emitted as soon as the window
+/// resolves. Events of one session arrive strictly in window order.
+#[derive(Debug, Clone)]
+pub struct CommitEvent {
+    /// Which window of the plan committed.
+    pub window_index: usize,
+    /// First detector-round block the commitment covers (inclusive).
+    pub start_round: usize,
+    /// One past the last committed round block.
+    pub end_round: usize,
+    /// Global mechanism ids committed *on* (estimated to have fired).
+    pub mechanisms: Vec<u32>,
+    /// Whether the window's correction satisfied its residual syndrome.
+    pub solved: bool,
+}
+
+/// The completed stream: the same artifacts an offline decode of the
+/// full detector history would produce.
+#[derive(Debug, Clone)]
+pub struct StreamResult {
+    /// Global error estimate over all mechanisms of the model.
+    pub error_hat: BitVec,
+    /// Commit events not yet handed out by [`StreamSession::push_round`],
+    /// in window order.
+    pub events: Vec<CommitEvent>,
+    /// Whether every window's correction satisfied its residual
+    /// syndrome.
+    pub all_solved: bool,
+}
+
+/// A stateful per-logical-qubit decoding stream (see the module docs).
+/// Created by [`DecodeService::stream_session`]; feed it detector
+/// rounds with [`push_round`], close it with [`finish`].
+///
+/// [`DecodeService::stream_session`]: crate::DecodeService::stream_session
+/// [`push_round`]: StreamSession::push_round
+/// [`finish`]: StreamSession::finish
+pub struct StreamSession {
+    shared: Arc<Shared>,
+    code: usize,
+    plan: Arc<WindowPlan>,
+    home_shard: usize,
+    next_seq: u64,
+    /// Per-round residual syndrome: measured detectors XOR committed
+    /// spill. Pre-sized to the full experiment — spill of an early
+    /// commitment may land on rounds not yet pushed (XOR commutes with
+    /// arrival order).
+    residual: Vec<BitVec>,
+    rounds_pushed: usize,
+    /// Next window to submit; windows below it are committed.
+    next_window: usize,
+    in_flight: Option<(usize, Arc<ResponseSlot<WindowResponse>>)>,
+    /// Prior overrides for the next window (spec priors with the carried
+    /// columns overwritten by the previous window's posteriors).
+    carried: Option<Vec<f64>>,
+    error_hat: BitVec,
+    all_solved: bool,
+    failed: Option<StreamError>,
+}
+
+impl StreamSession {
+    pub(crate) fn new(
+        shared: Arc<Shared>,
+        code: usize,
+        plan: Arc<WindowPlan>,
+        home_shard: usize,
+    ) -> Self {
+        let residual = (0..plan.num_round_blocks)
+            .map(|_| BitVec::zeros(plan.dets_per_round))
+            .collect();
+        let error_hat = BitVec::zeros(plan.num_mechanisms);
+        Self {
+            shared,
+            code,
+            plan,
+            home_shard,
+            next_seq: 0,
+            residual,
+            rounds_pushed: 0,
+            next_window: 0,
+            in_flight: None,
+            carried: None,
+            error_hat,
+            all_solved: true,
+            failed: None,
+        }
+    }
+
+    /// The plan this session streams against.
+    pub fn plan(&self) -> &WindowPlan {
+        &self.plan
+    }
+
+    /// Detector-round blocks pushed so far.
+    pub fn rounds_pushed(&self) -> usize {
+        self.rounds_pushed
+    }
+
+    /// Windows committed so far.
+    pub fn windows_committed(&self) -> usize {
+        self.next_window - usize::from(self.in_flight.is_some())
+    }
+
+    /// Feeds the next measured detector-round block
+    /// ([`WindowPlan::dets_per_round`] bits) and returns any windows
+    /// that committed meanwhile — without blocking: a window whose
+    /// decode is still in flight is simply not harvested yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round` has the wrong length or more rounds are pushed
+    /// than the plan covers.
+    pub fn push_round(&mut self, round: &BitVec) -> Result<Vec<CommitEvent>, StreamError> {
+        if let Some(e) = self.failed {
+            return Err(e);
+        }
+        assert_eq!(
+            round.len(),
+            self.plan.dets_per_round,
+            "round block has wrong detector count"
+        );
+        assert!(
+            self.rounds_pushed < self.plan.num_round_blocks,
+            "more rounds pushed than the plan covers"
+        );
+        self.residual[self.rounds_pushed].xor_assign(round);
+        self.rounds_pushed += 1;
+        self.pump(false)
+    }
+
+    /// Blocks until every window has resolved and returns the stream's
+    /// final artifacts (plus any commit events not yet handed out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before all [`WindowPlan::num_round_blocks`]
+    /// rounds were pushed.
+    pub fn finish(mut self) -> Result<StreamResult, StreamError> {
+        if let Some(e) = self.failed {
+            return Err(e);
+        }
+        assert_eq!(
+            self.rounds_pushed, self.plan.num_round_blocks,
+            "finish() before every round of the plan was pushed"
+        );
+        let events = self.pump(true)?;
+        debug_assert_eq!(self.next_window, self.plan.num_windows());
+        Ok(StreamResult {
+            error_hat: self.error_hat,
+            events,
+            all_solved: self.all_solved,
+        })
+    }
+
+    /// Advances the pipeline: harvest the in-flight window (blocking
+    /// only when `block`), commit it, and submit the next window once
+    /// its rounds are buffered. Poisons the session on error.
+    fn pump(&mut self, block: bool) -> Result<Vec<CommitEvent>, StreamError> {
+        let mut events = Vec::new();
+        loop {
+            if let Some((w, slot)) = &self.in_flight {
+                let response = if block {
+                    Some(slot.wait_take())
+                } else {
+                    slot.poll_take()
+                };
+                let Some(response) = response else { break };
+                let w = *w;
+                self.in_flight = None;
+                match response.result {
+                    Ok(outcome) => events.push(self.commit(w, outcome)),
+                    Err(e) => return Err(self.poison(e.into())),
+                }
+                continue;
+            }
+            if self.next_window >= self.plan.num_windows() {
+                break;
+            }
+            // A window is submittable once every round it covers is in
+            // the residual (spill from earlier commits is already
+            // folded in — the previous window resolved above).
+            if self.rounds_pushed < self.plan.windows[self.next_window].end_round {
+                break;
+            }
+            if let Err(e) = self.submit_next() {
+                return Err(self.poison(e));
+            }
+        }
+        Ok(events)
+    }
+
+    /// Submits window [`Self::next_window`], retrying backpressure.
+    fn submit_next(&mut self) -> Result<(), StreamError> {
+        let w = self.next_window;
+        let spec = &self.plan.windows[w];
+        let k = self.plan.dets_per_round;
+        let mut syndrome = BitVec::zeros(spec.num_rounds() * k);
+        for (i, r) in (spec.start_round..spec.end_round).enumerate() {
+            for bit in self.residual[r].iter_ones() {
+                syndrome.set(i * k + bit, true);
+            }
+        }
+        let priors = self.carried.take();
+        loop {
+            match self.shared.submit_window(
+                self.code,
+                self.home_shard,
+                self.next_seq,
+                w,
+                syndrome.clone(),
+                priors.clone(),
+            ) {
+                Ok(slot) => {
+                    self.in_flight = Some((w, slot));
+                    self.next_seq += 1;
+                    return Ok(());
+                }
+                // The queue drains at decode speed; yield and re-offer.
+                Err(SubmitError::Overloaded) => std::thread::yield_now(),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Folds a resolved window into the session: record committed
+    /// mechanisms, XOR their spill out of the residual, and stage the
+    /// carried priors for the next window.
+    fn commit(&mut self, w: usize, outcome: WindowOutcome) -> CommitEvent {
+        let spec = &self.plan.windows[w];
+        let k = self.plan.dets_per_round;
+        self.all_solved &= outcome.solved;
+        let mut mechanisms = Vec::new();
+        for col in 0..spec.commit_cols {
+            if !outcome.error_hat.get(col) {
+                continue;
+            }
+            let mech = spec.mechanisms[col];
+            self.error_hat.set(mech as usize, true);
+            mechanisms.push(mech);
+            for &det in &spec.spill[col] {
+                let det = det as usize;
+                self.residual[det / k].flip(det % k);
+            }
+        }
+        if w + 1 < self.plan.num_windows() {
+            let next = &self.plan.windows[w + 1];
+            let mut priors = next.priors.clone();
+            for link in &spec.carry {
+                priors[link.to_col as usize] = outcome.posteriors[link.from_col as usize];
+            }
+            self.carried = Some(priors);
+        }
+        self.next_window = w + 1;
+        CommitEvent {
+            window_index: w,
+            start_round: spec.start_round,
+            end_round: spec.commit_end_round,
+            mechanisms,
+            solved: outcome.solved,
+        }
+    }
+
+    fn poison(&mut self, e: StreamError) -> StreamError {
+        self.failed = Some(e);
+        e
+    }
+}

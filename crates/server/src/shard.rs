@@ -13,7 +13,8 @@
 //!    at the kernel's lane width; a trickle dispatches after `max_wait`
 //!    with whatever arrived.
 //! 3. **Dispatch** — expire requests whose deadline has passed, decode
-//!    the rest in one [`decode_batch`] call, and fulfill every slot.
+//!    the rest in one [`decode_batch`] / [`decode_windows`] call, and
+//!    fulfill every slot.
 //!
 //! All consumers (owner and thieves) pop from the queue *head*, so
 //! requests of one client — which a [`Client`](crate::Client) always
@@ -24,20 +25,63 @@
 //! finish out of order; completion-order FIFO per client is guaranteed
 //! only at `shards = 1` (what the soak tests assert).
 //!
+//! # Worker death
+//!
+//! A decoder is user-supplied code; it may panic. The service's
+//! "exactly one response per accepted request" invariant survives that
+//! through two drop guards:
+//!
+//! * [`BatchGuard`] owns the in-flight batch across the decode call. If
+//!   the decoder panics, its `Drop` answers every not-yet-fulfilled
+//!   request of the batch with [`DecodeError::WorkerLost`].
+//! * [`WorkerGuard`] covers the whole worker lifetime. The *last*
+//!   worker of a code to die panicking drains every shard queue —
+//!   under the submission gate's write side, so no new request can
+//!   slip in behind the drain — answering each queued request with
+//!   `WorkerLost`. Submissions observe `alive == 0` afterwards and are
+//!   refused with [`SubmitError::Shutdown`](crate::SubmitError).
+//!
 //! [`decode_batch`]: qldpc_decoder_api::SyndromeDecoder::decode_batch
+//! [`decode_windows`]: qldpc_decoder_api::WindowDecoder::decode_windows
 
 use crate::metrics::CodeMetrics;
-use crate::request::{DecodeError, DecodeResponse, Request};
+use crate::request::{DecodeError, DecodeResponse, Payload, Request, WindowResponse};
 use crossbeam::channel::{Receiver, RecvTimeoutError};
-use qldpc_decoder_api::{SharedDecoderFactory, SyndromeDecoder};
+use qldpc_decoder_api::{
+    DecodeOutcome, SharedDecoderFactory, SharedWindowDecoderFactory, SyndromeDecoder,
+    WindowDecoder, WindowPlan, WindowTask,
+};
 use qldpc_gf2::{BitVec, SparseBitMatrix};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 /// Upper bound on any blocking nap in the worker loop; the shutdown flag
 /// is re-checked at least this often even when no traffic arrives.
 const PARK: Duration = Duration::from_millis(5);
+
+/// What a code's workers decode with: a single-shot syndrome decoder
+/// over one check matrix, or a windowed decoder over a streaming plan.
+/// A code's queues only ever carry the matching [`Payload`] kind.
+#[derive(Clone)]
+pub(crate) enum CodeKind {
+    Single {
+        h: Arc<SparseBitMatrix>,
+        priors: Arc<Vec<f64>>,
+        factory: SharedDecoderFactory,
+    },
+    Streaming {
+        plan: Arc<WindowPlan>,
+        factory: SharedWindowDecoderFactory,
+    },
+}
+
+/// One worker's decoder instance, built from its code's factory.
+enum WorkerDecoder {
+    Single(Box<dyn SyndromeDecoder>),
+    Streaming(Box<dyn WindowDecoder>),
+}
 
 /// Everything one shard worker needs; moved into its thread at spawn.
 pub(crate) struct ShardContext {
@@ -46,9 +90,7 @@ pub(crate) struct ShardContext {
     /// Receivers of *all* the code's shard queues, indexed by shard; the
     /// worker owns index [`Self::shard_index`] and steals from the rest.
     pub queues: Vec<Receiver<Request>>,
-    pub h: Arc<SparseBitMatrix>,
-    pub priors: Arc<Vec<f64>>,
-    pub factory: SharedDecoderFactory,
+    pub kind: CodeKind,
     pub max_batch: usize,
     pub max_wait: Duration,
     pub metrics: Arc<CodeMetrics>,
@@ -57,6 +99,12 @@ pub(crate) struct ShardContext {
     /// Service-wide shutdown flag; once set, no submission can enter a
     /// queue, and workers drain every queue before exiting.
     pub closed: Arc<AtomicBool>,
+    /// Still-running workers of this code; submissions refuse when it
+    /// hits zero (every decoder of the code is gone).
+    pub alive: Arc<AtomicUsize>,
+    /// The service's submission gate (see `service::Shared`); the last
+    /// worker to die panicking drains the queues under its write side.
+    pub gate: Arc<RwLock<bool>>,
 }
 
 impl ShardContext {
@@ -89,7 +137,15 @@ impl ShardContext {
 
     /// The worker thread body.
     pub fn run(self) {
-        let mut decoder: Box<dyn SyndromeDecoder> = (self.factory)(&self.h, &self.priors);
+        // Arm the liveness guard before building the decoder: even a
+        // panicking factory must not strand queued requests.
+        let _guard = WorkerGuard { ctx: &self };
+        let mut decoder = match &self.kind {
+            CodeKind::Single { h, priors, factory } => WorkerDecoder::Single((factory)(h, priors)),
+            CodeKind::Streaming { plan, factory } => {
+                WorkerDecoder::Streaming((factory)(Arc::clone(plan)))
+            }
+        };
         loop {
             let first = match self.poll() {
                 Some(request) => request,
@@ -111,7 +167,7 @@ impl ShardContext {
                 }
             };
             let batch = self.coalesce(first);
-            self.dispatch(decoder.as_mut(), batch);
+            self.dispatch(&mut decoder, batch);
         }
     }
 
@@ -144,53 +200,202 @@ impl ShardContext {
 
     /// Expires overdue requests, decodes the rest in one batched call,
     /// and fulfills every response slot in queue order.
-    fn dispatch(&self, decoder: &mut dyn SyndromeDecoder, batch: Vec<Request>) {
+    fn dispatch(&self, decoder: &mut WorkerDecoder, batch: Vec<Request>) {
         let dispatched_at = Instant::now();
-        let live: Vec<bool> = batch
-            .iter()
-            .map(|r| r.deadline.is_none_or(|d| d >= dispatched_at))
-            .collect();
-        let syndromes: Vec<BitVec> = batch
-            .iter()
-            .zip(&live)
-            .filter(|&(_, &l)| l)
-            .map(|(r, _)| r.syndrome.clone())
-            .collect();
-        let live_count = syndromes.len();
-        self.metrics.record_batch(live_count);
-        let mut outcomes = decoder.decode_batch(&syndromes).into_iter();
-
         // One contiguous completion-seq range per batch, in queue order.
         let seq_base = self
             .completion_counter
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
-        for (offset, (request, is_live)) in batch.into_iter().zip(live).enumerate() {
-            let result = if is_live {
-                self.metrics.completed.fetch_add(1, Ordering::Relaxed);
-                Ok(outcomes.next().expect("decode_batch returned short"))
+        let mut expired: Vec<(Request, u64)> = Vec::new();
+        let mut pending: VecDeque<(Request, u64)> = VecDeque::with_capacity(batch.len());
+        for (offset, request) in batch.into_iter().enumerate() {
+            let seq = seq_base + offset as u64;
+            if request.deadline.is_none_or(|d| d >= dispatched_at) {
+                pending.push_back((request, seq));
             } else {
-                self.metrics.expired.fetch_add(1, Ordering::Relaxed);
-                Err(DecodeError::DeadlineExceeded)
-            };
-            let stolen = request.home_shard != self.shard_index;
-            if stolen {
-                self.metrics.stolen.fetch_add(1, Ordering::Relaxed);
+                expired.push((request, seq));
             }
-            let total_time = request.submitted_at.elapsed();
-            if is_live {
-                self.metrics.record_latency(total_time);
-            }
-            request.slot.fulfill(DecodeResponse {
-                request_id: request.id,
-                client_seq: request.client_seq,
-                result,
-                batch_size: live_count,
-                completion_seq: seq_base + offset as u64,
-                queue_time: dispatched_at.saturating_duration_since(request.submitted_at),
-                total_time,
-                stolen,
-            });
         }
-        debug_assert!(outcomes.next().is_none(), "decode_batch returned long");
+        let live_count = pending.len();
+        self.metrics.record_batch(live_count);
+        for (request, seq) in expired {
+            self.metrics.expired.fetch_add(1, Ordering::Relaxed);
+            match &request.payload {
+                Payload::Decode { .. } => self.respond_decode(
+                    request,
+                    Err(DecodeError::DeadlineExceeded),
+                    live_count,
+                    seq,
+                    dispatched_at,
+                ),
+                Payload::Window { .. } => {
+                    request.fail(DecodeError::DeadlineExceeded, live_count, seq)
+                }
+            }
+        }
+        // The in-flight batch lives inside the guard from here on: a
+        // panicking decode unwinds through it and the whole remainder is
+        // answered `WorkerLost` instead of stranding its waiters.
+        let mut guard = BatchGuard {
+            metrics: &self.metrics,
+            pending,
+            batch_size: live_count,
+        };
+        match decoder {
+            WorkerDecoder::Single(d) => {
+                let syndromes: Vec<BitVec> = guard
+                    .pending
+                    .iter()
+                    .map(|(r, _)| match &r.payload {
+                        Payload::Decode { syndrome, .. } => syndrome.clone(),
+                        Payload::Window { .. } => {
+                            unreachable!("window payload queued on a single-shot code")
+                        }
+                    })
+                    .collect();
+                let mut outcomes = d.decode_batch(&syndromes).into_iter();
+                for _ in 0..live_count {
+                    let outcome = outcomes.next().expect("decode_batch returned short");
+                    let (request, seq) = guard.pending.pop_front().expect("guard tracks batch");
+                    self.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                    self.respond_decode(request, Ok(outcome), live_count, seq, dispatched_at);
+                }
+                debug_assert!(outcomes.next().is_none(), "decode_batch returned long");
+            }
+            WorkerDecoder::Streaming(d) => {
+                let tasks: Vec<WindowTask> = guard
+                    .pending
+                    .iter()
+                    .map(|(r, _)| match &r.payload {
+                        Payload::Window {
+                            window_index,
+                            syndrome,
+                            priors,
+                            ..
+                        } => WindowTask {
+                            window_index: *window_index,
+                            syndrome: syndrome.clone(),
+                            priors: priors.as_deref(),
+                        },
+                        Payload::Decode { .. } => {
+                            unreachable!("decode payload queued on a streaming code")
+                        }
+                    })
+                    .collect();
+                let outcomes = d.decode_windows(&tasks);
+                drop(tasks);
+                debug_assert_eq!(outcomes.len(), live_count, "decode_windows length mismatch");
+                for outcome in outcomes {
+                    let (request, seq) = guard.pending.pop_front().expect("guard tracks batch");
+                    self.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                    if request.home_shard != self.shard_index {
+                        self.metrics.stolen.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.metrics.record_latency(request.submitted_at.elapsed());
+                    let id = request.id;
+                    let Payload::Window { slot, .. } = request.payload else {
+                        unreachable!("streaming batch holds only window payloads")
+                    };
+                    let _ = seq; // window responses carry no completion stamp
+                    slot.fulfill(WindowResponse {
+                        request_id: id,
+                        result: Ok(outcome),
+                    });
+                }
+            }
+        }
+        debug_assert!(guard.pending.is_empty(), "batch not fully answered");
+    }
+
+    /// Fulfills one single-shot request with full scheduling telemetry.
+    fn respond_decode(
+        &self,
+        request: Request,
+        result: Result<DecodeOutcome, DecodeError>,
+        batch_size: usize,
+        completion_seq: u64,
+        dispatched_at: Instant,
+    ) {
+        let Request {
+            id,
+            client_seq,
+            submitted_at,
+            home_shard,
+            payload,
+            ..
+        } = request;
+        let Payload::Decode { slot, .. } = payload else {
+            unreachable!("single-shot responder on a window payload")
+        };
+        let stolen = home_shard != self.shard_index;
+        if stolen {
+            self.metrics.stolen.fetch_add(1, Ordering::Relaxed);
+        }
+        let total_time = submitted_at.elapsed();
+        if result.is_ok() {
+            self.metrics.record_latency(total_time);
+        }
+        slot.fulfill(DecodeResponse {
+            request_id: id,
+            client_seq,
+            result,
+            batch_size,
+            completion_seq,
+            queue_time: dispatched_at.saturating_duration_since(submitted_at),
+            total_time,
+            stolen,
+        });
+    }
+}
+
+/// Owns the in-flight batch across the decode call; answers the
+/// unfulfilled remainder with [`DecodeError::WorkerLost`] if the decoder
+/// panics (normal dispatch pops every entry before the guard drops).
+struct BatchGuard<'a> {
+    metrics: &'a CodeMetrics,
+    pending: VecDeque<(Request, u64)>,
+    batch_size: usize,
+}
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        while let Some((request, seq)) = self.pending.pop_front() {
+            self.metrics.lost.fetch_add(1, Ordering::Relaxed);
+            request.fail(DecodeError::WorkerLost, self.batch_size, seq);
+        }
+    }
+}
+
+/// Tracks worker liveness for the whole thread body. On a panic of the
+/// *last* live worker of a code, drains every shard queue so nothing
+/// waits forever on decoders that no longer exist.
+struct WorkerGuard<'a> {
+    ctx: &'a ShardContext,
+}
+
+impl Drop for WorkerGuard<'_> {
+    fn drop(&mut self) {
+        let ctx = self.ctx;
+        let remaining = ctx.alive.fetch_sub(1, Ordering::AcqRel) - 1;
+        if !std::thread::panicking() || remaining > 0 {
+            // Normal exit (queues already drained by the run loop), or
+            // siblings survive and will keep stealing from our queue.
+            return;
+        }
+        // Last worker of the code, dying in a panic: answer everything
+        // still queued. Take the gate's write side so the drain cannot
+        // race a submission — submitters hold the read side across
+        // check-and-send, and after we release, they observe
+        // `alive == 0` and refuse. `into_inner` on poisoning: a panic
+        // inside a `Drop` during unwinding would abort the process.
+        let gate = ctx.gate.write().unwrap_or_else(|e| e.into_inner());
+        for queue in &ctx.queues {
+            while let Ok(request) = queue.try_recv() {
+                ctx.metrics.lost.fetch_add(1, Ordering::Relaxed);
+                let seq = ctx.completion_counter.fetch_add(1, Ordering::Relaxed);
+                request.fail(DecodeError::WorkerLost, 0, seq);
+            }
+        }
+        drop(gate);
     }
 }

@@ -182,6 +182,9 @@ fn soak_mixed_codes_bit_identical_no_request_lost() {
                         // Duration::ZERO ones always do.
                         assert!(deadline.is_some(), "deadline-free request expired");
                     }
+                    Err(DecodeError::WorkerLost) => {
+                        panic!("no worker dies in this soak, yet a request was lost")
+                    }
                 }
             }
         }

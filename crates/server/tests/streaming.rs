@@ -1,0 +1,272 @@
+//! Streaming-session integration: round-by-round submission against a
+//! real circuit-level window plan, commit events in round order, and
+//! the drain guarantees under shutdown.
+
+use qldpc_bp::{BpConfig, BpWindowDecoder};
+use qldpc_circuit::{window_plan, DemSampler, MemoryExperiment, NoiseModel};
+use qldpc_codes::bb;
+use qldpc_decoder_api::{WindowDecoderFactory, WindowPlan};
+use qldpc_gf2::BitVec;
+use qldpc_server::{CommitEvent, DecodeService, ServiceConfig, StreamError, SubmitError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deadlock guard (same idiom as the soak suite).
+fn with_timeout<F: FnOnce() + Send + 'static>(limit: Duration, f: F) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        f();
+        tx.send(()).ok();
+    });
+    match rx.recv_timeout(limit) {
+        Ok(()) | Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+            worker.join().expect("test thread panicked")
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            panic!("test exceeded {limit:?} — streaming session deadlocked")
+        }
+    }
+}
+
+fn bp_window_factory(max_iters: usize) -> WindowDecoderFactory {
+    Box::new(move |plan| {
+        let config = BpConfig {
+            max_iters,
+            ..BpConfig::default()
+        };
+        Box::new(BpWindowDecoder::new(plan, config))
+    })
+}
+
+/// bb72 memory-Z experiment sliced into W=2 / C=1 round windows.
+fn bb72_setup(rounds: usize) -> (qldpc_circuit::DetectorErrorModel, Arc<WindowPlan>) {
+    let exp =
+        MemoryExperiment::memory_z(&bb::bb72(), rounds, &NoiseModel::uniform_depolarizing(2e-3));
+    let dem = exp.detector_error_model();
+    let k = dem.num_detectors() / (rounds + 1);
+    let plan = Arc::new(window_plan(&dem, k, 2, 1));
+    (dem, plan)
+}
+
+/// Events of one session must arrive strictly in window order and,
+/// taken together, tile the plan's windows `0..n` with contiguous
+/// committed round ranges.
+fn assert_in_order_prefix(events: &[CommitEvent], plan: &WindowPlan) {
+    for (i, event) in events.iter().enumerate() {
+        assert_eq!(event.window_index, i, "commit events out of window order");
+        assert_eq!(event.start_round, plan.windows[i].start_round);
+        assert_eq!(event.end_round, plan.windows[i].commit_end_round);
+        if i > 0 {
+            assert_eq!(
+                event.start_round,
+                events[i - 1].end_round,
+                "committed rounds must tile without gap or overlap"
+            );
+        }
+    }
+}
+
+/// The tentpole end-to-end path: concurrent sessions stream sampled
+/// shots round by round; commit events arrive strictly in window order
+/// and tile the rounds; a fully solved stream's correction explains its
+/// entire syndrome.
+#[test]
+fn sessions_stream_rounds_and_commit_in_order() {
+    with_timeout(Duration::from_secs(120), || {
+        let (dem, plan) = bb72_setup(4);
+        let k = plan.dets_per_round;
+        let num_rounds = plan.num_round_blocks;
+        let mut builder = DecodeService::builder();
+        let code = builder.register_streaming_code_with(
+            "bb72-stream",
+            Arc::clone(&plan),
+            bp_window_factory(60),
+            ServiceConfig {
+                shards: 2,
+                max_wait: Duration::from_micros(100),
+                ..Default::default()
+            },
+        );
+        let service = builder.start();
+
+        let sampler = DemSampler::new(&dem);
+        let mut rng = StdRng::seed_from_u64(17);
+        let shots = sampler.sample_batch(&mut rng, 12);
+
+        let mut sessions: Vec<_> = shots
+            .iter()
+            .map(|_| service.stream_session(code).expect("session opens"))
+            .collect();
+        let mut events: Vec<Vec<CommitEvent>> = vec![Vec::new(); shots.len()];
+        // Interleave rounds across sessions so window submissions from
+        // different streams coexist in the shard queues (the batching
+        // path the service exists for).
+        for r in 0..num_rounds {
+            for (i, (session, shot)) in sessions.iter_mut().zip(&shots).enumerate() {
+                let round = shot.syndrome.slice(r * k..(r + 1) * k);
+                events[i].extend(session.push_round(&round).expect("push_round"));
+            }
+        }
+        for ((session, shot), events) in sessions.into_iter().zip(&shots).zip(&mut events) {
+            assert_eq!(session.rounds_pushed(), num_rounds);
+            let result = session.finish().expect("finish");
+            events.extend(result.events);
+            assert_eq!(events.len(), plan.num_windows(), "every window commits");
+            assert_in_order_prefix(events, &plan);
+            assert_eq!(
+                events.last().unwrap().end_round,
+                num_rounds,
+                "the last window commits through the final round"
+            );
+            // Committed mechanisms in events must be exactly the set
+            // bits of the global estimate.
+            let mut from_events = BitVec::zeros(dem.num_mechanisms());
+            for event in events.iter() {
+                for &m in &event.mechanisms {
+                    assert!(!from_events.get(m as usize), "mechanism committed twice");
+                    from_events.set(m as usize, true);
+                }
+            }
+            assert_eq!(from_events, result.error_hat);
+            // A fully solved stream's committed correction explains the
+            // *entire* measured syndrome: committed rounds are final (only
+            // committed columns and already-applied spill touch them).
+            if result.all_solved {
+                assert_eq!(
+                    dem.check_matrix().mul_vec(&result.error_hat),
+                    shot.syndrome,
+                    "solved stream left residual syndrome unexplained"
+                );
+            }
+        }
+        let metrics = service.shutdown().remove(0);
+        assert!(metrics.is_drained());
+        assert_eq!(metrics.lost, 0);
+        assert_eq!(
+            metrics.submitted,
+            (shots.len() * plan.num_windows()) as u64,
+            "one submission per session per window"
+        );
+    });
+}
+
+/// A zero syndrome streams to a zero correction with no committed
+/// mechanisms and every window solved.
+#[test]
+fn zero_syndrome_streams_to_zero_correction() {
+    with_timeout(Duration::from_secs(60), || {
+        let (dem, plan) = bb72_setup(3);
+        let k = plan.dets_per_round;
+        let mut builder = DecodeService::builder();
+        let code = builder.register_streaming_code(
+            "bb72-stream",
+            Arc::clone(&plan),
+            bp_window_factory(40),
+        );
+        let service = builder.start();
+        let mut session = service.stream_session(code).expect("session opens");
+        let zero_round = BitVec::zeros(k);
+        let mut events = Vec::new();
+        for _ in 0..plan.num_round_blocks {
+            events.extend(session.push_round(&zero_round).expect("push_round"));
+        }
+        let result = session.finish().expect("finish");
+        events.extend(result.events);
+        assert!(result.all_solved);
+        assert!(result.error_hat.is_zero());
+        assert_eq!(events.len(), plan.num_windows());
+        for event in &events {
+            assert!(event.solved);
+            assert!(event.mechanisms.is_empty());
+        }
+        assert_eq!(dem.num_undetectable(), 0);
+        service.shutdown();
+    });
+}
+
+/// Streaming codes and single-shot codes refuse each other's surfaces.
+#[test]
+fn wrong_code_kind_is_refused() {
+    let (_, plan) = bb72_setup(2);
+    let h = plan.windows[0].h.clone();
+    let priors = plan.windows[0].priors.clone();
+    let single_factory: qldpc_decoder_api::DecoderFactory = Box::new(|h, priors| {
+        Box::new(qldpc_bp::MinSumDecoder::new(h, priors, BpConfig::default()))
+    });
+    let mut builder = DecodeService::builder();
+    let streaming =
+        builder.register_streaming_code("stream", Arc::clone(&plan), bp_window_factory(40));
+    let single = builder.register_code("single", &h, &priors, single_factory);
+    let service = builder.start();
+
+    let mut client = service.client();
+    assert_eq!(
+        client
+            .submit(streaming, BitVec::zeros(plan.window_syndrome_len(0)))
+            .unwrap_err(),
+        SubmitError::WrongCodeKind,
+        "bare submit against a streaming code"
+    );
+    assert_eq!(
+        service.stream_session(single).err(),
+        Some(SubmitError::WrongCodeKind),
+        "stream_session against a single-shot code"
+    );
+    service.shutdown();
+}
+
+/// Session drain under shutdown: events already handed out stay an
+/// in-order prefix, the in-flight window still resolves (shutdown
+/// drains the queues), and the next submission fails cleanly with
+/// `Shutdown` instead of hanging.
+#[test]
+fn session_drain_ordering_under_shutdown() {
+    with_timeout(Duration::from_secs(60), || {
+        let (_, plan) = bb72_setup(4);
+        let k = plan.dets_per_round;
+        let mut builder = DecodeService::builder();
+        let code = builder.register_streaming_code(
+            "bb72-stream",
+            Arc::clone(&plan),
+            bp_window_factory(40),
+        );
+        let service = builder.start();
+        let mut session = service.stream_session(code).expect("session opens");
+
+        // Push enough rounds to put window 0 in flight (and possibly
+        // commit it), then shut the service down under the session.
+        let zero_round = BitVec::zeros(k);
+        let mut events = Vec::new();
+        for _ in 0..plan.windows[0].end_round {
+            events.extend(session.push_round(&zero_round).expect("push_round"));
+        }
+        service.shutdown();
+
+        // Keep pushing: the drained in-flight window may still commit
+        // (in order), but the next submission must surface Shutdown —
+        // never hang, never reorder.
+        let mut error = None;
+        for _ in plan.windows[0].end_round..plan.num_round_blocks {
+            match session.push_round(&zero_round) {
+                Ok(committed) => events.extend(committed),
+                Err(e) => {
+                    error = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(
+            error,
+            Some(StreamError::Submit(SubmitError::Shutdown)),
+            "post-shutdown submission must fail cleanly"
+        );
+        assert_in_order_prefix(&events, &plan);
+        // Poisoned: the error is sticky.
+        assert_eq!(
+            session.push_round(&zero_round).unwrap_err(),
+            StreamError::Submit(SubmitError::Shutdown)
+        );
+    });
+}

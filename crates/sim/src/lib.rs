@@ -28,6 +28,7 @@ mod engine;
 mod latency;
 mod parallel_runner;
 mod report;
+mod streaming;
 
 pub use batch::{run_circuit_level_batched, run_code_capacity_batched, BatchConfig};
 pub use circuit_level::{run_circuit_level, CircuitLevelConfig};
@@ -36,6 +37,10 @@ pub use decoders::{DecodeOutcome, DecoderFactory, SyndromeDecoder};
 pub use latency::HardwareLatencyModel;
 pub use parallel_runner::{run_circuit_level_parallel, run_code_capacity_parallel};
 pub use report::{RunReport, ShotRecord};
+pub use streaming::{
+    run_streaming, run_streaming_offline_reference, stream_syndrome_rounds, StreamingConfig,
+    StreamingReport,
+};
 // Percentile/latency statistics live in `bpsf_core::stats` (shared with
 // the `qldpc-server` metrics); re-exported here so sim's public API is
 // unchanged.
