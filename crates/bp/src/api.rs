@@ -9,16 +9,22 @@
 
 use crate::llr::Llr;
 use crate::{BatchMinSumDecoderOf, BpResult, MinSumDecoderOf, Schedule};
-use qldpc_decoder_api::{DecodeOutcome, DecoderFamily, Precision, SyndromeDecoder};
+use qldpc_decoder_api::{
+    DecodeOutcome, DecodeTelemetry, DecoderFamily, Precision, SyndromeDecoder,
+};
 use qldpc_gf2::BitVec;
 
 fn outcome_from<T: Llr>(r: BpResult<T>) -> DecodeOutcome {
+    let mut telemetry = DecodeTelemetry::bp(r.iterations, r.converged);
+    // Populated only under `track_oscillations`; stays 0 otherwise.
+    telemetry.oscillating_bits = r.flip_counts.iter().filter(|&&c| c >= 2).count() as u64;
     DecodeOutcome {
         error_hat: r.error_hat,
         solved: r.converged,
         serial_iterations: r.iterations,
         critical_iterations: r.iterations,
         postprocessed: false,
+        telemetry,
     }
 }
 

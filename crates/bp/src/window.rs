@@ -13,7 +13,9 @@
 
 use crate::llr::Llr;
 use crate::{BatchMinSumDecoderOf, BpConfig};
-use qldpc_decoder_api::{Precision, WindowDecoder, WindowOutcome, WindowPlan, WindowTask};
+use qldpc_decoder_api::{
+    DecodeTelemetry, Precision, WindowDecoder, WindowOutcome, WindowPlan, WindowTask,
+};
 use std::sync::Arc;
 
 /// Converts a posterior LLR `λ = ln(P(0)/P(1))` to the error
@@ -114,6 +116,9 @@ impl<T: Llr> WindowDecoder for BpWindowDecoderOf<T> {
             };
             let results = self.engines[w].decode_batch_with_priors(&syndromes, &priors);
             for (&i, r) in idxs.iter().zip(results) {
+                let mut telemetry = DecodeTelemetry::bp(r.iterations, r.converged);
+                telemetry.oscillating_bits =
+                    r.flip_counts.iter().filter(|&&c| c >= 2).count() as u64;
                 out[i] = Some(WindowOutcome {
                     error_hat: r.error_hat,
                     posteriors: r
@@ -123,6 +128,7 @@ impl<T: Llr> WindowDecoder for BpWindowDecoderOf<T> {
                         .collect(),
                     solved: r.converged,
                     iterations: r.iterations,
+                    telemetry,
                 });
             }
         }

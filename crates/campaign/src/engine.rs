@@ -177,6 +177,7 @@ struct PartialCell {
     shots: usize,
     failures: usize,
     unsolved: usize,
+    bp_iters: u64,
     /// The resolved thread count the recorded chunks ran with — resume
     /// refuses to continue the cell under a different one.
     threads: usize,
@@ -259,6 +260,7 @@ fn replay_log(path: &Path, spec: &CampaignSpec) -> Result<Replayed, CampaignErro
                         shots: c.cum_shots,
                         failures: c.cum_failures,
                         unsolved: c.cum_unsolved,
+                        bp_iters: c.cum_bp_iters,
                         threads: c.threads,
                     },
                 );
@@ -405,6 +407,7 @@ pub fn run_campaign(
             shots: 0,
             failures: 0,
             unsolved: 0,
+            bp_iters: 0,
             threads,
         });
         if partial.threads != threads {
@@ -415,6 +418,7 @@ pub fn run_campaign(
             mut shots,
             mut failures,
             mut unsolved,
+            mut bp_iters,
             ..
         } = partial;
         if !opts.quiet {
@@ -464,6 +468,8 @@ pub fn run_campaign(
             shots += report.shots;
             failures += report.failures;
             unsolved += report.unsolved;
+            let chunk_bp_iters = report.total_serial_iterations();
+            bp_iters += chunk_bp_iters;
             let row = ChunkRow {
                 campaign: spec.name.clone(),
                 spec: fingerprint.clone(),
@@ -474,9 +480,11 @@ pub fn run_campaign(
                 shots: report.shots,
                 failures: report.failures,
                 unsolved: report.unsolved,
+                bp_iters: chunk_bp_iters,
                 cum_shots: shots,
                 cum_failures: failures,
                 cum_unsolved: unsolved,
+                cum_bp_iters: bp_iters,
             };
             append(&row.to_json())?;
             if !opts.quiet {
@@ -512,6 +520,7 @@ pub fn run_campaign(
             shots,
             failures,
             unsolved,
+            bp_iters,
             ler: if shots == 0 {
                 0.0
             } else {

@@ -119,6 +119,15 @@ fn fmt_ci(row: &CellRow) -> String {
     )
 }
 
+/// Mean serial BP iterations per shot — the convergence-effort column.
+fn fmt_bp_iters(row: &CellRow) -> String {
+    if row.shots == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}", row.bp_iters as f64 / row.shots as f64)
+    }
+}
+
 fn section_heading(row: &CellRow) -> String {
     let noise = if row.noise == "code-capacity" {
         "code-capacity noise".to_string()
@@ -191,13 +200,13 @@ pub fn render_markdown(rows: &[CellRow]) -> String {
             let _ = writeln!(out, "### {}\n", section_heading(head));
             let _ = writeln!(out, "({})\n", code_stamp(head));
             out.push_str(
-                "| p | decoder | precision | shots | failures | LER | CI | stop | seed | git |\n\
-                 |--:|---|---|--:|--:|--:|---|---|--:|---|\n",
+                "| p | decoder | precision | shots | failures | LER | CI | BP iters | stop | seed | git |\n\
+                 |--:|---|---|--:|--:|--:|---|--:|---|--:|---|\n",
             );
             for row in &section_rows {
                 let _ = writeln!(
                     out,
-                    "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+                    "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
                     row.p,
                     md_cell(&row.decoder),
                     row.precision,
@@ -205,6 +214,7 @@ pub fn render_markdown(rows: &[CellRow]) -> String {
                     row.failures,
                     fmt_ler(row.ler),
                     fmt_ci(row),
+                    fmt_bp_iters(row),
                     row.stop,
                     row.seed,
                     row.git_rev
@@ -297,7 +307,7 @@ fn render_crossover(out: &mut String, section_rows: &[&CellRow]) {
 pub fn render_tsv(rows: &[CellRow]) -> String {
     let mut out = String::from(
         "campaign\tspec\tcell\tcode\tcode_name\tn\tk\td\tnoise\tp\trounds\tdecoder\tfamily\t\
-         precision\tshots\tfailures\tunsolved\tler\tci_lo\tci_hi\tconfidence\t\
+         precision\tshots\tfailures\tunsolved\tbp_iters\tler\tci_lo\tci_hi\tconfidence\t\
          target_half_width\tstop\tchunks\tseed\tthreads\tbatch_size\tgit_rev\n",
     );
     let mut sorted: Vec<&CellRow> = rows.iter().collect();
@@ -310,7 +320,7 @@ pub fn render_tsv(rows: &[CellRow]) -> String {
     for r in sorted {
         let _ = writeln!(
             out,
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             r.campaign,
             r.spec,
             r.cell,
@@ -328,6 +338,7 @@ pub fn render_tsv(rows: &[CellRow]) -> String {
             r.shots,
             r.failures,
             r.unsolved,
+            r.bp_iters,
             r.ler,
             r.ci_lo,
             r.ci_hi,
@@ -368,6 +379,7 @@ mod tests {
             shots: 1000,
             failures: (ler * 1000.0) as usize,
             unsolved: 0,
+            bp_iters: 21_500,
             ler,
             ci_lo: lo,
             ci_hi: hi,

@@ -12,7 +12,8 @@ use crate::jsonl::{parse_object, JsonValue, ObjectWriter};
 use std::collections::BTreeMap;
 
 /// Schema tag stamped into every row; bump on breaking layout changes.
-pub const SCHEMA: &str = "bpsf-campaign/1";
+/// `/2` added the BP-iteration aggregates (`bp_iters`, `cum_bp_iters`).
+pub const SCHEMA: &str = "bpsf-campaign/2";
 
 /// Progress record for one adaptive chunk of one cell.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,12 +40,18 @@ pub struct ChunkRow {
     pub failures: usize,
     /// Unsolved shots in this chunk.
     pub unsolved: usize,
+    /// Total serial BP iterations spent in this chunk, summed over its
+    /// shots (`ShotRecord::serial_iterations` in `qldpc-sim`).
+    pub bp_iters: u64,
     /// Cumulative shots for the cell, including this chunk.
     pub cum_shots: usize,
     /// Cumulative failures for the cell, including this chunk.
     pub cum_failures: usize,
     /// Cumulative unsolved shots for the cell, including this chunk.
     pub cum_unsolved: usize,
+    /// Cumulative serial BP iterations for the cell, including this
+    /// chunk.
+    pub cum_bp_iters: u64,
 }
 
 /// Final record of one finished cell — the unit the report generator
@@ -85,6 +92,10 @@ pub struct CellRow {
     pub failures: usize,
     /// Total unsolved shots.
     pub unsolved: usize,
+    /// Total serial BP iterations over all shots (mean = `bp_iters /
+    /// shots`) — the convergence-effort aggregate the report surfaces
+    /// next to each LER.
+    pub bp_iters: u64,
     /// Point estimate `failures / shots`.
     pub ler: f64,
     /// Wilson interval lower bound.
@@ -125,9 +136,11 @@ impl ChunkRow {
             .uint("shots", self.shots as u64)
             .uint("failures", self.failures as u64)
             .uint("unsolved", self.unsolved as u64)
+            .uint("bp_iters", self.bp_iters)
             .uint("cum_shots", self.cum_shots as u64)
             .uint("cum_failures", self.cum_failures as u64)
-            .uint("cum_unsolved", self.cum_unsolved as u64);
+            .uint("cum_unsolved", self.cum_unsolved as u64)
+            .uint("cum_bp_iters", self.cum_bp_iters);
         w.finish()
     }
 }
@@ -155,6 +168,7 @@ impl CellRow {
             .uint("shots", self.shots as u64)
             .uint("failures", self.failures as u64)
             .uint("unsolved", self.unsolved as u64)
+            .uint("bp_iters", self.bp_iters)
             .float("ler", self.ler)
             .float("ci_lo", self.ci_lo)
             .float("ci_hi", self.ci_hi)
@@ -246,9 +260,11 @@ pub fn parse_record(line: &str) -> Result<LogRecord, RowError> {
             shots: get_usize(&obj, "shots")?,
             failures: get_usize(&obj, "failures")?,
             unsolved: get_usize(&obj, "unsolved")?,
+            bp_iters: get_u64(&obj, "bp_iters")?,
             cum_shots: get_usize(&obj, "cum_shots")?,
             cum_failures: get_usize(&obj, "cum_failures")?,
             cum_unsolved: get_usize(&obj, "cum_unsolved")?,
+            cum_bp_iters: get_u64(&obj, "cum_bp_iters")?,
         })),
         "cell" => Ok(LogRecord::Cell(Box::new(CellRow {
             campaign: get_str(&obj, "campaign")?,
@@ -274,6 +290,7 @@ pub fn parse_record(line: &str) -> Result<LogRecord, RowError> {
             shots: get_usize(&obj, "shots")?,
             failures: get_usize(&obj, "failures")?,
             unsolved: get_usize(&obj, "unsolved")?,
+            bp_iters: get_u64(&obj, "bp_iters")?,
             ler: get_f64(&obj, "ler")?,
             ci_lo: get_f64(&obj, "ci_lo")?,
             ci_hi: get_f64(&obj, "ci_hi")?,
@@ -326,6 +343,7 @@ mod tests {
             shots: 400,
             failures: 3,
             unsolved: 1,
+            bp_iters: 5_214,
             ler: 0.0075,
             ci_lo: 0.002_562,
             ci_hi: 0.021_86,
@@ -371,9 +389,11 @@ mod tests {
             shots: 100,
             failures: 1,
             unsolved: 0,
+            bp_iters: 1_380,
             cum_shots: 300,
             cum_failures: 2,
             cum_unsolved: 0,
+            cum_bp_iters: 4_117,
         };
         let parsed = parse_record(&row.to_json()).unwrap();
         assert_eq!(parsed, LogRecord::Chunk(row));
@@ -383,7 +403,7 @@ mod tests {
     fn schema_and_kind_are_enforced() {
         let row = cell_row()
             .to_json()
-            .replace("bpsf-campaign/1", "bpsf-campaign/999");
+            .replace("bpsf-campaign/2", "bpsf-campaign/999");
         assert!(parse_record(&row).unwrap_err().0.contains("schema"));
         let row = cell_row()
             .to_json()

@@ -91,6 +91,7 @@ fn golden_source_rows() -> Vec<CellRow> {
         shots: 0,
         failures: 0,
         unsolved: 0,
+        bp_iters: 0,
         ler: 0.0,
         ci_lo: 0.0,
         ci_hi: 0.0,
@@ -121,6 +122,10 @@ fn golden_source_rows() -> Vec<CellRow> {
             shots,
             failures,
             unsolved: 0,
+            // Deterministic stand-in for the per-cell iteration
+            // aggregate: easy shots converge fast, failures burn the
+            // full schedule.
+            bp_iters: shots as u64 * 4 + failures as u64 * 96,
             ler,
             ci_lo: ci.lo,
             ci_hi: ci.hi,

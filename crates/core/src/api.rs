@@ -4,16 +4,20 @@
 use crate::decoder::{BpSfDecoder, BpSfResult, TrialSampling};
 use crate::parallel::ParallelBpSf;
 use qldpc_bp::Schedule;
-use qldpc_decoder_api::{DecodeOutcome, DecoderFamily, SyndromeDecoder};
+use qldpc_decoder_api::{DecodeOutcome, DecodeTelemetry, DecoderFamily, SyndromeDecoder};
 use qldpc_gf2::BitVec;
 
 fn outcome_from(r: BpSfResult) -> DecodeOutcome {
+    let mut telemetry = DecodeTelemetry::bp(r.initial_iterations, r.initial_converged);
+    telemetry.oscillating_bits = r.candidates.len() as u64;
+    telemetry.sf_trials = r.trials_executed as u64;
     DecodeOutcome {
         error_hat: r.error_hat,
         solved: r.success,
         serial_iterations: r.serial_iterations,
         critical_iterations: r.critical_path_iterations,
         postprocessed: !r.initial_converged,
+        telemetry,
     }
 }
 

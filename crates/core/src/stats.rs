@@ -62,8 +62,18 @@ impl LatencyStats {
         }
     }
 
-    /// Renders a compact one-line summary.
+    /// Whether the statistics summarize zero samples.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Renders a compact one-line summary. An empty sample renders as
+    /// an explicit `n=0 (no samples)` rather than a row of misleading
+    /// `0.000` aggregates.
     pub fn summary(&self) -> String {
+        if self.is_empty() {
+            return "n=0 (no samples)".to_string();
+        }
         format!(
             "n={} mean={:.3} min={:.3} median={:.3} p95={:.3} p99={:.3} max={:.3}",
             self.count, self.mean, self.min, self.median, self.p95, self.p99, self.max
@@ -270,12 +280,19 @@ pub fn probit(p: f64) -> f64 {
 /// NaN-tolerant comparator (as [`LatencyStats::from_samples`] does) pass
 /// even when NaNs are present.
 ///
+/// An empty sample returns `0.0` — the explicit "no data" value every
+/// empty-summary field uses — rather than panicking or producing NaN,
+/// so metric paths that race a percentile query against the first
+/// recorded sample stay total.
+///
 /// # Panics
 ///
-/// Panics if `samples` is empty or `pct` is outside `[0, 100]`; in
-/// debug builds, also panics if `samples` is out of order.
+/// Panics if `pct` is outside `[0, 100]`; in debug builds, also panics
+/// if `samples` is out of order.
 pub fn percentile(samples: &[f64], pct: f64) -> f64 {
-    assert!(!samples.is_empty(), "percentile of empty sample");
+    if samples.is_empty() {
+        return 0.0;
+    }
     assert!(
         (0.0..=100.0).contains(&pct),
         "percentile must be in [0,100]"
@@ -306,6 +323,15 @@ mod tests {
         let s = LatencyStats::from_samples(vec![]);
         assert_eq!(s.count, 0);
         assert_eq!(s.mean, 0.0);
+        assert!(s.is_empty());
+        assert_eq!(s.summary(), "n=0 (no samples)");
+    }
+
+    #[test]
+    fn non_empty_summary_reports_aggregates() {
+        let s = LatencyStats::from_samples(vec![1.0, 3.0]);
+        assert!(!s.is_empty());
+        assert!(s.summary().starts_with("n=2 mean=2.000"));
     }
 
     #[test]
@@ -333,9 +359,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn percentile_empty_panics() {
-        percentile(&[], 50.0);
+    fn percentile_empty_is_zero() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[], 0.0), 0.0);
+        assert_eq!(percentile(&[], 100.0), 0.0);
     }
 
     #[test]

@@ -205,6 +205,51 @@ pub struct DecoderDescriptor {
     pub precision: Precision,
 }
 
+/// Convergence-effort counters attached to every decode outcome.
+///
+/// Where the iteration fields of [`DecodeOutcome`] answer the paper's
+/// headline latency question, this struct answers the observability
+/// one — *how hard did the decoder work and why* — in a form cheap
+/// enough to fill on every decode and mergeable into service-level
+/// counters. Fields a decoder has no notion of stay zero/default (a
+/// plain BP decoder reports no OSD sweeps; a window decoder's
+/// spill/carry sizes are filled by the streaming session that owns the
+/// commit logic, not by the kernel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecodeTelemetry {
+    /// BP iterations the initial attempt ran (serial accounting).
+    pub bp_iterations: u64,
+    /// Whether the initial BP attempt converged on its own.
+    pub bp_converged: bool,
+    /// Bits observed oscillating (≥ 2 hard-decision flips) during BP —
+    /// nonzero only when the decoder tracks oscillations.
+    pub oscillating_bits: u64,
+    /// OSD post-processing invocations (0 or 1 per decode).
+    pub osd_invocations: u64,
+    /// OSD candidate patterns swept (0 when BP converged).
+    pub osd_candidates: u64,
+    /// Syndrome-flip trials executed (BP-SF decoders).
+    pub sf_trials: u64,
+    /// Detector bits flipped by committed-correction spill into future
+    /// windows (streaming sessions only).
+    pub window_spill_bits: u64,
+    /// Posterior beliefs carried into the next window's priors
+    /// (streaming sessions only).
+    pub window_carried_priors: u64,
+}
+
+impl DecodeTelemetry {
+    /// Telemetry for a pure-BP decode: `iterations` run, converged or
+    /// not, everything else zero.
+    pub fn bp(iterations: usize, converged: bool) -> Self {
+        Self {
+            bp_iterations: iterations as u64,
+            bp_converged: converged,
+            ..Self::default()
+        }
+    }
+}
+
 /// The result of a single syndrome decode, with latency accounting.
 #[derive(Debug, Clone)]
 pub struct DecodeOutcome {
@@ -219,6 +264,8 @@ pub struct DecodeOutcome {
     pub critical_iterations: usize,
     /// Whether post-processing (OSD stage or BP-SF trials) ran.
     pub postprocessed: bool,
+    /// Convergence-effort counters for observability sinks.
+    pub telemetry: DecodeTelemetry,
 }
 
 /// Anything that decodes syndromes against a fixed check matrix.
@@ -331,6 +378,7 @@ mod tests {
                 serial_iterations: self.calls,
                 critical_iterations: self.calls,
                 postprocessed: false,
+                telemetry: DecodeTelemetry::bp(self.calls, true),
             }
         }
 

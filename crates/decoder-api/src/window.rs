@@ -35,7 +35,7 @@
 //! streaming runner — so a `WindowDecoder` implementation stays a pure,
 //! stateless-per-call kernel that batches well.
 
-use crate::Precision;
+use crate::{DecodeTelemetry, Precision};
 use qldpc_gf2::{BitVec, SparseBitMatrix};
 use std::sync::Arc;
 
@@ -180,6 +180,9 @@ pub struct WindowOutcome {
     pub solved: bool,
     /// BP iterations (or the implementation's analogue) spent.
     pub iterations: usize,
+    /// Convergence-effort counters (the kernel fills the BP fields; the
+    /// owning session fills spill/carry when it commits).
+    pub telemetry: DecodeTelemetry,
 }
 
 /// Anything that decodes windows of a fixed [`WindowPlan`]. The windowed
@@ -272,6 +275,7 @@ mod tests {
                     posteriors: vec![0.5; t.syndrome.len()],
                     solved: true,
                     iterations: 1,
+                    telemetry: DecodeTelemetry::bp(1, true),
                 })
                 .collect()
         }

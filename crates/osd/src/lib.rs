@@ -36,7 +36,7 @@
 //! ```
 
 use qldpc_bp::{BatchMinSumDecoder, BpConfig, BpResult, MinSumDecoder, Schedule};
-pub use qldpc_decoder_api::{DecodeOutcome, SyndromeDecoder};
+pub use qldpc_decoder_api::{DecodeOutcome, DecodeTelemetry, SyndromeDecoder};
 use qldpc_gf2::{BitMatrix, BitVec, OrderedEliminator, SparseBitMatrix};
 
 /// How OSD scores candidate solutions.
@@ -538,12 +538,16 @@ pub fn osd_postprocess_reference(
 /// Maps the OSD result onto the decoder-API outcome — shared by the
 /// scalar and batched entry points so they cannot drift apart.
 fn outcome_from(r: OsdResult) -> DecodeOutcome {
+    let mut telemetry = DecodeTelemetry::bp(r.bp_iterations, r.bp_converged);
+    telemetry.osd_invocations = u64::from(!r.bp_converged);
+    telemetry.osd_candidates = r.osd_candidates as u64;
     DecodeOutcome {
         error_hat: r.error_hat,
         solved: r.solved,
         serial_iterations: r.bp_iterations,
         critical_iterations: r.bp_iterations,
         postprocessed: !r.bp_converged,
+        telemetry,
     }
 }
 

@@ -36,9 +36,13 @@
 //!   sibling queue, preserving the order in which a client's requests
 //!   are pulled for decoding while keeping every shard busy under
 //!   skewed load.
-//! * **Metrics** ([`MetricsSnapshot`]) — throughput counters, dispatched
-//!   batch-size histogram, and p50/p95/p99 end-to-end latency via the
-//!   shared `bpsf_core::stats` percentile code.
+//! * **Telemetry** ([`MetricsSnapshot`]) — throughput counters, a
+//!   dispatched batch-size histogram, constant-memory streaming latency
+//!   and per-stage duration histograms (queue-wait, coalesce-wait,
+//!   steal, kernel, post-process, fulfill), decoder convergence
+//!   counters ([`ConvergenceSnapshot`]), and a bounded post-mortem
+//!   event journal. [`DecodeService::render_exposition`] renders it all
+//!   as a deterministic Prometheus-style text page.
 //! * **Streaming sessions** ([`StreamSession`]) — codes registered with
 //!   [`ServiceBuilder::register_streaming_code`] decode *windows* of a
 //!   sliding-window plan instead of whole syndromes. A session owns one
@@ -107,7 +111,8 @@ mod service;
 mod session;
 mod shard;
 
-pub use metrics::{bucket_label, MetricsSnapshot, BATCH_HISTOGRAM_BUCKETS};
+pub use metrics::{bucket_label, ConvergenceSnapshot, MetricsSnapshot, BATCH_HISTOGRAM_BUCKETS};
+pub use qldpc_telemetry::{HistogramSnapshot, JournalEntry, Stage, StageSnapshot};
 pub use request::{DecodeError, DecodeResponse, ResponseHandle, SubmitError};
 pub use service::{Client, CodeId, DecodeService, ServiceBuilder, ServiceConfig};
 pub use session::{CommitEvent, StreamError, StreamResult, StreamSession};

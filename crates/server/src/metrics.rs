@@ -1,27 +1,37 @@
 //! Per-code service metrics: request counters, dispatched-batch-size
-//! histogram, and end-to-end latency percentiles.
+//! histogram, end-to-end latency, per-stage timing, decoder
+//! convergence counters, and a post-mortem event journal.
 //!
-//! The percentile math is `bpsf_core::stats` — the same module the
-//! Monte Carlo runners in `qldpc-sim` report with, so service and
-//! simulation latency numbers are computed identically.
+//! Latency and stage durations live in `qldpc-telemetry`'s
+//! [`StreamingHistogram`] — constant memory, never drops a sample —
+//! and the percentile figures surfaced through [`LatencyStats`] are
+//! quantile *estimates* from its log-spaced buckets (exact min/max,
+//! estimates within one bucket width ≈ 26% elsewhere). The summary
+//! shape matches `bpsf_core::stats`, the same module the Monte Carlo
+//! runners report with, so service and simulation numbers stay
+//! comparable.
 
 use bpsf_core::stats::LatencyStats;
-use qldpc_decoder_api::Precision;
+use qldpc_decoder_api::{DecodeTelemetry, Precision};
+use qldpc_telemetry::{
+    EventJournal, Exposition, HistogramSnapshot, StageSet, StageSnapshot, StreamingHistogram,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
 /// Number of power-of-two batch-size buckets: `[1]`, `[2]`, `(2,4]`,
 /// `(4,8]`, … `(128,256]`, `>256`.
 pub const BATCH_HISTOGRAM_BUCKETS: usize = 10;
 
-/// Cap on retained latency samples; beyond it new samples are counted in
-/// [`MetricsSnapshot::latency_samples_dropped`] but not stored, bounding
-/// a long-running service's memory.
-const MAX_LATENCY_SAMPLES: usize = 1 << 18;
+/// Post-mortem journal entries retained per code (worker deaths,
+/// overload rejections, shutdown drains — rare, high-signal events).
+const JOURNAL_CAPACITY: usize = 256;
+
+/// The quantile estimates every exposed histogram decomposes into.
+const EXPOSED_QUANTILES: [f64; 3] = [0.5, 0.95, 0.99];
 
 /// Live, lock-light counters one registered code's shards share.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct CodeMetrics {
     pub submitted: AtomicU64,
     pub rejected_overload: AtomicU64,
@@ -36,8 +46,40 @@ pub(crate) struct CodeMetrics {
     /// Requests decoded by a shard other than their home shard.
     pub stolen: AtomicU64,
     batch_histogram: [AtomicU64; BATCH_HISTOGRAM_BUCKETS],
-    latency_ms: Mutex<Vec<f64>>,
+    /// End-to-end (submit → fulfill) latency, in seconds.
+    latency: StreamingHistogram,
+    /// Samples the histogram refused (non-finite/negative — cannot
+    /// happen for `Duration`-sourced values, but the accounting stays
+    /// visible rather than silent).
     latency_dropped: AtomicU64,
+    /// Per-stage durations (queue-wait, coalesce-wait, steal, kernel,
+    /// post-process, fulfill), in seconds.
+    pub stages: StageSet,
+    /// Decoder convergence-effort counters.
+    pub convergence: ConvergenceCounters,
+    /// Bounded ring of worker-death/overload events for post-mortems.
+    pub journal: EventJournal,
+}
+
+impl Default for CodeMetrics {
+    fn default() -> Self {
+        Self {
+            submitted: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            lost: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+            batch_histogram: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency: StreamingHistogram::new(),
+            latency_dropped: AtomicU64::new(0),
+            stages: StageSet::new(),
+            convergence: ConvergenceCounters::default(),
+            journal: EventJournal::new(JOURNAL_CAPACITY),
+        }
+    }
 }
 
 /// Bucket index for a dispatched batch of `size` live requests.
@@ -76,10 +118,7 @@ impl CodeMetrics {
 
     /// Records one fulfilled response's end-to-end latency.
     pub fn record_latency(&self, total: Duration) {
-        let mut samples = self.latency_ms.lock().expect("metrics mutex poisoned");
-        if samples.len() < MAX_LATENCY_SAMPLES {
-            samples.push(total.as_secs_f64() * 1e3);
-        } else {
+        if !self.latency.record(total.as_secs_f64()) {
             self.latency_dropped.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -87,11 +126,7 @@ impl CodeMetrics {
     /// Consistent point-in-time copy of all counters, stamped with the
     /// code's declared decoder precision.
     pub fn snapshot(&self, precision: Precision) -> MetricsSnapshot {
-        let latency = self
-            .latency_ms
-            .lock()
-            .expect("metrics mutex poisoned")
-            .clone();
+        let latency = self.latency.snapshot();
         let batches = self.batches.load(Ordering::Relaxed);
         let batched = self.batched_requests.load(Ordering::Relaxed);
         MetricsSnapshot {
@@ -111,8 +146,121 @@ impl CodeMetrics {
             batch_histogram: std::array::from_fn(|i| {
                 self.batch_histogram[i].load(Ordering::Relaxed)
             }),
-            latency_ms: LatencyStats::from_samples(latency),
+            latency_ms: latency_stats_ms(&latency),
             latency_samples_dropped: self.latency_dropped.load(Ordering::Relaxed),
+            latency,
+            stages: self.stages.snapshot(),
+            convergence: self.convergence.snapshot(),
+        }
+    }
+}
+
+/// Converts a seconds-valued latency histogram into the millisecond
+/// [`LatencyStats`] shape the pre-histogram metrics exposed; the
+/// percentile fields are bucket-quantile estimates, min/max/mean exact.
+fn latency_stats_ms(h: &HistogramSnapshot) -> LatencyStats {
+    LatencyStats {
+        count: h.count as usize,
+        mean: h.mean() * 1e3,
+        min: h.min * 1e3,
+        max: h.max * 1e3,
+        median: h.quantile(0.5) * 1e3,
+        p95: h.quantile(0.95) * 1e3,
+        p99: h.quantile(0.99) * 1e3,
+    }
+}
+
+/// Decoder convergence-effort counters, accumulated from the
+/// [`DecodeTelemetry`] of every outcome a code's workers produce (plus
+/// spill/carry sizes recorded by streaming sessions as they commit).
+#[derive(Debug, Default)]
+pub(crate) struct ConvergenceCounters {
+    decodes: AtomicU64,
+    bp_iterations: AtomicU64,
+    bp_converged: AtomicU64,
+    oscillating_bits: AtomicU64,
+    osd_invocations: AtomicU64,
+    osd_candidates: AtomicU64,
+    sf_trials: AtomicU64,
+    window_spill_bits: AtomicU64,
+    window_carried_priors: AtomicU64,
+}
+
+impl ConvergenceCounters {
+    /// Folds one decode outcome's telemetry into the running totals.
+    pub fn record_outcome(&self, t: &DecodeTelemetry) {
+        self.decodes.fetch_add(1, Ordering::Relaxed);
+        self.bp_iterations
+            .fetch_add(t.bp_iterations, Ordering::Relaxed);
+        self.bp_converged
+            .fetch_add(u64::from(t.bp_converged), Ordering::Relaxed);
+        self.oscillating_bits
+            .fetch_add(t.oscillating_bits, Ordering::Relaxed);
+        self.osd_invocations
+            .fetch_add(t.osd_invocations, Ordering::Relaxed);
+        self.osd_candidates
+            .fetch_add(t.osd_candidates, Ordering::Relaxed);
+        self.sf_trials.fetch_add(t.sf_trials, Ordering::Relaxed);
+        self.window_spill_bits
+            .fetch_add(t.window_spill_bits, Ordering::Relaxed);
+        self.window_carried_priors
+            .fetch_add(t.window_carried_priors, Ordering::Relaxed);
+    }
+
+    /// Records one streaming-session window commit (the session, not
+    /// the kernel, owns spill application and prior carrying).
+    pub fn record_window_commit(&self, spill_bits: u64, carried_priors: u64) {
+        self.window_spill_bits
+            .fetch_add(spill_bits, Ordering::Relaxed);
+        self.window_carried_priors
+            .fetch_add(carried_priors, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ConvergenceSnapshot {
+        ConvergenceSnapshot {
+            decodes: self.decodes.load(Ordering::Relaxed),
+            bp_iterations: self.bp_iterations.load(Ordering::Relaxed),
+            bp_converged: self.bp_converged.load(Ordering::Relaxed),
+            oscillating_bits: self.oscillating_bits.load(Ordering::Relaxed),
+            osd_invocations: self.osd_invocations.load(Ordering::Relaxed),
+            osd_candidates: self.osd_candidates.load(Ordering::Relaxed),
+            sf_trials: self.sf_trials.load(Ordering::Relaxed),
+            window_spill_bits: self.window_spill_bits.load(Ordering::Relaxed),
+            window_carried_priors: self.window_carried_priors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen view of one code's convergence counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConvergenceSnapshot {
+    /// Decode outcomes recorded (single-shot decodes + window decodes).
+    pub decodes: u64,
+    /// Total BP iterations across all recorded outcomes.
+    pub bp_iterations: u64,
+    /// Outcomes whose initial BP attempt converged.
+    pub bp_converged: u64,
+    /// Total oscillating bits observed (oscillation-tracking decoders).
+    pub oscillating_bits: u64,
+    /// OSD post-processing invocations.
+    pub osd_invocations: u64,
+    /// OSD candidate patterns swept.
+    pub osd_candidates: u64,
+    /// Syndrome-flip trials executed (BP-SF decoders).
+    pub sf_trials: u64,
+    /// Detector bits flipped by committed-correction spill (streaming).
+    pub window_spill_bits: u64,
+    /// Posterior beliefs carried across window boundaries (streaming).
+    pub window_carried_priors: u64,
+}
+
+impl ConvergenceSnapshot {
+    /// Mean BP iterations per recorded decode (0.0 before any decode).
+    pub fn mean_bp_iterations(&self) -> f64 {
+        if self.decodes == 0 {
+            0.0
+        } else {
+            self.bp_iterations as f64 / self.decodes as f64
         }
     }
 }
@@ -144,10 +292,17 @@ pub struct MetricsSnapshot {
     /// (see [`bucket_label`]).
     pub batch_histogram: [u64; BATCH_HISTOGRAM_BUCKETS],
     /// End-to-end (submit → fulfill) latency statistics in milliseconds;
-    /// `latency_ms.median`/`.p95`/`.p99` are the p50/p95/p99 figures.
+    /// `latency_ms.median`/`.p95`/`.p99` are bucket-quantile estimates
+    /// from [`Self::latency`] (min/max/mean/count exact).
     pub latency_ms: LatencyStats,
-    /// Latency samples discarded after the retention cap.
+    /// Latency samples the histogram refused (non-finite input).
     pub latency_samples_dropped: u64,
+    /// The full end-to-end latency histogram, in seconds.
+    pub latency: HistogramSnapshot,
+    /// Per-stage duration histograms, in seconds.
+    pub stages: StageSnapshot,
+    /// Decoder convergence-effort counters.
+    pub convergence: ConvergenceSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -162,7 +317,7 @@ impl MetricsSnapshot {
     pub fn render(&self) -> String {
         let mut out = format!(
             "precision={} submitted={} completed={} expired={} lost={} rejected={} batches={} \
-             mean_batch={:.2} stolen={}\n  latency_ms: {}\n  batch sizes:\n",
+             mean_batch={:.2} stolen={}\n  latency_ms: {} (dropped={})\n  batch sizes:\n",
             self.precision,
             self.submitted,
             self.completed,
@@ -173,6 +328,7 @@ impl MetricsSnapshot {
             self.mean_batch_size,
             self.stolen,
             self.latency_ms.summary(),
+            self.latency_samples_dropped,
         );
         for (i, &count) in self.batch_histogram.iter().enumerate() {
             if count > 0 {
@@ -180,6 +336,73 @@ impl MetricsSnapshot {
             }
         }
         out
+    }
+
+    /// Emits this snapshot's series into a text exposition under
+    /// `code="{code}"` labels — the per-code half of
+    /// `DecodeService::render_exposition`. Timing-valued series carry a
+    /// `_seconds` name component (golden tests range-check those and
+    /// byte-compare the rest).
+    pub fn exposition_into(&self, code: &str, exp: &mut Exposition) {
+        let l = [("code", code)];
+        exp.counter(
+            "qldpc_code_info",
+            &[("code", code), ("precision", self.precision.name())],
+            1,
+        );
+        exp.counter("qldpc_requests_submitted_total", &l, self.submitted);
+        exp.counter(
+            "qldpc_requests_rejected_overload_total",
+            &l,
+            self.rejected_overload,
+        );
+        exp.counter("qldpc_requests_completed_total", &l, self.completed);
+        exp.counter("qldpc_requests_expired_total", &l, self.expired);
+        exp.counter("qldpc_requests_lost_total", &l, self.lost);
+        exp.counter("qldpc_requests_stolen_total", &l, self.stolen);
+        exp.counter("qldpc_batches_total", &l, self.batches);
+        exp.gauge("qldpc_batch_size_mean", &l, self.mean_batch_size);
+        exp.counter(
+            "qldpc_latency_samples_dropped_total",
+            &l,
+            self.latency_samples_dropped,
+        );
+        for (i, &count) in self.batch_histogram.iter().enumerate() {
+            let size = bucket_label(i);
+            exp.counter(
+                "qldpc_batch_size_bucket",
+                &[("code", code), ("size", &size)],
+                count,
+            );
+        }
+        exp.histogram(
+            "qldpc_request_duration_seconds",
+            &l,
+            &self.latency,
+            &EXPOSED_QUANTILES,
+        );
+        for (stage, h) in self.stages.iter() {
+            exp.histogram(
+                "qldpc_stage_duration_seconds",
+                &[("code", code), ("stage", stage.name())],
+                h,
+                &EXPOSED_QUANTILES,
+            );
+        }
+        let c = &self.convergence;
+        exp.counter("qldpc_decodes_total", &l, c.decodes);
+        exp.counter("qldpc_bp_iterations_total", &l, c.bp_iterations);
+        exp.counter("qldpc_bp_converged_total", &l, c.bp_converged);
+        exp.counter("qldpc_oscillating_bits_total", &l, c.oscillating_bits);
+        exp.counter("qldpc_osd_invocations_total", &l, c.osd_invocations);
+        exp.counter("qldpc_osd_candidate_sweeps_total", &l, c.osd_candidates);
+        exp.counter("qldpc_sf_trials_total", &l, c.sf_trials);
+        exp.counter("qldpc_window_spill_bits_total", &l, c.window_spill_bits);
+        exp.counter(
+            "qldpc_window_carried_priors_total",
+            &l,
+            c.window_carried_priors,
+        );
     }
 }
 
@@ -227,6 +450,97 @@ mod tests {
         assert_eq!(s.latency_ms.count, 2);
         assert!((s.latency_ms.mean - 3.0).abs() < 1e-9);
         assert_eq!(s.latency_samples_dropped, 0);
+        // Exact extrema survive the histogram representation.
+        assert!((s.latency_ms.min - 2.0).abs() < 1e-9);
+        assert!((s.latency_ms.max - 4.0).abs() < 1e-9);
+        // Quantile estimates stay inside the observed range.
+        assert!(s.latency_ms.median >= 2.0 && s.latency_ms.median <= 4.0);
+        assert_eq!(s.latency.count, 2);
+    }
+
+    #[test]
+    fn long_soaks_never_drop_latency_samples() {
+        let m = CodeMetrics::default();
+        for i in 0..300_000 {
+            m.record_latency(Duration::from_nanos(1_000 + i));
+        }
+        let s = m.snapshot(Precision::F64);
+        assert_eq!(s.latency_ms.count, 300_000);
+        assert_eq!(s.latency_samples_dropped, 0);
+    }
+
+    #[test]
+    fn convergence_counters_accumulate() {
+        let m = CodeMetrics::default();
+        let t = DecodeTelemetry {
+            bp_iterations: 17,
+            bp_converged: true,
+            oscillating_bits: 3,
+            osd_invocations: 0,
+            osd_candidates: 0,
+            sf_trials: 0,
+            window_spill_bits: 0,
+            window_carried_priors: 0,
+        };
+        m.convergence.record_outcome(&t);
+        m.convergence.record_outcome(&DecodeTelemetry {
+            bp_iterations: 40,
+            bp_converged: false,
+            osd_invocations: 1,
+            osd_candidates: 11,
+            ..DecodeTelemetry::default()
+        });
+        m.convergence.record_window_commit(5, 9);
+        let c = m.snapshot(Precision::F64).convergence;
+        assert_eq!(c.decodes, 2);
+        assert_eq!(c.bp_iterations, 57);
+        assert_eq!(c.bp_converged, 1);
+        assert_eq!(c.oscillating_bits, 3);
+        assert_eq!(c.osd_invocations, 1);
+        assert_eq!(c.osd_candidates, 11);
+        assert_eq!(c.window_spill_bits, 5);
+        assert_eq!(c.window_carried_priors, 9);
+        assert!((c.mean_bp_iterations() - 28.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_reports_dropped_samples() {
+        let m = CodeMetrics::default();
+        m.latency_dropped.store(7, Ordering::Relaxed);
+        let text = m.snapshot(Precision::F64).render();
+        assert!(text.contains("(dropped=7)"), "render: {text}");
+    }
+
+    #[test]
+    fn exposition_covers_the_required_stages() {
+        let m = CodeMetrics::default();
+        m.submitted.store(3, Ordering::Relaxed);
+        let mut exp = Exposition::new();
+        m.snapshot(Precision::F32)
+            .exposition_into("gross", &mut exp);
+        let text = exp.render();
+        assert!(text.contains("qldpc_requests_submitted_total{code=\"gross\"} 3"));
+        assert!(text.contains("qldpc_code_info{code=\"gross\",precision=\"f32\"} 1"));
+        for stage in [
+            "queue_wait",
+            "coalesce_wait",
+            "steal",
+            "kernel",
+            "post_process",
+            "fulfill",
+        ] {
+            assert!(
+                text.contains(&format!(
+                    "qldpc_stage_duration_seconds_count{{code=\"gross\",stage=\"{stage}\"}}"
+                )),
+                "missing stage {stage}"
+            );
+        }
+        // Deterministically ordered: rendering twice is byte-identical.
+        let mut exp2 = Exposition::new();
+        m.snapshot(Precision::F32)
+            .exposition_into("gross", &mut exp2);
+        assert_eq!(text, exp2.render());
     }
 
     #[test]

@@ -11,6 +11,7 @@ use qldpc_decoder_api::{
     WindowPlan,
 };
 use qldpc_gf2::{BitVec, SparseBitMatrix};
+use qldpc_telemetry::{Exposition, JournalEntry};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
@@ -271,6 +272,12 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
+    /// The live metrics of one registered code (sessions record window
+    /// spill/carry through this).
+    pub(crate) fn metrics(&self, code: usize) -> &CodeMetrics {
+        &self.codes[code].metrics
+    }
+
     /// Submits one window of a streaming session to its home shard.
     /// Shares the single-shot path's gate discipline: the read side is
     /// held across check-and-send, and a code whose workers are all
@@ -315,6 +322,10 @@ impl Shared {
                     .rejected_overload
                     .fetch_add(1, Ordering::Relaxed);
                 drop(gate);
+                runtime.metrics.journal.record(
+                    "overload",
+                    format!("window {window_index} rejected: shard {home_shard} queue full"),
+                );
                 Err(SubmitError::Overloaded)
             }
             Err(TrySendError::Disconnected(_)) => Err(SubmitError::Shutdown),
@@ -395,6 +406,36 @@ impl DecodeService {
     pub fn metrics(&self, code: CodeId) -> MetricsSnapshot {
         let runtime = &self.shared.codes[code.0];
         runtime.metrics.snapshot(runtime.precision)
+    }
+
+    /// Renders a Prometheus-style text exposition covering every
+    /// registered code: request/convergence counters, batch-size
+    /// buckets, and the end-to-end plus per-stage duration histograms
+    /// (series named `*_seconds*`). Output is deterministic — lines are
+    /// sorted, codes contribute under their `code="…"` label — so two
+    /// renders of the same counter state are byte-identical; serve it
+    /// from a `/metrics` handler or diff it in tests.
+    pub fn render_exposition(&self) -> String {
+        let mut exposition = Exposition::new();
+        let mut codes: Vec<&CodeRuntime> = self.shared.codes.iter().collect();
+        codes.sort_by(|a, b| a.name.cmp(&b.name));
+        for runtime in codes {
+            runtime
+                .metrics
+                .snapshot(runtime.precision)
+                .exposition_into(&runtime.name, &mut exposition);
+        }
+        exposition.render()
+    }
+
+    /// The retained post-mortem journal of one code (worker deaths,
+    /// overload rejections, shutdown drains), oldest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown `code` id.
+    pub fn journal(&self, code: CodeId) -> Vec<JournalEntry> {
+        self.shared.codes[code.0].metrics.journal.dump()
     }
 
     fn shutdown_impl(&mut self) {
@@ -527,6 +568,10 @@ impl Client {
                     .rejected_overload
                     .fetch_add(1, Ordering::Relaxed);
                 drop(gate);
+                runtime.metrics.journal.record(
+                    "overload",
+                    format!("request rejected: shard {home_shard} queue full"),
+                );
                 Err(SubmitError::Overloaded)
             }
             // Workers only exit after shutdown, so a gone receiver is a

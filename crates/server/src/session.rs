@@ -295,6 +295,7 @@ impl StreamSession {
         let k = self.plan.dets_per_round;
         self.all_solved &= outcome.solved;
         let mut mechanisms = Vec::new();
+        let mut spill_bits = 0u64;
         for col in 0..spec.commit_cols {
             if !outcome.error_hat.get(col) {
                 continue;
@@ -305,16 +306,26 @@ impl StreamSession {
             for &det in &spec.spill[col] {
                 let det = det as usize;
                 self.residual[det / k].flip(det % k);
+                spill_bits += 1;
             }
         }
+        let mut carried_priors = 0u64;
         if w + 1 < self.plan.num_windows() {
             let next = &self.plan.windows[w + 1];
             let mut priors = next.priors.clone();
             for link in &spec.carry {
                 priors[link.to_col as usize] = outcome.posteriors[link.from_col as usize];
             }
+            carried_priors = spec.carry.len() as u64;
             self.carried = Some(priors);
         }
+        // The session, not the kernel, owns spill application and prior
+        // carrying — so it reports those sizes (the kernel reported the
+        // BP effort when the window decoded).
+        self.shared
+            .metrics(self.code)
+            .convergence
+            .record_window_commit(spill_bits, carried_priors);
         self.next_window = w + 1;
         CommitEvent {
             window_index: w,

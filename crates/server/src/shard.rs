@@ -52,6 +52,7 @@ use qldpc_decoder_api::{
     WindowDecoder, WindowPlan, WindowTask,
 };
 use qldpc_gf2::{BitVec, SparseBitMatrix};
+use qldpc_telemetry::Stage;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
@@ -114,6 +115,7 @@ impl ShardContext {
 
     /// Steals the head of the deepest non-empty sibling queue.
     fn steal(&self) -> Option<Request> {
+        let scan_start = Instant::now();
         let mut victim = None;
         let mut depth = 0;
         for (i, queue) in self.queues.iter().enumerate() {
@@ -126,7 +128,13 @@ impl ShardContext {
                 victim = Some(i);
             }
         }
-        self.queues[victim?].try_recv().ok()
+        let stolen = self.queues[victim?].try_recv().ok()?;
+        // Only successful steals are worth a histogram sample; the
+        // empty-scan fast path stays clock-free past the single read.
+        self.metrics
+            .stages
+            .record(Stage::Steal, scan_start.elapsed());
+        Some(stolen)
     }
 
     /// Pops the next request without blocking: own queue first, then a
@@ -166,18 +174,19 @@ impl ShardContext {
                     }
                 }
             };
-            let batch = self.coalesce(first);
-            self.dispatch(&mut decoder, batch);
+            let (batch, coalesce_wait) = self.coalesce(first);
+            self.dispatch(&mut decoder, batch, coalesce_wait);
         }
     }
 
     /// Grows a batch around `first` until `max_batch` requests are in
     /// hand or the `max_wait` window closes (immediately, under
-    /// shutdown).
-    fn coalesce(&self, first: Request) -> Vec<Request> {
+    /// shutdown). Also returns how long the window was held open.
+    fn coalesce(&self, first: Request) -> (Vec<Request>, Duration) {
+        let opened_at = Instant::now();
         let mut batch = Vec::with_capacity(self.max_batch.min(64));
         batch.push(first);
-        let window_end = Instant::now() + self.max_wait;
+        let window_end = opened_at + self.max_wait;
         while batch.len() < self.max_batch {
             if let Some(request) = self.poll() {
                 batch.push(request);
@@ -195,12 +204,12 @@ impl ShardContext {
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        batch
+        (batch, opened_at.elapsed())
     }
 
     /// Expires overdue requests, decodes the rest in one batched call,
     /// and fulfills every response slot in queue order.
-    fn dispatch(&self, decoder: &mut WorkerDecoder, batch: Vec<Request>) {
+    fn dispatch(&self, decoder: &mut WorkerDecoder, batch: Vec<Request>, coalesce_wait: Duration) {
         let dispatched_at = Instant::now();
         // One contiguous completion-seq range per batch, in queue order.
         let seq_base = self
@@ -211,6 +220,10 @@ impl ShardContext {
         for (offset, request) in batch.into_iter().enumerate() {
             let seq = seq_base + offset as u64;
             if request.deadline.is_none_or(|d| d >= dispatched_at) {
+                self.metrics.stages.record(
+                    Stage::QueueWait,
+                    dispatched_at.saturating_duration_since(request.submitted_at),
+                );
                 pending.push_back((request, seq));
             } else {
                 expired.push((request, seq));
@@ -218,6 +231,13 @@ impl ShardContext {
         }
         let live_count = pending.len();
         self.metrics.record_batch(live_count);
+        if live_count > 0 {
+            // One sample per dispatched (live) batch; all-expired batches
+            // never reach the kernel and would skew the wait picture.
+            self.metrics
+                .stages
+                .record(Stage::CoalesceWait, coalesce_wait);
+        }
         for (request, seq) in expired {
             self.metrics.expired.fetch_add(1, Ordering::Relaxed);
             match &request.payload {
@@ -253,14 +273,27 @@ impl ShardContext {
                         }
                     })
                     .collect();
+                let kernel_start = Instant::now();
                 let mut outcomes = d.decode_batch(&syndromes).into_iter();
+                let kernel_end = Instant::now();
+                if live_count > 0 {
+                    self.metrics
+                        .stages
+                        .record(Stage::Kernel, kernel_end - kernel_start);
+                }
                 for _ in 0..live_count {
                     let outcome = outcomes.next().expect("decode_batch returned short");
                     let (request, seq) = guard.pending.pop_front().expect("guard tracks batch");
                     self.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.convergence.record_outcome(&outcome.telemetry);
                     self.respond_decode(request, Ok(outcome), live_count, seq, dispatched_at);
                 }
                 debug_assert!(outcomes.next().is_none(), "decode_batch returned long");
+                if live_count > 0 {
+                    self.metrics
+                        .stages
+                        .record(Stage::PostProcess, kernel_end.elapsed());
+                }
             }
             WorkerDecoder::Streaming(d) => {
                 let tasks: Vec<WindowTask> = guard
@@ -282,16 +315,27 @@ impl ShardContext {
                         }
                     })
                     .collect();
+                let kernel_start = Instant::now();
                 let outcomes = d.decode_windows(&tasks);
+                let kernel_end = Instant::now();
+                if live_count > 0 {
+                    self.metrics
+                        .stages
+                        .record(Stage::Kernel, kernel_end - kernel_start);
+                }
                 drop(tasks);
                 debug_assert_eq!(outcomes.len(), live_count, "decode_windows length mismatch");
                 for outcome in outcomes {
                     let (request, seq) = guard.pending.pop_front().expect("guard tracks batch");
                     self.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.convergence.record_outcome(&outcome.telemetry);
                     if request.home_shard != self.shard_index {
                         self.metrics.stolen.fetch_add(1, Ordering::Relaxed);
                     }
                     self.metrics.record_latency(request.submitted_at.elapsed());
+                    self.metrics
+                        .stages
+                        .record(Stage::Fulfill, dispatched_at.elapsed());
                     let id = request.id;
                     let Payload::Window { slot, .. } = request.payload else {
                         unreachable!("streaming batch holds only window payloads")
@@ -301,6 +345,11 @@ impl ShardContext {
                         request_id: id,
                         result: Ok(outcome),
                     });
+                }
+                if live_count > 0 {
+                    self.metrics
+                        .stages
+                        .record(Stage::PostProcess, kernel_end.elapsed());
                 }
             }
         }
@@ -334,6 +383,9 @@ impl ShardContext {
         let total_time = submitted_at.elapsed();
         if result.is_ok() {
             self.metrics.record_latency(total_time);
+            self.metrics
+                .stages
+                .record(Stage::Fulfill, dispatched_at.elapsed());
         }
         slot.fulfill(DecodeResponse {
             request_id: id,
@@ -377,9 +429,19 @@ impl Drop for WorkerGuard<'_> {
     fn drop(&mut self) {
         let ctx = self.ctx;
         let remaining = ctx.alive.fetch_sub(1, Ordering::AcqRel) - 1;
-        if !std::thread::panicking() || remaining > 0 {
-            // Normal exit (queues already drained by the run loop), or
-            // siblings survive and will keep stealing from our queue.
+        if !std::thread::panicking() {
+            // Normal exit: queues already drained by the run loop.
+            return;
+        }
+        ctx.metrics.journal.record(
+            "worker-death",
+            format!(
+                "shard {} died panicking; {remaining} worker(s) remain",
+                ctx.shard_index
+            ),
+        );
+        if remaining > 0 {
+            // Siblings survive and will keep stealing from our queue.
             return;
         }
         // Last worker of the code, dying in a panic: answer everything
@@ -389,13 +451,19 @@ impl Drop for WorkerGuard<'_> {
         // `alive == 0` and refuse. `into_inner` on poisoning: a panic
         // inside a `Drop` during unwinding would abort the process.
         let gate = ctx.gate.write().unwrap_or_else(|e| e.into_inner());
+        let mut drained = 0u64;
         for queue in &ctx.queues {
             while let Ok(request) = queue.try_recv() {
                 ctx.metrics.lost.fetch_add(1, Ordering::Relaxed);
                 let seq = ctx.completion_counter.fetch_add(1, Ordering::Relaxed);
                 request.fail(DecodeError::WorkerLost, 0, seq);
+                drained += 1;
             }
         }
         drop(gate);
+        ctx.metrics.journal.record(
+            "queue-drain",
+            format!("last worker gone; answered {drained} queued request(s) as lost"),
+        );
     }
 }

@@ -1,0 +1,194 @@
+//! The text-exposition endpoint, pinned by a committed golden file.
+//!
+//! The scenario is fully deterministic below the clock: one shard per
+//! code, sequential submissions each waited to completion, fixed
+//! syndromes. Every non-timing series — request counters, batch-size
+//! buckets, convergence counters, histogram sample *counts* — must
+//! match the golden byte for byte; series carrying wall-clock values
+//! (`*_seconds*` sum/min/max/quantiles) are range-checked instead.
+//!
+//! Regenerate after an intentional exposition change with:
+//!
+//! ```text
+//! UPDATE_EXPOSITION_GOLDEN=1 cargo test -p qldpc-server --test exposition
+//! ```
+
+use qldpc_bp::{BpConfig, BpWindowDecoder, MinSumDecoder};
+use qldpc_circuit::{window_plan, MemoryExperiment, NoiseModel};
+use qldpc_codes::bb;
+use qldpc_decoder_api::{DecoderFactory, WindowDecoderFactory};
+use qldpc_gf2::{BitVec, SparseBitMatrix};
+use qldpc_server::{DecodeService, ServiceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/exposition.golden"
+);
+
+/// One-shard config so nothing is stolen and batches form one by one.
+fn sequential_config() -> ServiceConfig {
+    ServiceConfig {
+        shards: 1,
+        max_wait: Duration::from_micros(50),
+        ..Default::default()
+    }
+}
+
+/// Runs the pinned scenario and returns the rendered exposition.
+fn pinned_scenario() -> String {
+    // Single-shot code: 5-bit repetition chain under plain min-sum.
+    let h =
+        SparseBitMatrix::from_row_indices(4, 5, &[vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4]]);
+    let factory: DecoderFactory =
+        Box::new(|h, priors| Box::new(MinSumDecoder::new(h, priors, BpConfig::default())));
+    // Streaming code: bb72 memory-Z, 3 rounds, W=2/C=1 windows.
+    let exp = MemoryExperiment::memory_z(&bb::bb72(), 3, &NoiseModel::uniform_depolarizing(2e-3));
+    let dem = exp.detector_error_model();
+    let k = dem.num_detectors() / 4;
+    let plan = Arc::new(window_plan(&dem, k, 2, 1));
+    let window_factory: WindowDecoderFactory =
+        Box::new(|plan| Box::new(BpWindowDecoder::new(plan, BpConfig::default())));
+
+    let mut builder = DecodeService::builder();
+    let rep5 = builder.register_code_with("rep5", &h, &[0.05; 5], factory, sequential_config());
+    let stream = builder.register_streaming_code_with(
+        "bb72-stream",
+        Arc::clone(&plan),
+        window_factory,
+        sequential_config(),
+    );
+    let service = builder.start();
+
+    // Three sequential single-shot decodes (each waited, so every batch
+    // holds exactly one request): two single-bit errors and the zero
+    // syndrome.
+    let mut client = service.client();
+    for error_bits in [vec![2], vec![0], vec![]] {
+        let error = BitVec::from_indices(5, &error_bits);
+        let response = client.submit(rep5, h.mul_vec(&error)).unwrap().wait();
+        assert!(response.result.unwrap().solved);
+    }
+
+    // One quiet streaming session: every window commits zero mechanisms,
+    // so spill is zero and the carried-prior count is the plan's own
+    // boundary-link count — all deterministic.
+    let mut session = service.stream_session(stream).unwrap();
+    let zero_round = BitVec::zeros(plan.dets_per_round);
+    for _ in 0..plan.num_round_blocks {
+        session.push_round(&zero_round).unwrap();
+    }
+    assert!(session.finish().unwrap().all_solved);
+
+    // Workers record the batch's post-process lap moments *after* the
+    // last response is fulfilled, so wait for the final stage samples
+    // of both codes before rendering the page we compare.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let settled = |text: &str| {
+        ["rep5", "bb72-stream"].iter().all(|code| {
+            text.contains(&format!(
+                "qldpc_stage_duration_seconds_count{{code=\"{code}\",stage=\"post_process\"}} 3"
+            ))
+        })
+    };
+    let text = loop {
+        let text = service.render_exposition();
+        if settled(&text) {
+            break text;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "exposition never settled:\n{text}"
+        );
+        std::thread::yield_now();
+    };
+    // Rendering is deterministic: a second render of the same counter
+    // state is byte-identical.
+    assert_eq!(text, service.render_exposition());
+    service.shutdown();
+    text
+}
+
+/// Splits an exposition line into its series (name + labels) and value.
+fn split_line(line: &str) -> (&str, &str) {
+    let at = line.rfind(' ').expect("exposition line has no value");
+    (&line[..at], &line[at + 1..])
+}
+
+/// Whether this series carries a wall-clock value (timing lines differ
+/// run to run; sample *counts* of timing histograms stay deterministic).
+fn is_timing_valued(series: &str) -> bool {
+    let name = series.split('{').next().unwrap_or(series);
+    name.contains("_seconds") && !name.ends_with("_seconds_count")
+}
+
+#[test]
+fn exposition_matches_golden() {
+    let text = pinned_scenario();
+    if std::env::var_os("UPDATE_EXPOSITION_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &text).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "missing tests/fixtures/exposition.golden — regenerate with \
+         UPDATE_EXPOSITION_GOLDEN=1",
+    );
+    let got: Vec<&str> = text.lines().collect();
+    let want: Vec<&str> = golden.lines().collect();
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "line count diverged from golden\n--- got ---\n{text}"
+    );
+    for (g, w) in got.iter().zip(&want) {
+        let (g_series, g_value) = split_line(g);
+        let (w_series, _) = split_line(w);
+        assert_eq!(g_series, w_series, "series set or order diverged");
+        if is_timing_valued(g_series) {
+            let value: f64 = g_value.parse().expect("timing value parses");
+            assert!(
+                value.is_finite() && value >= 0.0,
+                "timing series out of range: {g}"
+            );
+        } else {
+            assert_eq!(*g, *w, "deterministic line diverged from golden");
+        }
+    }
+}
+
+/// The acceptance surface: every scheduler stage the issue names shows
+/// up, with samples, for both the single-shot and the streaming code.
+#[test]
+fn exposition_covers_all_stages_for_both_code_kinds() {
+    let text = pinned_scenario();
+    for code in ["rep5", "bb72-stream"] {
+        for stage in [
+            "queue_wait",
+            "coalesce_wait",
+            "kernel",
+            "post_process",
+            "fulfill",
+        ] {
+            let series =
+                format!("qldpc_stage_duration_seconds_count{{code=\"{code}\",stage=\"{stage}\"}}");
+            let line = text
+                .lines()
+                .find(|l| l.starts_with(&series))
+                .unwrap_or_else(|| panic!("missing series {series}"));
+            let (_, value) = split_line(line);
+            assert_ne!(value, "0", "stage {stage} of {code} never sampled");
+        }
+        // One shard ⇒ stealing cannot happen, but the series must still
+        // be exposed (at zero) so dashboards see the full taxonomy.
+        let steal =
+            format!("qldpc_stage_duration_seconds_count{{code=\"{code}\",stage=\"steal\"}} 0");
+        assert!(
+            text.contains(&steal),
+            "missing zero steal series for {code}"
+        );
+    }
+    // Convergence counters from both kernels made it through.
+    assert!(text.contains("qldpc_bp_iterations_total{code=\"rep5\"}"));
+    assert!(text.contains("qldpc_window_carried_priors_total{code=\"bb72-stream\"}"));
+}

@@ -8,7 +8,7 @@
 //! fails the suite instead of hanging it.
 
 use qldpc_bp::{BpConfig, MinSumDecoder};
-use qldpc_decoder_api::{DecodeOutcome, DecoderFactory, SyndromeDecoder};
+use qldpc_decoder_api::{DecodeOutcome, DecodeTelemetry, DecoderFactory, SyndromeDecoder};
 use qldpc_gf2::{BitVec, SparseBitMatrix};
 use qldpc_server::{
     CodeId, DecodeError, DecodeService, ResponseHandle, ServiceConfig, SubmitError,
@@ -267,6 +267,7 @@ impl SyndromeDecoder for SlowDecoder {
             serial_iterations: 1,
             critical_iterations: 1,
             postprocessed: false,
+            telemetry: DecodeTelemetry::bp(1, true),
         }
     }
 
@@ -285,6 +286,7 @@ impl SyndromeDecoder for SlowDecoder {
                 serial_iterations: 1,
                 critical_iterations: 1,
                 postprocessed: false,
+                telemetry: DecodeTelemetry::bp(1, true),
             })
             .collect()
     }

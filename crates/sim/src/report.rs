@@ -106,6 +106,16 @@ impl RunReport {
         )
     }
 
+    /// Total BP iterations under serial execution, summed over all
+    /// shots — the campaign log's per-chunk convergence-effort
+    /// aggregate (divide by shots for the mean the report prints).
+    pub fn total_serial_iterations(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| r.serial_iterations as u64)
+            .sum()
+    }
+
     /// Serial-iteration statistics (Fig. 12's y-axis).
     pub fn serial_iteration_stats(&self) -> LatencyStats {
         LatencyStats::from_samples(

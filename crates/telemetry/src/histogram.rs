@@ -1,0 +1,363 @@
+//! The bounded, mergeable, lock-light streaming histogram.
+//!
+//! Values land in fixed log-spaced buckets (three per doubling, so
+//! every bucket spans ~26% and a quantile estimate is never off by
+//! more than ~13% within its bucket), while exact count, sum, min, and
+//! max ride alongside in atomics. Memory is constant regardless of how
+//! many samples arrive — the point of the design: a week-long soak
+//! records every sample where the old capped `Vec<f64>` silently
+//! stopped at 2^18.
+//!
+//! Recording is wait-free for the bucket/count (relaxed fetch-adds)
+//! and lock-free for the floating-point sum/min/max (short CAS loops
+//! on the bit patterns), so many producer threads can hammer one
+//! histogram without contention collapse.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log-spaced buckets. With 3 buckets per doubling the
+/// histogram spans 32 doublings: from 2^-20 (≈ 1 µs when recording
+/// seconds) to 2^12 (≈ 68 minutes). Values outside the span clamp into
+/// the edge buckets; the exact min/max are kept regardless.
+pub const NUM_BUCKETS: usize = 96;
+
+/// Buckets per factor-of-two of value range.
+const BUCKETS_PER_DOUBLING: f64 = 3.0;
+
+/// Exponent of the lower bound of bucket 1 (bucket 0 additionally
+/// catches everything below it, including zero).
+const MIN_EXP: f64 = -20.0;
+
+/// Lower bound of bucket `i` (0 for the catch-all bucket 0).
+///
+/// # Panics
+///
+/// Panics when `i > NUM_BUCKETS` (index `NUM_BUCKETS` is allowed and
+/// returns the upper bound of the last bucket).
+pub fn bucket_lower_bound(i: usize) -> f64 {
+    assert!(i <= NUM_BUCKETS, "bucket index {i} out of range");
+    if i == 0 {
+        0.0
+    } else {
+        2f64.powf(MIN_EXP + (i - 1) as f64 / BUCKETS_PER_DOUBLING)
+    }
+}
+
+/// Bucket index for a finite non-negative value.
+fn bucket_index(value: f64) -> usize {
+    if value < 2f64.powf(MIN_EXP) {
+        return 0;
+    }
+    let pos = (value.log2() - MIN_EXP) * BUCKETS_PER_DOUBLING;
+    // +1: bucket 0 is the underflow catch-all, bucket 1 starts at
+    // 2^MIN_EXP. The epsilon keeps values sitting exactly on a bucket
+    // boundary (whose log2 round-trip may land a hair low) in the
+    // bucket whose lower bound they are.
+    (((pos + 1e-9).floor() as usize) + 1).min(NUM_BUCKETS - 1)
+}
+
+/// A concurrent, constant-memory value histogram. See the crate docs
+/// for the design.
+#[derive(Debug)]
+pub struct StreamingHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    /// `f64` bit patterns maintained by CAS loops.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for StreamingHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Records one sample. Returns `false` (recording nothing) for
+    /// non-finite or negative values, so callers can count rejected
+    /// samples instead of poisoning the aggregates.
+    pub fn record(&self, value: f64) -> bool {
+        if !value.is_finite() || value < 0.0 {
+            return false;
+        }
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        Self::update_f64(&self.sum_bits, |sum| sum + value);
+        Self::update_f64(&self.min_bits, |min| min.min(value));
+        Self::update_f64(&self.max_bits, |max| max.max(value));
+        true
+    }
+
+    /// Lock-free read-modify-write of an `f64` stored as bits.
+    fn update_f64(bits: &AtomicU64, f: impl Fn(f64) -> f64) {
+        let mut current = bits.load(Ordering::Relaxed);
+        loop {
+            let next = f(f64::from_bits(current)).to_bits();
+            if next == current {
+                return;
+            }
+            match bits.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the aggregates. Bucket counts are read
+    /// bucket-by-bucket, so a snapshot taken concurrently with
+    /// recording may be mid-sample (`count` and the bucket total can
+    /// transiently differ by in-flight records); it is always a valid
+    /// histogram of *some* prefix-interleaving of the samples.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        HistogramSnapshot {
+            count,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            // Empty histograms expose 0.0 extrema rather than ±inf so
+            // rendered output stays finite and golden-testable.
+            min: if count == 0 { 0.0 } else { min },
+            max: if count == 0 { 0.0 } else { max },
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A plain-data copy of a [`StreamingHistogram`]: the mergeable,
+/// quantile-queryable form handed to renderers and tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: f64,
+    /// Exact smallest sample (0.0 when empty).
+    pub min: f64,
+    /// Exact largest sample (0.0 when empty).
+    pub max: f64,
+    /// Per-bucket sample counts ([`NUM_BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (identity element of [`merge`](Self::merge)).
+    pub fn empty() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: vec![0; NUM_BUCKETS],
+        }
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by locating the
+    /// bucket holding the target rank and interpolating linearly
+    /// within it, clamped to the exact `[min, max]`. Returns 0.0 when
+    /// empty. The estimate is exact for `q = 0` and `q = 1` and within
+    /// one bucket width (~26%) otherwise.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.count == 0 {
+            return 0.0;
+        }
+        if q == 0.0 {
+            return self.min;
+        }
+        if q == 1.0 {
+            return self.max;
+        }
+        let rank = q * (self.count - 1) as f64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if rank < (seen + n) as f64 || i == NUM_BUCKETS - 1 {
+                let lo = bucket_lower_bound(i);
+                let hi = bucket_lower_bound(i + 1);
+                let frac = ((rank - seen as f64 + 0.5) / n as f64).clamp(0.0, 1.0);
+                return (lo + (hi - lo) * frac).clamp(self.min, self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    /// Combines two snapshots into the histogram of the union of their
+    /// samples. Bucket counts, totals, and extrema merge exactly; the
+    /// sum is a floating-point addition, so merging is associative up
+    /// to rounding in `sum` (and exactly associative in every other
+    /// field) — the property test in `tests/properties.rs` pins this.
+    pub fn merge(&self, other: &Self) -> Self {
+        let count = self.count + other.count;
+        let (min, max) = if self.count == 0 {
+            (other.min, other.max)
+        } else if other.count == 0 {
+            (self.min, self.max)
+        } else {
+            (self.min.min(other.min), self.max.max(other.max))
+        };
+        Self {
+            count,
+            sum: self.sum + other.sum,
+            min,
+            max,
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&other.buckets)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_monotone() {
+        for i in 0..NUM_BUCKETS {
+            assert!(bucket_lower_bound(i) < bucket_lower_bound(i + 1));
+        }
+        assert_eq!(bucket_lower_bound(0), 0.0);
+    }
+
+    #[test]
+    fn values_land_in_their_bucket() {
+        for i in 1..NUM_BUCKETS - 1 {
+            let lo = bucket_lower_bound(i);
+            let hi = bucket_lower_bound(i + 1);
+            let mid = (lo + hi) / 2.0;
+            assert_eq!(bucket_index(mid), i, "midpoint of bucket {i}");
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+        }
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(1e30), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn exact_aggregates() {
+        let h = StreamingHistogram::new();
+        for v in [0.5, 1.5, 2.5, 10.0] {
+            assert!(h.record(v));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert!((s.sum - 14.5).abs() < 1e-12);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 10.0);
+        assert!((s.mean() - 3.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_junk() {
+        let h = StreamingHistogram::new();
+        assert!(!h.record(f64::NAN));
+        assert!(!h.record(f64::INFINITY));
+        assert!(!h.record(-1.0));
+        assert!(h.record(0.0));
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn empty_snapshot_is_finite() {
+        let s = StreamingHistogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let h = StreamingHistogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 / 1000.0); // 0.001 ..= 1.000
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 0.001);
+        assert_eq!(s.quantile(1.0), 1.0);
+        let p50 = s.quantile(0.5);
+        // Within one bucket width (~26%) of the true median 0.5.
+        assert!((0.35..=0.65).contains(&p50), "p50 = {p50}");
+        let p99 = s.quantile(0.99);
+        assert!((0.75..=1.0).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn merge_identity_and_exact_fields() {
+        let h = StreamingHistogram::new();
+        for v in [0.1, 0.2, 0.3] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.merge(&HistogramSnapshot::empty()), s);
+        assert_eq!(HistogramSnapshot::empty().merge(&s), s);
+        let both = s.merge(&s);
+        assert_eq!(both.count, 6);
+        assert_eq!(both.min, 0.1);
+        assert_eq!(both.max, 0.3);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(StreamingHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000 {
+                        h.record((t * 10_000 + i) as f64 * 1e-6);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 40_000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 40_000);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 39_999e-6);
+        let expected: f64 = (0..40_000).map(|i| i as f64 * 1e-6).sum();
+        assert!((s.sum - expected).abs() / expected < 1e-9);
+    }
+}

@@ -1,0 +1,196 @@
+//! The per-request stage taxonomy and its clocks.
+//!
+//! A decode request's life inside the service decomposes into six
+//! stages, and the latency argument the stack exists to make hinges on
+//! knowing which of them the microseconds went to:
+//!
+//! | stage | covers |
+//! |---|---|
+//! | `queue_wait` | submit → a worker picks the request up |
+//! | `coalesce_wait` | holding the batch open for more arrivals |
+//! | `steal` | scanning sibling shard queues for head-of-line work |
+//! | `kernel` | the decoder call itself (`decode_batch` / `decode_windows`) |
+//! | `post_process` | kernel return → all responses of the batch fulfilled |
+//! | `fulfill` | dispatch → this request's own response fulfilled |
+//!
+//! [`StageSet`] keeps one [`StreamingHistogram`] per stage (seconds);
+//! [`SpanClock`] is the cheap lap timer the worker loop uses to mark
+//! stage boundaries without re-reading the clock twice per boundary.
+
+use crate::histogram::{HistogramSnapshot, StreamingHistogram};
+use std::time::{Duration, Instant};
+
+/// One stage of a request's life. See the crate docs for the
+/// taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Submit → a worker picks the request up.
+    QueueWait,
+    /// Holding a forming batch open for more arrivals.
+    CoalesceWait,
+    /// Scanning sibling shard queues for stealable work.
+    Steal,
+    /// The decoder kernel call.
+    Kernel,
+    /// Kernel return → all of the batch's responses fulfilled.
+    PostProcess,
+    /// Dispatch → this request's own response fulfilled.
+    Fulfill,
+}
+
+impl Stage {
+    /// Every stage, in canonical (pipeline) order.
+    pub const ALL: [Stage; 6] = [
+        Stage::QueueWait,
+        Stage::CoalesceWait,
+        Stage::Steal,
+        Stage::Kernel,
+        Stage::PostProcess,
+        Stage::Fulfill,
+    ];
+
+    /// The exposition label, e.g. `"queue_wait"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::QueueWait => "queue_wait",
+            Stage::CoalesceWait => "coalesce_wait",
+            Stage::Steal => "steal",
+            Stage::Kernel => "kernel",
+            Stage::PostProcess => "post_process",
+            Stage::Fulfill => "fulfill",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::QueueWait => 0,
+            Stage::CoalesceWait => 1,
+            Stage::Steal => 2,
+            Stage::Kernel => 3,
+            Stage::PostProcess => 4,
+            Stage::Fulfill => 5,
+        }
+    }
+}
+
+/// One streaming histogram per [`Stage`], recording durations in
+/// seconds. Sharing rules match [`StreamingHistogram`]: any number of
+/// threads may record concurrently.
+#[derive(Debug, Default)]
+pub struct StageSet {
+    histograms: [StreamingHistogram; 6],
+}
+
+impl StageSet {
+    /// An empty stage set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `duration` against `stage`.
+    pub fn record(&self, stage: Stage, duration: Duration) {
+        self.histograms[stage.index()].record(duration.as_secs_f64());
+    }
+
+    /// Records a duration already converted to seconds.
+    pub fn record_secs(&self, stage: Stage, seconds: f64) {
+        self.histograms[stage.index()].record(seconds);
+    }
+
+    /// Point-in-time copy of every stage histogram.
+    pub fn snapshot(&self) -> StageSnapshot {
+        StageSnapshot {
+            stages: std::array::from_fn(|i| self.histograms[i].snapshot()),
+        }
+    }
+}
+
+/// A plain-data copy of a [`StageSet`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSnapshot {
+    stages: [HistogramSnapshot; 6],
+}
+
+impl StageSnapshot {
+    /// The histogram of one stage.
+    pub fn get(&self, stage: Stage) -> &HistogramSnapshot {
+        &self.stages[stage.index()]
+    }
+
+    /// Iterates `(stage, histogram)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (Stage, &HistogramSnapshot)> {
+        Stage::ALL.iter().map(|&s| (s, &self.stages[s.index()]))
+    }
+}
+
+/// A lap clock for marking successive stage boundaries: each
+/// [`lap`](Self::lap) returns the time since the previous lap (or
+/// construction) and restarts the clock, so a worker loop reads the
+/// clock once per boundary instead of twice per stage.
+#[derive(Debug)]
+pub struct SpanClock {
+    last: Instant,
+}
+
+impl SpanClock {
+    /// Starts the clock.
+    pub fn start() -> Self {
+        Self {
+            last: Instant::now(),
+        }
+    }
+
+    /// Time since the previous lap; restarts the clock.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let elapsed = now - self.last;
+        self.last = now;
+        elapsed
+    }
+
+    /// Time since the previous lap without restarting the clock.
+    pub fn peek(&self) -> Duration {
+        self.last.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_are_unique_and_ordered() {
+        let names: Vec<_> = Stage::ALL.iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        assert_eq!(names[0], "queue_wait");
+        assert_eq!(names[5], "fulfill");
+    }
+
+    #[test]
+    fn records_per_stage() {
+        let set = StageSet::new();
+        set.record(Stage::Kernel, Duration::from_micros(250));
+        set.record(Stage::Kernel, Duration::from_micros(750));
+        set.record_secs(Stage::QueueWait, 0.001);
+        let snap = set.snapshot();
+        assert_eq!(snap.get(Stage::Kernel).count, 2);
+        assert!((snap.get(Stage::Kernel).sum - 0.001).abs() < 1e-9);
+        assert_eq!(snap.get(Stage::QueueWait).count, 1);
+        assert_eq!(snap.get(Stage::Steal).count, 0);
+        assert_eq!(snap.iter().count(), 6);
+    }
+
+    #[test]
+    fn span_clock_laps_monotonically() {
+        let mut clock = SpanClock::start();
+        std::thread::sleep(Duration::from_millis(1));
+        let first = clock.lap();
+        assert!(first >= Duration::from_millis(1));
+        let second = clock.lap();
+        assert!(second <= first);
+        assert!(clock.peek() < Duration::from_secs(1));
+    }
+}

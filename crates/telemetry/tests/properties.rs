@@ -1,0 +1,84 @@
+//! Property tests for the streaming histogram's merge algebra: merging
+//! snapshots must commute and associate (exactly in every integer
+//! field and the extrema; up to floating-point rounding in `sum`), and
+//! a merged snapshot must equal the histogram of the concatenated
+//! sample streams.
+
+use proptest::prelude::*;
+use qldpc_telemetry::{HistogramSnapshot, StreamingHistogram};
+
+/// Positive sample values spanning the histogram's full dynamic range
+/// (and past both clamped ends).
+fn samples(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((-30.0f64..16.0).prop_map(|e| 2f64.powf(e)), 0..max_len)
+}
+
+fn snapshot_of(values: &[f64]) -> HistogramSnapshot {
+    let h = StreamingHistogram::new();
+    for &v in values {
+        assert!(h.record(v), "strategy produced an unrecordable value {v}");
+    }
+    h.snapshot()
+}
+
+/// Exact equality on count/buckets/min/max; relative tolerance on the
+/// floating-point sum (merge order may round differently).
+fn assert_equivalent(a: &HistogramSnapshot, b: &HistogramSnapshot) {
+    assert_eq!(a.count, b.count);
+    assert_eq!(a.buckets, b.buckets);
+    assert_eq!(a.min, b.min);
+    assert_eq!(a.max, b.max);
+    let scale = a.sum.abs().max(b.sum.abs()).max(1e-300);
+    assert!(
+        (a.sum - b.sum).abs() / scale < 1e-9,
+        "sums diverged: {} vs {}",
+        a.sum,
+        b.sum
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_commutative(a in samples(64), b in samples(64)) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        assert_equivalent(&sa.merge(&sb), &sb.merge(&sa));
+    }
+
+    #[test]
+    fn merge_is_associative(a in samples(48), b in samples(48), c in samples(48)) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        let left = sa.merge(&sb).merge(&sc);
+        let right = sa.merge(&sb.merge(&sc));
+        assert_equivalent(&left, &right);
+    }
+
+    #[test]
+    fn merge_equals_concatenation(a in samples(64), b in samples(64)) {
+        let merged = snapshot_of(&a).merge(&snapshot_of(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        assert_equivalent(&merged, &snapshot_of(&all));
+    }
+
+    #[test]
+    fn empty_is_the_identity(a in samples(64)) {
+        let s = snapshot_of(&a);
+        assert_equivalent(&s.merge(&HistogramSnapshot::empty()), &s);
+        assert_equivalent(&HistogramSnapshot::empty().merge(&s), &s);
+    }
+
+    #[test]
+    fn quantiles_stay_bracketed_after_merge(a in samples(64), b in samples(64)) {
+        let merged = snapshot_of(&a).merge(&snapshot_of(&b));
+        if merged.count > 0 {
+            for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+                let v = merged.quantile(q);
+                prop_assert!(v >= merged.min && v <= merged.max, "q={} v={}", q, v);
+            }
+            prop_assert_eq!(merged.quantile(0.0), merged.min);
+            prop_assert_eq!(merged.quantile(1.0), merged.max);
+        }
+    }
+}
