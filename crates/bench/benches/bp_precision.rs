@@ -6,9 +6,15 @@
 //! per-shot loop, and writes the ns/shot series — and the headline
 //! f32-vs-f64 throughput ratio at the widest batch — to
 //! `BENCH_bp_precision.json` at the workspace root. Half-width slabs
-//! double the effective SIMD lanes of the auto-vectorized lane loops and
-//! halve their memory traffic, so f32 should win and win more as B
-//! grows; the JSON records by how much on this machine.
+//! double the effective SIMD lanes of the lane loops and halve their
+//! memory traffic, so f32 should win and win more as B grows; the JSON
+//! records by how much on this machine.
+//!
+//! Since the explicit-SIMD batch kernels landed, the artifact also
+//! records the **resolved dispatch target** and CPU feature string the
+//! un-forced series ran on, plus a forced per-target series at the
+//! widest batch (every compiled-in target × both precisions) — the
+//! wide-kernel-vs-scalar-oracle payoff at identical output bits.
 //!
 //! Both precisions decode the identical syndromes; accuracy parity is
 //! *not* measured here (that is `tests/precision_parity.rs`) — at fixed
@@ -17,7 +23,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qldpc_bp::{
-    BatchMinSumDecoderOf, BpConfig, Llr, MinSumDecoderOf, Precision, DEFAULT_MAX_LANES,
+    active_simd_target, simd_cpu_features, supported_simd_targets, BatchMinSumDecoderOf, BpConfig,
+    Llr, MinSumDecoderOf, Precision, SimdTarget, DEFAULT_MAX_LANES,
 };
 use qldpc_gf2::BitVec;
 use rand::rngs::StdRng;
@@ -99,6 +106,50 @@ fn sweep_precision<T: Llr>(
     (scalar_ns, series)
 }
 
+/// Forces the batch engine through every compiled-in SIMD dispatch
+/// target at one batch width and returns the per-target ns/shot — the
+/// explicit-SIMD payoff measurement (wide kernel vs the scalar oracle
+/// kernel at the *same* width, same precision, same bits out).
+fn sweep_forced_targets<T: Llr>(
+    syndromes: &[BitVec],
+    width: usize,
+    samples: usize,
+    config: BpConfig,
+) -> Vec<(SimdTarget, u64)> {
+    let code = qldpc_codes::bb::gross_code();
+    let hz = code.hz();
+    let priors = vec![0.03; hz.cols()];
+    let shots = syndromes.len();
+    let mut series = Vec::new();
+    for &target in supported_simd_targets() {
+        let forced = BpConfig {
+            simd_target: Some(target),
+            ..config
+        };
+        let mut engine = BatchMinSumDecoderOf::<T>::new(hz, &priors, forced);
+        let ns = ns_per_shot(shots, samples, || {
+            for chunk in syndromes.chunks(width) {
+                std::hint::black_box(engine.decode_batch_results(chunk));
+            }
+        });
+        series.push((target, ns));
+    }
+    let scalar_ns = series
+        .iter()
+        .find(|(t, _)| *t == SimdTarget::Scalar)
+        .map(|&(_, ns)| ns)
+        .unwrap_or(0);
+    for &(target, ns) in &series {
+        println!(
+            "bp_precision_sweep/{}/B={width}/target={target}: {ns} ns/shot \
+             ({:.2}x vs scalar kernel at the same width)",
+            T::PRECISION,
+            scalar_ns as f64 / ns.max(1) as f64
+        );
+    }
+    series
+}
+
 /// The sweep driver. Emits `BENCH_bp_precision.json` with one series per
 /// precision and the headline f32/f64 ratio at the widest batch.
 fn bench_bp_precision(_c: &mut Criterion) {
@@ -117,11 +168,25 @@ fn bench_bp_precision(_c: &mut Criterion) {
     let mut widths = vec![1usize, 8, 32, DEFAULT_MAX_LANES];
     widths.retain(|&w| w <= shots); // smoke mode caps the shot count
 
+    // The dispatch target the un-forced series below actually ran on
+    // (auto-detected, `QLDPC_SIMD_TARGET`-overridable) and the CPU
+    // features behind the decision — without these the ns/shot numbers
+    // are not interpretable across machines.
+    let active = active_simd_target();
+    let features = simd_cpu_features();
+    println!("bp_precision_sweep: simd_target={active} cpu_features={features}");
+
     let (scalar64, series64) = sweep_precision::<f64>(&syndromes, &widths, samples, config);
     let (scalar32, series32) = sweep_precision::<f32>(&syndromes, &widths, samples, config);
 
+    // The explicit-SIMD payoff at the widest batch: every compiled-in
+    // target forced in turn, both precisions.
+    let max_width = *widths.last().expect("nonempty width list");
+    let targets64 = sweep_forced_targets::<f64>(&syndromes, max_width, samples, config);
+    let targets32 = sweep_forced_targets::<f32>(&syndromes, max_width, samples, config);
+
     // Headline: f32 throughput vs f64 at the widest batch width.
-    let (max_width, ns64) = *series64.last().expect("nonempty sweep");
+    let (_, ns64) = *series64.last().expect("nonempty sweep");
     let (_, ns32) = *series32.last().expect("nonempty sweep");
     let f32_vs_f64 = ns64 as f64 / ns32.max(1) as f64;
     println!("bp_precision_sweep: f32 is {f32_vs_f64:.2}x f64 throughput at B={max_width}");
@@ -133,31 +198,52 @@ fn bench_bp_precision(_c: &mut Criterion) {
         return;
     }
 
-    let render_series = |precision: Precision, scalar_ns: u64, series: &[(usize, u64)]| {
+    let render_series = |precision: Precision,
+                         scalar_ns: u64,
+                         series: &[(usize, u64)],
+                         targets: &[(SimdTarget, u64)]| {
         let rows: Vec<String> = series
             .iter()
             .map(|&(width, ns)| {
                 format!(
                     "      {{\"batch_width\": {width}, \"ns_per_shot\": {ns}, \
-                     \"speedup_vs_scalar\": {:.3}}}",
+                         \"speedup_vs_scalar\": {:.3}}}",
                     scalar_ns as f64 / ns.max(1) as f64
+                )
+            })
+            .collect();
+        let kernel_scalar = targets
+            .iter()
+            .find(|(t, _)| *t == SimdTarget::Scalar)
+            .map(|&(_, ns)| ns)
+            .unwrap_or(0);
+        let target_rows: Vec<String> = targets
+            .iter()
+            .map(|&(target, ns)| {
+                format!(
+                    "      {{\"target\": \"{target}\", \"ns_per_shot\": {ns}, \
+                         \"speedup_vs_scalar_kernel\": {:.3}}}",
+                    kernel_scalar as f64 / ns.max(1) as f64
                 )
             })
             .collect();
         format!(
             "    {{\"precision\": \"{precision}\", \"bytes_per_message\": {}, \
-             \"scalar_ns_per_shot\": {scalar_ns}, \"series\": [\n{}\n    ]}}",
+                 \"scalar_ns_per_shot\": {scalar_ns}, \"series\": [\n{}\n    ],\n  \
+                 \"forced_targets_at_max_batch\": [\n{}\n    ]}}",
             precision.bytes_per_message(),
-            rows.join(",\n")
+            rows.join(",\n"),
+            target_rows.join(",\n")
         )
     };
     let json = format!(
         "{{\n  \"bench\": \"bp_precision_sweep\",\n  \"code\": \"[[144,12,12]] gross\",\n  \
          \"bp_iters\": {bp_iters},\n  \"shots\": {shots},\n  \"error_rate\": 0.05,\n  \
+         \"simd_target\": \"{active}\",\n  \"cpu_features\": \"{features}\",\n  \
          \"f32_vs_f64_at_max_batch\": {f32_vs_f64:.3},\n  \"max_batch\": {max_width},\n  \
          \"precisions\": [\n{},\n{}\n  ]\n}}\n",
-        render_series(Precision::F64, scalar64, &series64),
-        render_series(Precision::F32, scalar32, &series32),
+        render_series(Precision::F64, scalar64, &series64, &targets64),
+        render_series(Precision::F32, scalar32, &series32, &targets32),
     );
     // Bench binaries run with cwd = crates/bench; emit at the workspace
     // root where the other BENCH artifacts live.

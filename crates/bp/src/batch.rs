@@ -12,13 +12,19 @@
 //!
 //! where `L = min(B, max_lanes)` is the lane width of one tile. Each BP
 //! iteration walks the graph's edge structure **once** for all live
-//! lanes; the per-lane inner loops run over contiguous memory and
-//! auto-vectorize over the batch dimension. Check-node updates go
-//! through the same [`kernel`](crate::kernel) core the scalar decoder
-//! uses, so every lane executes the same floating-point operations in
-//! the same order as a scalar [`MinSumDecoder::decode`] of that shot —
-//! the outputs are **bit-identical**, enforced by the property suite in
-//! `crates/bp/tests/batch_equivalence.rs`.
+//! lanes. The slabs are 64-byte-aligned ([`AlignedSlab`]) and the hot
+//! per-iteration passes run as **explicit wide kernels**
+//! ([`wide`](crate::wide)) on the instruction set picked at runtime —
+//! AVX-512 → AVX2 → NEON → scalar, overridable per config
+//! ([`BpConfig::simd_target`]) or process-wide (`QLDPC_SIMD_TARGET`).
+//! On the scalar target, check-node updates go through the same
+//! [`kernel`](crate::kernel) core the scalar decoder uses; the wide
+//! targets re-express those loops with compare-blend selects chosen so
+//! each lane executes the identical float stream. Either way every lane
+//! performs the same floating-point operations in the same order as a
+//! scalar [`MinSumDecoder::decode`] of that shot — the outputs are
+//! **bit-identical on every dispatch target**, enforced by the property
+//! suite in `crates/bp/tests/batch_equivalence.rs`.
 //!
 //! # Precision
 //!
@@ -57,8 +63,10 @@
 use crate::graph::TannerGraph;
 use crate::kernel::{self, CheckScratch};
 use crate::llr::Llr;
+use crate::wide;
 use crate::{prior_llr, BpConfig, BpResult, MinSumDecoderOf};
 use qldpc_gf2::{BitVec, SparseBitMatrix};
+use qldpc_simd::{AlignedSlab, SimdTarget};
 
 /// Default cap on the lane width of one interleaved tile.
 ///
@@ -68,7 +76,12 @@ use qldpc_gf2::{BitVec, SparseBitMatrix};
 /// narrower width). Use this constant — not its current literal value —
 /// anywhere a batch width should mean "one full kernel tile" (the
 /// service's `max_batch` default does exactly that).
-pub const DEFAULT_MAX_LANES: usize = 128;
+///
+/// Derived from the widest compiled-in vector
+/// ([`MAX_F32_LANES`](qldpc_simd::MAX_F32_LANES)) so a full tile is a
+/// whole number of vectors on every dispatch target at both precisions
+/// (currently `8 × 16 = 128`).
+pub const DEFAULT_MAX_LANES: usize = 8 * qldpc_simd::MAX_F32_LANES;
 
 /// A batched normalized min-sum decoder over shot-interleaved message
 /// slabs of scalar type `T`, bit-identical to per-shot
@@ -94,33 +107,36 @@ pub struct BatchMinSumDecoderOf<T: Llr> {
     channel_llrs: Vec<T>,
     max_lanes: usize,
     // Shot-interleaved working slabs at the current tile's lane stride,
-    // reused across decodes.
+    // reused across decodes. All are 64-byte-aligned so the explicit
+    // wide kernels start every slab on a full cache line / AVX-512
+    // register boundary.
     /// Per-(variable, lane) channel LLRs: the decoder's `channel_llrs`
     /// broadcast across the tile, with per-lane prior overrides (carried
     /// window beliefs) applied where a shot supplies them.
-    lane_channel: Vec<T>,
-    c2v: Vec<T>,
-    v2c: Vec<T>,
-    posterior: Vec<T>,
-    hard: Vec<bool>,
-    hard_prev: Vec<bool>,
-    flip_counts: Vec<u32>,
+    lane_channel: AlignedSlab<T>,
+    c2v: AlignedSlab<T>,
+    v2c: AlignedSlab<T>,
+    posterior: AlignedSlab<T>,
+    hard: AlignedSlab<bool>,
+    hard_prev: AlignedSlab<bool>,
+    flip_counts: AlignedSlab<u32>,
     /// `±1.0` per (check, lane): `-1.0` where the syndrome bit is set.
-    syndrome_sign: Vec<T>,
-    syndrome_bit: Vec<bool>,
+    syndrome_sign: AlignedSlab<T>,
+    syndrome_bit: AlignedSlab<bool>,
     /// Original shot index occupying each physical lane (compaction swaps
     /// permute this alongside the slab columns).
     lane_shot: Vec<usize>,
     // Per-shot (not per-lane) bookkeeping.
     converged: Vec<bool>,
     iterations: Vec<usize>,
-    /// Per-lane accumulator for the variable phases.
-    lane_sum: Vec<T>,
+    /// Per-lane accumulator for the scalar-target variable phases (the
+    /// wide kernels keep their running sums in registers instead).
+    lane_sum: AlignedSlab<T>,
     /// Per-lane syndrome-satisfaction verdicts (one slab pass per
     /// iteration instead of a scalar walk per lane).
-    lane_ok: Vec<bool>,
+    lane_ok: AlignedSlab<bool>,
     /// Per-lane parity accumulator for the verdict pass.
-    lane_parity: Vec<bool>,
+    lane_parity: AlignedSlab<bool>,
     scratch: CheckScratch<T>,
 }
 
@@ -173,21 +189,21 @@ impl<T: Llr> BatchMinSumDecoderOf<T> {
             config,
             channel_llrs,
             max_lanes: DEFAULT_MAX_LANES,
-            lane_channel: Vec::new(),
-            c2v: Vec::new(),
-            v2c: Vec::new(),
-            posterior: Vec::new(),
-            hard: Vec::new(),
-            hard_prev: Vec::new(),
-            flip_counts: Vec::new(),
-            syndrome_sign: Vec::new(),
-            syndrome_bit: Vec::new(),
+            lane_channel: AlignedSlab::new(),
+            c2v: AlignedSlab::new(),
+            v2c: AlignedSlab::new(),
+            posterior: AlignedSlab::new(),
+            hard: AlignedSlab::new(),
+            hard_prev: AlignedSlab::new(),
+            flip_counts: AlignedSlab::new(),
+            syndrome_sign: AlignedSlab::new(),
+            syndrome_bit: AlignedSlab::new(),
             lane_shot: Vec::new(),
             converged: Vec::new(),
             iterations: Vec::new(),
-            lane_sum: Vec::new(),
-            lane_ok: Vec::new(),
-            lane_parity: Vec::new(),
+            lane_sum: AlignedSlab::new(),
+            lane_ok: AlignedSlab::new(),
+            lane_parity: AlignedSlab::new(),
             scratch: CheckScratch::new(1),
         }
     }
@@ -343,9 +359,35 @@ impl<T: Llr> BatchMinSumDecoderOf<T> {
         let lanes = tile.len();
         let vars = self.graph.num_vars();
         self.reset(tile, tile_priors);
+        let mut target = wide::resolve_target(&self.config);
+        // An auto-detected target steps down until one vector fits the
+        // tile: a B=8 f32 tile holds no 16-lane groups, and routing it
+        // through the AVX-512 kernel means running its scalar epilogue
+        // for every lane — slower than the narrower wide kernel (or the
+        // scalar kernel's lane-minor loops) the tile actually fills. A
+        // *pinned* target is never stepped down; the equivalence suites
+        // rely on forcing wide kernels onto tiny tiles.
+        if self.config.simd_target.is_none() {
+            while target != SimdTarget::Scalar && wide::lane_width::<T>(target) > lanes {
+                target = wide::step_down(target);
+            }
+        }
+        let vw = wide::lane_width::<T>(target);
+
+        // Each shot's result is snapshotted the moment its lane retires,
+        // not at the end of the tile: under a padded live width (below)
+        // the wide kernels may recompute a few retired columns past
+        // `width`, so a retired lane's slab state is no longer
+        // guaranteed frozen — its snapshot is.
+        let mut results: Vec<Option<BpResult<T>>> = (0..lanes).map(|_| None).collect();
 
         // `width` is the live-lane prefix; converged lanes are swapped
-        // past it and frozen.
+        // past it. For the wide kernels the prefix is padded to a whole
+        // number of vectors (`width_eff`, capped at the tile) so lane
+        // compaction cannot strand the iteration passes on a ragged
+        // scalar tail; the padding columns hold retired lanes whose
+        // recomputation is harmless (lanes are arithmetically isolated,
+        // and their results were already snapshotted).
         let mut width = lanes;
         for iter in 1..=self.config.max_iters {
             if width == 0 {
@@ -355,9 +397,32 @@ impl<T: Llr> BatchMinSumDecoderOf<T> {
                 self.iterations[self.lane_shot[b]] = iter;
             }
             let alpha = T::from_f64(self.config.damping.factor(iter));
-            match self.config.schedule {
-                crate::Schedule::Flooding => self.flooding_iteration(lanes, width, alpha),
-                crate::Schedule::Layered => self.layered_iteration(lanes, width, alpha),
+            match (self.config.schedule, target) {
+                (crate::Schedule::Flooding, SimdTarget::Scalar) => {
+                    self.flooding_iteration(lanes, width, alpha)
+                }
+                (crate::Schedule::Layered, SimdTarget::Scalar) => {
+                    self.layered_iteration(lanes, width, alpha)
+                }
+                (schedule, t) => {
+                    let width_eff = lanes.min(width.div_ceil(vw) * vw);
+                    let args = wide::IterArgs {
+                        graph: &self.graph,
+                        lane_channel: &self.lane_channel,
+                        syndrome_sign: &self.syndrome_sign,
+                        c2v: &mut self.c2v,
+                        v2c: &mut self.v2c,
+                        posterior: &mut self.posterior,
+                        gamma: self.config.memory_strength,
+                        alpha,
+                        lanes,
+                        width: width_eff,
+                    };
+                    match schedule {
+                        crate::Schedule::Flooding => wide::flooding_wide(t, args),
+                        crate::Schedule::Layered => wide::layered_wide(t, args),
+                    }
+                }
             }
             // Hard decision (paper Eq. 8) on the live lanes.
             for v in 0..vars {
@@ -385,11 +450,13 @@ impl<T: Llr> BatchMinSumDecoderOf<T> {
             // when lane `b` retires, the occupant of `width - 1` — and
             // its verdict — moves into `b` and is examined next, so no
             // lane is skipped.
-            self.compute_lane_ok(lanes, width);
+            self.compute_lane_ok(target, lanes, width);
             let mut b = 0;
             while b < width {
                 if self.lane_ok[b] {
-                    self.converged[self.lane_shot[b]] = true;
+                    let shot = self.lane_shot[b];
+                    self.converged[shot] = true;
+                    results[shot] = Some(self.snapshot_lane(b, lanes, shot));
                     self.swap_lanes(b, width - 1, lanes);
                     self.lane_ok.swap(b, width - 1);
                     width -= 1;
@@ -399,31 +466,54 @@ impl<T: Llr> BatchMinSumDecoderOf<T> {
             }
         }
 
-        for shot in 0..lanes {
-            // Compaction left this shot's state in some physical lane.
-            let b = self
-                .lane_shot
-                .iter()
-                .position(|&s| s == shot)
-                .expect("every shot occupies exactly one lane");
-            let mut error_hat = BitVec::zeros(vars);
-            for v in 0..vars {
-                if self.hard[v * lanes + b] {
-                    error_hat.set(v, true);
+        for (shot, slot) in results.iter_mut().enumerate() {
+            out.push(match slot.take() {
+                Some(result) => result,
+                None => {
+                    // Never retired: compaction left this shot's live
+                    // (untouched-by-padding) state in some physical lane.
+                    let b = self
+                        .lane_shot
+                        .iter()
+                        .position(|&s| s == shot)
+                        .expect("every shot occupies exactly one lane");
+                    self.snapshot_lane(b, lanes, shot)
                 }
-            }
-            out.push(BpResult {
-                converged: self.converged[shot],
-                error_hat,
-                iterations: self.iterations[shot],
-                posteriors: (0..vars).map(|v| self.posterior[v * lanes + b]).collect(),
-                flip_counts: if self.config.track_oscillations {
-                    (0..vars).map(|v| self.flip_counts[v * lanes + b]).collect()
-                } else {
-                    Vec::new()
-                },
             });
         }
+    }
+
+    /// Captures physical lane `b`'s state as shot `shot`'s result.
+    fn snapshot_lane(&self, b: usize, lanes: usize, shot: usize) -> BpResult<T> {
+        let vars = self.graph.num_vars();
+        let mut error_hat = BitVec::zeros(vars);
+        for v in 0..vars {
+            if self.hard[v * lanes + b] {
+                error_hat.set(v, true);
+            }
+        }
+        BpResult {
+            converged: self.converged[shot],
+            error_hat,
+            iterations: self.iterations[shot],
+            posteriors: (0..vars).map(|v| self.posterior[v * lanes + b]).collect(),
+            flip_counts: if self.config.track_oscillations {
+                (0..vars).map(|v| self.flip_counts[v * lanes + b]).collect()
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// The SIMD dispatch target this decoder's iteration kernels run at
+    /// under the current configuration — the [`BpConfig::simd_target`]
+    /// pin, the `QLDPC_SIMD_TARGET` override, or CPU detection, in that
+    /// precedence (always [`SimdTarget::Scalar`] for the sum-product
+    /// rule, which has no wide path). An auto-detected target may still
+    /// step down per tile when a batch is narrower than one vector; a
+    /// pinned target never does.
+    pub fn resolved_simd_target(&self) -> SimdTarget {
+        wide::resolve_target(&self.config)
     }
 
     /// Sizes the slabs for `tile.len()` lanes and loads the tile's state.
@@ -629,9 +719,24 @@ impl<T: Llr> BatchMinSumDecoderOf<T> {
     /// Checks `H·ê = s` for every live lane at once, filling
     /// `lane_ok[..width]`: per check, one XOR-parity accumulation across
     /// the check's variables and one comparison against the syndrome
-    /// bits — contiguous byte rows that vectorize over the lanes, unlike
-    /// the scalar per-lane walk this replaces.
-    fn compute_lane_ok(&mut self, lanes: usize, width: usize) {
+    /// bits — contiguous byte rows, run with explicit byte vectors on a
+    /// wide `target` (32/64 lanes per op on AVX2/AVX-512), unlike the
+    /// scalar per-lane walk this replaces. Pure boolean arithmetic, so
+    /// every path computes identical verdicts.
+    fn compute_lane_ok(&mut self, target: SimdTarget, lanes: usize, width: usize) {
+        if width >= 8 && target != SimdTarget::Scalar {
+            wide::lane_ok_wide(
+                target,
+                &self.graph,
+                &self.hard,
+                &self.syndrome_bit,
+                &mut self.lane_ok,
+                &mut self.lane_parity,
+                lanes,
+                width,
+            );
+            return;
+        }
         let ok = &mut self.lane_ok[..width];
         // Narrow live prefixes (late-stage compaction, tiny batches)
         // are better served by the short-circuiting per-lane walk — the
@@ -899,5 +1004,133 @@ mod tests {
         let mut dec = BatchMinSumDecoder::new(&h, &[0.05; 5], BpConfig::default());
         let short = [0.1; 4];
         dec.decode_batch_with_priors(&[BitVec::zeros(4)], &[Some(&short)]);
+    }
+
+    /// Dispatch-aware compaction padding: every tile width from one lane
+    /// up to twice the widest vector (so every possible vector/tail
+    /// split, including widths that compact through them mid-decode)
+    /// stays bit-identical to the scalar oracle on every target this CPU
+    /// can run, at both precisions.
+    #[test]
+    fn every_target_matches_scalar_across_tail_widths() {
+        fn run<T: Llr>() {
+            let h = repetition_h(9);
+            let config = BpConfig {
+                max_iters: 30,
+                track_oscillations: true,
+                ..BpConfig::default()
+            };
+            let mut scalar = MinSumDecoderOf::<T>::new(&h, &[0.05; 9], config);
+            for &target in qldpc_simd::supported_targets() {
+                let config = BpConfig {
+                    simd_target: Some(target),
+                    ..config
+                };
+                let mut batch = BatchMinSumDecoderOf::<T>::new(&h, &[0.05; 9], config);
+                assert_eq!(batch.resolved_simd_target(), target);
+                let max_width = 2 * qldpc_simd::MAX_F32_LANES + 1;
+                for width in 1..=max_width {
+                    let syndromes: Vec<BitVec> = (0..width)
+                        .map(|i| h.mul_vec(&BitVec::from_indices(9, &[i % 9])))
+                        .collect();
+                    let rb = batch.decode_batch_results(&syndromes);
+                    for (i, (r, s)) in rb.iter().zip(&syndromes).enumerate() {
+                        let rs = scalar.decode(s);
+                        assert_eq!(r.converged, rs.converged, "{target} w={width} shot {i}");
+                        assert_eq!(r.iterations, rs.iterations, "{target} w={width} shot {i}");
+                        assert_eq!(r.error_hat, rs.error_hat, "{target} w={width} shot {i}");
+                        assert_eq!(r.flip_counts, rs.flip_counts, "{target} w={width} shot {i}");
+                        for (a, b) in r.posteriors.iter().zip(&rs.posteriors) {
+                            assert_eq!(
+                                a.to_bits_u64(),
+                                b.to_bits_u64(),
+                                "{target} w={width} shot {i}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        run::<f64>();
+        run::<f32>();
+    }
+
+    /// A forced target also holds under the layered schedule and with
+    /// posterior memory enabled (both wide code paths beyond plain
+    /// flooding), bit-for-bit.
+    #[test]
+    fn wide_layered_and_memory_match_scalar_bitwise() {
+        let h = repetition_h(9);
+        for &target in qldpc_simd::supported_targets() {
+            for (schedule, gamma) in [
+                (crate::Schedule::Layered, 0.0),
+                (crate::Schedule::Flooding, 0.4),
+            ] {
+                let config = BpConfig {
+                    max_iters: 30,
+                    schedule,
+                    memory_strength: gamma,
+                    simd_target: Some(target),
+                    ..BpConfig::default()
+                };
+                let mut batch = BatchMinSumDecoder::new(&h, &[0.05; 9], config);
+                let mut scalar = MinSumDecoder::new(&h, &[0.05; 9], config);
+                let syndromes: Vec<BitVec> = (0..10)
+                    .map(|i| h.mul_vec(&BitVec::from_indices(9, &[i % 9])))
+                    .collect();
+                let rb = batch.decode_batch_results(&syndromes);
+                for (r, s) in rb.iter().zip(&syndromes) {
+                    let rs = scalar.decode(s);
+                    assert_eq!(
+                        r.iterations, rs.iterations,
+                        "{target} {schedule:?} γ={gamma}"
+                    );
+                    assert_eq!(r.error_hat, rs.error_hat, "{target} {schedule:?} γ={gamma}");
+                    for (a, b) in r.posteriors.iter().zip(&rs.posteriors) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{target} {schedule:?} γ={gamma}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The sum-product rule has no wide path: any pinned target resolves
+    /// to scalar dispatch rather than silently running a kernel that
+    /// does not exist.
+    #[test]
+    fn sum_product_always_resolves_scalar() {
+        let h = repetition_h(5);
+        let config = BpConfig {
+            algorithm: crate::BpAlgorithm::SumProduct,
+            simd_target: Some(*qldpc_simd::supported_targets().last().unwrap()),
+            ..BpConfig::default()
+        };
+        let dec = BatchMinSumDecoder::new(&h, &[0.05; 5], config);
+        assert_eq!(dec.resolved_simd_target(), SimdTarget::Scalar);
+    }
+
+    /// Pinning a target the CPU cannot run panics loudly instead of
+    /// silently degrading (which would fake forced-target coverage).
+    #[test]
+    fn unavailable_pinned_target_panics() {
+        let unavailable = [SimdTarget::Neon, SimdTarget::Avx2, SimdTarget::Avx512]
+            .into_iter()
+            .find(|t| !t.is_available());
+        let Some(target) = unavailable else {
+            eprintln!("skipping: every compiled-in target is available here");
+            return;
+        };
+        let h = repetition_h(5);
+        let config = BpConfig {
+            simd_target: Some(target),
+            ..BpConfig::default()
+        };
+        let mut dec = BatchMinSumDecoder::new(&h, &[0.05; 5], config);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dec.decode(&BitVec::zeros(4))
+        }))
+        .expect_err("pinning an unavailable target must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("does not support"), "got: {msg}");
     }
 }

@@ -13,6 +13,7 @@ use crate::kernel::{self, CheckScratch};
 use crate::llr::Llr;
 use crate::prior_llr;
 use qldpc_gf2::{BitVec, SparseBitMatrix};
+use qldpc_simd::SimdTarget;
 
 /// Message-passing schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -108,6 +109,17 @@ pub struct BpConfig {
     /// oscillation signal). Costs one pass over the variables per
     /// iteration.
     pub track_oscillations: bool,
+    /// Explicit-SIMD dispatch pin for the batch engine's wide kernels.
+    /// `None` (the default) auto-selects the widest instruction set the
+    /// CPU supports — overridable process-wide through the
+    /// `QLDPC_SIMD_TARGET` environment variable. `Some(target)` forces
+    /// one compiled-in target; decoding panics if the CPU lacks it (a
+    /// silent fallback would fake forced-target test coverage). Results
+    /// are bit-identical across targets, so this knob exists for
+    /// equivalence suites, benches and reproducibility pins — never for
+    /// correctness. The scalar decoder and the sum-product rule always
+    /// run scalar.
+    pub simd_target: Option<SimdTarget>,
 }
 
 impl Default for BpConfig {
@@ -119,6 +131,7 @@ impl Default for BpConfig {
             damping: DampingSchedule::Adaptive,
             memory_strength: 0.0,
             track_oscillations: false,
+            simd_target: None,
         }
     }
 }

@@ -17,6 +17,16 @@
 //! arithmetic step, constant and clamp comes from the trait, so the two
 //! precisions run the same algorithm at different widths and the
 //! bit-identity invariant holds *per precision*.
+//!
+//! This module is also the **oracle** for the explicit-SIMD twins in
+//! `crates/bp/src/wide.rs`: the min-sum branches of the wide kernels
+//! re-express these exact loops in vector ops chosen for bit-equality
+//! (ordered compares + blends, sign-bit abs/neg, no FMA, identical
+//! association order), and every dispatch target is pinned against this
+//! scalar path by the same equivalence suites. Any numerical change
+//! here must land in `wide.rs` in the same commit — the forced-target
+//! tests fail loudly if the two drift. The sum-product branch has no
+//! wide twin and always runs here.
 
 use crate::llr::Llr;
 use crate::BpAlgorithm;

@@ -96,6 +96,7 @@ mod decoder;
 mod graph;
 mod kernel;
 mod llr;
+mod wide;
 mod window;
 
 pub use batch::{BatchMinSumDecoder, BatchMinSumDecoderOf, DEFAULT_MAX_LANES};
@@ -105,6 +106,15 @@ pub use decoder::{
 pub use graph::TannerGraph;
 pub use llr::Llr;
 pub use qldpc_decoder_api::{DecodeOutcome, Precision, SyndromeDecoder};
+// The dispatch surface of the explicit-SIMD batch kernels, re-exported
+// so downstream crates (bench artifacts, telemetry labels, forced-target
+// suites) need no direct `qldpc-simd` dependency: the resolved target,
+// CPU feature summary, and the list every equivalence suite iterates.
+pub use qldpc_simd::{
+    active_target as active_simd_target, cpu_features as simd_cpu_features,
+    detected_target as detected_simd_target, supported_targets as supported_simd_targets,
+    SimdTarget, ENV_TARGET as SIMD_TARGET_ENV,
+};
 pub use window::{BpWindowDecoder, BpWindowDecoderF32, BpWindowDecoderOf};
 
 /// The reduced-precision (`f32`) scalar min-sum decoder: half the message

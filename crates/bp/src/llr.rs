@@ -74,6 +74,19 @@ pub trait Llr:
     /// comfortably finite in this format.
     const ATANH_CEIL: Self;
 
+    /// The AVX2 vector of this scalar (8 × `f32` / 4 × `f64`). The
+    /// explicit wide kernels in `crates/bp/src/wide.rs` monomorphize
+    /// over these per-ISA associated types; they are only reachable
+    /// through `SimdTarget` dispatch after runtime feature detection.
+    #[cfg(target_arch = "x86_64")]
+    type Avx2: qldpc_simd::SimdF<Elem = Self>;
+    /// The AVX-512 vector of this scalar (16 × `f32` / 8 × `f64`).
+    #[cfg(target_arch = "x86_64")]
+    type Avx512: qldpc_simd::SimdF<Elem = Self>;
+    /// The NEON vector of this scalar (4 × `f32` / 2 × `f64`).
+    #[cfg(target_arch = "aarch64")]
+    type Neon: qldpc_simd::SimdF<Elem = Self>;
+
     /// Rounds a config-level `f64` quantity (prior LLR, damping factor,
     /// memory strength) into this precision. The identity for `f64`.
     fn from_f64(x: f64) -> Self;
@@ -110,6 +123,13 @@ impl Llr for f64 {
     const CLAMP: Self = 1e6;
     const TANH_FLOOR: Self = 1e-300;
     const ATANH_CEIL: Self = 1.0 - 1e-15;
+
+    #[cfg(target_arch = "x86_64")]
+    type Avx2 = qldpc_simd::avx2::F64x4;
+    #[cfg(target_arch = "x86_64")]
+    type Avx512 = qldpc_simd::avx512::F64x8;
+    #[cfg(target_arch = "aarch64")]
+    type Neon = qldpc_simd::neon::F64x2;
 
     #[inline(always)]
     fn from_f64(x: f64) -> Self {
@@ -166,6 +186,13 @@ impl Llr for f32 {
     // One f32 ULP below 1.0 is ~6e-8; back off to 1e-6 so
     // `atanh(ATANH_CEIL)` (≈ 7.3) stays far from the clamp.
     const ATANH_CEIL: Self = 1.0 - 1e-6;
+
+    #[cfg(target_arch = "x86_64")]
+    type Avx2 = qldpc_simd::avx2::F32x8;
+    #[cfg(target_arch = "x86_64")]
+    type Avx512 = qldpc_simd::avx512::F32x16;
+    #[cfg(target_arch = "aarch64")]
+    type Neon = qldpc_simd::neon::F32x4;
 
     #[inline(always)]
     fn from_f64(x: f64) -> Self {

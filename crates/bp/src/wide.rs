@@ -1,0 +1,589 @@
+//! Explicit-SIMD twins of the batch decoder's hot loops, behind runtime
+//! dispatch.
+//!
+//! The scalar loops in [`batch`](crate::batch) and the check-update core
+//! in [`kernel`](crate::kernel) remain the **bit-identity oracle**; this
+//! module re-expresses the three hot per-iteration passes — the
+//! two-minimum/argmin check update, the damping/posterior variable
+//! update, and the slab syndrome check — as explicit wide kernels over
+//! the `qldpc-simd` vector types, one monomorphization per
+//! [`SimdTarget`]. Every wide op was chosen so each lane executes
+//! *exactly* the scalar float stream (see the op-selection notes in
+//! `vendor/simd/src/vec.rs`):
+//!
+//! * compares are ordered `<` (NaN → false), matching the branchy
+//!   scalar selects — never `min`/`max` intrinsics, whose NaN handling
+//!   diverges from `Llr::clamp_llr` (reachable: `alpha = 0` ×
+//!   degree-1 check gives `0 · INF = NaN`);
+//! * negation and `abs` are sign-bit ops, exact for `-0.0` messages;
+//! * products round one multiply at a time (no FMA), in the scalar
+//!   code's association order.
+//!
+//! Lane tails (`width % LANES`) run an inline scalar epilogue that
+//! copies the oracle loop verbatim. The dispatch wrappers carry
+//! `#[target_feature]`, so the generic bodies below compile once per
+//! instruction set with full vector codegen; they are only reachable
+//! through [`dispatch`](SimdTarget) after runtime feature detection,
+//! which is the single safety contract of the unsafe vector ops.
+
+use crate::decoder::{BpAlgorithm, BpConfig};
+use crate::graph::TannerGraph;
+use crate::llr::Llr;
+use qldpc_decoder_api::Precision;
+use qldpc_simd::{SimdBytes, SimdF, SimdTarget};
+
+/// Vector lane count of `target` at message precision `T`.
+pub(crate) fn lane_width<T: Llr>(target: SimdTarget) -> usize {
+    match T::PRECISION {
+        Precision::F32 => target.f32_lanes(),
+        Precision::F64 => target.f64_lanes(),
+    }
+}
+
+/// Resolves the dispatch target one decode runs at: the config's pin if
+/// set (validated against the CPU), the process-wide
+/// [`active_target`](qldpc_simd::active_target) otherwise — except that
+/// the sum-product rule always runs scalar (its tanh/ln/exp chain has
+/// no wide twin).
+///
+/// # Panics
+///
+/// Panics if the config pins a target the current CPU does not support:
+/// a silently degraded pin would fake forced-target test coverage.
+pub(crate) fn resolve_target(config: &BpConfig) -> SimdTarget {
+    let target = match config.simd_target {
+        Some(t) => {
+            assert!(
+                t.is_available(),
+                "BpConfig::simd_target pins {t}, which this CPU does not support \
+                 (supported: {:?})",
+                qldpc_simd::supported_targets()
+                    .iter()
+                    .map(|s| s.name())
+                    .collect::<Vec<_>>()
+            );
+            t
+        }
+        None => qldpc_simd::active_target(),
+    };
+    if config.algorithm == BpAlgorithm::SumProduct {
+        SimdTarget::Scalar
+    } else {
+        target
+    }
+}
+
+/// The next-narrower dispatch target, used by the batch engine to step
+/// an *auto-detected* target down when a tile holds fewer lanes than
+/// one vector (pinned targets are never stepped down).
+pub(crate) fn step_down(target: SimdTarget) -> SimdTarget {
+    match target {
+        SimdTarget::Avx512 => SimdTarget::Avx2,
+        _ => SimdTarget::Scalar,
+    }
+}
+
+/// Borrowed view of one iteration's slabs, shared by the flooding and
+/// layered wide kernels. `width` is the (possibly padded) live prefix;
+/// every slab row must be valid for `width` lanes at stride `lanes`.
+pub(crate) struct IterArgs<'a, T: Llr> {
+    pub graph: &'a TannerGraph,
+    pub lane_channel: &'a [T],
+    pub syndrome_sign: &'a [T],
+    pub c2v: &'a mut [T],
+    pub v2c: &'a mut [T],
+    pub posterior: &'a mut [T],
+    /// Posterior-memory strength γ (flooding only).
+    pub gamma: f64,
+    pub alpha: T,
+    pub lanes: usize,
+    pub width: usize,
+}
+
+/// One flooding iteration on a wide target (V2C with optional memory
+/// blending, check updates, posteriors).
+///
+/// `target` must be a non-scalar target supported by this CPU (the
+/// caller dispatches scalar through the oracle loops in `batch.rs`).
+pub(crate) fn flooding_wide<T: Llr>(target: SimdTarget, args: IterArgs<'_, T>) {
+    match target {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the caller only passes targets whose runtime feature
+        // check succeeded (resolve_target / supported_targets).
+        SimdTarget::Avx2 => unsafe { flooding_avx2(args) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        SimdTarget::Avx512 => unsafe { flooding_avx512(args) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: as above.
+        SimdTarget::Neon => unsafe { flooding_neon(args) },
+        _ => unreachable!("scalar/unsupported target dispatched to the wide flooding kernel"),
+    }
+}
+
+/// One layered iteration on a wide target (per-check V2C refresh, check
+/// update, immediate posterior propagation).
+pub(crate) fn layered_wide<T: Llr>(target: SimdTarget, args: IterArgs<'_, T>) {
+    match target {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the caller only passes targets whose runtime feature
+        // check succeeded (resolve_target / supported_targets).
+        SimdTarget::Avx2 => unsafe { layered_avx2(args) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        SimdTarget::Avx512 => unsafe { layered_avx512(args) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: as above.
+        SimdTarget::Neon => unsafe { layered_neon(args) },
+        _ => unreachable!("scalar/unsupported target dispatched to the wide layered kernel"),
+    }
+}
+
+/// The slab syndrome check on a wide target: fills `ok[..width]` with
+/// per-lane `H·ê == s` verdicts via byte-wide XOR/AND rows.
+///
+/// Exact boolean arithmetic — bit-identity is trivial; the win is the
+/// byte vector width (32/64 lanes per op on AVX2/AVX-512).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn lane_ok_wide(
+    target: SimdTarget,
+    graph: &TannerGraph,
+    hard: &[bool],
+    syndrome_bit: &[bool],
+    ok: &mut [bool],
+    parity: &mut [bool],
+    lanes: usize,
+    width: usize,
+) {
+    match target {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the caller only passes targets whose runtime feature
+        // check succeeded (resolve_target / supported_targets).
+        SimdTarget::Avx2 => unsafe {
+            lane_ok_avx2(graph, hard, syndrome_bit, ok, parity, lanes, width)
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        SimdTarget::Avx512 => unsafe {
+            lane_ok_avx512(graph, hard, syndrome_bit, ok, parity, lanes, width)
+        },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: as above.
+        SimdTarget::Neon => unsafe {
+            lane_ok_neon(graph, hard, syndrome_bit, ok, parity, lanes, width)
+        },
+        _ => unreachable!("scalar/unsupported target dispatched to the wide syndrome check"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// #[target_feature] wrappers: one monomorphization of each generic body
+// per instruction set, so the bodies inline and compile with full wide
+// codegen. Only reachable through the dispatchers above.
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn flooding_avx2<T: Llr>(args: IterArgs<'_, T>) {
+    flooding_body::<T, T::Avx2>(args)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+unsafe fn flooding_avx512<T: Llr>(args: IterArgs<'_, T>) {
+    flooding_body::<T, T::Avx512>(args)
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn flooding_neon<T: Llr>(args: IterArgs<'_, T>) {
+    flooding_body::<T, T::Neon>(args)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn layered_avx2<T: Llr>(args: IterArgs<'_, T>) {
+    layered_body::<T, T::Avx2>(args)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+unsafe fn layered_avx512<T: Llr>(args: IterArgs<'_, T>) {
+    layered_body::<T, T::Avx512>(args)
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn layered_neon<T: Llr>(args: IterArgs<'_, T>) {
+    layered_body::<T, T::Neon>(args)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn lane_ok_avx2(
+    graph: &TannerGraph,
+    hard: &[bool],
+    syndrome_bit: &[bool],
+    ok: &mut [bool],
+    parity: &mut [bool],
+    lanes: usize,
+    width: usize,
+) {
+    lane_ok_body::<qldpc_simd::avx2::B8x32>(graph, hard, syndrome_bit, ok, parity, lanes, width)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+unsafe fn lane_ok_avx512(
+    graph: &TannerGraph,
+    hard: &[bool],
+    syndrome_bit: &[bool],
+    ok: &mut [bool],
+    parity: &mut [bool],
+    lanes: usize,
+    width: usize,
+) {
+    lane_ok_body::<qldpc_simd::avx512::B8x64>(graph, hard, syndrome_bit, ok, parity, lanes, width)
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn lane_ok_neon(
+    graph: &TannerGraph,
+    hard: &[bool],
+    syndrome_bit: &[bool],
+    ok: &mut [bool],
+    parity: &mut [bool],
+    lanes: usize,
+    width: usize,
+) {
+    lane_ok_body::<qldpc_simd::neon::B8x16>(graph, hard, syndrome_bit, ok, parity, lanes, width)
+}
+
+// ---------------------------------------------------------------------
+// Generic kernel bodies. `#[inline(always)]` so they monomorphize
+// *inside* the feature wrappers above and pick up their codegen
+// features.
+// ---------------------------------------------------------------------
+
+/// `clamp_llr` as two compare-blends, matching Rust's `clamp` for every
+/// input including NaN (`max`/`min` intrinsics would not: e.g.
+/// `maxpd(NaN, lo) = lo`, but `NaN.clamp(lo, hi) = NaN`).
+#[inline(always)]
+unsafe fn clamp_v<T: Llr, V: SimdF<Elem = T>>(x: V) -> V {
+    let lo = V::splat(-T::CLAMP);
+    let hi = V::splat(T::CLAMP);
+    let t1 = V::select_lt(x, lo, lo, x);
+    V::select_lt(hi, t1, hi, t1)
+}
+
+/// One flooding iteration: the wide twin of
+/// `BatchMinSumDecoderOf::flooding_iteration`, lane for lane, op for op.
+#[inline(always)]
+unsafe fn flooding_body<T: Llr, V: SimdF<Elem = T>>(args: IterArgs<'_, T>) {
+    let IterArgs {
+        graph,
+        lane_channel,
+        syndrome_sign,
+        c2v,
+        v2c,
+        posterior,
+        gamma,
+        alpha,
+        lanes,
+        width,
+    } = args;
+    let w = V::LANES;
+    let main = width - width % w;
+    let lch = lane_channel.as_ptr();
+    let c2vp = c2v.as_mut_ptr();
+    let v2cp = v2c.as_mut_ptr();
+    let postp = posterior.as_mut_ptr();
+
+    // V2C (paper Eq. 5): v2c[e] = lch[v] + Σ_{e'} c2v[e'] − c2v[e],
+    // accumulated in the graph's edge order like the scalar pass. The
+    // per-lane running sum lives in a register instead of the lane_sum
+    // slab — same additions, same order, no memory traffic.
+    for v in 0..graph.num_vars() {
+        let vb = v * lanes;
+        let edges = graph.var_edges(v);
+        let mut b = 0;
+        while b < main {
+            let mut sum = if gamma == 0.0 {
+                V::load(lch.add(vb + b))
+            } else {
+                let g = T::from_f64(gamma);
+                let blend = V::splat(T::ONE - g).mul(V::load(lch.add(vb + b)));
+                blend.add(V::splat(g).mul(V::load(postp.add(vb + b))))
+            };
+            for &e in edges {
+                sum = sum.add(V::load(c2vp.add(e as usize * lanes + b)));
+            }
+            for &e in edges {
+                let m = V::load(c2vp.add(e as usize * lanes + b));
+                clamp_v::<T, V>(sum.sub(m)).store(v2cp.add(e as usize * lanes + b));
+            }
+            b += w;
+        }
+        for b in main..width {
+            let mut sum = if gamma == 0.0 {
+                *lch.add(vb + b)
+            } else {
+                let g = T::from_f64(gamma);
+                (T::ONE - g) * *lch.add(vb + b) + g * *postp.add(vb + b)
+            };
+            for &e in edges {
+                sum += *c2vp.add(e as usize * lanes + b);
+            }
+            for &e in edges {
+                let m = *c2vp.add(e as usize * lanes + b);
+                *v2cp.add(e as usize * lanes + b) = (sum - m).clamp_llr();
+            }
+        }
+    }
+
+    // C2V (paper Eq. 6).
+    let ssp = syndrome_sign.as_ptr();
+    for c in 0..graph.num_checks() {
+        let range = graph.check_edges(c);
+        check_update_body::<T, V>(
+            v2cp.add(range.start * lanes).cast_const(),
+            c2vp.add(range.start * lanes),
+            ssp.add(c * lanes),
+            range.len(),
+            lanes,
+            width,
+            alpha,
+        );
+    }
+
+    // Posteriors (paper Eq. 7).
+    for v in 0..graph.num_vars() {
+        let vb = v * lanes;
+        let edges = graph.var_edges(v);
+        let mut b = 0;
+        while b < main {
+            let mut sum = V::load(lch.add(vb + b));
+            for &e in edges {
+                sum = sum.add(V::load(c2vp.add(e as usize * lanes + b)));
+            }
+            clamp_v::<T, V>(sum).store(postp.add(vb + b));
+            b += w;
+        }
+        for b in main..width {
+            let mut sum = *lch.add(vb + b);
+            for &e in edges {
+                sum += *c2vp.add(e as usize * lanes + b);
+            }
+            *postp.add(vb + b) = sum.clamp_llr();
+        }
+    }
+}
+
+/// One layered iteration: the wide twin of
+/// `BatchMinSumDecoderOf::layered_iteration`.
+#[inline(always)]
+unsafe fn layered_body<T: Llr, V: SimdF<Elem = T>>(args: IterArgs<'_, T>) {
+    let IterArgs {
+        graph,
+        syndrome_sign,
+        c2v,
+        v2c,
+        posterior,
+        alpha,
+        lanes,
+        width,
+        ..
+    } = args;
+    let w = V::LANES;
+    let main = width - width % w;
+    let c2vp = c2v.as_mut_ptr();
+    let v2cp = v2c.as_mut_ptr();
+    let postp = posterior.as_mut_ptr();
+    let ssp = syndrome_sign.as_ptr();
+
+    for c in 0..graph.num_checks() {
+        let range = graph.check_edges(c);
+        // Fresh V2C from the running posterior, removing this check's
+        // previous contribution.
+        for e in range.clone() {
+            let v = graph.edge_var(e);
+            let (eb, vb) = (e * lanes, v * lanes);
+            let mut b = 0;
+            while b < main {
+                let p = V::load(postp.add(vb + b));
+                let m = V::load(c2vp.add(eb + b));
+                clamp_v::<T, V>(p.sub(m)).store(v2cp.add(eb + b));
+                b += w;
+            }
+            for b in main..width {
+                *v2cp.add(eb + b) = (*postp.add(vb + b) - *c2vp.add(eb + b)).clamp_llr();
+            }
+        }
+        check_update_body::<T, V>(
+            v2cp.add(range.start * lanes).cast_const(),
+            c2vp.add(range.start * lanes),
+            ssp.add(c * lanes),
+            range.len(),
+            lanes,
+            width,
+            alpha,
+        );
+        for e in range {
+            let v = graph.edge_var(e);
+            let (eb, vb) = (e * lanes, v * lanes);
+            let mut b = 0;
+            while b < main {
+                let a = V::load(v2cp.add(eb + b));
+                let m = V::load(c2vp.add(eb + b));
+                clamp_v::<T, V>(a.add(m)).store(postp.add(vb + b));
+                b += w;
+            }
+            for b in main..width {
+                *postp.add(vb + b) = (*v2cp.add(eb + b) + *c2vp.add(eb + b)).clamp_llr();
+            }
+        }
+    }
+}
+
+/// The branchless two-minimum/argmin check update (min-sum, paper
+/// Eq. 6) for one check over all lane groups: the wide twin of the
+/// `MinSum` arm of `kernel::update_check_lanes`.
+///
+/// The whole reduction state (min1/min2/argmin/sign) stays in vector
+/// registers across both passes over the check's edges — the scratch
+/// slab of the scalar oracle holds exactly these values, so the float
+/// stream per lane is unchanged. Select-op choices mirror the oracle's
+/// branchy assignments:
+///
+/// * `second = a<b ? min1 : min2`, then `min2' = new_best ? old_min1 :
+///   (mag<min2 ? mag : min2)` — equal to the oracle's
+///   `if mag < min2 && !new_best` arm for every input, NaN included;
+/// * `argmin` updates under the *old* `min1` compare, before `min1` is
+///   overwritten;
+/// * sign flips are compare+blend on `m < 0`, so `-0.0` messages keep
+///   the oracle's "not negative" classification.
+#[inline(always)]
+unsafe fn check_update_body<T: Llr, V: SimdF<Elem = T>>(
+    v2c: *const T,
+    c2v: *mut T,
+    base_sign: *const T,
+    deg: usize,
+    stride: usize,
+    width: usize,
+    alpha: T,
+) {
+    let w = V::LANES;
+    let main = width - width % w;
+    let zero = V::splat(T::ZERO);
+    let alpha_v = V::splat(alpha);
+    let pos_one = V::splat(T::ONE);
+    let neg_one = V::splat(-T::ONE);
+    let mut b = 0;
+    while b < main {
+        let mut min1 = V::splat(T::INFINITY);
+        let mut min2 = V::splat(T::INFINITY);
+        let mut argmin = V::idx_splat(u32::MAX);
+        let mut sign = V::load(base_sign.add(b));
+        for j in 0..deg {
+            let m = V::load(v2c.add(j * stride + b));
+            let mag = m.abs();
+            let second = V::select_lt(mag, min1, min1, min2);
+            let tmp = V::select_lt(mag, min2, mag, second);
+            let new_min2 = V::select_lt(mag, min1, second, tmp);
+            argmin = V::idx_select_lt(mag, min1, V::idx_splat(j as u32), argmin);
+            min1 = V::select_lt(mag, min1, mag, min1);
+            min2 = new_min2;
+            sign = V::select_lt(m, zero, sign.neg(), sign);
+        }
+        for j in 0..deg {
+            let m = V::load(v2c.add(j * stride + b));
+            let mag = V::select_idx_eq(argmin, V::idx_splat(j as u32), min2, min1);
+            let own = V::select_lt(m, zero, neg_one, pos_one);
+            let out = sign.mul(own).mul(alpha_v).mul(mag);
+            clamp_v::<T, V>(out).store(c2v.add(j * stride + b));
+        }
+        b += w;
+    }
+    // Scalar epilogue: the oracle's loop verbatim, with the per-lane
+    // scratch values in locals.
+    for b in main..width {
+        let mut min1 = T::INFINITY;
+        let mut min2 = T::INFINITY;
+        let mut argmin = u32::MAX;
+        let mut sign = *base_sign.add(b);
+        for j in 0..deg {
+            let m = *v2c.add(j * stride + b);
+            let mag = m.abs();
+            let new_best = mag < min1;
+            let second = if new_best { min1 } else { min2 };
+            min2 = if mag < min2 && !new_best { mag } else { second };
+            min1 = if new_best { mag } else { min1 };
+            argmin = if new_best { j as u32 } else { argmin };
+            sign = if m < T::ZERO { -sign } else { sign };
+        }
+        for j in 0..deg {
+            let m = *v2c.add(j * stride + b);
+            let mag = if j as u32 == argmin { min2 } else { min1 };
+            let own_sign = if m < T::ZERO { -T::ONE } else { T::ONE };
+            *c2v.add(j * stride + b) = (sign * own_sign * alpha * mag).clamp_llr();
+        }
+    }
+}
+
+/// The slab syndrome check: the wide twin of the vectorizable branch of
+/// `BatchMinSumDecoderOf::compute_lane_ok`, on byte rows. `bool` slabs
+/// are read and written through `u8` pointers — sound because `bool` is
+/// one byte with values 0/1, and XOR/AND of 0/1 bytes stay 0/1.
+#[inline(always)]
+unsafe fn lane_ok_body<B: SimdBytes>(
+    graph: &TannerGraph,
+    hard: &[bool],
+    syndrome_bit: &[bool],
+    ok: &mut [bool],
+    parity: &mut [bool],
+    lanes: usize,
+    width: usize,
+) {
+    let w = B::LANES;
+    let main = width - width % w;
+    let hardp = hard.as_ptr().cast::<u8>();
+    let synp = syndrome_bit.as_ptr().cast::<u8>();
+    let okp = ok.as_mut_ptr().cast::<u8>();
+    let parp = parity.as_mut_ptr().cast::<u8>();
+    let one = B::splat(1);
+    for b in 0..width {
+        *okp.add(b) = 1;
+    }
+    for c in 0..graph.num_checks() {
+        for b in 0..width {
+            *parp.add(b) = 0;
+        }
+        for &v in graph.check_vars(c) {
+            let vb = v as usize * lanes;
+            let mut b = 0;
+            while b < main {
+                let p = B::load(parp.add(b));
+                let h = B::load(hardp.add(vb + b));
+                p.xor(h).store(parp.add(b));
+                b += w;
+            }
+            for b in main..width {
+                *parp.add(b) ^= *hardp.add(vb + b);
+            }
+        }
+        // o &= (p == s), as pure byte algebra: (p ^ s) ^ 1.
+        let cb = c * lanes;
+        let mut b = 0;
+        while b < main {
+            let p = B::load(parp.add(b));
+            let s = B::load(synp.add(cb + b));
+            let o = B::load(okp.add(b));
+            o.and(p.xor(s).xor(one)).store(okp.add(b));
+            b += w;
+        }
+        for b in main..width {
+            *okp.add(b) &= (*parp.add(b) ^ *synp.add(cb + b)) ^ 1;
+        }
+    }
+}

@@ -11,6 +11,13 @@
 //! patterns (`Llr::to_bits_u64`), so even a last-ulp reassociation in
 //! either precision's batch kernel fails the suite. There is **no**
 //! cross-precision assertion — f32 legitimately diverges from f64.
+//!
+//! On top of the precision axis, every configuration is forced through
+//! **every SIMD dispatch target compiled into this binary**
+//! ([`qldpc_bp::supported_simd_targets`]): the scalar oracle, and on
+//! x86_64 the AVX2 and (when the CPU has it) AVX-512 wide kernels. The
+//! explicit-SIMD kernels promise the *same bits* as the scalar path, so
+//! one scalar reference comparison per target pins all of them at once.
 
 use proptest::prelude::*;
 use qldpc_bp::{
@@ -92,33 +99,46 @@ fn check_config_at<T: Llr>(h: &SparseBitMatrix, syndromes: &[BitVec], config: Bp
     }
 }
 
-/// Runs one configuration's batch≡scalar check at f64 *and* f32.
+/// Runs one configuration's batch≡scalar check at f64 *and* f32, with
+/// the batch engine pinned to every compiled-in SIMD dispatch target in
+/// turn. The scalar reference always runs the scalar kernel, so each
+/// pass proves one wide target reproduces the oracle bits exactly.
 fn check_config(h: &SparseBitMatrix, syndromes: &[BitVec], config: BpConfig) {
-    check_config_at::<f64>(h, syndromes, config);
-    check_config_at::<f32>(h, syndromes, config);
+    for &target in qldpc_bp::supported_simd_targets() {
+        let forced = BpConfig {
+            simd_target: Some(target),
+            ..config
+        };
+        check_config_at::<f64>(h, syndromes, forced);
+        check_config_at::<f32>(h, syndromes, forced);
+    }
 }
 
 /// Tiling invisibility at one precision: a narrow lane cap (forcing
 /// interior tiles and a ragged tail) yields the same bits as one wide
-/// tile.
+/// tile — on every dispatch target, since a cap below the vector width
+/// exercises the wide kernels' ragged-tail rounding.
 fn check_lane_cap_at<T: Llr>(h: &SparseBitMatrix, syndromes: &[BitVec], cap: usize) {
     let priors = vec![0.2; h.cols()];
-    let config = BpConfig {
-        max_iters: 20,
-        track_oscillations: true,
-        ..BpConfig::default()
-    };
-    let mut wide = BatchMinSumDecoderOf::<T>::new(h, &priors, config);
-    let mut narrow = BatchMinSumDecoderOf::<T>::new(h, &priors, config);
-    narrow.set_max_lanes(cap);
-    let rw = wide.decode_batch_results(syndromes);
-    let rn = narrow.decode_batch_results(syndromes);
-    for (i, (a, b)) in rw.iter().zip(&rn).enumerate() {
-        assert_bit_identical(
-            b,
-            a,
-            &format!("shot {i} at lane cap {cap} ({})", T::PRECISION),
-        );
+    for &target in qldpc_bp::supported_simd_targets() {
+        let config = BpConfig {
+            max_iters: 20,
+            track_oscillations: true,
+            simd_target: Some(target),
+            ..BpConfig::default()
+        };
+        let mut wide = BatchMinSumDecoderOf::<T>::new(h, &priors, config);
+        let mut narrow = BatchMinSumDecoderOf::<T>::new(h, &priors, config);
+        narrow.set_max_lanes(cap);
+        let rw = wide.decode_batch_results(syndromes);
+        let rn = narrow.decode_batch_results(syndromes);
+        for (i, (a, b)) in rw.iter().zip(&rn).enumerate() {
+            assert_bit_identical(
+                b,
+                a,
+                &format!("shot {i} at lane cap {cap} on {target} ({})", T::PRECISION),
+            );
+        }
     }
 }
 
@@ -276,28 +296,34 @@ fn failing_lanes_report_per_lane_iterations() {
 /// matter what the other lanes carry or when they converge.
 fn no_state_leaks_across_lanes_at<T: Llr>() {
     let h = repetition_h(9);
-    let config = BpConfig {
-        max_iters: 30,
-        track_oscillations: true,
-        ..BpConfig::default()
-    };
-    let mut dec = BatchMinSumDecoderOf::<T>::new(&h, &[0.05; 9], config);
-    let probe = h.mul_vec(&BitVec::from_indices(9, &[2, 6]));
-    let mut syndromes = vec![probe.clone()];
-    // Interior lanes: a zero syndrome (converges instantly), a hard
-    // two-bit error, and an inconsistent-looking random syndrome.
-    syndromes.push(BitVec::zeros(8));
-    syndromes.push(h.mul_vec(&BitVec::from_indices(9, &[3, 4])));
-    syndromes.push(BitVec::from_indices(8, &[0, 3, 5]));
-    syndromes.push(probe.clone());
-    let rs = dec.decode_batch_results(&syndromes);
-    let (first, last) = (&rs[0], &rs[rs.len() - 1]);
-    assert_eq!(first.converged, last.converged);
-    assert_eq!(first.iterations, last.iterations);
-    assert_eq!(first.error_hat, last.error_hat);
-    assert_eq!(first.flip_counts, last.flip_counts);
-    for (a, b) in first.posteriors.iter().zip(&last.posteriors) {
-        assert_eq!(a.to_bits_u64(), b.to_bits_u64());
+    // Forced per target: a retiring lane's column keeps being touched by
+    // the wide kernels' padded tail, which must never bleed into a
+    // survivor.
+    for &target in qldpc_bp::supported_simd_targets() {
+        let config = BpConfig {
+            max_iters: 30,
+            track_oscillations: true,
+            simd_target: Some(target),
+            ..BpConfig::default()
+        };
+        let mut dec = BatchMinSumDecoderOf::<T>::new(&h, &[0.05; 9], config);
+        let probe = h.mul_vec(&BitVec::from_indices(9, &[2, 6]));
+        let mut syndromes = vec![probe.clone()];
+        // Interior lanes: a zero syndrome (converges instantly), a hard
+        // two-bit error, and an inconsistent-looking random syndrome.
+        syndromes.push(BitVec::zeros(8));
+        syndromes.push(h.mul_vec(&BitVec::from_indices(9, &[3, 4])));
+        syndromes.push(BitVec::from_indices(8, &[0, 3, 5]));
+        syndromes.push(probe.clone());
+        let rs = dec.decode_batch_results(&syndromes);
+        let (first, last) = (&rs[0], &rs[rs.len() - 1]);
+        assert_eq!(first.converged, last.converged, "{target}");
+        assert_eq!(first.iterations, last.iterations, "{target}");
+        assert_eq!(first.error_hat, last.error_hat, "{target}");
+        assert_eq!(first.flip_counts, last.flip_counts, "{target}");
+        for (a, b) in first.posteriors.iter().zip(&last.posteriors) {
+            assert_eq!(a.to_bits_u64(), b.to_bits_u64(), "{target}");
+        }
     }
 }
 

@@ -165,7 +165,7 @@ impl BitVec {
     /// Number of ones in the vector (Hamming weight).
     #[inline]
     pub fn weight(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        qldpc_simd::popcount_words(&self.words) as usize
     }
 
     /// Returns `true` if every bit is zero.
@@ -247,9 +247,7 @@ impl BitVec {
     #[inline]
     pub fn xor_assign(&mut self, other: &Self) {
         assert_eq!(self.len, other.len, "xor of unequal lengths");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a ^= b;
-        }
+        qldpc_simd::xor_words(&mut self.words, &other.words);
     }
 
     /// Concatenates two vectors.

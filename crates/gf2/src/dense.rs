@@ -207,7 +207,9 @@ impl BitMatrix {
 
     /// XORs row `src` of `other` into row `dst` of `self`
     /// (`self[dst] ^= other[src]`) — the word-parallel accumulate used
-    /// by the bit-sliced batch syndrome kernel.
+    /// by the bit-sliced batch syndrome kernel, routed through the
+    /// runtime-dispatched wide XOR in `qldpc-simd` (exact integer ops —
+    /// every dispatch target produces identical words).
     ///
     /// # Panics
     ///
@@ -223,9 +225,7 @@ impl BitMatrix {
         let wpr = self.words_per_row;
         let s = &other.data[src * wpr..(src + 1) * wpr];
         let d = &mut self.data[dst * wpr..(dst + 1) * wpr];
-        for (d, s) in d.iter_mut().zip(s) {
-            *d ^= s;
-        }
+        qldpc_simd::xor_words(d, s);
     }
 
     /// XORs row `src` into row `dst` (`dst ^= src`).
@@ -253,9 +253,7 @@ impl BitMatrix {
             // Need the src row from tail; reborrow as immutable.
             (&tail[..wpr], dst_slice)
         };
-        for (d, s) in b.iter_mut().zip(a) {
-            *d ^= s;
-        }
+        qldpc_simd::xor_words(b, a);
     }
 
     /// Swaps two rows.
@@ -276,7 +274,7 @@ impl BitMatrix {
 
     /// Total number of ones.
     pub fn weight(&self) -> usize {
-        self.data.iter().map(|w| w.count_ones() as usize).sum()
+        qldpc_simd::popcount_words(&self.data) as usize
     }
 
     /// Matrix transpose.

@@ -382,12 +382,30 @@ impl MetricsSnapshot {
             &EXPOSED_QUANTILES,
         );
         for (stage, h) in self.stages.iter() {
-            exp.histogram(
-                "qldpc_stage_duration_seconds",
-                &[("code", code), ("stage", stage.name())],
-                h,
-                &EXPOSED_QUANTILES,
-            );
+            // The kernel span is the only stage whose duration depends
+            // on which explicit-SIMD batch kernel the decoder dispatched
+            // to, so its series carries the active target as a label —
+            // appended after `stage` so prefix-matching consumers keep
+            // working. Other stages are dispatch-independent.
+            if stage == qldpc_telemetry::Stage::Kernel {
+                exp.histogram(
+                    "qldpc_stage_duration_seconds",
+                    &[
+                        ("code", code),
+                        ("stage", stage.name()),
+                        ("simd", qldpc_bp::active_simd_target().name()),
+                    ],
+                    h,
+                    &EXPOSED_QUANTILES,
+                );
+            } else {
+                exp.histogram(
+                    "qldpc_stage_duration_seconds",
+                    &[("code", code), ("stage", stage.name())],
+                    h,
+                    &EXPOSED_QUANTILES,
+                );
+            }
         }
         let c = &self.convergence;
         exp.counter("qldpc_decodes_total", &l, c.decodes);
@@ -529,12 +547,18 @@ mod tests {
             "post_process",
             "fulfill",
         ] {
-            assert!(
-                text.contains(&format!(
-                    "qldpc_stage_duration_seconds_count{{code=\"gross\",stage=\"{stage}\"}}"
-                )),
-                "missing stage {stage}"
-            );
+            // The kernel span alone is labeled with the SIMD dispatch
+            // target its decode calls ran on.
+            let needle = if stage == "kernel" {
+                format!(
+                    "qldpc_stage_duration_seconds_count{{code=\"gross\",stage=\"kernel\",\
+                     simd=\"{}\"}}",
+                    qldpc_bp::active_simd_target()
+                )
+            } else {
+                format!("qldpc_stage_duration_seconds_count{{code=\"gross\",stage=\"{stage}\"}}")
+            };
+            assert!(text.contains(&needle), "missing stage {stage}");
         }
         // Deterministically ordered: rendering twice is byte-identical.
         let mut exp2 = Exposition::new();

@@ -123,6 +123,20 @@ fn is_timing_valued(series: &str) -> bool {
     name.contains("_seconds") && !name.ends_with("_seconds_count")
 }
 
+/// The kernel-stage series carry a `simd` label recording the dispatch
+/// target of the machine that rendered the page; normalize its value so
+/// the golden compares across hosts (and `QLDPC_SIMD_TARGET` settings).
+fn normalize_simd(line: &str) -> String {
+    match line.find("simd=\"") {
+        Some(at) => {
+            let vstart = at + "simd=\"".len();
+            let vlen = line[vstart..].find('"').expect("unterminated simd label");
+            format!("{}<target>{}", &line[..vstart], &line[vstart + vlen..])
+        }
+        None => line.to_string(),
+    }
+}
+
 #[test]
 fn exposition_matches_golden() {
     let text = pinned_scenario();
@@ -144,7 +158,11 @@ fn exposition_matches_golden() {
     for (g, w) in got.iter().zip(&want) {
         let (g_series, g_value) = split_line(g);
         let (w_series, _) = split_line(w);
-        assert_eq!(g_series, w_series, "series set or order diverged");
+        assert_eq!(
+            normalize_simd(g_series),
+            normalize_simd(w_series),
+            "series set or order diverged"
+        );
         if is_timing_valued(g_series) {
             let value: f64 = g_value.parse().expect("timing value parses");
             assert!(
@@ -152,7 +170,11 @@ fn exposition_matches_golden() {
                 "timing series out of range: {g}"
             );
         } else {
-            assert_eq!(*g, *w, "deterministic line diverged from golden");
+            assert_eq!(
+                normalize_simd(g),
+                normalize_simd(w),
+                "deterministic line diverged from golden"
+            );
         }
     }
 }
@@ -170,8 +192,14 @@ fn exposition_covers_all_stages_for_both_code_kinds() {
             "post_process",
             "fulfill",
         ] {
-            let series =
-                format!("qldpc_stage_duration_seconds_count{{code=\"{code}\",stage=\"{stage}\"}}");
+            // The kernel span alone carries the dispatch-target label.
+            let series = if stage == "kernel" {
+                format!(
+                    "qldpc_stage_duration_seconds_count{{code=\"{code}\",stage=\"kernel\",simd=\""
+                )
+            } else {
+                format!("qldpc_stage_duration_seconds_count{{code=\"{code}\",stage=\"{stage}\"}}")
+            };
             let line = text
                 .lines()
                 .find(|l| l.starts_with(&series))

@@ -200,40 +200,52 @@ fn scalar_minsum_f32_matches_pinned_goldens() {
 }
 
 /// The batch kernel must reproduce the same pinned reference *at each
-/// precision*: decoding the three golden syndromes as one batch gives
-/// the same bits as the three scalar decodes of that precision.
+/// precision* — and on **every SIMD dispatch target compiled into this
+/// binary**: decoding the three golden syndromes as one batch gives the
+/// same bits as the three scalar decodes of that precision, whether the
+/// batch runs the scalar oracle kernel or an explicit AVX2/AVX-512/NEON
+/// wide kernel. The golden rows are shared across targets by design —
+/// the explicit-SIMD kernels are exact re-expressions, not
+/// approximations.
 fn check_batch_goldens<T: Llr>(goldens: &[Golden]) {
     let code = bb::gross_code();
     let hz = code.hz();
     let n = hz.cols();
-    let config = BpConfig {
-        max_iters: 40,
-        track_oscillations: true,
-        ..BpConfig::default()
-    };
-    let mut batch = bpsf::bp::BatchMinSumDecoderOf::<T>::new(hz, &vec![0.02; n], config);
     let syndromes: Vec<BitVec> = goldens.iter().map(|g| syndrome_for_seed(g.seed)).collect();
-    let results = batch.decode_batch_results(&syndromes);
     let p = T::PRECISION;
-    for (g, r) in goldens.iter().zip(&results) {
-        assert_eq!(r.converged, g.converged, "seed {} ({p}): converged", g.seed);
-        assert_eq!(
-            r.iterations, g.iterations,
-            "seed {} ({p}): iterations",
-            g.seed
-        );
-        assert_eq!(
-            r.error_hat.weight(),
-            g.error_weight,
-            "seed {} ({p}): error weight",
-            g.seed
-        );
-        assert_eq!(
-            fingerprint(&r.posteriors),
-            g.posterior_fingerprint,
-            "seed {} ({p}): posterior fingerprint",
-            g.seed
-        );
+    for &target in bpsf::bp::supported_simd_targets() {
+        let config = BpConfig {
+            max_iters: 40,
+            track_oscillations: true,
+            simd_target: Some(target),
+            ..BpConfig::default()
+        };
+        let mut batch = bpsf::bp::BatchMinSumDecoderOf::<T>::new(hz, &vec![0.02; n], config);
+        let results = batch.decode_batch_results(&syndromes);
+        for (g, r) in goldens.iter().zip(&results) {
+            assert_eq!(
+                r.converged, g.converged,
+                "seed {} ({p}, {target}): converged",
+                g.seed
+            );
+            assert_eq!(
+                r.iterations, g.iterations,
+                "seed {} ({p}, {target}): iterations",
+                g.seed
+            );
+            assert_eq!(
+                r.error_hat.weight(),
+                g.error_weight,
+                "seed {} ({p}, {target}): error weight",
+                g.seed
+            );
+            assert_eq!(
+                fingerprint(&r.posteriors),
+                g.posterior_fingerprint,
+                "seed {} ({p}, {target}): posterior fingerprint",
+                g.seed
+            );
+        }
     }
 }
 

@@ -1,0 +1,58 @@
+//! Hermetic portable-SIMD shim for the BP-SF workspace.
+//!
+//! Like the other `vendor/` crates (`rand`, `crossbeam`, …) this is an
+//! **offline stand-in**: the workspace must build without the network,
+//! so instead of depending on `pulp`/`wide`/`std::simd` (the last is
+//! nightly-only) we vendor exactly the subset of portable-SIMD
+//! machinery the decoders need:
+//!
+//! * [`SimdTarget`] — the runtime instruction-set dispatcher. Detection
+//!   runs once (`is_x86_feature_detected!`-style, cached in a
+//!   `OnceLock`) and selects AVX-512 → AVX2 → NEON → scalar; the
+//!   [`ENV_TARGET`] environment variable (`QLDPC_SIMD_TARGET`) forces a
+//!   specific target so tests and benches can pin every compiled-in
+//!   path.
+//! * [`AlignedSlab`] — a 64-byte-aligned growable buffer for the batch
+//!   decoder's structure-of-arrays message slabs (a cache line on
+//!   x86-64, and the full vector width of AVX-512).
+//! * [`SimdF`] / [`SimdBytes`] — explicit wide vector operations
+//!   (`f32x8`/`f32x16`/`f64x4`/`f64x8`/`u32xN`/`u64xN`/`u8xN`:
+//!   load/store/min/max/abs/sign-xor(neg)/compare-blend selects), one
+//!   implementation per instruction set under the `avx2`, `avx512` and
+//!   `neon` modules (each compiled only on its architecture, so naming
+//!   them as links here would break rustdoc cross-builds). The ops are
+//!   chosen so that every lane executes exactly
+//!   the scalar IEEE-754 operation the reference decoder performs —
+//!   vectorizing over *independent* lanes is then bit-exact by
+//!   construction.
+//! * [`xor_words`] / [`popcount_words`] — safe, internally dispatched
+//!   helpers over `u64` words for the bit-sliced GF(2) kernels
+//!   (wide XOR, vectorized or `popcnt`-enabled population count).
+//!
+//! # Safety model
+//!
+//! The per-ISA vector types expose `unsafe` methods whose single
+//! contract is *"the CPU supports this type's instruction set"*. The
+//! decoders uphold it structurally: wide kernels are monomorphized
+//! inside `#[target_feature]` wrapper functions that are only reachable
+//! through [`SimdTarget`] dispatch, and a target is only ever dispatched
+//! after its runtime feature check succeeded. Everything else in this
+//! crate — detection, slabs, the word helpers — is safe.
+
+mod slab;
+mod target;
+mod vec;
+mod words;
+
+pub use slab::{AlignedSlab, SLAB_ALIGN};
+pub use target::{
+    active_target, cpu_features, detected_target, supported_targets, SimdTarget, ENV_TARGET,
+    MAX_F32_LANES, MAX_F64_LANES,
+};
+pub use vec::{SimdBytes, SimdF};
+pub use words::{popcount_words, xor_words};
+
+#[cfg(target_arch = "aarch64")]
+pub use vec::neon;
+#[cfg(target_arch = "x86_64")]
+pub use vec::{avx2, avx512};

@@ -1,0 +1,294 @@
+//! A 64-byte-aligned growable buffer for structure-of-arrays slabs.
+
+use std::alloc::{alloc, alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+
+/// Alignment of every [`AlignedSlab`] allocation: one x86-64 cache line
+/// and the full register width of AVX-512, so aligned wide loads are
+/// valid from element zero of any slab regardless of dispatch target.
+pub const SLAB_ALIGN: usize = 64;
+
+/// A `Vec`-like buffer whose allocation is always [`SLAB_ALIGN`]-aligned.
+///
+/// The batch decoder's message arrays live in these so explicit wide
+/// kernels can use aligned loads/stores without runtime alignment
+/// checks. Only the handful of `Vec` operations the decoder needs are
+/// provided; `Deref<Target = [T]>` covers the rest.
+///
+/// `T` is constrained to `Copy` (the slabs hold floats, lane indices
+/// and flags), which makes growth a plain byte copy and drop a plain
+/// deallocation.
+pub struct AlignedSlab<T: Copy> {
+    ptr: NonNull<T>,
+    len: usize,
+    cap: usize,
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: an AlignedSlab owns its allocation exclusively, exactly like
+// Vec<T>; with T: Copy (hence Send + Sync have no interior mutability
+// to worry about for the element types used here) the container is as
+// thread-safe as a Vec of the same element type.
+unsafe impl<T: Copy + Send> Send for AlignedSlab<T> {}
+unsafe impl<T: Copy + Sync> Sync for AlignedSlab<T> {}
+
+impl<T: Copy> AlignedSlab<T> {
+    /// An empty slab (no allocation until first growth).
+    pub const fn new() -> Self {
+        Self {
+            ptr: NonNull::dangling(),
+            len: 0,
+            cap: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// An empty slab with room for `cap` elements.
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut slab = Self::new();
+        slab.reserve(cap);
+        slab
+    }
+
+    /// A slab of `len` zero-filled elements.
+    ///
+    /// The all-zero bit pattern is a valid value for every element type
+    /// the decoders store (floats, unsigned indices, flag bytes).
+    pub fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return Self::new();
+        }
+        let layout = Self::layout_for(len);
+        // SAFETY: layout has non-zero size (len > 0, and layout_for
+        // rejects zero-size T by construction of its callers — debug
+        // asserted below).
+        debug_assert!(std::mem::size_of::<T>() > 0);
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<T>()) else {
+            handle_alloc_error(layout)
+        };
+        Self {
+            ptr,
+            len,
+            cap: len,
+            _marker: PhantomData,
+        }
+    }
+
+    fn layout_for(cap: usize) -> Layout {
+        let bytes = std::mem::size_of::<T>()
+            .checked_mul(cap)
+            .expect("slab capacity overflows");
+        // Element alignment never exceeds SLAB_ALIGN for the primitive
+        // types stored here; take the max anyway so the layout is valid
+        // for any future T.
+        let align = SLAB_ALIGN.max(std::mem::align_of::<T>());
+        Layout::from_size_align(bytes, align).expect("slab layout invalid")
+    }
+
+    /// Number of elements the slab can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Ensures capacity for at least `additional` more elements.
+    pub fn reserve(&mut self, additional: usize) {
+        let needed = self.len.checked_add(additional).expect("slab len overflow");
+        if needed <= self.cap {
+            return;
+        }
+        let new_cap = needed.max(self.cap * 2).max(8);
+        let new_layout = Self::layout_for(new_cap);
+        // SAFETY: new_layout has non-zero size (new_cap >= 8 and T is
+        // non-zero-sized for all instantiations used here).
+        let raw = unsafe { alloc(new_layout) };
+        let Some(new_ptr) = NonNull::new(raw.cast::<T>()) else {
+            handle_alloc_error(new_layout)
+        };
+        if self.cap != 0 {
+            // SAFETY: both regions are valid for self.len elements and
+            // freshly disjoint; the old allocation used layout_for(cap).
+            unsafe {
+                std::ptr::copy_nonoverlapping(self.ptr.as_ptr(), new_ptr.as_ptr(), self.len);
+                dealloc(self.ptr.as_ptr().cast(), Self::layout_for(self.cap));
+            }
+        }
+        self.ptr = new_ptr;
+        self.cap = new_cap;
+    }
+
+    /// Drops all elements (capacity is retained).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Appends one element.
+    pub fn push(&mut self, value: T) {
+        self.reserve(1);
+        // SAFETY: reserve guaranteed room at index len.
+        unsafe { self.ptr.as_ptr().add(self.len).write(value) };
+        self.len += 1;
+    }
+
+    /// Resizes to `new_len`, filling new elements with `value`.
+    pub fn resize(&mut self, new_len: usize, value: T) {
+        if new_len > self.len {
+            self.reserve(new_len - self.len);
+            // SAFETY: reserve guaranteed capacity >= new_len.
+            unsafe {
+                for i in self.len..new_len {
+                    self.ptr.as_ptr().add(i).write(value);
+                }
+            }
+        }
+        self.len = new_len;
+    }
+
+    /// Appends a copy of `src`.
+    pub fn extend_from_slice(&mut self, src: &[T]) {
+        self.reserve(src.len());
+        // SAFETY: reserve guaranteed room; src cannot overlap a &mut self.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.as_ptr().add(self.len), src.len());
+        }
+        self.len += src.len();
+    }
+
+    /// The raw base pointer (always [`SLAB_ALIGN`]-aligned once
+    /// allocated; dangling while empty).
+    pub fn as_ptr(&self) -> *const T {
+        self.ptr.as_ptr()
+    }
+
+    /// The raw mutable base pointer.
+    pub fn as_mut_ptr(&mut self) -> *mut T {
+        self.ptr.as_ptr()
+    }
+}
+
+impl<T: Copy> Drop for AlignedSlab<T> {
+    fn drop(&mut self) {
+        if self.cap != 0 {
+            // SAFETY: allocation was made with layout_for(cap).
+            unsafe { dealloc(self.ptr.as_ptr().cast(), Self::layout_for(self.cap)) };
+        }
+    }
+}
+
+impl<T: Copy> Deref for AlignedSlab<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        // SAFETY: ptr is valid for len initialized elements (dangling
+        // only when len == 0, where an empty slice is valid).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl<T: Copy> DerefMut for AlignedSlab<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        // SAFETY: as Deref, with exclusive access.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl<T: Copy> Default for AlignedSlab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy> Clone for AlignedSlab<T> {
+    fn clone(&self) -> Self {
+        let mut out = Self::with_capacity(self.len);
+        out.extend_from_slice(self);
+        out
+    }
+}
+
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for AlignedSlab<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T: Copy + PartialEq> PartialEq for AlignedSlab<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl<T: Copy> FromIterator<T> for AlignedSlab<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let iter = iter.into_iter();
+        let mut slab = Self::with_capacity(iter.size_hint().0);
+        for v in iter {
+            slab.push(v);
+        }
+        slab
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_slab_aligned() {
+        for len in [1usize, 7, 64, 129, 1000] {
+            let slab = AlignedSlab::<f32>::zeroed(len);
+            assert_eq!(slab.as_ptr() as usize % SLAB_ALIGN, 0, "len {len}");
+            assert_eq!(slab.len(), len);
+            assert!(slab.iter().all(|&x| x == 0.0));
+        }
+        let mut grown = AlignedSlab::<f64>::new();
+        for i in 0..333 {
+            grown.push(i as f64);
+        }
+        assert_eq!(grown.as_ptr() as usize % SLAB_ALIGN, 0);
+        assert_eq!(grown.len(), 333);
+        assert_eq!(grown[332], 332.0);
+    }
+
+    #[test]
+    fn resize_clear_extend_match_vec_semantics() {
+        let mut slab = AlignedSlab::<u32>::new();
+        let mut vec = Vec::<u32>::new();
+        slab.resize(10, 7);
+        vec.resize(10, 7);
+        assert_eq!(&slab[..], &vec[..]);
+        slab.resize(3, 0);
+        vec.resize(3, 0);
+        assert_eq!(&slab[..], &vec[..]);
+        slab.extend_from_slice(&[1, 2, 3]);
+        vec.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(&slab[..], &vec[..]);
+        slab.clear();
+        vec.clear();
+        assert_eq!(&slab[..], &vec[..]);
+        slab.resize(5, 9);
+        assert_eq!(&slab[..], &[9, 9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn clone_and_eq() {
+        let a: AlignedSlab<u64> = (0..100).collect();
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.as_ptr() as usize % SLAB_ALIGN, 0);
+        let mut c = b.clone();
+        c[99] = 0;
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empty_slab_is_safe() {
+        let slab = AlignedSlab::<f32>::new();
+        assert!(slab.is_empty());
+        assert_eq!(&slab[..], &[] as &[f32]);
+        let cloned = slab.clone();
+        assert!(cloned.is_empty());
+        assert_eq!(AlignedSlab::<f32>::zeroed(0).len(), 0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Runtime instruction-set detection and dispatch-target selection.
+
+use std::sync::OnceLock;
+
+/// Environment variable forcing a specific dispatch target (for tests
+/// and benches): one of `scalar`, `avx2`, `avx512`, `neon`
+/// (case-insensitive). An unknown name, or a target the current CPU
+/// does not support, panics loudly at first use — a silently degraded
+/// pin would fake test coverage.
+pub const ENV_TARGET: &str = "QLDPC_SIMD_TARGET";
+
+/// The widest `f32` lane count any compiled-in target can reach
+/// (AVX-512: sixteen 32-bit lanes). Lane-width-derived constants (the
+/// batch decoder's default tile cap) are written against this so they
+/// stay a multiple of every dispatchable vector width.
+pub const MAX_F32_LANES: usize = 16;
+
+/// The widest `f64` lane count any compiled-in target can reach
+/// (AVX-512: eight 64-bit lanes).
+pub const MAX_F64_LANES: usize = 8;
+
+/// A runtime-dispatchable instruction set.
+///
+/// `Scalar` is always available and is the bit-identity **oracle**: the
+/// wide targets must reproduce its float stream exactly, per lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdTarget {
+    /// Portable scalar code (plus whatever the compiler auto-vectorizes
+    /// at the build's baseline feature set).
+    Scalar,
+    /// 128-bit Advanced SIMD on aarch64.
+    Neon,
+    /// 256-bit AVX2 on x86-64.
+    Avx2,
+    /// 512-bit AVX-512 (F/BW/DQ/VL) on x86-64.
+    Avx512,
+}
+
+impl SimdTarget {
+    /// The stable lowercase name (also the [`ENV_TARGET`] spelling).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Scalar => "scalar",
+            Self::Neon => "neon",
+            Self::Avx2 => "avx2",
+            Self::Avx512 => "avx512",
+        }
+    }
+
+    /// Parses a target name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Some(Self::Scalar),
+            "neon" => Some(Self::Neon),
+            "avx2" => Some(Self::Avx2),
+            "avx512" => Some(Self::Avx512),
+            _ => None,
+        }
+    }
+
+    /// Whether this target is compiled in for the current architecture
+    /// *and* supported by the current CPU.
+    pub fn is_available(self) -> bool {
+        match self {
+            Self::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Self::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "x86_64")]
+            Self::Avx512 => {
+                std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx512bw")
+                    && std::arch::is_x86_feature_detected!("avx512dq")
+                    && std::arch::is_x86_feature_detected!("avx512vl")
+            }
+            #[cfg(target_arch = "aarch64")]
+            Self::Neon => std::arch::is_aarch64_feature_detected!("neon"),
+            #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+            _ => false,
+            #[cfg(target_arch = "x86_64")]
+            Self::Neon => false,
+            #[cfg(target_arch = "aarch64")]
+            Self::Avx2 | Self::Avx512 => false,
+        }
+    }
+
+    /// `f32` lanes of one vector of this target.
+    pub const fn f32_lanes(self) -> usize {
+        match self {
+            Self::Scalar => 1,
+            Self::Neon => 4,
+            Self::Avx2 => 8,
+            Self::Avx512 => 16,
+        }
+    }
+
+    /// `f64` lanes of one vector of this target.
+    pub const fn f64_lanes(self) -> usize {
+        match self {
+            Self::Scalar => 1,
+            Self::Neon => 2,
+            Self::Avx2 => 4,
+            Self::Avx512 => 8,
+        }
+    }
+
+    /// `u8` lanes of one vector of this target.
+    pub const fn byte_lanes(self) -> usize {
+        match self {
+            Self::Scalar => 1,
+            Self::Neon => 16,
+            Self::Avx2 => 32,
+            Self::Avx512 => 64,
+        }
+    }
+}
+
+impl std::fmt::Display for SimdTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The widest target the current CPU supports, ignoring [`ENV_TARGET`]
+/// (AVX-512 → AVX2 → NEON → scalar). Cached after the first call.
+pub fn detected_target() -> SimdTarget {
+    static DETECTED: OnceLock<SimdTarget> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        [SimdTarget::Avx512, SimdTarget::Avx2, SimdTarget::Neon]
+            .into_iter()
+            .find(|t| t.is_available())
+            .unwrap_or(SimdTarget::Scalar)
+    })
+}
+
+/// Resolves the process-wide dispatch target: the [`ENV_TARGET`]
+/// override if set, the detected widest target otherwise. Cached after
+/// the first call (changing the variable later has no effect).
+///
+/// # Panics
+///
+/// Panics if [`ENV_TARGET`] names an unknown or unsupported target —
+/// a forced pin that silently fell back would fake coverage.
+pub fn active_target() -> SimdTarget {
+    static ACTIVE: OnceLock<SimdTarget> = OnceLock::new();
+    *ACTIVE.get_or_init(|| resolve(std::env::var(ENV_TARGET).ok().as_deref()))
+}
+
+/// Pure resolution core behind [`active_target`] (separated for
+/// testability: the cached path reads the real environment once).
+fn resolve(env: Option<&str>) -> SimdTarget {
+    match env {
+        None | Some("") => detected_target(),
+        Some(name) => {
+            let target = SimdTarget::parse(name).unwrap_or_else(|| {
+                panic!(
+                    "{ENV_TARGET}={name:?} is not a known SIMD target \
+                     (expected one of: scalar, avx2, avx512, neon)"
+                )
+            });
+            assert!(
+                target.is_available(),
+                "{ENV_TARGET}={name:?} is not supported on this CPU \
+                 (supported: {:?})",
+                supported_targets()
+                    .iter()
+                    .map(|t| t.name())
+                    .collect::<Vec<_>>()
+            );
+            target
+        }
+    }
+}
+
+/// Every target available on this machine, narrowest first (scalar is
+/// always present). Equivalence suites iterate this list so each
+/// compiled-in path is pinned against the scalar oracle.
+pub fn supported_targets() -> &'static [SimdTarget] {
+    static SUPPORTED: OnceLock<Vec<SimdTarget>> = OnceLock::new();
+    SUPPORTED.get_or_init(|| {
+        [
+            SimdTarget::Scalar,
+            SimdTarget::Neon,
+            SimdTarget::Avx2,
+            SimdTarget::Avx512,
+        ]
+        .into_iter()
+        .filter(|t| t.is_available())
+        .collect()
+    })
+}
+
+/// A space-separated summary of the CPU's detected SIMD feature set,
+/// for recording in bench artifacts (cross-machine trajectories are
+/// uninterpretable without it).
+pub fn cpu_features() -> &'static str {
+    static FEATURES: OnceLock<String> = OnceLock::new();
+    FEATURES.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let probes: [(&str, bool); 12] = [
+                ("sse2", std::arch::is_x86_feature_detected!("sse2")),
+                ("sse4.2", std::arch::is_x86_feature_detected!("sse4.2")),
+                ("popcnt", std::arch::is_x86_feature_detected!("popcnt")),
+                ("avx", std::arch::is_x86_feature_detected!("avx")),
+                ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+                ("fma", std::arch::is_x86_feature_detected!("fma")),
+                ("avx512f", std::arch::is_x86_feature_detected!("avx512f")),
+                ("avx512bw", std::arch::is_x86_feature_detected!("avx512bw")),
+                ("avx512dq", std::arch::is_x86_feature_detected!("avx512dq")),
+                ("avx512vl", std::arch::is_x86_feature_detected!("avx512vl")),
+                ("avx512cd", std::arch::is_x86_feature_detected!("avx512cd")),
+                (
+                    "avx512vpopcntdq",
+                    std::arch::is_x86_feature_detected!("avx512vpopcntdq"),
+                ),
+            ];
+            let on: Vec<&str> = probes
+                .iter()
+                .filter(|(_, det)| *det)
+                .map(|(name, _)| *name)
+                .collect();
+            if on.is_empty() {
+                "x86-64-baseline".to_string()
+            } else {
+                on.join(" ")
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            let mut on = Vec::new();
+            if std::arch::is_aarch64_feature_detected!("neon") {
+                on.push("neon");
+            }
+            if std::arch::is_aarch64_feature_detected!("sve") {
+                on.push("sve");
+            }
+            if on.is_empty() {
+                "aarch64-baseline".to_string()
+            } else {
+                on.join(" ")
+            }
+        }
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        {
+            "portable-scalar".to_string()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_is_always_supported_and_listed_first() {
+        assert!(SimdTarget::Scalar.is_available());
+        assert_eq!(supported_targets().first(), Some(&SimdTarget::Scalar));
+    }
+
+    #[test]
+    fn parse_round_trips_every_name() {
+        for t in [
+            SimdTarget::Scalar,
+            SimdTarget::Neon,
+            SimdTarget::Avx2,
+            SimdTarget::Avx512,
+        ] {
+            assert_eq!(SimdTarget::parse(t.name()), Some(t));
+            assert_eq!(SimdTarget::parse(&t.name().to_uppercase()), Some(t));
+        }
+        assert_eq!(SimdTarget::parse("sse9"), None);
+    }
+
+    #[test]
+    fn resolve_defaults_to_detection() {
+        assert_eq!(resolve(None), detected_target());
+        assert_eq!(resolve(Some("")), detected_target());
+        assert_eq!(resolve(Some("scalar")), SimdTarget::Scalar);
+        assert_eq!(resolve(Some("SCALAR")), SimdTarget::Scalar);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a known SIMD target")]
+    fn resolve_rejects_unknown_names() {
+        resolve(Some("warp9"));
+    }
+
+    #[test]
+    fn detected_target_is_supported() {
+        assert!(detected_target().is_available());
+        assert!(supported_targets().contains(&detected_target()));
+        assert!(supported_targets().contains(&active_target()));
+    }
+
+    #[test]
+    fn lane_widths_divide_the_max() {
+        for &t in supported_targets() {
+            assert_eq!(MAX_F32_LANES % t.f32_lanes(), 0, "{t}");
+            assert_eq!(MAX_F64_LANES % t.f64_lanes(), 0, "{t}");
+        }
+    }
+
+    #[test]
+    fn cpu_features_is_nonempty_and_cached() {
+        let a = cpu_features();
+        assert!(!a.is_empty());
+        assert_eq!(a.as_ptr(), cpu_features().as_ptr());
+    }
+}

@@ -1,0 +1,841 @@
+//! Explicit wide vector operations, one implementation per target.
+//!
+//! The op set is the exact closure of what the batch BP kernels need,
+//! and every op is chosen to perform, per lane, *precisely* the scalar
+//! IEEE-754 operation of the reference decoder:
+//!
+//! * comparisons are ordered less-than (`_CMP_LT_OQ` / `vclt`), which
+//!   matches Rust's `<` on floats (`NaN` compares false);
+//! * selection is compare-then-blend — never `min`/`max` intrinsics,
+//!   whose `NaN` semantics differ from branchy scalar code;
+//! * negation is a sign-bit XOR and absolute value clears the sign bit,
+//!   both exact and total (no flush, no `NaN` special-casing);
+//! * there is no FMA: products and sums round individually, like the
+//!   scalar code.
+//!
+//! Lanes are independent shots of the batch decoder, so vectorizing
+//! over them with these ops is bit-exact by construction.
+
+/// A wide vector of `Elem` floats (`f32` or `f64`).
+///
+/// All methods are `unsafe` with one shared contract: **the CPU must
+/// support this type's instruction set** (see the implementing module).
+/// Callers uphold it by only reaching these types through
+/// [`SimdTarget`](crate::SimdTarget) dispatch after runtime detection.
+/// Loads and stores additionally require the pointer to be valid for
+/// [`LANES`](Self::LANES) consecutive elements (no alignment demanded:
+/// all memory ops are unaligned-tolerant).
+pub trait SimdF: Copy {
+    /// The scalar element type of one lane.
+    type Elem: Copy;
+    /// The companion lane-index vector (one integer per lane, wide
+    /// enough to blend under this type's compare masks).
+    type Idx: Copy;
+    /// Number of lanes.
+    const LANES: usize;
+
+    /// Broadcasts `x` to all lanes.
+    ///
+    /// # Safety
+    /// The CPU must support this type's instruction set.
+    unsafe fn splat(x: Self::Elem) -> Self;
+
+    /// Loads `LANES` elements from `ptr` (unaligned ok).
+    ///
+    /// # Safety
+    /// The CPU must support this type's instruction set and `ptr` must
+    /// be valid for `LANES` reads.
+    unsafe fn load(ptr: *const Self::Elem) -> Self;
+
+    /// Stores `LANES` elements to `ptr` (unaligned ok).
+    ///
+    /// # Safety
+    /// The CPU must support this type's instruction set and `ptr` must
+    /// be valid for `LANES` writes.
+    unsafe fn store(self, ptr: *mut Self::Elem);
+
+    /// Lanewise `self + o` (single rounding, no FMA).
+    ///
+    /// # Safety
+    /// The CPU must support this type's instruction set.
+    unsafe fn add(self, o: Self) -> Self;
+
+    /// Lanewise `self - o`.
+    ///
+    /// # Safety
+    /// The CPU must support this type's instruction set.
+    unsafe fn sub(self, o: Self) -> Self;
+
+    /// Lanewise `self * o` (single rounding, no FMA).
+    ///
+    /// # Safety
+    /// The CPU must support this type's instruction set.
+    unsafe fn mul(self, o: Self) -> Self;
+
+    /// Lanewise absolute value (clears the sign bit; `abs(NaN)` keeps
+    /// the `NaN` payload's magnitude bits, exactly like scalar `abs`).
+    ///
+    /// # Safety
+    /// The CPU must support this type's instruction set.
+    unsafe fn abs(self) -> Self;
+
+    /// Lanewise negation (sign-bit XOR, exact for every input
+    /// including `±0.0`, `±INF` and `NaN`).
+    ///
+    /// # Safety
+    /// The CPU must support this type's instruction set.
+    unsafe fn neg(self) -> Self;
+
+    /// Lanewise `if a < b { t } else { f }` with Rust `<` semantics
+    /// (`NaN` on either side selects `f`).
+    ///
+    /// # Safety
+    /// The CPU must support this type's instruction set.
+    unsafe fn select_lt(a: Self, b: Self, t: Self, f: Self) -> Self;
+
+    /// Broadcasts lane index `i` to all lanes of an index vector.
+    ///
+    /// # Safety
+    /// The CPU must support this type's instruction set.
+    unsafe fn idx_splat(i: u32) -> Self::Idx;
+
+    /// Index-vector select under a float compare: lanewise
+    /// `if a < b { t } else { f }`.
+    ///
+    /// # Safety
+    /// The CPU must support this type's instruction set.
+    unsafe fn idx_select_lt(a: Self, b: Self, t: Self::Idx, f: Self::Idx) -> Self::Idx;
+
+    /// Float select under an index compare: lanewise
+    /// `if i == j { t } else { f }`.
+    ///
+    /// # Safety
+    /// The CPU must support this type's instruction set.
+    unsafe fn select_idx_eq(i: Self::Idx, j: Self::Idx, t: Self, f: Self) -> Self;
+}
+
+/// A wide vector of bytes (for parity/flag slab passes).
+///
+/// Same safety contract as [`SimdF`]: the CPU must support the
+/// implementing type's instruction set; loads/stores must cover
+/// [`LANES`](Self::LANES) bytes.
+pub trait SimdBytes: Copy {
+    /// Number of byte lanes.
+    const LANES: usize;
+
+    /// Broadcasts `x` to all lanes.
+    ///
+    /// # Safety
+    /// The CPU must support this type's instruction set.
+    unsafe fn splat(x: u8) -> Self;
+
+    /// Loads `LANES` bytes from `ptr` (unaligned ok).
+    ///
+    /// # Safety
+    /// The CPU must support this type's instruction set and `ptr` must
+    /// be valid for `LANES` reads.
+    unsafe fn load(ptr: *const u8) -> Self;
+
+    /// Stores `LANES` bytes to `ptr` (unaligned ok).
+    ///
+    /// # Safety
+    /// The CPU must support this type's instruction set and `ptr` must
+    /// be valid for `LANES` writes.
+    unsafe fn store(self, ptr: *mut u8);
+
+    /// Lanewise XOR.
+    ///
+    /// # Safety
+    /// The CPU must support this type's instruction set.
+    unsafe fn xor(self, o: Self) -> Self;
+
+    /// Lanewise AND.
+    ///
+    /// # Safety
+    /// The CPU must support this type's instruction set.
+    unsafe fn and(self, o: Self) -> Self;
+}
+
+/// 256-bit AVX2 vectors (`f32x8`, `f64x4`, `u8x32`).
+#[cfg(target_arch = "x86_64")]
+pub mod avx2 {
+    use super::{SimdBytes, SimdF};
+    use std::arch::x86_64::*;
+
+    /// Eight `f32` lanes in one `__m256`.
+    #[derive(Clone, Copy)]
+    pub struct F32x8(pub __m256);
+    /// Eight `u32` lane indices in one `__m256i`.
+    #[derive(Clone, Copy)]
+    pub struct I32x8(pub __m256i);
+    /// Four `f64` lanes in one `__m256d`.
+    #[derive(Clone, Copy)]
+    pub struct F64x4(pub __m256d);
+    /// Four `u64` lane indices in one `__m256i`.
+    #[derive(Clone, Copy)]
+    pub struct I64x4(pub __m256i);
+    /// Thirty-two byte lanes in one `__m256i`.
+    #[derive(Clone, Copy)]
+    pub struct B8x32(pub __m256i);
+
+    impl SimdF for F32x8 {
+        type Elem = f32;
+        type Idx = I32x8;
+        const LANES: usize = 8;
+
+        #[inline(always)]
+        unsafe fn splat(x: f32) -> Self {
+            Self(_mm256_set1_ps(x))
+        }
+        #[inline(always)]
+        unsafe fn load(ptr: *const f32) -> Self {
+            Self(_mm256_loadu_ps(ptr))
+        }
+        #[inline(always)]
+        unsafe fn store(self, ptr: *mut f32) {
+            _mm256_storeu_ps(ptr, self.0)
+        }
+        #[inline(always)]
+        unsafe fn add(self, o: Self) -> Self {
+            Self(_mm256_add_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn sub(self, o: Self) -> Self {
+            Self(_mm256_sub_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn mul(self, o: Self) -> Self {
+            Self(_mm256_mul_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn abs(self) -> Self {
+            Self(_mm256_andnot_ps(_mm256_set1_ps(-0.0), self.0))
+        }
+        #[inline(always)]
+        unsafe fn neg(self) -> Self {
+            Self(_mm256_xor_ps(_mm256_set1_ps(-0.0), self.0))
+        }
+        #[inline(always)]
+        unsafe fn select_lt(a: Self, b: Self, t: Self, f: Self) -> Self {
+            let m = _mm256_cmp_ps::<_CMP_LT_OQ>(a.0, b.0);
+            Self(_mm256_blendv_ps(f.0, t.0, m))
+        }
+        #[inline(always)]
+        unsafe fn idx_splat(i: u32) -> I32x8 {
+            I32x8(_mm256_set1_epi32(i as i32))
+        }
+        #[inline(always)]
+        unsafe fn idx_select_lt(a: Self, b: Self, t: I32x8, f: I32x8) -> I32x8 {
+            let m = _mm256_cmp_ps::<_CMP_LT_OQ>(a.0, b.0);
+            I32x8(_mm256_blendv_epi8(f.0, t.0, _mm256_castps_si256(m)))
+        }
+        #[inline(always)]
+        unsafe fn select_idx_eq(i: I32x8, j: I32x8, t: Self, f: Self) -> Self {
+            let m = _mm256_cmpeq_epi32(i.0, j.0);
+            Self(_mm256_blendv_ps(f.0, t.0, _mm256_castsi256_ps(m)))
+        }
+    }
+
+    impl SimdF for F64x4 {
+        type Elem = f64;
+        type Idx = I64x4;
+        const LANES: usize = 4;
+
+        #[inline(always)]
+        unsafe fn splat(x: f64) -> Self {
+            Self(_mm256_set1_pd(x))
+        }
+        #[inline(always)]
+        unsafe fn load(ptr: *const f64) -> Self {
+            Self(_mm256_loadu_pd(ptr))
+        }
+        #[inline(always)]
+        unsafe fn store(self, ptr: *mut f64) {
+            _mm256_storeu_pd(ptr, self.0)
+        }
+        #[inline(always)]
+        unsafe fn add(self, o: Self) -> Self {
+            Self(_mm256_add_pd(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn sub(self, o: Self) -> Self {
+            Self(_mm256_sub_pd(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn mul(self, o: Self) -> Self {
+            Self(_mm256_mul_pd(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn abs(self) -> Self {
+            Self(_mm256_andnot_pd(_mm256_set1_pd(-0.0), self.0))
+        }
+        #[inline(always)]
+        unsafe fn neg(self) -> Self {
+            Self(_mm256_xor_pd(_mm256_set1_pd(-0.0), self.0))
+        }
+        #[inline(always)]
+        unsafe fn select_lt(a: Self, b: Self, t: Self, f: Self) -> Self {
+            let m = _mm256_cmp_pd::<_CMP_LT_OQ>(a.0, b.0);
+            Self(_mm256_blendv_pd(f.0, t.0, m))
+        }
+        #[inline(always)]
+        unsafe fn idx_splat(i: u32) -> I64x4 {
+            I64x4(_mm256_set1_epi64x(i as i64))
+        }
+        #[inline(always)]
+        unsafe fn idx_select_lt(a: Self, b: Self, t: I64x4, f: I64x4) -> I64x4 {
+            let m = _mm256_cmp_pd::<_CMP_LT_OQ>(a.0, b.0);
+            I64x4(_mm256_blendv_epi8(f.0, t.0, _mm256_castpd_si256(m)))
+        }
+        #[inline(always)]
+        unsafe fn select_idx_eq(i: I64x4, j: I64x4, t: Self, f: Self) -> Self {
+            let m = _mm256_cmpeq_epi64(i.0, j.0);
+            Self(_mm256_blendv_pd(f.0, t.0, _mm256_castsi256_pd(m)))
+        }
+    }
+
+    impl SimdBytes for B8x32 {
+        const LANES: usize = 32;
+
+        #[inline(always)]
+        unsafe fn splat(x: u8) -> Self {
+            Self(_mm256_set1_epi8(x as i8))
+        }
+        #[inline(always)]
+        unsafe fn load(ptr: *const u8) -> Self {
+            Self(_mm256_loadu_si256(ptr.cast()))
+        }
+        #[inline(always)]
+        unsafe fn store(self, ptr: *mut u8) {
+            _mm256_storeu_si256(ptr.cast(), self.0)
+        }
+        #[inline(always)]
+        unsafe fn xor(self, o: Self) -> Self {
+            Self(_mm256_xor_si256(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn and(self, o: Self) -> Self {
+            Self(_mm256_and_si256(self.0, o.0))
+        }
+    }
+}
+
+/// 512-bit AVX-512 vectors (`f32x16`, `f64x8`, `u8x64`); requires
+/// F + BW + DQ + VL as a bundle (matching the dispatcher's check).
+#[cfg(target_arch = "x86_64")]
+pub mod avx512 {
+    use super::{SimdBytes, SimdF};
+    use std::arch::x86_64::*;
+
+    /// Sixteen `f32` lanes in one `__m512`.
+    #[derive(Clone, Copy)]
+    pub struct F32x16(pub __m512);
+    /// Sixteen `u32` lane indices in one `__m512i`.
+    #[derive(Clone, Copy)]
+    pub struct I32x16(pub __m512i);
+    /// Eight `f64` lanes in one `__m512d`.
+    #[derive(Clone, Copy)]
+    pub struct F64x8(pub __m512d);
+    /// Eight `u64` lane indices in one `__m512i`.
+    #[derive(Clone, Copy)]
+    pub struct I64x8(pub __m512i);
+    /// Sixty-four byte lanes in one `__m512i`.
+    #[derive(Clone, Copy)]
+    pub struct B8x64(pub __m512i);
+
+    impl SimdF for F32x16 {
+        type Elem = f32;
+        type Idx = I32x16;
+        const LANES: usize = 16;
+
+        #[inline(always)]
+        unsafe fn splat(x: f32) -> Self {
+            Self(_mm512_set1_ps(x))
+        }
+        #[inline(always)]
+        unsafe fn load(ptr: *const f32) -> Self {
+            Self(_mm512_loadu_ps(ptr))
+        }
+        #[inline(always)]
+        unsafe fn store(self, ptr: *mut f32) {
+            _mm512_storeu_ps(ptr, self.0)
+        }
+        #[inline(always)]
+        unsafe fn add(self, o: Self) -> Self {
+            Self(_mm512_add_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn sub(self, o: Self) -> Self {
+            Self(_mm512_sub_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn mul(self, o: Self) -> Self {
+            Self(_mm512_mul_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn abs(self) -> Self {
+            Self(_mm512_abs_ps(self.0))
+        }
+        #[inline(always)]
+        unsafe fn neg(self) -> Self {
+            Self(_mm512_xor_ps(_mm512_set1_ps(-0.0), self.0))
+        }
+        #[inline(always)]
+        unsafe fn select_lt(a: Self, b: Self, t: Self, f: Self) -> Self {
+            let k = _mm512_cmp_ps_mask::<_CMP_LT_OQ>(a.0, b.0);
+            Self(_mm512_mask_blend_ps(k, f.0, t.0))
+        }
+        #[inline(always)]
+        unsafe fn idx_splat(i: u32) -> I32x16 {
+            I32x16(_mm512_set1_epi32(i as i32))
+        }
+        #[inline(always)]
+        unsafe fn idx_select_lt(a: Self, b: Self, t: I32x16, f: I32x16) -> I32x16 {
+            let k = _mm512_cmp_ps_mask::<_CMP_LT_OQ>(a.0, b.0);
+            I32x16(_mm512_mask_blend_epi32(k, f.0, t.0))
+        }
+        #[inline(always)]
+        unsafe fn select_idx_eq(i: I32x16, j: I32x16, t: Self, f: Self) -> Self {
+            let k = _mm512_cmpeq_epi32_mask(i.0, j.0);
+            Self(_mm512_mask_blend_ps(k, f.0, t.0))
+        }
+    }
+
+    impl SimdF for F64x8 {
+        type Elem = f64;
+        type Idx = I64x8;
+        const LANES: usize = 8;
+
+        #[inline(always)]
+        unsafe fn splat(x: f64) -> Self {
+            Self(_mm512_set1_pd(x))
+        }
+        #[inline(always)]
+        unsafe fn load(ptr: *const f64) -> Self {
+            Self(_mm512_loadu_pd(ptr))
+        }
+        #[inline(always)]
+        unsafe fn store(self, ptr: *mut f64) {
+            _mm512_storeu_pd(ptr, self.0)
+        }
+        #[inline(always)]
+        unsafe fn add(self, o: Self) -> Self {
+            Self(_mm512_add_pd(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn sub(self, o: Self) -> Self {
+            Self(_mm512_sub_pd(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn mul(self, o: Self) -> Self {
+            Self(_mm512_mul_pd(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn abs(self) -> Self {
+            Self(_mm512_abs_pd(self.0))
+        }
+        #[inline(always)]
+        unsafe fn neg(self) -> Self {
+            Self(_mm512_xor_pd(_mm512_set1_pd(-0.0), self.0))
+        }
+        #[inline(always)]
+        unsafe fn select_lt(a: Self, b: Self, t: Self, f: Self) -> Self {
+            let k = _mm512_cmp_pd_mask::<_CMP_LT_OQ>(a.0, b.0);
+            Self(_mm512_mask_blend_pd(k, f.0, t.0))
+        }
+        #[inline(always)]
+        unsafe fn idx_splat(i: u32) -> I64x8 {
+            I64x8(_mm512_set1_epi64(i as i64))
+        }
+        #[inline(always)]
+        unsafe fn idx_select_lt(a: Self, b: Self, t: I64x8, f: I64x8) -> I64x8 {
+            let k = _mm512_cmp_pd_mask::<_CMP_LT_OQ>(a.0, b.0);
+            I64x8(_mm512_mask_blend_epi64(k, f.0, t.0))
+        }
+        #[inline(always)]
+        unsafe fn select_idx_eq(i: I64x8, j: I64x8, t: Self, f: Self) -> Self {
+            let k = _mm512_cmpeq_epi64_mask(i.0, j.0);
+            Self(_mm512_mask_blend_pd(k, f.0, t.0))
+        }
+    }
+
+    impl SimdBytes for B8x64 {
+        const LANES: usize = 64;
+
+        #[inline(always)]
+        unsafe fn splat(x: u8) -> Self {
+            Self(_mm512_set1_epi8(x as i8))
+        }
+        #[inline(always)]
+        unsafe fn load(ptr: *const u8) -> Self {
+            Self(_mm512_loadu_si512(ptr.cast()))
+        }
+        #[inline(always)]
+        unsafe fn store(self, ptr: *mut u8) {
+            _mm512_storeu_si512(ptr.cast(), self.0)
+        }
+        #[inline(always)]
+        unsafe fn xor(self, o: Self) -> Self {
+            Self(_mm512_xor_si512(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn and(self, o: Self) -> Self {
+            Self(_mm512_and_si512(self.0, o.0))
+        }
+    }
+}
+
+/// 128-bit NEON vectors on aarch64 (`f32x4`, `f64x2`, `u8x16`).
+#[cfg(target_arch = "aarch64")]
+pub mod neon {
+    use super::{SimdBytes, SimdF};
+    use std::arch::aarch64::*;
+
+    /// Four `f32` lanes in one `float32x4_t`.
+    #[derive(Clone, Copy)]
+    pub struct F32x4(pub float32x4_t);
+    /// Four `u32` lane indices in one `uint32x4_t`.
+    #[derive(Clone, Copy)]
+    pub struct U32x4(pub uint32x4_t);
+    /// Two `f64` lanes in one `float64x2_t`.
+    #[derive(Clone, Copy)]
+    pub struct F64x2(pub float64x2_t);
+    /// Two `u64` lane indices in one `uint64x2_t`.
+    #[derive(Clone, Copy)]
+    pub struct U64x2(pub uint64x2_t);
+    /// Sixteen byte lanes in one `uint8x16_t`.
+    #[derive(Clone, Copy)]
+    pub struct B8x16(pub uint8x16_t);
+
+    impl SimdF for F32x4 {
+        type Elem = f32;
+        type Idx = U32x4;
+        const LANES: usize = 4;
+
+        #[inline(always)]
+        unsafe fn splat(x: f32) -> Self {
+            Self(vdupq_n_f32(x))
+        }
+        #[inline(always)]
+        unsafe fn load(ptr: *const f32) -> Self {
+            Self(vld1q_f32(ptr))
+        }
+        #[inline(always)]
+        unsafe fn store(self, ptr: *mut f32) {
+            vst1q_f32(ptr, self.0)
+        }
+        #[inline(always)]
+        unsafe fn add(self, o: Self) -> Self {
+            Self(vaddq_f32(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn sub(self, o: Self) -> Self {
+            Self(vsubq_f32(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn mul(self, o: Self) -> Self {
+            Self(vmulq_f32(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn abs(self) -> Self {
+            Self(vabsq_f32(self.0))
+        }
+        #[inline(always)]
+        unsafe fn neg(self) -> Self {
+            Self(vnegq_f32(self.0))
+        }
+        #[inline(always)]
+        unsafe fn select_lt(a: Self, b: Self, t: Self, f: Self) -> Self {
+            Self(vbslq_f32(vcltq_f32(a.0, b.0), t.0, f.0))
+        }
+        #[inline(always)]
+        unsafe fn idx_splat(i: u32) -> U32x4 {
+            U32x4(vdupq_n_u32(i))
+        }
+        #[inline(always)]
+        unsafe fn idx_select_lt(a: Self, b: Self, t: U32x4, f: U32x4) -> U32x4 {
+            U32x4(vbslq_u32(vcltq_f32(a.0, b.0), t.0, f.0))
+        }
+        #[inline(always)]
+        unsafe fn select_idx_eq(i: U32x4, j: U32x4, t: Self, f: Self) -> Self {
+            Self(vbslq_f32(vceqq_u32(i.0, j.0), t.0, f.0))
+        }
+    }
+
+    impl SimdF for F64x2 {
+        type Elem = f64;
+        type Idx = U64x2;
+        const LANES: usize = 2;
+
+        #[inline(always)]
+        unsafe fn splat(x: f64) -> Self {
+            Self(vdupq_n_f64(x))
+        }
+        #[inline(always)]
+        unsafe fn load(ptr: *const f64) -> Self {
+            Self(vld1q_f64(ptr))
+        }
+        #[inline(always)]
+        unsafe fn store(self, ptr: *mut f64) {
+            vst1q_f64(ptr, self.0)
+        }
+        #[inline(always)]
+        unsafe fn add(self, o: Self) -> Self {
+            Self(vaddq_f64(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn sub(self, o: Self) -> Self {
+            Self(vsubq_f64(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn mul(self, o: Self) -> Self {
+            Self(vmulq_f64(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn abs(self) -> Self {
+            Self(vabsq_f64(self.0))
+        }
+        #[inline(always)]
+        unsafe fn neg(self) -> Self {
+            Self(vnegq_f64(self.0))
+        }
+        #[inline(always)]
+        unsafe fn select_lt(a: Self, b: Self, t: Self, f: Self) -> Self {
+            Self(vbslq_f64(vcltq_f64(a.0, b.0), t.0, f.0))
+        }
+        #[inline(always)]
+        unsafe fn idx_splat(i: u32) -> U64x2 {
+            U64x2(vdupq_n_u64(i as u64))
+        }
+        #[inline(always)]
+        unsafe fn idx_select_lt(a: Self, b: Self, t: U64x2, f: U64x2) -> U64x2 {
+            U64x2(vbslq_u64(vcltq_f64(a.0, b.0), t.0, f.0))
+        }
+        #[inline(always)]
+        unsafe fn select_idx_eq(i: U64x2, j: U64x2, t: Self, f: Self) -> Self {
+            Self(vbslq_f64(vceqq_u64(i.0, j.0), t.0, f.0))
+        }
+    }
+
+    impl SimdBytes for B8x16 {
+        const LANES: usize = 16;
+
+        #[inline(always)]
+        unsafe fn splat(x: u8) -> Self {
+            Self(vdupq_n_u8(x))
+        }
+        #[inline(always)]
+        unsafe fn load(ptr: *const u8) -> Self {
+            Self(vld1q_u8(ptr))
+        }
+        #[inline(always)]
+        unsafe fn store(self, ptr: *mut u8) {
+            vst1q_u8(ptr, self.0)
+        }
+        #[inline(always)]
+        unsafe fn xor(self, o: Self) -> Self {
+            Self(veorq_u8(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn and(self, o: Self) -> Self {
+            Self(vandq_u8(self.0, o.0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimdTarget;
+
+    /// Scalar reference for `select_lt`, with Rust `<` semantics.
+    fn ref_select_lt(a: f64, b: f64, t: f64, f: f64) -> f64 {
+        if a < b {
+            t
+        } else {
+            f
+        }
+    }
+
+    /// Awkward float inputs: signed zeros, infinities, NaN, subnormal.
+    fn probes() -> Vec<f64> {
+        vec![
+            0.0,
+            -0.0,
+            1.5,
+            -1.5,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::MIN_POSITIVE / 2.0,
+            1e6,
+            -1e6,
+        ]
+    }
+
+    /// Exercises one SimdF impl across lanes of awkward values and
+    /// checks each op bit-for-bit against the scalar semantics.
+    ///
+    /// Generic over the vector; instantiated per available target.
+    macro_rules! check_float_ops {
+        ($name:ident, $vec:ty, $elem:ty, $target:expr) => {
+            #[test]
+            fn $name() {
+                if !$target.is_available() {
+                    eprintln!("skipping: target unavailable");
+                    return;
+                }
+                type V = $vec;
+                const W: usize = <$vec as SimdF>::LANES;
+                let probes: Vec<$elem> = probes().iter().map(|&x| x as $elem).collect();
+                let n = probes.len();
+                // All rotations so every probe value meets every other.
+                for rot in 0..n {
+                    let mut a = vec![0 as $elem; W];
+                    let mut b = vec![0 as $elem; W];
+                    for l in 0..W {
+                        a[l] = probes[l % n];
+                        b[l] = probes[(l + rot) % n];
+                    }
+                    // SAFETY: availability checked above; buffers hold
+                    // exactly W elements.
+                    unsafe {
+                        let va = V::load(a.as_ptr());
+                        let vb = V::load(b.as_ptr());
+                        let mut out = vec![0 as $elem; W];
+
+                        va.add(vb).store(out.as_mut_ptr());
+                        for l in 0..W {
+                            assert_eq!(out[l].to_bits(), (a[l] + b[l]).to_bits(), "add lane {l}");
+                        }
+                        va.sub(vb).store(out.as_mut_ptr());
+                        for l in 0..W {
+                            assert_eq!(out[l].to_bits(), (a[l] - b[l]).to_bits(), "sub lane {l}");
+                        }
+                        va.mul(vb).store(out.as_mut_ptr());
+                        for l in 0..W {
+                            assert_eq!(out[l].to_bits(), (a[l] * b[l]).to_bits(), "mul lane {l}");
+                        }
+                        va.abs().store(out.as_mut_ptr());
+                        for l in 0..W {
+                            assert_eq!(out[l].to_bits(), a[l].abs().to_bits(), "abs lane {l}");
+                        }
+                        va.neg().store(out.as_mut_ptr());
+                        for l in 0..W {
+                            assert_eq!(out[l].to_bits(), (-a[l]).to_bits(), "neg lane {l}");
+                        }
+                        let t = V::splat(7.0 as $elem);
+                        let f = V::splat(-7.0 as $elem);
+                        V::select_lt(va, vb, t, f).store(out.as_mut_ptr());
+                        for l in 0..W {
+                            let want = ref_select_lt(a[l] as f64, b[l] as f64, 7.0, -7.0) as $elem;
+                            assert_eq!(out[l].to_bits(), want.to_bits(), "select_lt lane {l}");
+                        }
+                        // idx_select_lt + select_idx_eq round-trip: pick
+                        // index 3 where a<b else index 9, then map index
+                        // 3 back to +1.0.
+                        let i3 = V::idx_splat(3);
+                        let i9 = V::idx_splat(9);
+                        let idx = V::idx_select_lt(va, vb, i3, i9);
+                        V::select_idx_eq(idx, i3, V::splat(1.0 as $elem), V::splat(0 as $elem))
+                            .store(out.as_mut_ptr());
+                        for l in 0..W {
+                            let want: $elem = if (a[l] as f64) < (b[l] as f64) {
+                                1.0 as $elem
+                            } else {
+                                0 as $elem
+                            };
+                            assert_eq!(out[l].to_bits(), want.to_bits(), "idx ops lane {l}");
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    check_float_ops!(
+        avx2_f32_ops_match_scalar,
+        avx2::F32x8,
+        f32,
+        SimdTarget::Avx2
+    );
+    #[cfg(target_arch = "x86_64")]
+    check_float_ops!(
+        avx2_f64_ops_match_scalar,
+        avx2::F64x4,
+        f64,
+        SimdTarget::Avx2
+    );
+    #[cfg(target_arch = "x86_64")]
+    check_float_ops!(
+        avx512_f32_ops_match_scalar,
+        avx512::F32x16,
+        f32,
+        SimdTarget::Avx512
+    );
+    #[cfg(target_arch = "x86_64")]
+    check_float_ops!(
+        avx512_f64_ops_match_scalar,
+        avx512::F64x8,
+        f64,
+        SimdTarget::Avx512
+    );
+    #[cfg(target_arch = "aarch64")]
+    check_float_ops!(
+        neon_f32_ops_match_scalar,
+        neon::F32x4,
+        f32,
+        SimdTarget::Neon
+    );
+    #[cfg(target_arch = "aarch64")]
+    check_float_ops!(
+        neon_f64_ops_match_scalar,
+        neon::F64x2,
+        f64,
+        SimdTarget::Neon
+    );
+
+    macro_rules! check_byte_ops {
+        ($name:ident, $vec:ty, $target:expr) => {
+            #[test]
+            fn $name() {
+                if !$target.is_available() {
+                    eprintln!("skipping: target unavailable");
+                    return;
+                }
+                type V = $vec;
+                const W: usize = <$vec as SimdBytes>::LANES;
+                let a: Vec<u8> = (0..W as u32).map(|i| (i * 37 % 251) as u8).collect();
+                let b: Vec<u8> = (0..W as u32).map(|i| (i * 91 % 253) as u8).collect();
+                // SAFETY: availability checked above; W-byte buffers.
+                unsafe {
+                    let va = V::load(a.as_ptr());
+                    let vb = V::load(b.as_ptr());
+                    let mut out = vec![0u8; W];
+                    va.xor(vb).store(out.as_mut_ptr());
+                    for l in 0..W {
+                        assert_eq!(out[l], a[l] ^ b[l], "xor lane {l}");
+                    }
+                    va.and(vb).store(out.as_mut_ptr());
+                    for l in 0..W {
+                        assert_eq!(out[l], a[l] & b[l], "and lane {l}");
+                    }
+                    V::splat(0x5a).store(out.as_mut_ptr());
+                    assert!(out.iter().all(|&x| x == 0x5a));
+                }
+            }
+        };
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    check_byte_ops!(avx2_byte_ops_match_scalar, avx2::B8x32, SimdTarget::Avx2);
+    #[cfg(target_arch = "x86_64")]
+    check_byte_ops!(
+        avx512_byte_ops_match_scalar,
+        avx512::B8x64,
+        SimdTarget::Avx512
+    );
+    #[cfg(target_arch = "aarch64")]
+    check_byte_ops!(neon_byte_ops_match_scalar, neon::B8x16, SimdTarget::Neon);
+}

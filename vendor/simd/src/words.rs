@@ -1,0 +1,196 @@
+//! Safe, internally dispatched helpers over `u64` words for the
+//! bit-sliced GF(2) kernels.
+//!
+//! These are exact integer ops — every target produces identical words
+//! and counts — so unlike the float kernels they need no oracle
+//! contract, just a correctness test per target.
+
+use crate::target::{active_target, SimdTarget};
+
+/// `dst[i] ^= src[i]` for every word (lengths must match).
+///
+/// Dispatches to a wide XOR on the active target; the scalar loop is
+/// the fallback everywhere else.
+pub fn xor_words(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "xor_words length mismatch");
+    match active_target() {
+        // SAFETY: target availability was verified by the dispatcher.
+        #[cfg(target_arch = "x86_64")]
+        SimdTarget::Avx512 => unsafe { xor_words_avx512(dst, src) },
+        #[cfg(target_arch = "x86_64")]
+        SimdTarget::Avx2 => unsafe { xor_words_avx2(dst, src) },
+        _ => xor_words_scalar(dst, src),
+    }
+}
+
+/// Total population count over `words`.
+///
+/// Dispatches to `vpopcntq` when the CPU has AVX-512 VPOPCNTDQ, to a
+/// `popcnt`-enabled scalar loop when the `popcnt` instruction is
+/// available (the baseline x86-64 build cannot assume it), and to the
+/// portable loop otherwise.
+pub fn popcount_words(words: &[u64]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if active_target() == SimdTarget::Avx512
+            && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
+        {
+            // SAFETY: both feature sets verified just above.
+            return unsafe { popcount_words_avx512(words) };
+        }
+        if active_target() != SimdTarget::Scalar && std::arch::is_x86_feature_detected!("popcnt") {
+            // SAFETY: popcnt availability verified just above.
+            return unsafe { popcount_words_popcnt(words) };
+        }
+    }
+    popcount_words_scalar(words)
+}
+
+fn xor_words_scalar(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+fn popcount_words_scalar(words: &[u64]) -> u64 {
+    words.iter().map(|w| u64::from(w.count_ones())).sum()
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn xor_words_avx2(dst: &mut [u64], src: &[u64]) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let wide = n - n % 4;
+    let d = dst.as_mut_ptr();
+    let s = src.as_ptr();
+    let mut i = 0;
+    while i < wide {
+        let a = _mm256_loadu_si256(d.add(i).cast());
+        let b = _mm256_loadu_si256(s.add(i).cast());
+        _mm256_storeu_si256(d.add(i).cast(), _mm256_xor_si256(a, b));
+        i += 4;
+    }
+    xor_words_scalar(&mut dst[wide..], &src[wide..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn xor_words_avx512(dst: &mut [u64], src: &[u64]) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let wide = n - n % 8;
+    let d = dst.as_mut_ptr();
+    let s = src.as_ptr();
+    let mut i = 0;
+    while i < wide {
+        let a = _mm512_loadu_si512(d.add(i).cast());
+        let b = _mm512_loadu_si512(s.add(i).cast());
+        _mm512_storeu_si512(d.add(i).cast(), _mm512_xor_si512(a, b));
+        i += 8;
+    }
+    xor_words_scalar(&mut dst[wide..], &src[wide..]);
+}
+
+/// The plain loop, but compiled with the `popcnt` feature so
+/// `count_ones` lowers to one instruction per word instead of the
+/// baseline SWAR sequence.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+unsafe fn popcount_words_popcnt(words: &[u64]) -> u64 {
+    words.iter().map(|w| u64::from(w.count_ones())).sum()
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vpopcntdq")]
+unsafe fn popcount_words_avx512(words: &[u64]) -> u64 {
+    use std::arch::x86_64::*;
+    let n = words.len();
+    let wide = n - n % 8;
+    let p = words.as_ptr();
+    let mut acc = _mm512_setzero_si512();
+    let mut i = 0;
+    while i < wide {
+        let w = _mm512_loadu_si512(p.add(i).cast());
+        acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(w));
+        i += 8;
+    }
+    let mut total = _mm512_reduce_add_epi64(acc) as u64;
+    total += popcount_words_scalar(&words[wide..]);
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random words (splitmix64).
+    fn words(n: usize, seed: u64) -> Vec<u64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn xor_matches_scalar_on_all_targets_and_tails() {
+        for n in [0usize, 1, 3, 4, 7, 8, 9, 31, 64, 100] {
+            let src = words(n, 7);
+            let mut want = words(n, 99);
+            let mut got = want.clone();
+            xor_words_scalar(&mut want, &src);
+            // The public entry dispatches to the active target.
+            xor_words(&mut got, &src);
+            assert_eq!(got, want, "n={n}");
+            #[cfg(target_arch = "x86_64")]
+            {
+                if SimdTarget::Avx2.is_available() {
+                    let mut got = words(n, 99);
+                    // SAFETY: availability checked.
+                    unsafe { xor_words_avx2(&mut got, &src) };
+                    assert_eq!(got, want, "avx2 n={n}");
+                }
+                if SimdTarget::Avx512.is_available() {
+                    let mut got = words(n, 99);
+                    // SAFETY: availability checked.
+                    unsafe { xor_words_avx512(&mut got, &src) };
+                    assert_eq!(got, want, "avx512 n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_matches_scalar_on_all_targets_and_tails() {
+        for n in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 100] {
+            let ws = words(n, 3);
+            let want = popcount_words_scalar(&ws);
+            assert_eq!(popcount_words(&ws), want, "n={n}");
+            #[cfg(target_arch = "x86_64")]
+            {
+                if std::arch::is_x86_feature_detected!("popcnt") {
+                    // SAFETY: availability checked.
+                    assert_eq!(unsafe { popcount_words_popcnt(&ws) }, want, "popcnt n={n}");
+                }
+                if SimdTarget::Avx512.is_available()
+                    && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
+                {
+                    // SAFETY: availability checked.
+                    assert_eq!(unsafe { popcount_words_avx512(&ws) }, want, "vpopcnt n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_rejects_mismatched_lengths() {
+        xor_words(&mut [0; 3], &[0; 4]);
+    }
+}
