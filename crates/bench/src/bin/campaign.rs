@@ -22,13 +22,19 @@ use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage:
-  campaign run    --spec <file> [--out <dir>] [--shard i/m] [--quiet]
+  campaign run    --spec <file> [--out <dir>] [--shard i/m] [--quiet] [--service <addr>]
   campaign plan   --spec <file>
   campaign report --out <REPRO.md> [--tsv <file>] <results.jsonl>...
 
 run     execute (or resume) a campaign; writes JSONL + REPRO.md + results.tsv
 plan    print the expanded cell grid of a spec without decoding
-report  regenerate reports from one or more JSONL logs (merges shards)";
+report  regenerate reports from one or more JSONL logs (merges shards)
+
+--service <addr> decodes through a running `qldpc-serve` instead of
+in-process decoders: TCP host:port, or a UDS path when it contains '/'.
+Serve the same spec (`qldpc-serve --spec <file>`) so every cell id is
+registered; deterministic families (BP, BP-OSD) produce byte-identical
+rows either way, BP-SF cells are refused.";
 
 fn fail(message: impl std::fmt::Display) -> ExitCode {
     eprintln!("campaign: {message}");
@@ -106,6 +112,10 @@ fn run(args: &[String]) -> ExitCode {
         ),
         Err(e) => return fail(e),
     };
+    let service = match take_value(&mut args, "--service") {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
     if !args.is_empty() {
         return fail(format!("unexpected arguments: {args:?}\n{USAGE}"));
     }
@@ -115,6 +125,7 @@ fn run(args: &[String]) -> ExitCode {
             out_dir,
             shard,
             quiet,
+            service,
         },
     ) {
         Ok(outcome) => {

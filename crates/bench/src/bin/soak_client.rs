@@ -1,0 +1,102 @@
+//! `soak_client` — one decode-service client process of the cluster
+//! soak harness.
+//!
+//! ```text
+//! soak_client --addr <addr> --code <name> --shots N --seed S
+//! ```
+//!
+//! Connects to a running `serve` (TCP `host:port`, or a UDS path when
+//! the address contains `/`), regenerates its deterministic syndrome
+//! stream from `(syndrome_bits, shots, seed)` (see
+//! [`qldpc_bench::soak_syndromes`]), decodes every syndrome, and
+//! prints exactly one line:
+//!
+//! ```text
+//! DONE shots=<N> hash=<16-hex-digit digest>
+//! ```
+//!
+//! The digest absorbs every field of every outcome in submission
+//! order, so the parent harness can verify both *exactly-one-response*
+//! (the count) and *bit-identity* against an in-process decode of the
+//! same stream (the hash) without shipping outcomes around. Any
+//! transport failure, typed refusal, or dropped request exits nonzero
+//! with the error on stderr — the soak treats those as harness
+//! failures, not statistics.
+
+use qldpc_bench::{absorb_outcome, soak_syndromes, Fnv1a};
+use qldpc_client::Connection;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "usage: soak_client --addr <addr> --code <name> --shots N --seed S";
+
+fn fail(message: impl std::fmt::Display) -> ExitCode {
+    eprintln!("soak_client: {message}");
+    ExitCode::FAILURE
+}
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<String, String> {
+    let pos = args
+        .iter()
+        .position(|a| a == flag)
+        .ok_or_else(|| format!("{flag} is required"))?;
+    if pos + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(value)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = (|| -> Result<_, String> {
+        let addr = take_value(&mut args, "--addr")?;
+        let code = take_value(&mut args, "--code")?;
+        let shots: usize = take_value(&mut args, "--shots")?
+            .parse()
+            .map_err(|_| "--shots needs a number".to_string())?;
+        let seed: u64 = take_value(&mut args, "--seed")?
+            .parse()
+            .map_err(|_| "--seed needs a number".to_string())?;
+        Ok((addr, code, shots, seed))
+    })();
+    let (addr, code_name, shots, seed) = match parsed {
+        Ok(p) => p,
+        Err(e) => return fail(format!("{e}\n{USAGE}")),
+    };
+    if !args.is_empty() {
+        return fail(format!("unexpected arguments: {args:?}\n{USAGE}"));
+    }
+
+    let mut conn = match Connection::connect(&addr, &format!("soak-{seed}")) {
+        Ok(c) => c,
+        Err(e) => return fail(format!("connecting {addr}: {e}")),
+    };
+    // Deadlock tripwire: a stalled server fails the soak instead of
+    // hanging it.
+    if let Err(e) = conn.set_reply_timeout(Some(Duration::from_secs(120))) {
+        return fail(format!("setting reply timeout: {e}"));
+    }
+    let code = match conn.lookup_code(&code_name) {
+        Ok(c) => c,
+        Err(e) => return fail(format!("looking up '{code_name}': {e}")),
+    };
+
+    let mut hash = Fnv1a::new();
+    let mut replies = 0usize;
+    for syndrome in soak_syndromes(code.syndrome_bits as usize, shots, seed) {
+        let reply = match conn.decode(code.id, &syndrome) {
+            Ok(r) => r,
+            Err(e) => return fail(format!("decode {replies}: {e}")),
+        };
+        let outcome = match reply.result {
+            Ok(o) => o,
+            Err(failure) => return fail(format!("decode {replies} dropped: {failure}")),
+        };
+        absorb_outcome(&mut hash, &outcome);
+        replies += 1;
+    }
+    println!("DONE shots={replies} hash={:016x}", hash.finish());
+    ExitCode::SUCCESS
+}

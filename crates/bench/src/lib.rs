@@ -170,6 +170,93 @@ pub fn paper_reference(lines: &[&str]) {
     }
 }
 
+/// FNV-1a over a byte stream — the soak harness's order-sensitive
+/// digest (no external hash crates; collisions would need an adversary,
+/// and the comparison is decoder-vs-itself).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// The standard 64-bit offset basis.
+    pub fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Absorbs a little-endian u64.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Absorbs every field of a decode outcome into `hash` — the
+/// bit-identity fingerprint the cluster soak compares between
+/// over-the-wire and in-process decoding. Any divergence (estimate,
+/// convergence flags, iteration counts, telemetry) changes the digest.
+pub fn absorb_outcome(hash: &mut Fnv1a, outcome: &qldpc_decoder_api::DecodeOutcome) {
+    hash.write_u64(outcome.error_hat.len() as u64);
+    for &word in outcome.error_hat.as_words() {
+        hash.write_u64(word);
+    }
+    hash.write_u64(outcome.solved as u64);
+    hash.write_u64(outcome.serial_iterations as u64);
+    hash.write_u64(outcome.critical_iterations as u64);
+    hash.write_u64(outcome.postprocessed as u64);
+    let t = &outcome.telemetry;
+    for v in [
+        t.bp_iterations,
+        t.bp_converged as u64,
+        t.oscillating_bits,
+        t.osd_invocations,
+        t.osd_candidates,
+        t.sf_trials,
+        t.window_spill_bits,
+        t.window_carried_priors,
+    ] {
+        hash.write_u64(v);
+    }
+}
+
+/// The deterministic syndrome stream of one soak client: `shots`
+/// random `bits`-wide syndromes (bit rate 0.1) from a seeded RNG. The
+/// soak server and the in-process reference both regenerate it from
+/// `(bits, shots, seed)`, so the only thing compared over the wire is
+/// the decoding.
+pub fn soak_syndromes(bits: usize, shots: usize, seed: u64) -> Vec<qldpc_gf2::BitVec> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..shots)
+        .map(|_| {
+            let mut s = qldpc_gf2::BitVec::zeros(bits);
+            for i in 0..bits {
+                if rng.random_bool(0.1) {
+                    s.set(i, true);
+                }
+            }
+            s
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

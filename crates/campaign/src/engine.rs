@@ -84,6 +84,15 @@ pub struct RunOptions {
     pub shard: Option<(usize, usize)>,
     /// Suppress per-chunk progress on stdout.
     pub quiet: bool,
+    /// Decode through a networked service at this address (TCP
+    /// `host:port`, or a UDS path when it contains `/`) instead of
+    /// in-process decoders. The service must have every cell registered
+    /// under its cell id (see [`cell_decoder_inputs`]); `qldpc-serve
+    /// --spec` does exactly that. Deterministic decoder families (BP,
+    /// BP-OSD) produce byte-identical rows either way; BP-SF cells are
+    /// refused — their sampled trials consume a decoder-local RNG
+    /// stream that cannot be reproduced remotely.
+    pub service: Option<String>,
 }
 
 impl RunOptions {
@@ -93,6 +102,7 @@ impl RunOptions {
             out_dir: out_dir.into(),
             shard: None,
             quiet: false,
+            service: None,
         }
     }
 }
@@ -159,6 +169,43 @@ pub fn git_rev() -> String {
         Some(status) if status.trim().is_empty() => rev,
         // Dirty — or unknowable, which must not masquerade as clean.
         _ => format!("{rev}-dirty"),
+    }
+}
+
+/// The `#hx` twin of a code-capacity cell id — the registration name
+/// of the cell's *second* decoder (X checks seeing Z errors).
+pub fn cell_hx_name(cell_id: &str) -> String {
+    format!("{cell_id}#hx")
+}
+
+/// The (name, check matrix, priors) registrations a decode server
+/// needs to serve a cell byte-identically — exported so `serve --spec`
+/// registers exactly what the in-process engine would hand each
+/// decoder factory. Code-capacity cells register **two** decoders —
+/// `Hz` under the cell id (Z checks seeing X errors) and `Hx` under
+/// [`cell_hx_name`] (X checks seeing Z errors), both against the
+/// marginalized flip rate `2p/3` — because the code-capacity runner
+/// decodes both error species. Circuit-level cells register one: the
+/// detector error model of the cell's memory experiment.
+pub fn cell_decoder_inputs(
+    spec: &CampaignSpec,
+    cell: &Cell,
+) -> Vec<(String, qldpc_gf2::SparseBitMatrix, Vec<f64>)> {
+    let code = qldpc_codes::paper_code(&cell.code_slug).expect("slugs validated at parse time");
+    match spec.noise {
+        NoiseSpec::CodeCapacity => {
+            let marginal = 2.0 * cell.p / 3.0;
+            let priors = vec![marginal; code.n()];
+            vec![
+                (cell.id(), code.hz().clone(), priors.clone()),
+                (cell_hx_name(&cell.id()), code.hx().clone(), priors),
+            ]
+        }
+        NoiseSpec::CircuitLevel { .. } => {
+            let noise = NoiseModel::uniform_depolarizing(cell.p);
+            let dem = MemoryExperiment::memory_z(&code, cell.rounds, &noise).detector_error_model();
+            vec![(cell.id(), dem.check_matrix().clone(), dem.priors().to_vec())]
+        }
     }
 }
 
@@ -305,6 +352,22 @@ pub fn run_campaign(
         .iter()
         .filter(|c| opts.shard.is_none_or(|(i, m)| c.index % m == i))
         .collect();
+    if opts.service.is_some() {
+        if let Some(cell) = cells
+            .iter()
+            .find(|c| c.decoder.family() == qldpc_decoder_api::DecoderFamily::BpSf)
+        {
+            return Err(CampaignError::Spec(SpecError {
+                line: 0,
+                message: format!(
+                    "cell '{}' uses BP-SF, which cannot decode over --service: its sampled \
+                     trials consume a decoder-local RNG stream that a remote instance does \
+                     not share, so the rows would not be reproducible",
+                    cell.id()
+                ),
+            }));
+        }
+    }
     std::fs::create_dir_all(&opts.out_dir)
         .map_err(|e| CampaignError::Io(format!("creating {}: {e}", opts.out_dir.display())))?;
     let results_path = opts.out_dir.join(results_file_name(opts.shard));
@@ -377,6 +440,10 @@ pub fn run_campaign(
                 qldpc_codes::paper_code(&cell.code_slug).expect("slugs validated at parse time")
             })
             .clone();
+        // The in-process factory stays authoritative for the report
+        // row's descriptor (label/family/precision) even when decoding
+        // remotely — the service registers the same decoders, and the
+        // rows must byte-compare across the two execution modes.
         let factory = cell.decoder.factory(cell.precision);
 
         // Build (or reuse) the circuit-level DEM; probe the decoder's
@@ -400,6 +467,32 @@ pub fn run_campaign(
                 let marginal = 2.0 * cell.p / 3.0;
                 factory(code.hz(), &vec![marginal; code.n()]).descriptor()
             }
+        };
+
+        // Under --service, decode through the wire: each runner thread
+        // builds its own connection to the cell's remotely-registered
+        // twin. Shot generation, seeding and stopping stay local, so
+        // the only thing that changes is where `decode_syndrome` runs.
+        // Code-capacity runners instantiate the factory twice — once
+        // with Hz, once with Hx — so the remote factory routes by the
+        // matrix it is handed to the matching registration.
+        let factory = match &opts.service {
+            None => factory,
+            Some(addr) => match dem {
+                Some(_) => qldpc_client::remote_decoder_factory(addr.clone(), id.clone()),
+                None => {
+                    let hz = code.hz().clone();
+                    let addr = addr.clone();
+                    let id_hz = id.clone();
+                    let id_hx = cell_hx_name(&id);
+                    Box::new(move |h: &qldpc_gf2::SparseBitMatrix, _priors: &[f64]| {
+                        let name = if *h == hz { &id_hz } else { &id_hx };
+                        let decoder = qldpc_client::RemoteDecoder::connect(&addr, name)
+                            .unwrap_or_else(|e| panic!("remote decoder '{name}' at {addr}: {e}"));
+                        Box::new(decoder) as Box<dyn qldpc_decoder_api::SyndromeDecoder>
+                    })
+                }
+            },
         };
 
         let partial = replayed.partial.get(&id).copied().unwrap_or(PartialCell {

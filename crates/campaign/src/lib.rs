@@ -58,7 +58,10 @@ pub mod report;
 pub mod row;
 pub mod spec;
 
-pub use engine::{chunk_seed, git_rev, run_campaign, CampaignError, CampaignOutcome, RunOptions};
+pub use engine::{
+    cell_decoder_inputs, cell_hx_name, chunk_seed, git_rev, run_campaign, CampaignError,
+    CampaignOutcome, RunOptions,
+};
 pub use report::{check_consistency, read_cell_rows, render_markdown, render_tsv};
 pub use row::{CellRow, ChunkRow, LogRecord, SCHEMA};
 pub use spec::{CampaignSpec, Cell, DecoderSpec, NoiseSpec, Rounds, SpecError};

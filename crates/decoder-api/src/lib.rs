@@ -251,7 +251,11 @@ impl DecodeTelemetry {
 }
 
 /// The result of a single syndrome decode, with latency accounting.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq`/`Eq` compare every field bit-for-bit — the wire protocol
+/// and its bit-identity soak tests rely on outcome equality meaning
+/// "identical decode".
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecodeOutcome {
     /// Estimated error (meaningful only if `solved`).
     pub error_hat: BitVec,

@@ -63,6 +63,29 @@ impl BitVec {
         v
     }
 
+    /// Creates a vector directly from its packed word representation —
+    /// the inverse of [`Self::as_words`], used by serializers (e.g. the
+    /// wire codec) that ship the words verbatim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` is not exactly `ceil(len / 64)` or if any
+    /// bit beyond `len` is set in the final word (the zero-padding
+    /// invariant every `BitVec` operation relies on). Wire-facing
+    /// callers must validate untrusted input *before* constructing.
+    pub fn from_words(len: usize, words: Vec<u64>) -> Self {
+        assert_eq!(words.len(), words_for(len), "word count mismatch");
+        if !len.is_multiple_of(WORD_BITS) {
+            let tail = words.last().copied().unwrap_or(0);
+            assert_eq!(
+                tail >> (len % WORD_BITS),
+                0,
+                "set bits beyond the vector length"
+            );
+        }
+        Self { len, words }
+    }
+
     /// Creates a vector from a slice of booleans.
     pub fn from_bools(bits: &[bool]) -> Self {
         let mut v = Self::zeros(bits.len());

@@ -59,6 +59,15 @@
 //!   panicking worker of a code drains that code's queues, with
 //!   [`DecodeError::WorkerLost`]; later submissions are refused with
 //!   [`SubmitError::Shutdown`].
+//! * **Networked front-end** ([`NetFrontend`]) — an optional std-only
+//!   TCP/UDS listener speaking the `qldpc-wire` binary protocol: one
+//!   reader + one writer thread per connection, a per-connection
+//!   in-flight cap ([`FrontendConfig::max_inflight`], answered with a
+//!   typed `RateLimited` distinct from service-wide `Overloaded`),
+//!   wire-carried deadlines, remote streaming sessions, and the
+//!   node-labeled text exposition served over the same socket.
+//!   Requests accepted before a disconnect always drain — a vanished
+//!   client cannot leak an in-flight slot.
 //! * **Precision** — [`ServiceConfig::precision`] *declares* the
 //!   message arithmetic of the decoders a code's factory builds (the
 //!   service cannot look inside a factory) and surfaces it in
@@ -106,12 +115,14 @@
 //! ```
 
 mod metrics;
+mod net;
 mod request;
 mod service;
 mod session;
 mod shard;
 
 pub use metrics::{bucket_label, ConvergenceSnapshot, MetricsSnapshot, BATCH_HISTOGRAM_BUCKETS};
+pub use net::{FrontendConfig, NetFrontend};
 pub use qldpc_telemetry::{HistogramSnapshot, JournalEntry, Stage, StageSnapshot};
 pub use request::{DecodeError, DecodeResponse, ResponseHandle, SubmitError};
 pub use service::{Client, CodeId, DecodeService, ServiceBuilder, ServiceConfig};

@@ -343,41 +343,57 @@ impl MetricsSnapshot {
     /// `DecodeService::render_exposition`. Timing-valued series carry a
     /// `_seconds` name component (golden tests range-check those and
     /// byte-compare the rest).
-    pub fn exposition_into(&self, code: &str, exp: &mut Exposition) {
-        let l = [("code", code)];
+    /// With `node` set, every series additionally carries
+    /// `node="{node}"` so scrapes from several service nodes aggregate
+    /// without colliding (the networked front-end threads its configured
+    /// identity through here).
+    pub fn exposition_into(&self, code: &str, node: Option<&str>, exp: &mut Exposition) {
+        fn joined<'a>(
+            base: &[(&'a str, &'a str)],
+            extra: &[(&'a str, &'a str)],
+        ) -> Vec<(&'a str, &'a str)> {
+            let mut labels = base.to_vec();
+            labels.extend_from_slice(extra);
+            labels
+        }
+        let mut base: Vec<(&str, &str)> = vec![("code", code)];
+        if let Some(node) = node {
+            base.push(("node", node));
+        }
+        let l = &base;
         exp.counter(
             "qldpc_code_info",
-            &[("code", code), ("precision", self.precision.name())],
+            &joined(&base, &[("precision", self.precision.name())]),
             1,
         );
-        exp.counter("qldpc_requests_submitted_total", &l, self.submitted);
+        exp.counter("qldpc_requests_submitted_total", l, self.submitted);
         exp.counter(
             "qldpc_requests_rejected_overload_total",
-            &l,
+            l,
             self.rejected_overload,
         );
-        exp.counter("qldpc_requests_completed_total", &l, self.completed);
-        exp.counter("qldpc_requests_expired_total", &l, self.expired);
-        exp.counter("qldpc_requests_lost_total", &l, self.lost);
-        exp.counter("qldpc_requests_stolen_total", &l, self.stolen);
-        exp.counter("qldpc_batches_total", &l, self.batches);
-        exp.gauge("qldpc_batch_size_mean", &l, self.mean_batch_size);
+        exp.counter("qldpc_requests_completed_total", l, self.completed);
+        exp.counter("qldpc_requests_expired_total", l, self.expired);
+        exp.counter("qldpc_requests_lost_total", l, self.lost);
+        exp.counter("qldpc_requests_stolen_total", l, self.stolen);
+        exp.counter("qldpc_batches_total", l, self.batches);
+        exp.gauge("qldpc_batch_size_mean", l, self.mean_batch_size);
         exp.counter(
             "qldpc_latency_samples_dropped_total",
-            &l,
+            l,
             self.latency_samples_dropped,
         );
         for (i, &count) in self.batch_histogram.iter().enumerate() {
             let size = bucket_label(i);
             exp.counter(
                 "qldpc_batch_size_bucket",
-                &[("code", code), ("size", &size)],
+                &joined(&base, &[("size", &size)]),
                 count,
             );
         }
         exp.histogram(
             "qldpc_request_duration_seconds",
-            &l,
+            l,
             &self.latency,
             &EXPOSED_QUANTILES,
         );
@@ -390,35 +406,37 @@ impl MetricsSnapshot {
             if stage == qldpc_telemetry::Stage::Kernel {
                 exp.histogram(
                     "qldpc_stage_duration_seconds",
-                    &[
-                        ("code", code),
-                        ("stage", stage.name()),
-                        ("simd", qldpc_bp::active_simd_target().name()),
-                    ],
+                    &joined(
+                        &base,
+                        &[
+                            ("stage", stage.name()),
+                            ("simd", qldpc_bp::active_simd_target().name()),
+                        ],
+                    ),
                     h,
                     &EXPOSED_QUANTILES,
                 );
             } else {
                 exp.histogram(
                     "qldpc_stage_duration_seconds",
-                    &[("code", code), ("stage", stage.name())],
+                    &joined(&base, &[("stage", stage.name())]),
                     h,
                     &EXPOSED_QUANTILES,
                 );
             }
         }
         let c = &self.convergence;
-        exp.counter("qldpc_decodes_total", &l, c.decodes);
-        exp.counter("qldpc_bp_iterations_total", &l, c.bp_iterations);
-        exp.counter("qldpc_bp_converged_total", &l, c.bp_converged);
-        exp.counter("qldpc_oscillating_bits_total", &l, c.oscillating_bits);
-        exp.counter("qldpc_osd_invocations_total", &l, c.osd_invocations);
-        exp.counter("qldpc_osd_candidate_sweeps_total", &l, c.osd_candidates);
-        exp.counter("qldpc_sf_trials_total", &l, c.sf_trials);
-        exp.counter("qldpc_window_spill_bits_total", &l, c.window_spill_bits);
+        exp.counter("qldpc_decodes_total", l, c.decodes);
+        exp.counter("qldpc_bp_iterations_total", l, c.bp_iterations);
+        exp.counter("qldpc_bp_converged_total", l, c.bp_converged);
+        exp.counter("qldpc_oscillating_bits_total", l, c.oscillating_bits);
+        exp.counter("qldpc_osd_invocations_total", l, c.osd_invocations);
+        exp.counter("qldpc_osd_candidate_sweeps_total", l, c.osd_candidates);
+        exp.counter("qldpc_sf_trials_total", l, c.sf_trials);
+        exp.counter("qldpc_window_spill_bits_total", l, c.window_spill_bits);
         exp.counter(
             "qldpc_window_carried_priors_total",
-            &l,
+            l,
             c.window_carried_priors,
         );
     }
@@ -535,7 +553,7 @@ mod tests {
         m.submitted.store(3, Ordering::Relaxed);
         let mut exp = Exposition::new();
         m.snapshot(Precision::F32)
-            .exposition_into("gross", &mut exp);
+            .exposition_into("gross", None, &mut exp);
         let text = exp.render();
         assert!(text.contains("qldpc_requests_submitted_total{code=\"gross\"} 3"));
         assert!(text.contains("qldpc_code_info{code=\"gross\",precision=\"f32\"} 1"));
@@ -563,7 +581,7 @@ mod tests {
         // Deterministically ordered: rendering twice is byte-identical.
         let mut exp2 = Exposition::new();
         m.snapshot(Precision::F32)
-            .exposition_into("gross", &mut exp2);
+            .exposition_into("gross", None, &mut exp2);
         assert_eq!(text, exp2.render());
     }
 

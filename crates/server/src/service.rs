@@ -398,6 +398,41 @@ impl DecodeService {
         self.shared.codes.get(code.0).map(|c| c.name.as_str())
     }
 
+    /// Resolves a registered code by its registration name. Names are
+    /// unique in practice (registration order decides ties); the
+    /// networked front-end uses this to answer `CodeLookup` frames.
+    pub fn lookup_code(&self, name: &str) -> Option<CodeId> {
+        self.shared
+            .codes
+            .iter()
+            .position(|c| c.name == name)
+            .map(CodeId)
+    }
+
+    /// Registered code names, in registration order.
+    pub fn code_names(&self) -> Vec<&str> {
+        self.shared.codes.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Syndrome length a single-shot code expects; `None` for unknown
+    /// ids and for streaming codes (which take rounds through sessions,
+    /// not bare syndromes).
+    pub fn syndrome_bits(&self, code: CodeId) -> Option<usize> {
+        match &self.shared.codes.get(code.0)?.shape {
+            CodeShape::Single { rows } => Some(*rows),
+            CodeShape::Streaming { .. } => None,
+        }
+    }
+
+    /// The sliding-window plan of a streaming code; `None` for unknown
+    /// ids and single-shot codes.
+    pub fn stream_plan(&self, code: CodeId) -> Option<&WindowPlan> {
+        match &self.shared.codes.get(code.0)?.shape {
+            CodeShape::Single { .. } => None,
+            CodeShape::Streaming { plan } => Some(plan),
+        }
+    }
+
     /// Point-in-time metrics for one code.
     ///
     /// # Panics
@@ -416,14 +451,27 @@ impl DecodeService {
     /// renders of the same counter state are byte-identical; serve it
     /// from a `/metrics` handler or diff it in tests.
     pub fn render_exposition(&self) -> String {
+        self.render_exposition_impl(None)
+    }
+
+    /// Like [`DecodeService::render_exposition`], with every series
+    /// additionally labeled `node="{node}"` — the form the networked
+    /// front-end serves, so scrapes from several service nodes aggregate
+    /// without colliding.
+    pub fn render_exposition_for(&self, node: &str) -> String {
+        self.render_exposition_impl(Some(node))
+    }
+
+    fn render_exposition_impl(&self, node: Option<&str>) -> String {
         let mut exposition = Exposition::new();
         let mut codes: Vec<&CodeRuntime> = self.shared.codes.iter().collect();
         codes.sort_by(|a, b| a.name.cmp(&b.name));
         for runtime in codes {
-            runtime
-                .metrics
-                .snapshot(runtime.precision)
-                .exposition_into(&runtime.name, &mut exposition);
+            runtime.metrics.snapshot(runtime.precision).exposition_into(
+                &runtime.name,
+                node,
+                &mut exposition,
+            );
         }
         exposition.render()
     }

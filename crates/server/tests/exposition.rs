@@ -83,17 +83,20 @@ fn pinned_scenario() -> String {
 
     // Workers record the batch's post-process lap moments *after* the
     // last response is fulfilled, so wait for the final stage samples
-    // of both codes before rendering the page we compare.
+    // of both codes before rendering the page we compare. The golden is
+    // the *node-labeled* page (the form the networked front-end serves);
+    // the node name is pinned, so it stays host-portable.
     let deadline = std::time::Instant::now() + Duration::from_secs(30);
     let settled = |text: &str| {
         ["rep5", "bb72-stream"].iter().all(|code| {
             text.contains(&format!(
-                "qldpc_stage_duration_seconds_count{{code=\"{code}\",stage=\"post_process\"}} 3"
+                "qldpc_stage_duration_seconds_count{{code=\"{code}\",node=\"testnode\",\
+                 stage=\"post_process\"}} 3"
             ))
         })
     };
     let text = loop {
-        let text = service.render_exposition();
+        let text = service.render_exposition_for("testnode");
         if settled(&text) {
             break text;
         }
@@ -105,7 +108,12 @@ fn pinned_scenario() -> String {
     };
     // Rendering is deterministic: a second render of the same counter
     // state is byte-identical.
-    assert_eq!(text, service.render_exposition());
+    assert_eq!(text, service.render_exposition_for("testnode"));
+    // The node-less render is the same page minus the node labels —
+    // same series count, no node key anywhere.
+    let plain = service.render_exposition();
+    assert_eq!(plain.lines().count(), text.lines().count());
+    assert!(!plain.contains("node=\""));
     service.shutdown();
     text
 }
@@ -195,10 +203,14 @@ fn exposition_covers_all_stages_for_both_code_kinds() {
             // The kernel span alone carries the dispatch-target label.
             let series = if stage == "kernel" {
                 format!(
-                    "qldpc_stage_duration_seconds_count{{code=\"{code}\",stage=\"kernel\",simd=\""
+                    "qldpc_stage_duration_seconds_count{{code=\"{code}\",node=\"testnode\",\
+                     stage=\"kernel\",simd=\""
                 )
             } else {
-                format!("qldpc_stage_duration_seconds_count{{code=\"{code}\",stage=\"{stage}\"}}")
+                format!(
+                    "qldpc_stage_duration_seconds_count{{code=\"{code}\",node=\"testnode\",\
+                     stage=\"{stage}\"}}"
+                )
             };
             let line = text
                 .lines()
@@ -209,14 +221,18 @@ fn exposition_covers_all_stages_for_both_code_kinds() {
         }
         // One shard ⇒ stealing cannot happen, but the series must still
         // be exposed (at zero) so dashboards see the full taxonomy.
-        let steal =
-            format!("qldpc_stage_duration_seconds_count{{code=\"{code}\",stage=\"steal\"}} 0");
+        let steal = format!(
+            "qldpc_stage_duration_seconds_count{{code=\"{code}\",node=\"testnode\",\
+             stage=\"steal\"}} 0"
+        );
         assert!(
             text.contains(&steal),
             "missing zero steal series for {code}"
         );
     }
     // Convergence counters from both kernels made it through.
-    assert!(text.contains("qldpc_bp_iterations_total{code=\"rep5\"}"));
-    assert!(text.contains("qldpc_window_carried_priors_total{code=\"bb72-stream\"}"));
+    assert!(text.contains("qldpc_bp_iterations_total{code=\"rep5\",node=\"testnode\"}"));
+    assert!(
+        text.contains("qldpc_window_carried_priors_total{code=\"bb72-stream\",node=\"testnode\"}")
+    );
 }

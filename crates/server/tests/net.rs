@@ -1,0 +1,471 @@
+//! End-to-end coverage of the networked front-end: a real
+//! [`qldpc_client::Connection`] talking to a [`NetFrontend`] over TCP
+//! and UDS, pinned against the in-process service for bit-identity.
+//!
+//! Everything is hermetic — loopback TCP on an OS-assigned port, UDS
+//! under the test temp dir, no external processes.
+
+use qldpc_bp::{BpConfig, BpWindowDecoder, MinSumDecoder};
+use qldpc_circuit::{window_plan, MemoryExperiment, NoiseModel};
+use qldpc_client::{ClientError, Connection};
+use qldpc_codes::bb;
+use qldpc_decoder_api::{DecoderFactory, WindowDecoderFactory, WindowPlan};
+use qldpc_gf2::{BitVec, SparseBitMatrix};
+use qldpc_server::{DecodeService, FrontendConfig, NetFrontend, ServiceConfig};
+use qldpc_wire::{read_frame, write_frame, DecodeFailure, ErrorCode, Frame, PROTOCOL_VERSION};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deadlock guard: runs `f` on a helper thread, fails the test if it
+/// neither finishes nor panics within `limit`.
+fn with_timeout<F: FnOnce() + Send + 'static>(limit: Duration, f: F) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        f();
+        tx.send(()).ok();
+    });
+    match rx.recv_timeout(limit) {
+        Ok(()) | Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+            worker.join().expect("test thread panicked")
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            panic!("test exceeded {limit:?} — the front-end stranded a client")
+        }
+    }
+}
+
+fn rep5() -> SparseBitMatrix {
+    SparseBitMatrix::from_row_indices(4, 5, &[vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4]])
+}
+
+fn minsum_factory() -> DecoderFactory {
+    Box::new(|h, priors| Box::new(MinSumDecoder::new(h, priors, BpConfig::default())))
+}
+
+fn sequential_config() -> ServiceConfig {
+    ServiceConfig {
+        shards: 1,
+        max_wait: Duration::from_micros(50),
+        ..Default::default()
+    }
+}
+
+/// One single-shot code plus one streaming code — the registration mix
+/// every front-end test runs against.
+fn mixed_service() -> (Arc<DecodeService>, Arc<WindowPlan>) {
+    let exp = MemoryExperiment::memory_z(&bb::bb72(), 3, &NoiseModel::uniform_depolarizing(2e-3));
+    let dem = exp.detector_error_model();
+    let k = dem.num_detectors() / 4;
+    let plan = Arc::new(window_plan(&dem, k, 2, 1));
+    let window_factory: WindowDecoderFactory =
+        Box::new(|plan| Box::new(BpWindowDecoder::new(plan, BpConfig::default())));
+    let mut builder = DecodeService::builder();
+    builder.register_code_with(
+        "rep5",
+        &rep5(),
+        &[0.05; 5],
+        minsum_factory(),
+        sequential_config(),
+    );
+    builder.register_streaming_code_with(
+        "bb72-stream",
+        Arc::clone(&plan),
+        window_factory,
+        sequential_config(),
+    );
+    (Arc::new(builder.start()), plan)
+}
+
+fn frontend_config(node: &str) -> FrontendConfig {
+    FrontendConfig {
+        node: node.to_string(),
+        ..Default::default()
+    }
+}
+
+/// Deterministic non-trivial detector rounds for streaming tests.
+fn test_rounds(plan: &WindowPlan) -> Vec<BitVec> {
+    (0..plan.num_round_blocks)
+        .map(|r| BitVec::from_indices(plan.dets_per_round, &[(r * 7 + 3) % plan.dets_per_round]))
+        .collect()
+}
+
+#[test]
+fn tcp_round_trip_is_bit_identical_to_in_process() {
+    with_timeout(Duration::from_secs(60), || {
+        let (service, _plan) = mixed_service();
+        let mut frontend = NetFrontend::serve_tcp(
+            Arc::clone(&service),
+            "127.0.0.1:0",
+            frontend_config("alpha"),
+        )
+        .expect("bind tcp");
+        let addr = frontend.local_addr().expect("tcp front-end has an addr");
+
+        let mut conn = Connection::connect_tcp(addr, "net-test").expect("connect");
+        assert_eq!(conn.node(), "alpha");
+        conn.set_reply_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+
+        let code = conn.lookup_code("rep5").expect("lookup");
+        assert_eq!(code.name, "rep5");
+        assert_eq!(code.syndrome_bits, 4);
+
+        let h = rep5();
+        let in_process_code = service.lookup_code("rep5").unwrap();
+        let mut local = service.client();
+        for error_bits in [vec![2], vec![0, 4], vec![]] {
+            let error = BitVec::from_indices(5, &error_bits);
+            let syndrome = h.mul_vec(&error);
+            let reply = conn.decode(code.id, &syndrome).expect("wire decode");
+            let remote = reply.result.expect("remote decode succeeded");
+            let local_outcome = local
+                .submit(in_process_code, syndrome)
+                .unwrap()
+                .wait()
+                .result
+                .expect("local decode succeeded");
+            // The wire adds serialization, not arithmetic: the outcome —
+            // error estimate, convergence flags, iteration counts,
+            // telemetry — is bit-identical to the in-process decode.
+            assert_eq!(remote, local_outcome);
+            assert_eq!(remote.error_hat, error);
+        }
+
+        frontend.shutdown();
+    });
+}
+
+#[test]
+fn uds_round_trip_serves_metrics_with_node_label() {
+    with_timeout(Duration::from_secs(60), || {
+        let (service, _plan) = mixed_service();
+        let path = std::env::temp_dir().join(format!("qldpc-net-{}-uds.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut frontend =
+            NetFrontend::serve_uds(Arc::clone(&service), &path, frontend_config("beta"))
+                .expect("bind uds");
+
+        let mut conn = Connection::connect_uds(&path, "net-test").expect("connect");
+        assert_eq!(conn.node(), "beta");
+        conn.set_reply_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+
+        let code = conn.lookup_code("rep5").expect("lookup");
+        let h = rep5();
+        let error = BitVec::from_indices(5, &[1]);
+        let reply = conn.decode(code.id, &h.mul_vec(&error)).expect("decode");
+        assert_eq!(reply.result.unwrap().error_hat, error);
+
+        // The metrics endpoint serves the node-labeled exposition, and
+        // the decode above is already in it (the handle resolved before
+        // the reply frame was written).
+        let text = conn.metrics().expect("metrics");
+        assert!(
+            text.contains("node=\"beta\""),
+            "missing node label:\n{text}"
+        );
+        assert!(text.contains("qldpc_requests_submitted_total{code=\"rep5\",node=\"beta\"}"));
+
+        // Shutdown removes the socket file — rebinding the same path
+        // must work without manual cleanup.
+        frontend.shutdown();
+        assert!(!path.exists(), "UDS path survived shutdown");
+    });
+}
+
+#[test]
+fn stream_over_wire_matches_in_process_session() {
+    with_timeout(Duration::from_secs(120), || {
+        let (service, plan) = mixed_service();
+        let mut frontend = NetFrontend::serve_tcp(
+            Arc::clone(&service),
+            "127.0.0.1:0",
+            frontend_config("gamma"),
+        )
+        .expect("bind tcp");
+        let addr = frontend.local_addr().unwrap();
+        let rounds = test_rounds(&plan);
+
+        // In-process reference: same rounds through a local session.
+        let stream_code = service.lookup_code("bb72-stream").unwrap();
+        let mut local = service.stream_session(stream_code).expect("local session");
+        let mut local_events = Vec::new();
+        for round in &rounds {
+            local_events.extend(local.push_round(round).expect("local push"));
+        }
+        let local_result = local.finish().expect("local finish");
+        local_events.extend(local_result.events.iter().cloned());
+
+        // The same rounds over the wire.
+        let mut conn = Connection::connect_tcp(addr, "net-test").expect("connect");
+        conn.set_reply_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        let code = conn.lookup_code("bb72-stream").expect("lookup");
+        assert_eq!(
+            code.syndrome_bits, 0,
+            "streaming codes expose no single-shot length"
+        );
+        let mut stream = conn.open_stream(code.id).expect("open stream");
+        assert_eq!(stream.num_windows(), plan.num_windows() as u64);
+        assert_eq!(stream.num_round_blocks(), plan.num_round_blocks as u64);
+        assert_eq!(stream.dets_per_round(), plan.dets_per_round as u64);
+        assert_eq!(stream.num_mechanisms(), plan.num_mechanisms as u64);
+
+        let mut wire_events = Vec::new();
+        for round in &rounds {
+            wire_events.extend(stream.push_round(round).expect("wire push"));
+        }
+        let outcome = stream.finish().expect("wire finish");
+        wire_events.extend(outcome.events.iter().cloned());
+
+        // Bit-identity: the windowed BP kernel is deterministic, so the
+        // remote session commits the same windows with the same
+        // mechanism sets and lands on the same global error estimate.
+        assert_eq!(outcome.all_solved, local_result.all_solved);
+        assert_eq!(outcome.error_hat, local_result.error_hat);
+        assert_eq!(wire_events.len(), local_events.len());
+        for (wire, local) in wire_events.iter().zip(&local_events) {
+            assert_eq!(wire.window_index, local.window_index as u64);
+            assert_eq!(wire.start_round, local.start_round as u64);
+            assert_eq!(wire.end_round, local.end_round as u64);
+            assert_eq!(wire.solved, local.solved);
+            assert_eq!(wire.mechanisms, local.mechanisms);
+        }
+
+        frontend.shutdown();
+    });
+}
+
+/// Every caller mistake the in-process API signals (or panics on) comes
+/// back over the wire as a typed [`ClientError::Remote`] — and the
+/// connection stays usable afterwards.
+#[test]
+fn caller_mistakes_become_typed_remote_errors() {
+    with_timeout(Duration::from_secs(120), || {
+        let (service, plan) = mixed_service();
+        let mut frontend = NetFrontend::serve_tcp(
+            Arc::clone(&service),
+            "127.0.0.1:0",
+            frontend_config("delta"),
+        )
+        .expect("bind tcp");
+        let addr = frontend.local_addr().unwrap();
+        let mut conn = Connection::connect_tcp(addr, "net-test").expect("connect");
+        conn.set_reply_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+
+        let expect_remote = |err: ClientError, want: ErrorCode| match err {
+            ClientError::Remote { code, .. } => assert_eq!(code, want),
+            other => panic!("expected Remote({want}), got {other}"),
+        };
+
+        // Unknown code name.
+        expect_remote(
+            conn.lookup_code("no-such-code").unwrap_err(),
+            ErrorCode::UnknownCode,
+        );
+        // Unknown numeric code id.
+        expect_remote(
+            conn.decode(999, &BitVec::zeros(4)).unwrap_err(),
+            ErrorCode::UnknownCode,
+        );
+
+        let single = conn.lookup_code("rep5").unwrap();
+        let streaming = conn.lookup_code("bb72-stream").unwrap();
+
+        // Wrong syndrome length on a single-shot code.
+        expect_remote(
+            conn.decode(single.id, &BitVec::zeros(7)).unwrap_err(),
+            ErrorCode::SyndromeLength,
+        );
+        // Single-shot decode of a streaming code, and vice versa.
+        expect_remote(
+            conn.decode(streaming.id, &BitVec::zeros(4)).unwrap_err(),
+            ErrorCode::WrongCodeKind,
+        );
+        expect_remote(
+            conn.open_stream(single.id)
+                .err()
+                .expect("stream on single-shot"),
+            ErrorCode::WrongCodeKind,
+        );
+
+        // Stream contract violations: wrong round width is refused
+        // without poisoning the session; finishing early is refused;
+        // the session then completes normally.
+        let rounds = test_rounds(&plan);
+        let mut stream = conn.open_stream(streaming.id).expect("open stream");
+        expect_remote(
+            stream
+                .push_round(&BitVec::zeros(plan.dets_per_round + 1))
+                .unwrap_err(),
+            ErrorCode::SyndromeLength,
+        );
+        stream
+            .push_round(&rounds[0])
+            .expect("session survived the bad round");
+
+        let mut stream = {
+            // Finish-before-all-rounds consumes the stream; reopen.
+            let _abandoned = stream;
+            let mut s = conn.open_stream(streaming.id).expect("reopen stream");
+            s.push_round(&rounds[0]).expect("push");
+            s
+        };
+        // Overfilling: push every remaining round, then one extra.
+        for round in &rounds[1..] {
+            stream.push_round(round).expect("push");
+        }
+        expect_remote(
+            stream.push_round(&rounds[0]).unwrap_err(),
+            ErrorCode::BadFrame,
+        );
+        let outcome = stream.finish().expect("finish after refusals");
+        assert_eq!(outcome.error_hat.len(), plan.num_mechanisms);
+
+        // The connection is still healthy after every refusal above.
+        let h = rep5();
+        let error = BitVec::from_indices(5, &[3]);
+        let reply = conn.decode(single.id, &h.mul_vec(&error)).expect("decode");
+        assert_eq!(reply.result.unwrap().error_hat, error);
+
+        frontend.shutdown();
+    });
+}
+
+/// A premature `StreamFinish` is refused as `BadFrame` and closes the
+/// session (the wire cannot keep a half-fed session alive once the
+/// client considers it finished).
+#[test]
+fn premature_stream_finish_is_refused() {
+    with_timeout(Duration::from_secs(60), || {
+        let (service, plan) = mixed_service();
+        let mut frontend = NetFrontend::serve_tcp(
+            Arc::clone(&service),
+            "127.0.0.1:0",
+            frontend_config("epsilon"),
+        )
+        .expect("bind tcp");
+        let addr = frontend.local_addr().unwrap();
+        let mut conn = Connection::connect_tcp(addr, "net-test").expect("connect");
+        conn.set_reply_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+
+        let streaming = conn.lookup_code("bb72-stream").unwrap();
+        let mut stream = conn.open_stream(streaming.id).expect("open stream");
+        stream.push_round(&test_rounds(&plan)[0]).expect("push");
+        match stream.finish().unwrap_err() {
+            ClientError::Remote { code, .. } => assert_eq!(code, ErrorCode::BadFrame),
+            other => panic!("expected Remote(BadFrame), got {other}"),
+        }
+
+        frontend.shutdown();
+    });
+}
+
+/// Version negotiation: a client speaking a different protocol version
+/// is refused with `UnsupportedVersion` before anything else happens.
+#[test]
+fn handshake_rejects_version_mismatch() {
+    with_timeout(Duration::from_secs(60), || {
+        let (service, _plan) = mixed_service();
+        let mut frontend =
+            NetFrontend::serve_tcp(Arc::clone(&service), "127.0.0.1:0", frontend_config("zeta"))
+                .expect("bind tcp");
+        let addr = frontend.local_addr().unwrap();
+
+        let mut sock = std::net::TcpStream::connect(addr).expect("connect");
+        sock.set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        write_frame(
+            &mut sock,
+            &Frame::Hello {
+                version: PROTOCOL_VERSION + 1,
+                client: "time-traveler".to_string(),
+            },
+        )
+        .expect("send hello");
+        use std::io::Write as _;
+        sock.flush().unwrap();
+        match read_frame(&mut sock, qldpc_wire::DEFAULT_MAX_PAYLOAD).expect("read refusal") {
+            Some(Frame::Error { code, detail, .. }) => {
+                assert_eq!(code, ErrorCode::UnsupportedVersion);
+                assert!(detail.contains(&PROTOCOL_VERSION.to_string()));
+            }
+            other => panic!("expected UnsupportedVersion error, got {other:?}"),
+        }
+        // The server hangs up after the refusal.
+        assert!(matches!(
+            read_frame(&mut sock, qldpc_wire::DEFAULT_MAX_PAYLOAD),
+            Ok(None)
+        ));
+
+        frontend.shutdown();
+    });
+}
+
+/// Dispatch deadlines cross the wire: a request that cannot be
+/// dispatched in time resolves as a typed `DeadlineExceeded` failure,
+/// not a transport error.
+#[test]
+fn wire_deadline_surfaces_as_typed_failure() {
+    with_timeout(Duration::from_secs(60), || {
+        struct SleepyDecoder;
+        impl qldpc_decoder_api::SyndromeDecoder for SleepyDecoder {
+            fn decode_syndrome(&mut self, _syndrome: &BitVec) -> qldpc_decoder_api::DecodeOutcome {
+                std::thread::sleep(Duration::from_millis(400));
+                qldpc_decoder_api::DecodeOutcome {
+                    error_hat: BitVec::zeros(5),
+                    solved: true,
+                    serial_iterations: 1,
+                    critical_iterations: 1,
+                    postprocessed: false,
+                    telemetry: qldpc_decoder_api::DecodeTelemetry::bp(1, true),
+                }
+            }
+            fn label(&self) -> String {
+                "SleepyDecoder".into()
+            }
+        }
+        let mut builder = DecodeService::builder();
+        builder.register_code_with(
+            "slow",
+            &rep5(),
+            &[0.05; 5],
+            Box::new(|_h, _priors| Box::new(SleepyDecoder)),
+            sequential_config(),
+        );
+        let service = Arc::new(builder.start());
+        let mut frontend =
+            NetFrontend::serve_tcp(Arc::clone(&service), "127.0.0.1:0", frontend_config("eta"))
+                .expect("bind tcp");
+        let addr = frontend.local_addr().unwrap();
+
+        // Connection A occupies the single worker for ~400 ms.
+        let blocker = std::thread::spawn(move || {
+            let mut conn = Connection::connect_tcp(addr, "blocker").expect("connect");
+            conn.set_reply_timeout(Some(Duration::from_secs(30)))
+                .unwrap();
+            let code = conn.lookup_code("slow").unwrap();
+            conn.decode(code.id, &BitVec::zeros(4))
+                .expect("blocking decode")
+        });
+        std::thread::sleep(Duration::from_millis(100));
+
+        // Connection B's request must wait behind it — far past its
+        // 1 ms dispatch deadline.
+        let mut conn = Connection::connect_tcp(addr, "deadline").expect("connect");
+        conn.set_reply_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let code = conn.lookup_code("slow").unwrap();
+        let reply = conn
+            .decode_with_deadline(code.id, &BitVec::zeros(4), Some(Duration::from_millis(1)))
+            .expect("transport round-trip succeeds");
+        assert_eq!(reply.result, Err(DecodeFailure::DeadlineExceeded));
+
+        let blocked = blocker.join().expect("blocker thread");
+        assert!(blocked.result.expect("blocker decode").solved);
+        frontend.shutdown();
+    });
+}

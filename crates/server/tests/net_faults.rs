@@ -1,0 +1,543 @@
+//! Fault injection against the networked front-end: dead clients, dead
+//! workers, rate limiting, garbage on the wire, and shutdown races.
+//! Every fault must surface as a *typed* outcome — never a hang, never
+//! a leaked in-flight slot.
+
+use qldpc_bp::{BpConfig, BpWindowDecoder, MinSumDecoder};
+use qldpc_circuit::{window_plan, MemoryExperiment, NoiseModel};
+use qldpc_client::{ClientError, Connection};
+use qldpc_codes::bb;
+use qldpc_decoder_api::{
+    DecodeOutcome, DecodeTelemetry, DecoderFactory, SyndromeDecoder, WindowDecoder,
+    WindowDecoderFactory, WindowOutcome, WindowPlan, WindowTask,
+};
+use qldpc_gf2::{BitVec, SparseBitMatrix};
+use qldpc_server::{DecodeService, FrontendConfig, NetFrontend, ServiceConfig};
+use qldpc_wire::{
+    read_frame, write_frame, DecodeFailure, ErrorCode, Frame, DEFAULT_MAX_PAYLOAD, PROTOCOL_VERSION,
+};
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deadlock guard: runs `f` on a helper thread, fails the test if it
+/// neither finishes nor panics within `limit`.
+fn with_timeout<F: FnOnce() + Send + 'static>(limit: Duration, f: F) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        f();
+        tx.send(()).ok();
+    });
+    match rx.recv_timeout(limit) {
+        Ok(()) | Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+            worker.join().expect("test thread panicked")
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            panic!("test exceeded {limit:?} — a fault hung the front-end")
+        }
+    }
+}
+
+fn rep5() -> SparseBitMatrix {
+    SparseBitMatrix::from_row_indices(4, 5, &[vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4]])
+}
+
+fn sequential_config() -> ServiceConfig {
+    ServiceConfig {
+        shards: 1,
+        max_wait: Duration::from_micros(50),
+        ..Default::default()
+    }
+}
+
+/// A decoder that sleeps `delay` per decode — the load generator for
+/// rate-limit and disconnect races.
+struct SleepyDecoder {
+    delay: Duration,
+}
+
+impl SyndromeDecoder for SleepyDecoder {
+    fn decode_syndrome(&mut self, _syndrome: &BitVec) -> DecodeOutcome {
+        std::thread::sleep(self.delay);
+        DecodeOutcome {
+            error_hat: BitVec::zeros(5),
+            solved: true,
+            serial_iterations: 1,
+            critical_iterations: 1,
+            postprocessed: false,
+            telemetry: DecodeTelemetry::bp(1, true),
+        }
+    }
+
+    fn label(&self) -> String {
+        "SleepyDecoder".into()
+    }
+}
+
+fn sleepy_factory(delay: Duration) -> DecoderFactory {
+    Box::new(move |_h, _priors| Box::new(SleepyDecoder { delay }))
+}
+
+/// A decoder whose every decode panics — the injected worker fault.
+struct PanickingDecoder;
+
+impl SyndromeDecoder for PanickingDecoder {
+    fn decode_syndrome(&mut self, _syndrome: &BitVec) -> DecodeOutcome {
+        panic!("injected decoder fault");
+    }
+
+    fn label(&self) -> String {
+        "PanickingDecoder".into()
+    }
+}
+
+/// Raw-socket handshake, for tests that need to speak frames the
+/// blocking client refuses to send.
+fn raw_handshake(addr: std::net::SocketAddr) -> std::net::TcpStream {
+    let mut sock = std::net::TcpStream::connect(addr).expect("connect");
+    sock.set_nodelay(true).unwrap();
+    sock.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write_frame(
+        &mut sock,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+            client: "raw".to_string(),
+        },
+    )
+    .expect("send hello");
+    sock.flush().unwrap();
+    match read_frame(&mut sock, DEFAULT_MAX_PAYLOAD).expect("handshake reply") {
+        Some(Frame::HelloAck { .. }) => sock,
+        other => panic!("expected HelloAck, got {other:?}"),
+    }
+}
+
+/// A client that vanishes mid-request leaks nothing: its in-flight slot
+/// resolves, the service accounting drains, and other clients are
+/// unaffected.
+#[test]
+fn disconnected_client_leaks_no_inflight_slot() {
+    with_timeout(Duration::from_secs(60), || {
+        let mut builder = DecodeService::builder();
+        builder.register_code_with(
+            "slow",
+            &rep5(),
+            &[0.05; 5],
+            sleepy_factory(Duration::from_millis(150)),
+            sequential_config(),
+        );
+        let service = Arc::new(builder.start());
+        let mut frontend = NetFrontend::serve_tcp(
+            Arc::clone(&service),
+            "127.0.0.1:0",
+            FrontendConfig::default(),
+        )
+        .expect("bind tcp");
+        let addr = frontend.local_addr().unwrap();
+
+        // The doomed client: submit, then vanish without reading the
+        // reply.
+        {
+            let mut sock = raw_handshake(addr);
+            write_frame(
+                &mut sock,
+                &Frame::Submit {
+                    tag: 7,
+                    code: 0,
+                    deadline_micros: 0,
+                    syndrome: BitVec::zeros(4),
+                },
+            )
+            .expect("send submit");
+            sock.flush().unwrap();
+            // `sock` drops here — the socket closes while the decode is
+            // still running.
+        }
+
+        // A healthy client still gets served (queued behind the
+        // abandoned decode).
+        let mut conn = Connection::connect_tcp(addr, "survivor").expect("connect");
+        conn.set_reply_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let code = conn.lookup_code("slow").unwrap();
+        let reply = conn.decode(code.id, &BitVec::zeros(4)).expect("decode");
+        assert!(reply.result.expect("decode outcome").solved);
+        drop(conn);
+
+        // Tearing down the front-end joins the abandoned connection's
+        // writer, which must have waited out the orphaned handle — so
+        // the service drains: every accepted request completed.
+        frontend.shutdown();
+        let service = Arc::into_inner(service).expect("front-end released the service");
+        let metrics = service.shutdown();
+        let (submitted, completed): (u64, u64) = metrics
+            .iter()
+            .fold((0, 0), |(s, c), m| (s + m.submitted, c + m.completed));
+        assert_eq!(submitted, 2, "both submissions were accepted");
+        assert_eq!(completed, 2, "the orphaned slot resolved");
+        assert!(metrics.iter().all(|m| m.is_drained()));
+    });
+}
+
+/// The per-connection in-flight cap refuses with `RateLimited` — a
+/// distinct wire error from the service-wide `Overloaded` — and the
+/// already-accepted request still completes.
+#[test]
+fn rate_limit_refusal_is_distinct_and_typed() {
+    with_timeout(Duration::from_secs(60), || {
+        let mut builder = DecodeService::builder();
+        builder.register_code_with(
+            "slow",
+            &rep5(),
+            &[0.05; 5],
+            sleepy_factory(Duration::from_millis(300)),
+            sequential_config(),
+        );
+        let service = Arc::new(builder.start());
+        let config = FrontendConfig {
+            max_inflight: 1,
+            ..Default::default()
+        };
+        let mut frontend =
+            NetFrontend::serve_tcp(Arc::clone(&service), "127.0.0.1:0", config).expect("bind");
+        let addr = frontend.local_addr().unwrap();
+
+        // Pipeline two submissions on the raw socket: the first is
+        // accepted and occupies the connection's single in-flight slot
+        // for ~300 ms; the second arrives while it is pending.
+        let mut sock = raw_handshake(addr);
+        for tag in [1u64, 2] {
+            write_frame(
+                &mut sock,
+                &Frame::Submit {
+                    tag,
+                    code: 0,
+                    deadline_micros: 0,
+                    syndrome: BitVec::zeros(4),
+                },
+            )
+            .expect("send submit");
+        }
+        sock.flush().unwrap();
+
+        // Replies arrive in request order: the accepted decode first,
+        // then the typed refusal of the second.
+        match read_frame(&mut sock, DEFAULT_MAX_PAYLOAD).expect("first reply") {
+            Some(Frame::DecodeReply { tag, result, .. }) => {
+                assert_eq!(tag, 1);
+                assert!(result.expect("first decode").solved);
+            }
+            other => panic!("expected DecodeReply, got {other:?}"),
+        }
+        match read_frame(&mut sock, DEFAULT_MAX_PAYLOAD).expect("second reply") {
+            Some(Frame::Error { tag, code, .. }) => {
+                assert_eq!(tag, 2);
+                assert_eq!(code, ErrorCode::RateLimited);
+            }
+            other => panic!("expected RateLimited error, got {other:?}"),
+        }
+
+        // The slot freed once the first reply went out: a third
+        // submission on the same connection is accepted again.
+        write_frame(
+            &mut sock,
+            &Frame::Submit {
+                tag: 3,
+                code: 0,
+                deadline_micros: 0,
+                syndrome: BitVec::zeros(4),
+            },
+        )
+        .expect("send third");
+        sock.flush().unwrap();
+        match read_frame(&mut sock, DEFAULT_MAX_PAYLOAD).expect("third reply") {
+            Some(Frame::DecodeReply { tag, result, .. }) => {
+                assert_eq!(tag, 3);
+                assert!(result.expect("third decode").solved);
+            }
+            other => panic!("expected DecodeReply, got {other:?}"),
+        }
+
+        frontend.shutdown();
+    });
+}
+
+/// A worker that dies mid-request answers with a typed `WorkerLost`
+/// failure over the wire, and later submissions are refused with a
+/// typed `Shutdown` — the client never hangs on a dead code.
+#[test]
+fn dead_worker_surfaces_as_typed_failure_then_shutdown() {
+    with_timeout(Duration::from_secs(60), || {
+        let mut builder = DecodeService::builder();
+        builder.register_code_with(
+            "doomed",
+            &rep5(),
+            &[0.05; 5],
+            Box::new(|_h, _priors| Box::new(PanickingDecoder)),
+            sequential_config(),
+        );
+        let service = Arc::new(builder.start());
+        let mut frontend = NetFrontend::serve_tcp(
+            Arc::clone(&service),
+            "127.0.0.1:0",
+            FrontendConfig::default(),
+        )
+        .expect("bind");
+        let addr = frontend.local_addr().unwrap();
+
+        let mut conn = Connection::connect_tcp(addr, "fault-test").expect("connect");
+        conn.set_reply_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let code = conn.lookup_code("doomed").unwrap();
+
+        let reply = conn
+            .decode(code.id, &BitVec::zeros(4))
+            .expect("transport survives the worker fault");
+        assert_eq!(reply.result, Err(DecodeFailure::WorkerLost));
+
+        // All workers of the code are dead: the next submission is
+        // refused outright.
+        let refused = loop {
+            match conn.decode(code.id, &BitVec::zeros(4)) {
+                Err(ClientError::Remote { code, .. }) => break code,
+                // A brief window exists where a queue still accepts
+                // before the drain marks the code dead; such a request
+                // resolves as WorkerLost. Retry until the gate closes.
+                Ok(reply) => assert_eq!(reply.result, Err(DecodeFailure::WorkerLost)),
+                Err(other) => panic!("expected typed refusal, got {other}"),
+            }
+        };
+        assert_eq!(refused, ErrorCode::Shutdown);
+
+        frontend.shutdown();
+    });
+}
+
+/// A window decoder that panics on its first batch — the streaming
+/// analogue of the worker fault.
+struct PanickingWindowDecoder {
+    plan: Arc<WindowPlan>,
+}
+
+impl WindowDecoder for PanickingWindowDecoder {
+    fn plan(&self) -> &WindowPlan {
+        &self.plan
+    }
+
+    fn label(&self) -> String {
+        "PanickingWindowDecoder".into()
+    }
+
+    fn decode_windows(&mut self, _tasks: &[WindowTask]) -> Vec<WindowOutcome> {
+        panic!("injected window-decoder fault");
+    }
+}
+
+/// A streaming session whose worker dies surfaces a typed
+/// `StreamFailed`, the server reaps the session, and later frames for
+/// it get `UnknownSession` — never a hang.
+#[test]
+fn stream_worker_fault_is_typed_and_session_reaped() {
+    with_timeout(Duration::from_secs(120), || {
+        let exp =
+            MemoryExperiment::memory_z(&bb::bb72(), 3, &NoiseModel::uniform_depolarizing(2e-3));
+        let dem = exp.detector_error_model();
+        let k = dem.num_detectors() / 4;
+        let plan = Arc::new(window_plan(&dem, k, 2, 1));
+        let window_factory: WindowDecoderFactory =
+            Box::new(|plan| Box::new(PanickingWindowDecoder { plan }));
+        let mut builder = DecodeService::builder();
+        builder.register_streaming_code_with(
+            "doomed-stream",
+            Arc::clone(&plan),
+            window_factory,
+            sequential_config(),
+        );
+        let service = Arc::new(builder.start());
+        let mut frontend = NetFrontend::serve_tcp(
+            Arc::clone(&service),
+            "127.0.0.1:0",
+            FrontendConfig::default(),
+        )
+        .expect("bind");
+        let addr = frontend.local_addr().unwrap();
+
+        let mut conn = Connection::connect_tcp(addr, "fault-test").expect("connect");
+        conn.set_reply_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        let code = conn.lookup_code("doomed-stream").unwrap();
+        let mut stream = conn.open_stream(code.id).expect("open");
+        let session_rounds = plan.num_round_blocks;
+        let round = BitVec::zeros(plan.dets_per_round);
+
+        // The fault surfaces at whichever push (or the finish) first
+        // harvests the dead window — typed either way.
+        let mut failure = None;
+        for _ in 0..session_rounds {
+            if let Err(e) = stream.push_round(&round) {
+                failure = Some(e);
+                break;
+            }
+        }
+        let failure = match failure {
+            Some(e) => e,
+            None => stream.finish().expect_err("finish must report the fault"),
+        };
+        match failure {
+            ClientError::Remote { code, .. } => assert_eq!(code, ErrorCode::StreamFailed),
+            other => panic!("expected Remote(StreamFailed), got {other}"),
+        }
+
+        // The server dropped the session: a fresh stream on the same
+        // connection gets UnknownSession semantics via a raw frame.
+        let mut sock = raw_handshake(addr);
+        write_frame(
+            &mut sock,
+            &Frame::StreamRound {
+                session: 424242,
+                round: round.clone(),
+            },
+        )
+        .expect("send round");
+        sock.flush().unwrap();
+        match read_frame(&mut sock, DEFAULT_MAX_PAYLOAD).expect("reply") {
+            Some(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::UnknownSession),
+            other => panic!("expected UnknownSession, got {other:?}"),
+        }
+
+        frontend.shutdown();
+    });
+}
+
+/// Shutting the front-end down under a live stream breaks the client
+/// out with a typed transport error — the reply timeout is the
+/// deadlock tripwire.
+#[test]
+fn frontend_shutdown_mid_stream_is_typed_not_hang() {
+    with_timeout(Duration::from_secs(120), || {
+        let exp =
+            MemoryExperiment::memory_z(&bb::bb72(), 3, &NoiseModel::uniform_depolarizing(2e-3));
+        let dem = exp.detector_error_model();
+        let k = dem.num_detectors() / 4;
+        let plan = Arc::new(window_plan(&dem, k, 2, 1));
+        let window_factory: WindowDecoderFactory =
+            Box::new(|plan| Box::new(BpWindowDecoder::new(plan, BpConfig::default())));
+        let mut builder = DecodeService::builder();
+        builder.register_streaming_code_with(
+            "bb72-stream",
+            Arc::clone(&plan),
+            window_factory,
+            sequential_config(),
+        );
+        let service = Arc::new(builder.start());
+        let mut frontend = NetFrontend::serve_tcp(
+            Arc::clone(&service),
+            "127.0.0.1:0",
+            FrontendConfig::default(),
+        )
+        .expect("bind");
+        let addr = frontend.local_addr().unwrap();
+
+        let mut conn = Connection::connect_tcp(addr, "shutdown-race").expect("connect");
+        conn.set_reply_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let code = conn.lookup_code("bb72-stream").unwrap();
+        let mut stream = conn.open_stream(code.id).expect("open");
+        let round = BitVec::zeros(plan.dets_per_round);
+        stream.push_round(&round).expect("first round");
+
+        frontend.shutdown();
+
+        // The next interaction fails with a transport error (EOF or
+        // reset), not a hang and not a silent success.
+        let mut saw_io = false;
+        for _ in 0..2 {
+            match stream.push_round(&round) {
+                Err(ClientError::Io(_)) => {
+                    saw_io = true;
+                    break;
+                }
+                // The round we pushed before the shutdown may still
+                // deliver its buffered ack; keep going.
+                Ok(_) => continue,
+                Err(other) => panic!("expected Io error, got {other}"),
+            }
+        }
+        assert!(saw_io, "shutdown never surfaced as a transport error");
+
+        // The service itself is untouched by the front-end teardown:
+        // in-process sessions still work.
+        let stream_code = service.lookup_code("bb72-stream").unwrap();
+        let mut session = service.stream_session(stream_code).expect("local session");
+        for _ in 0..plan.num_round_blocks {
+            session.push_round(&round).expect("local push");
+        }
+        assert!(session.finish().expect("local finish").all_solved);
+    });
+}
+
+/// Garbage after a clean handshake: typed `BadFrame`, then hang-up. A
+/// second Hello mid-session is refused but keeps the connection.
+#[test]
+fn garbage_frames_get_bad_frame_then_hangup() {
+    with_timeout(Duration::from_secs(60), || {
+        let mut builder = DecodeService::builder();
+        let factory: DecoderFactory =
+            Box::new(|h, priors| Box::new(MinSumDecoder::new(h, priors, BpConfig::default())));
+        builder.register_code_with("rep5", &rep5(), &[0.05; 5], factory, sequential_config());
+        let service = Arc::new(builder.start());
+        let mut frontend = NetFrontend::serve_tcp(
+            Arc::clone(&service),
+            "127.0.0.1:0",
+            FrontendConfig::default(),
+        )
+        .expect("bind");
+        let addr = frontend.local_addr().unwrap();
+
+        // A second Hello is a protocol violation but not a framing
+        // desync: typed refusal, connection survives.
+        let mut sock = raw_handshake(addr);
+        write_frame(
+            &mut sock,
+            &Frame::Hello {
+                version: PROTOCOL_VERSION,
+                client: "again".to_string(),
+            },
+        )
+        .expect("send second hello");
+        sock.flush().unwrap();
+        match read_frame(&mut sock, DEFAULT_MAX_PAYLOAD).expect("reply") {
+            Some(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::BadFrame),
+            other => panic!("expected BadFrame, got {other:?}"),
+        }
+        write_frame(
+            &mut sock,
+            &Frame::CodeLookup {
+                name: "rep5".to_string(),
+            },
+        )
+        .expect("send lookup");
+        sock.flush().unwrap();
+        match read_frame(&mut sock, DEFAULT_MAX_PAYLOAD).expect("reply") {
+            Some(Frame::CodeInfo { name, .. }) => assert_eq!(name, "rep5"),
+            other => panic!("expected CodeInfo, got {other:?}"),
+        }
+
+        // Byte soup desynchronizes the framing: typed BadFrame, then
+        // the server hangs up.
+        sock.write_all(b"\xde\xad\xbe\xef not a frame")
+            .expect("send garbage");
+        sock.flush().unwrap();
+        match read_frame(&mut sock, DEFAULT_MAX_PAYLOAD).expect("reply") {
+            Some(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::BadFrame),
+            other => panic!("expected BadFrame, got {other:?}"),
+        }
+        assert!(matches!(
+            read_frame(&mut sock, DEFAULT_MAX_PAYLOAD),
+            Ok(None)
+        ));
+
+        frontend.shutdown();
+    });
+}

@@ -69,6 +69,7 @@ pub use bpsf_core as bpsf;
 pub use qldpc_bp as bp;
 pub use qldpc_campaign as campaign;
 pub use qldpc_circuit as circuit;
+pub use qldpc_client as client;
 pub use qldpc_codes as codes;
 pub use qldpc_decoder_api as decoder_api;
 pub use qldpc_gf2 as gf2;
@@ -76,6 +77,7 @@ pub use qldpc_osd as osd;
 pub use qldpc_server as server;
 pub use qldpc_sim as sim;
 pub use qldpc_telemetry as telemetry;
+pub use qldpc_wire as wire;
 
 /// The most common imports for working with the stack.
 pub mod prelude {
@@ -89,12 +91,14 @@ pub mod prelude {
     pub use crate::circuit::{
         window_plan, DemSampler, DetectorErrorModel, MemoryExperiment, NoiseModel,
     };
+    pub use crate::client::{Connection, RemoteDecoder};
     pub use crate::codes::{bb, coprime_bb, gb, hgp, shp, CssCode};
     pub use crate::decoder_api::{DecodeOutcome, DecoderFactory, Precision, SyndromeDecoder};
     pub use crate::gf2::{BitMatrix, BitVec, SparseBitMatrix};
     pub use crate::osd::{BpOsdDecoder, OsdConfig};
     pub use crate::server::{
-        CommitEvent, DecodeService, ServiceConfig, StreamError, StreamResult, StreamSession,
+        CommitEvent, DecodeService, FrontendConfig, NetFrontend, ServiceConfig, StreamError,
+        StreamResult, StreamSession,
     };
     pub use crate::sim::{
         decoders, run_circuit_level, run_circuit_level_batched, run_circuit_level_parallel,
